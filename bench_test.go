@@ -1,0 +1,265 @@
+package rqs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/sim"
+)
+
+// One benchmark per experiment of EXPERIMENTS.md. Each E-bench runs the
+// full experiment (schedule, protocol run, or computation) per iteration;
+// the E11 benches measure steady-state protocol throughput.
+
+func BenchmarkE1Fig1Violation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, results := expt.E1Fig1(); results[0].Violation == "" {
+			b.Fatal("greedy algorithm unexpectedly atomic")
+		}
+	}
+}
+
+func BenchmarkE2Fig2Intersections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E2Fig2()
+	}
+}
+
+func BenchmarkE3Fig3Verify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E3Fig3()
+	}
+}
+
+func BenchmarkE4Fig4Executions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E4Fig4()
+	}
+}
+
+func BenchmarkE5StorageLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E5StorageLatency()
+	}
+}
+
+func BenchmarkE6Theorem3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, outcomes := expt.E6Theorem3(); outcomes[0].Violation == "" {
+			b.Fatal("broken system unexpectedly atomic")
+		}
+	}
+}
+
+func BenchmarkE7ConsensusLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E7ConsensusLatency()
+	}
+}
+
+func BenchmarkE8Theorem6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, outcomes := expt.E8Theorem6(); !outcomes[0].AgreementViolated {
+			b.Fatal("broken system unexpectedly safe")
+		}
+	}
+}
+
+func BenchmarkE9MinimalN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E9MinimalN()
+	}
+}
+
+func BenchmarkE10ViewChange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E10ViewChange()
+	}
+}
+
+func BenchmarkE11ThroughputStorageWrite(b *testing.B) {
+	c := NewStorage(Example7RQS(), StorageOptions{Timeout: 500 * time.Microsecond})
+	defer c.Stop()
+	w := c.Writer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Write("v")
+	}
+}
+
+func BenchmarkE11ThroughputStorageRead(b *testing.B) {
+	c := NewStorage(Example7RQS(), StorageOptions{Timeout: 500 * time.Microsecond})
+	defer c.Stop()
+	c.Writer().Write("v")
+	r := c.Reader()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Read()
+	}
+}
+
+func BenchmarkE11ThroughputStorageReadN8(b *testing.B) {
+	system, err := NewThresholdRQS(ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewStorage(system, StorageOptions{Timeout: 500 * time.Microsecond})
+	defer c.Stop()
+	c.Writer().Write("v")
+	r := c.Reader()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Read()
+	}
+}
+
+func BenchmarkE11ThroughputConsensusDecision(b *testing.B) {
+	// Consensus is single-shot: each iteration stands up a cluster,
+	// decides, and tears it down — throughput includes deployment cost.
+	for i := 0; i < b.N; i++ {
+		c, err := NewConsensus(Example7RQS(), ConsensusOptions{Learners: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Proposers[0].Propose("v")
+		if _, ok := c.Learners[0].Wait(10 * time.Second); !ok {
+			b.Fatal("no decision")
+		}
+		c.Stop()
+	}
+}
+
+func BenchmarkE12Availability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		expt.E12Availability()
+	}
+}
+
+// Micro-benchmarks of the core primitives.
+
+func BenchmarkCoreVerifyExample7(b *testing.B) {
+	r := Example7RQS()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreVerifyThreshold8(b *testing.B) {
+	r, err := NewThresholdRQS(ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreContainedQuorum(b *testing.B) {
+	r, err := NewThresholdRQS(ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	responded := core.NewSet(0, 1, 2, 3, 4, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.ContainedQuorum(responded, Class2); !ok {
+			b.Fatal("no quorum")
+		}
+	}
+}
+
+// Guard against accidental API breakage of the facade used above.
+var _ = sim.StorageOptions{}
+
+// Ablation benches: the design choices DESIGN.md calls out.
+
+// BenchmarkA1QC2Ablation measures the class-2 read scenario (1-round
+// write through the class-1 quorum, then s6 gone) with and without the
+// paper's class-2-quorum-id scheme: 2 rounds with it, 3 without.
+func BenchmarkA1QC2Ablation(b *testing.B) {
+	run := func(b *testing.B, disable bool, wantRounds int) {
+		for i := 0; i < b.N; i++ {
+			c := NewStorage(Example7RQS(), StorageOptions{Timeout: 500 * time.Microsecond, Clients: 2})
+			w := c.Writer()
+			r := c.ReaderOpts(ReaderOptions{DisableQC2: disable})
+			w.Write("v")
+			c.CrashServers(NewSet(5))
+			if res := r.Read(); res.Rounds != wantRounds {
+				c.Stop()
+				b.Fatalf("rounds = %d, want %d", res.Rounds, wantRounds)
+			}
+			c.Stop()
+		}
+	}
+	b.Run("with-qc2-scheme", func(b *testing.B) { run(b, false, 2) })
+	b.Run("ablated", func(b *testing.B) { run(b, true, 3) })
+}
+
+// BenchmarkA2RegularVsAtomicReads compares the cost of the two read
+// semantics of Section 6 in steady state.
+func BenchmarkA2RegularVsAtomicReads(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts ReaderOptions
+	}{
+		{"atomic", ReaderOptions{}},
+		{"regular", ReaderOptions{Semantics: RegularReads}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := NewStorage(Example7RQS(), StorageOptions{Timeout: 500 * time.Microsecond, Clients: 2})
+			defer c.Stop()
+			c.Writer().Write("v")
+			r := c.ReaderOpts(mode.opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Read()
+			}
+		})
+	}
+}
+
+// BenchmarkA3SMRLogThroughput commits slots through the smr layer.
+func BenchmarkA3SMRLogThroughput(b *testing.B) {
+	system := Example7RQS()
+	nA := system.N()
+	topo := consensus.Topology{
+		Acceptors: system.Universe(),
+		Proposers: []ProcessID{nA},
+		Learners:  NewSet(nA + 1),
+	}
+	ring, signers, err := consensus.GenKeys(system.Universe())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := NewNetwork(nA + 2)
+	var replicas []*LogReplica
+	for _, id := range system.Universe().Members() {
+		replicas = append(replicas, NewLogReplica(system, topo, net.Port(id), ring, signers[id], ElectionConfig{}))
+	}
+	prop := NewLogProposer(system, topo, net.Port(nA), ring)
+	logHost := NewLog(system, topo, net.Port(nA+1), 0)
+	defer func() {
+		net.Close()
+		for _, r := range replicas {
+			r.Stop()
+		}
+		prop.Stop()
+		logHost.Stop()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prop.Propose(i, "cmd")
+		if _, ok := logHost.Wait(i, 10*time.Second); !ok {
+			b.Fatalf("slot %d did not commit", i)
+		}
+	}
+}

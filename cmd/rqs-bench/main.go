@@ -1,0 +1,92 @@
+// Command rqs-bench regenerates the experiment tables E1-E12 of
+// EXPERIMENTS.md: the paper's figures, best-case latency claims, and
+// lower-bound schedules, each as an executable experiment.
+//
+// Usage:
+//
+//	rqs-bench            # run everything
+//	rqs-bench -e E5,E7   # run selected experiments
+//	rqs-bench -list      # list available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rqs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rqs-bench", flag.ContinueOnError)
+	var (
+		exps = fs.String("e", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+		list = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() *expt.Table{
+		"E1":  func() *expt.Table { t, _ := expt.E1Fig1(); return t },
+		"E2":  expt.E2Fig2,
+		"E3":  expt.E3Fig3,
+		"E4":  expt.E4Fig4,
+		"E5":  expt.E5StorageLatency,
+		"E6":  func() *expt.Table { t, _ := expt.E6Theorem3(); return t },
+		"E7":  expt.E7ConsensusLatency,
+		"E8":  func() *expt.Table { t, _ := expt.E8Theorem6(); return t },
+		"E9":  expt.E9MinimalN,
+		"E10": expt.E10ViewChange,
+		"E12": expt.E12Availability,
+	}
+	order := make([]string, 0, len(runners))
+	for id := range runners {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return atoi(order[i][1:]) < atoi(order[j][1:])
+	})
+
+	if *list {
+		fmt.Println(strings.Join(order, " "))
+		fmt.Println("E11 is the throughput suite: run `go test -bench=E11 -benchmem .`")
+		return nil
+	}
+
+	selected := order
+	if *exps != "all" {
+		selected = nil
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if _, ok := runners[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, id)
+		}
+	}
+	for _, id := range selected {
+		fmt.Println(runners[id]().Format())
+	}
+	return nil
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	// The cheap, purely computational experiments.
+	if err := run([]string{"-e", "E2,E3,E9,E12"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-e", "E99"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestAtoi(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{{"1", 1}, {"12", 12}, {"3x", 3}, {"", 0}}
+	for _, tt := range tests {
+		if got := atoi(tt.in); got != tt.want {
+			t.Errorf("atoi(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

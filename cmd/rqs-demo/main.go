@@ -1,0 +1,118 @@
+// Command rqs-demo runs the RQS atomic storage over real TCP, one process
+// per role — the closest thing to the paper's deployment of commodity
+// storage servers.
+//
+// Start the six Example 7 servers, then drive writes and reads:
+//
+//	rqs-demo -role server -id 0 &
+//	... (ids 1..5) ...
+//	rqs-demo -role write -value hello
+//	rqs-demo -role read
+//
+// All processes default to localhost ports 7700+id; override with
+// -addrs host:port,host:port,... (servers first, then one client slot).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rqs-demo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rqs-demo", flag.ContinueOnError)
+	var (
+		role    = fs.String("role", "", "server | write | read")
+		id      = fs.Int("id", 0, "server id (role=server)")
+		value   = fs.String("value", "hello", "value to write (role=write)")
+		addrsCS = fs.String("addrs", "", "comma-separated addresses; default localhost:7700+i")
+		timeout = fs.Duration("timeout", 50*time.Millisecond, "round timer (2Δ)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	system := core.Example7RQS()
+	n := system.N()
+	transport.Register(storage.WriteReq{})
+	transport.Register(storage.WriteAck{})
+	transport.Register(storage.ReadReq{})
+	transport.Register(storage.ReadAck{})
+
+	addrs := make(map[core.ProcessID]string, n+1)
+	if *addrsCS != "" {
+		for i, a := range strings.Split(*addrsCS, ",") {
+			addrs[i] = strings.TrimSpace(a)
+		}
+	} else {
+		for i := 0; i <= n; i++ {
+			addrs[i] = fmt.Sprintf("127.0.0.1:%d", 7700+i)
+		}
+	}
+
+	switch *role {
+	case "server":
+		if *id < 0 || *id >= n {
+			return fmt.Errorf("server id must be 0..%d", n-1)
+		}
+		node, err := transport.NewTCPNode(*id, addrs)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		srv := storage.NewServer(node, storage.Hooks{})
+		srv.Start()
+		defer srv.Stop()
+		fmt.Printf("server %d (s%d) listening on %s — ^C to stop\n", *id, *id+1, node.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		<-sig
+		return nil
+
+	case "write":
+		node, err := transport.NewTCPNode(n, addrs)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		// A fresh writer process must resume past the highest timestamp
+		// already in the storage (SWMR: timestamps never repeat).
+		cur := storage.NewReader(system, node, *timeout).Read()
+		w := storage.NewWriter(system, node, *timeout)
+		w.SetTimestamp(cur.TS)
+		res := w.Write(*value)
+		fmt.Printf("wrote %q with timestamp %d in %d round(s)\n", *value, res.TS, res.Rounds)
+		return nil
+
+	case "read":
+		node, err := transport.NewTCPNode(n, addrs)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		r := storage.NewReader(system, node, *timeout)
+		res := r.Read()
+		val := res.Val
+		if val == storage.NoValue {
+			val = "⊥"
+		}
+		fmt.Printf("read %q (timestamp %d) in %d round(s)\n", val, res.TS, res.Rounds)
+		return nil
+	}
+	return fmt.Errorf("unknown -role %q (want server, write or read)", *role)
+}

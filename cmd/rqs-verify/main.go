@@ -1,0 +1,132 @@
+// Command rqs-verify checks a refined quorum system against the three
+// properties of Definition 2 and classifies its quorums.
+//
+// Specs come either from a JSON file:
+//
+//	{
+//	  "n": 6,
+//	  "adversary": [[0,1],[2,3],[1,3]],
+//	  "quorums":  [[1,3,4,5],[0,1,2,3,4],[0,1,2,3,5]],
+//	  "class2":   [1,2],
+//	  "class1":   [0]
+//	}
+//
+// or from threshold parameters:
+//
+//	rqs-verify -threshold -n 8 -t 3 -r 2 -q 1 -k 1
+//	rqs-verify spec.json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+type spec struct {
+	N         int     `json:"n"`
+	Adversary [][]int `json:"adversary"`
+	Quorums   [][]int `json:"quorums"`
+	Class2    []int   `json:"class2"`
+	Class1    []int   `json:"class1"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rqs-verify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rqs-verify", flag.ContinueOnError)
+	var (
+		threshold = fs.Bool("threshold", false, "verify a threshold family instead of a JSON spec")
+		n         = fs.Int("n", 0, "number of processes (threshold mode)")
+		t         = fs.Int("t", 0, "class-3 quorums miss at most t processes")
+		r         = fs.Int("r", 0, "class-2 quorums miss at most r processes")
+		q         = fs.Int("q", 0, "class-1 quorums miss at most q processes")
+		k         = fs.Int("k", 0, "adversary threshold")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *threshold {
+		return verifyThreshold(core.ThresholdParams{N: *n, T: *t, R: *r, Q: *q, K: *k})
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: rqs-verify [-threshold -n N -t T -r R -q Q -k K] | rqs-verify spec.json")
+	}
+	return verifyFile(fs.Arg(0))
+}
+
+func verifyThreshold(p core.ThresholdParams) error {
+	fmt.Printf("threshold family n=%d t=%d r=%d q=%d k=%d\n", p.N, p.T, p.R, p.Q, p.K)
+	fmt.Printf("closed-form minimal n for (t,r,q,k): %d\n", core.MinimalN(p.T, p.R, p.Q, p.K))
+	if err := p.Validate(); err != nil {
+		fmt.Println("closed form: INVALID —", err)
+		return nil
+	}
+	fmt.Println("closed form: valid")
+	rqs, err := core.NewThresholdRQS(p)
+	if err != nil {
+		return err
+	}
+	return report(rqs)
+}
+
+func verifyFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	var maximal []core.Set
+	for _, m := range s.Adversary {
+		maximal = append(maximal, core.NewSet(m...))
+	}
+	var quorums []core.Set
+	for _, qs := range s.Quorums {
+		quorums = append(quorums, core.NewSet(qs...))
+	}
+	rqs, err := core.New(core.Config{
+		Universe:  core.FullSet(s.N),
+		Adversary: core.NewStructured(maximal...),
+		Quorums:   quorums,
+		Class2:    s.Class2,
+		Class1:    s.Class1,
+	})
+	if err != nil {
+		return err
+	}
+	return report(rqs)
+}
+
+func report(rqs *core.RQS) error {
+	fmt.Println("system:", rqs)
+	if err := rqs.Verify(); err != nil {
+		fmt.Println("verification: FAILED —", err)
+		if w, ok := core.FindP3Violation(
+			rqs.QuorumsOfClass(core.Class1),
+			rqs.QuorumsOfClass(core.Class2),
+			rqs.Quorums(), rqs.Adversary()); ok {
+			fmt.Printf("P3 witness: Q2=%v Q=%v B=%v (B2=%v B1=%v B0=%v)\n",
+				w.Q2, w.Q, w.B, w.B2, w.B1, w.B0)
+		}
+		return nil
+	}
+	fmt.Println("verification: OK — Properties 1-3 hold")
+	for _, quorum := range rqs.Quorums() {
+		cls, _ := rqs.ClassOfListed(quorum)
+		fmt.Printf("  %-24v size=%d  %v\n", quorum, quorum.Count(), cls)
+	}
+	return nil
+}

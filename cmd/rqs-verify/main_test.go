@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunThresholdValid(t *testing.T) {
+	if err := run([]string{"-threshold", "-n", "8", "-t", "3", "-r", "2", "-q", "1", "-k", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunThresholdInvalidStillReports(t *testing.T) {
+	// Closed-form rejection is a report, not an error.
+	if err := run([]string{"-threshold", "-n", "5", "-t", "2", "-r", "2", "-q", "2", "-k", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONSpec(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	spec := `{
+		"n": 6,
+		"adversary": [[0,1],[2,3],[1,3]],
+		"quorums": [[1,3,4,5],[0,1,2,3,4],[0,1,2,3,5]],
+		"class2": [1,2],
+		"class1": [0]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONSpecViolation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.json")
+	// Example7Broken: s2 dropped from the class-1 quorum.
+	spec := `{
+		"n": 6,
+		"adversary": [[0,1],[2,3],[1,3]],
+		"quorums": [[3,4,5],[0,1,2,3,4],[0,1,2,3,5]],
+		"class2": [1,2],
+		"class1": [0]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err) // violations are reported, not returned
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing args should error")
+	}
+	if err := run([]string{"/nonexistent/spec.json"}); err == nil {
+		t.Error("missing file should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil {
+		t.Error("bad JSON should error")
+	}
+}

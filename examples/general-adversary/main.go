@@ -1,0 +1,71 @@
+// General adversary structures: this example walks through the paper's
+// Example 1 (Figure 3) and Example 7, where failures are correlated
+// rather than independent — some sets of servers may fail together, and
+// thresholds cannot describe that.
+//
+// It verifies both systems, classifies their quorums, then breaks
+// Property 3 on purpose and shows the violation witness the library
+// extracts (the (Q2, Q, B) triple the lower-bound proofs build on).
+package main
+
+import (
+	"fmt"
+
+	rqs "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	// Example 1 / Figure 3: eight servers, at most one Byzantine (B_1),
+	// four quorums. Class is decided by intersections, not by size: the
+	// class-1 quorum has 5 elements while a plain quorum has 6.
+	fig3 := rqs.Fig3RQS()
+	fmt.Println("Figure 3 system:", fig3)
+	must(fig3.Verify())
+	for _, q := range fig3.Quorums() {
+		cls, _ := fig3.ClassOfListed(q)
+		fmt.Printf("  %-16v size=%d  %v\n", q, q.Count(), cls)
+	}
+
+	// Example 7: six servers with a genuinely non-threshold adversary —
+	// the maximal colluding sets are {s1,s2}, {s3,s4} and {s2,s4}.
+	// Note {s1,s3} may NOT fail together: no threshold captures that.
+	ex7 := rqs.Example7RQS()
+	fmt.Println("\nExample 7 system:", ex7)
+	must(ex7.Verify())
+
+	adv := ex7.Adversary()
+	fmt.Println("  {s1,s3} can collude?", adv.Contains(rqs.NewSet(0, 2)))
+	fmt.Println("  {s2,s4} can collude?", adv.Contains(rqs.NewSet(1, 3)))
+	fmt.Println("  {s5} basic (never all-Byzantine)?", rqs.IsBasic(rqs.NewSet(4), adv))
+
+	// Property 3 mechanics (the subtle part of Definition 2): for
+	// Q2 ∩ Q2' = {s1..s4}, removing B = {s1,s2} leaves {s3,s4} ∈ B — so
+	// P3a fails and P3b must carry the day through server s2.
+	q2 := rqs.NewSet(0, 1, 2, 3, 4)
+	q2p := rqs.NewSet(0, 1, 2, 3, 5)
+	b12 := rqs.NewSet(0, 1)
+	fmt.Println("\nProperty 3 on (Q2, Q2', B12):")
+	fmt.Println("  P3a holds?", ex7.P3a(q2, q2p, b12))
+	fmt.Println("  P3b holds?", ex7.P3b(q2, q2p, b12))
+
+	// Now break it: drop s2 from the class-1 quorum. Properties 1 and 2
+	// survive, but Property 3 loses its witness — and the library can
+	// point at the exact counterexample the Theorem 3/6 proofs use.
+	broken := core.Example7Broken()
+	fmt.Println("\nbroken system:", broken)
+	fmt.Println("  Verify:", broken.Verify())
+	if w, ok := core.FindP3Violation(
+		broken.QuorumsOfClass(rqs.Class1),
+		broken.QuorumsOfClass(rqs.Class2),
+		broken.Quorums(), broken.Adversary()); ok {
+		fmt.Printf("  witness: Q2=%v Q=%v B=%v → B2=%v B1=%v B0=%v\n",
+			w.Q2, w.Q, w.B, w.B2, w.B1, w.B0)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: build the paper's five-server crash system (Section 1.2),
+// run the RQS atomic storage on it, and watch operations complete in one
+// round while four or more servers respond — then degrade gracefully.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rqs "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The refined quorum system of §1.2: n=5 servers, t=2 crash
+	// failures; 3-subsets are ordinary quorums, 4-subsets are class-1
+	// (fast) quorums. Verify the three properties of Definition 2.
+	system := rqs.FiveServerRQS()
+	if err := system.Verify(); err != nil {
+		return err
+	}
+	fmt.Println("system:", system)
+
+	cluster := rqs.NewStorage(system, rqs.StorageOptions{Timeout: 3 * time.Millisecond})
+	defer cluster.Stop()
+	w, r := cluster.Writer(), cluster.Reader()
+
+	// Best case: all five servers up — single-round write and read.
+	res := w.Write("hello, refined quorums")
+	fmt.Printf("write #1: %d round(s)\n", res.Rounds)
+	got := r.Read()
+	fmt.Printf("read  #1: %q in %d round(s)\n", got.Val, got.Rounds)
+
+	// Crash two servers: only ordinary (class-3) quorums remain, and
+	// operations degrade gracefully instead of failing.
+	cluster.CrashServers(rqs.NewSet(3, 4))
+	res = w.Write("still here")
+	fmt.Printf("write #2 (2 servers down): %d round(s)\n", res.Rounds)
+	got = r.Read()
+	fmt.Printf("read  #2 (2 servers down): %q in %d round(s)\n", got.Val, got.Rounds)
+
+	// The analysis package quantifies the trade-off.
+	for _, p := range []float64{0.01, 0.1, 0.3} {
+		exp, live := rqs.ExpectedRounds(system, p)
+		fmt.Printf("crash prob %.2f: expected %.2f rounds, live with prob %.4f\n", p, exp, live)
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+// Package abd implements the crash-tolerant baselines of Section 1.2:
+//
+//   - the classic ABD majority atomic storage [4] (1-round writes,
+//     2-round reads, always),
+//   - the paper's "variation of [4]" that keeps two copies per server
+//     (pw and w) and expedites both reads and writes to a single round
+//     when n-t+1 = 4 of 5 servers respond (the FiveServerRQS in core),
+//   - the deliberately *greedy* variant that expedites operations as soon
+//     as any n-t = 3 servers respond — the algorithm Figure 1 proves
+//     non-atomic. The E1 experiment replays ex1–ex4 against it.
+//
+// All three are instances of one parameterised client, so the experiments
+// compare algorithms rather than implementations.
+package abd
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Pair is a timestamp/value pair; the zero value is 〈0,⊥〉.
+type Pair struct {
+	TS  int64
+	Val string
+}
+
+// ReadMode selects the read-side fast path.
+type ReadMode int
+
+// Read modes.
+const (
+	// ReadTwoRound always writes back: the classic ABD read.
+	ReadTwoRound ReadMode = iota + 1
+	// ReadConfirmed returns after round 1 only when cmax is confirmed by
+	// a quorum of pw copies or by any w copy (the safe §1.2 variant).
+	ReadConfirmed
+	// ReadGreedy returns cmax right after round 1, unconditionally
+	// (the broken algorithm of Figure 1).
+	ReadGreedy
+)
+
+// Params fixes an algorithm in the family.
+type Params struct {
+	N           int           // number of servers (process IDs 0..N-1)
+	Quorum      int           // ordinary quorum size, n-t
+	WriteFastAt int           // acks required for a 1-round write; ≤ Quorum means "always 1 round"
+	Read        ReadMode      // read-side behaviour
+	Timeout     time.Duration // the 2Δ round timer
+}
+
+// Classic returns the parameters of plain ABD over n servers.
+func Classic(n int, timeout time.Duration) Params {
+	q := n/2 + 1
+	return Params{N: n, Quorum: q, WriteFastAt: q, Read: ReadTwoRound, Timeout: timeout}
+}
+
+// FastFive returns the safe §1.2 variant: 5 servers, t = 2, 1-round
+// operations when 4 servers respond.
+func FastFive(timeout time.Duration) Params {
+	return Params{N: 5, Quorum: 3, WriteFastAt: 4, Read: ReadConfirmed, Timeout: timeout}
+}
+
+// GreedyFive returns the broken variant of Figure 1: 5 servers, t = 2,
+// operations expedited as soon as 3 servers respond.
+func GreedyFive(timeout time.Duration) Params {
+	return Params{N: 5, Quorum: 3, WriteFastAt: 3, Read: ReadGreedy, Timeout: timeout}
+}
+
+// Messages.
+
+// Field selects which server variable a write targets.
+type Field int
+
+// Server variables (the pw and w of Section 1.2).
+const (
+	FieldPW Field = iota + 1
+	FieldW
+)
+
+// WriteReq writes 〈ts, val〉 into a server field.
+type WriteReq struct {
+	TS    int64
+	Val   string
+	Field Field
+}
+
+// WriteAck acknowledges a WriteReq.
+type WriteAck struct {
+	TS    int64
+	Field Field
+}
+
+// ReadReq queries both fields.
+type ReadReq struct{ No int64 }
+
+// ReadAck returns the server's pw and w copies.
+type ReadAck struct {
+	No int64
+	PW Pair
+	W  Pair
+}
+
+// Server is a crash-model storage server holding the pw and w variables.
+type Server struct {
+	port transport.Port
+	pw   Pair
+	w    Pair
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewServer creates a server on the port.
+func NewServer(port transport.Port) *Server {
+	return &Server{port: port, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start launches the server loop.
+func (s *Server) Start() { go s.run() }
+
+// Stop terminates the server loop and waits for exit.
+func (s *Server) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case env, ok := <-s.port.Inbox():
+			if !ok {
+				return
+			}
+			switch req := env.Payload.(type) {
+			case WriteReq:
+				s.apply(req)
+				s.port.Send(env.From, WriteAck{TS: req.TS, Field: req.Field})
+			case ReadReq:
+				s.port.Send(env.From, ReadAck{No: req.No, PW: s.pw, W: s.w})
+			}
+		}
+	}
+}
+
+func (s *Server) apply(req WriteReq) {
+	p := Pair{TS: req.TS, Val: req.Val}
+	switch req.Field {
+	case FieldPW:
+		if p.TS > s.pw.TS {
+			s.pw = p
+		}
+	case FieldW:
+		if p.TS > s.w.TS {
+			s.w = p
+		}
+	}
+}
+
+// Result reports an operation's outcome.
+type Result struct {
+	Val    string
+	TS     int64
+	Rounds int
+}
+
+// Writer is the single writer.
+type Writer struct {
+	p    Params
+	port transport.Port
+	ts   int64
+}
+
+// NewWriter creates the writer for the given parameters.
+func NewWriter(p Params, port transport.Port) *Writer {
+	if p.Timeout <= 0 {
+		p.Timeout = 10 * time.Millisecond
+	}
+	return &Writer{p: p, port: port}
+}
+
+// Write stores v: one round into pw if WriteFastAt servers ack within the
+// timer, otherwise a second round into w completed at a quorum of acks.
+func (w *Writer) Write(v string) Result {
+	w.ts++
+	drain(w.port)
+	all := core.FullSet(w.p.N)
+
+	transport.Broadcast(w.port, all, WriteReq{TS: w.ts, Val: v, Field: FieldPW})
+	needTimer := w.p.WriteFastAt > w.p.Quorum
+	acked := collectWriteAcks(w.port, w.ts, FieldPW, w.p.Quorum, w.p.WriteFastAt, needTimer, w.p.Timeout)
+	if acked.Count() >= w.p.WriteFastAt {
+		return Result{Val: v, TS: w.ts, Rounds: 1}
+	}
+
+	transport.Broadcast(w.port, all, WriteReq{TS: w.ts, Val: v, Field: FieldW})
+	collectWriteAcks(w.port, w.ts, FieldW, w.p.Quorum, w.p.Quorum, false, w.p.Timeout)
+	return Result{Val: v, TS: w.ts, Rounds: 2}
+}
+
+// Reader is a reader client.
+type Reader struct {
+	p    Params
+	port transport.Port
+	no   int64
+}
+
+// NewReader creates a reader for the given parameters.
+func NewReader(p Params, port transport.Port) *Reader {
+	if p.Timeout <= 0 {
+		p.Timeout = 10 * time.Millisecond
+	}
+	return &Reader{p: p, port: port}
+}
+
+// Read returns the storage's value under the configured read mode.
+func (r *Reader) Read() Result {
+	r.no++
+	drain(r.port)
+	all := core.FullSet(r.p.N)
+	transport.Broadcast(r.port, all, ReadReq{No: r.no})
+
+	// Round 1: gather pw/w copies from at least a quorum (plus the 2Δ
+	// timer when the fast path needs the fullest possible picture).
+	acks := make(map[core.ProcessID]ReadAck, r.p.N)
+	timer := time.NewTimer(r.p.Timeout)
+	defer timer.Stop()
+	timerDone := r.p.Read == ReadGreedy || r.p.Read == ReadTwoRound
+	for {
+		if timerDone && len(acks) >= r.p.Quorum {
+			break
+		}
+		select {
+		case env, ok := <-r.port.Inbox():
+			if !ok {
+				break
+			}
+			if ack, isAck := env.Payload.(ReadAck); isAck && ack.No == r.no {
+				acks[env.From] = ack
+			}
+			continue
+		case <-timer.C:
+			timerDone = true
+			continue
+		}
+		break
+	}
+
+	var cmax Pair
+	pwCount := 0
+	inW := false
+	for _, a := range acks {
+		if a.PW.TS > cmax.TS {
+			cmax = a.PW
+		}
+		if a.W.TS > cmax.TS {
+			cmax = a.W
+		}
+	}
+	for _, a := range acks {
+		if a.PW == cmax {
+			pwCount++
+		}
+		if a.W == cmax {
+			inW = true
+		}
+	}
+
+	switch r.p.Read {
+	case ReadGreedy:
+		return Result{Val: cmax.Val, TS: cmax.TS, Rounds: 1}
+	case ReadConfirmed:
+		if cmax.TS == 0 || pwCount >= r.p.Quorum || inW {
+			return Result{Val: cmax.Val, TS: cmax.TS, Rounds: 1}
+		}
+	}
+
+	// Round 2: write back cmax into pw and wait for a quorum.
+	transport.Broadcast(r.port, all, WriteReq{TS: cmax.TS, Val: cmax.Val, Field: FieldPW})
+	collectWriteAcks(r.port, cmax.TS, FieldPW, r.p.Quorum, r.p.Quorum, false, r.p.Timeout)
+	return Result{Val: cmax.Val, TS: cmax.TS, Rounds: 2}
+}
+
+// collectWriteAcks gathers WriteAcks matching (ts, field) until at least
+// `need` arrive or — with the timer — until the timer fires with at least
+// `quorum` collected.
+func collectWriteAcks(port transport.Port, ts int64, f Field, quorum, need int, withTimer bool, timeout time.Duration) core.Set {
+	var acked core.Set
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	timerDone := !withTimer
+	for {
+		if acked.Count() >= need {
+			return acked
+		}
+		if timerDone && acked.Count() >= quorum {
+			return acked
+		}
+		select {
+		case env, ok := <-port.Inbox():
+			if !ok {
+				return acked
+			}
+			if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == ts && ack.Field == f {
+				acked = acked.Add(env.From)
+			}
+		case <-timer.C:
+			timerDone = true
+		}
+	}
+}
+
+func drain(port transport.Port) {
+	for {
+		select {
+		case _, ok := <-port.Inbox():
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
+}

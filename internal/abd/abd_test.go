@@ -1,0 +1,180 @@
+package abd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+func startCluster(t *testing.T, n, clients int) (*transport.Network, func()) {
+	t.Helper()
+	net := transport.NewNetwork(n + clients)
+	var servers []*Server
+	for i := 0; i < n; i++ {
+		s := NewServer(net.Port(i))
+		s.Start()
+		servers = append(servers, s)
+	}
+	return net, func() {
+		net.Close()
+		for _, s := range servers {
+			s.Stop()
+		}
+	}
+}
+
+func TestClassicRoundTrip(t *testing.T) {
+	p := Classic(5, 2*time.Millisecond)
+	net, stop := startCluster(t, 5, 2)
+	defer stop()
+	w := NewWriter(p, net.Port(5))
+	r := NewReader(p, net.Port(6))
+
+	if res := r.Read(); res.TS != 0 || res.Val != "" {
+		t.Errorf("empty read = %+v", res)
+	}
+	wres := w.Write("a")
+	if wres.Rounds != 1 || wres.TS != 1 {
+		t.Errorf("classic write = %+v, want 1 round", wres)
+	}
+	rres := r.Read()
+	if rres.Val != "a" || rres.Rounds != 2 {
+		t.Errorf("classic read = %+v, want a in 2 rounds", rres)
+	}
+}
+
+func TestClassicToleratesMinorityCrashes(t *testing.T) {
+	p := Classic(5, 2*time.Millisecond)
+	net, stop := startCluster(t, 5, 2)
+	defer stop()
+	net.Crash(3)
+	net.Crash(4)
+	w := NewWriter(p, net.Port(5))
+	r := NewReader(p, net.Port(6))
+	w.Write("survives")
+	if res := r.Read(); res.Val != "survives" {
+		t.Errorf("read = %+v", res)
+	}
+}
+
+func TestFastFiveOneRoundWhenFourRespond(t *testing.T) {
+	p := FastFive(2 * time.Millisecond)
+	net, stop := startCluster(t, 5, 2)
+	defer stop()
+	w := NewWriter(p, net.Port(5))
+	r := NewReader(p, net.Port(6))
+
+	wres := w.Write("fast")
+	if wres.Rounds != 1 {
+		t.Errorf("write rounds = %d, want 1 (5 responders ≥ 4)", wres.Rounds)
+	}
+	rres := r.Read()
+	if rres.Val != "fast" || rres.Rounds != 1 {
+		t.Errorf("read = %+v, want fast in 1 round", rres)
+	}
+}
+
+func TestFastFiveDegradesToTwoRounds(t *testing.T) {
+	p := FastFive(2 * time.Millisecond)
+	net, stop := startCluster(t, 5, 2)
+	defer stop()
+	net.Crash(3)
+	net.Crash(4)
+	w := NewWriter(p, net.Port(5))
+	r := NewReader(p, net.Port(6))
+
+	wres := w.Write("slow")
+	if wres.Rounds != 2 {
+		t.Errorf("write rounds = %d, want 2 (only 3 responders)", wres.Rounds)
+	}
+	rres := r.Read()
+	if rres.Val != "slow" {
+		t.Fatalf("read = %+v", rres)
+	}
+	// The two-round write landed in the w field, which confirms cmax:
+	// the read may complete in one round.
+	if rres.Rounds != 1 {
+		t.Errorf("read rounds = %d, want 1 (w-field confirmation)", rres.Rounds)
+	}
+}
+
+func TestGreedyFiveIsFastButUnsafe(t *testing.T) {
+	// Greedy mode is the Figure 1 strawman: always 1 round. Its
+	// unsafety is demonstrated by the E1 experiment; here we just check
+	// its latency profile.
+	p := GreedyFive(2 * time.Millisecond)
+	net, stop := startCluster(t, 5, 2)
+	defer stop()
+	net.Crash(3)
+	net.Crash(4)
+	w := NewWriter(p, net.Port(5))
+	r := NewReader(p, net.Port(6))
+	if wres := w.Write("greedy"); wres.Rounds != 1 {
+		t.Errorf("write rounds = %d, want 1", wres.Rounds)
+	}
+	if rres := r.Read(); rres.Rounds != 1 || rres.Val != "greedy" {
+		t.Errorf("read = %+v, want greedy in 1 round", rres)
+	}
+}
+
+func TestServerFieldSemantics(t *testing.T) {
+	// Older timestamps never overwrite newer ones, per field.
+	net, stop := startCluster(t, 1, 1)
+	defer stop()
+	port := net.Port(1)
+	send := func(ts int64, val string, f Field) {
+		port.Send(0, WriteReq{TS: ts, Val: val, Field: f})
+		<-port.Inbox() // ack
+	}
+	read := func() ReadAck {
+		port.Send(0, ReadReq{No: 99})
+		env := <-port.Inbox()
+		ack, ok := env.Payload.(ReadAck)
+		if !ok {
+			t.Fatalf("unexpected payload %T", env.Payload)
+		}
+		return ack
+	}
+	send(2, "new", FieldPW)
+	send(1, "old", FieldPW)
+	send(1, "wold", FieldW)
+	ack := read()
+	if ack.PW != (Pair{TS: 2, Val: "new"}) {
+		t.Errorf("pw = %+v", ack.PW)
+	}
+	if ack.W != (Pair{TS: 1, Val: "wold"}) {
+		t.Errorf("w = %+v", ack.W)
+	}
+}
+
+func TestParamsConstructors(t *testing.T) {
+	c := Classic(7, time.Millisecond)
+	if c.N != 7 || c.Quorum != 4 || c.Read != ReadTwoRound {
+		t.Errorf("Classic = %+v", c)
+	}
+	f := FastFive(time.Millisecond)
+	if f.WriteFastAt != 4 || f.Quorum != 3 || f.Read != ReadConfirmed {
+		t.Errorf("FastFive = %+v", f)
+	}
+	g := GreedyFive(time.Millisecond)
+	if g.WriteFastAt != 3 || g.Read != ReadGreedy {
+		t.Errorf("GreedyFive = %+v", g)
+	}
+}
+
+func TestWriterDefaultTimeout(t *testing.T) {
+	p := Params{N: 1, Quorum: 1, WriteFastAt: 1, Read: ReadTwoRound}
+	net, stop := startCluster(t, 1, 2)
+	defer stop()
+	w := NewWriter(p, net.Port(1))
+	if res := w.Write("x"); res.Rounds != 1 {
+		t.Errorf("write = %+v", res)
+	}
+	r := NewReader(p, net.Port(2))
+	if res := r.Read(); res.Val != "x" {
+		t.Errorf("read = %+v", res)
+	}
+	_ = core.FullSet(1)
+}

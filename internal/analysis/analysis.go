@@ -1,0 +1,115 @@
+// Package analysis provides the quantitative companion tools of the
+// experiments: minimal system sizes for threshold refined quorum systems
+// (Example 6 / the E9 table), exact fast-path availability under
+// independent crash probabilities (E12, in the spirit of Naor–Wool [44]),
+// and quorum load.
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// MinNRow is one row of the E9 minimal-n table.
+type MinNRow struct {
+	T, R, Q, K int
+	MinN       int
+}
+
+// MinimalNTable tabulates the smallest |S| for which the threshold family
+// (t, r, q, k) is a refined quorum system, over all 0 ≤ q ≤ r ≤ t ≤ tMax
+// and 0 ≤ k ≤ kMax.
+func MinimalNTable(tMax, kMax int) []MinNRow {
+	var rows []MinNRow
+	for t := 1; t <= tMax; t++ {
+		for r := 0; r <= t; r++ {
+			for q := 0; q <= r; q++ {
+				for k := 0; k <= kMax; k++ {
+					rows = append(rows, MinNRow{
+						T: t, R: r, Q: q, K: k,
+						MinN: core.MinimalN(t, r, q, k),
+					})
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// Availability is the probability, under independent per-server crash
+// probability p, that the surviving servers still contain a quorum of the
+// given class. Exact enumeration over all 2^n failure patterns (n ≤ ~20).
+func Availability(r *core.RQS, class core.QuorumClass, p float64) float64 {
+	n := r.N()
+	total := 0.0
+	for mask := core.Set(0); mask < core.Set(1)<<uint(n); mask++ {
+		alive := mask
+		if _, ok := r.ContainedQuorum(alive, class); !ok {
+			continue
+		}
+		k := alive.Count()
+		total += math.Pow(1-p, float64(k)) * math.Pow(p, float64(n-k))
+	}
+	return total
+}
+
+// ExpectedRounds is the expected best-case operation latency (in rounds,
+// using the 1/2/3 schedule of the storage algorithm) conditioned on
+// liveness: reads/writes take 1 round if a class-1 quorum survives, 2 if
+// only class 2, 3 if only class 3. The second return value is the
+// liveness probability itself.
+func ExpectedRounds(r *core.RQS, p float64) (expected, live float64) {
+	n := r.N()
+	sum := 0.0
+	for mask := core.Set(0); mask < core.Set(1)<<uint(n); mask++ {
+		alive := mask
+		rounds := 0
+		switch {
+		case contained(r, alive, core.Class1):
+			rounds = 1
+		case contained(r, alive, core.Class2):
+			rounds = 2
+		case contained(r, alive, core.Class3):
+			rounds = 3
+		default:
+			continue
+		}
+		k := alive.Count()
+		prob := math.Pow(1-p, float64(k)) * math.Pow(p, float64(n-k))
+		sum += prob * float64(rounds)
+		live += prob
+	}
+	if live == 0 {
+		return 0, 0
+	}
+	return sum / live, live
+}
+
+func contained(r *core.RQS, alive core.Set, c core.QuorumClass) bool {
+	_, ok := r.ContainedQuorum(alive, c)
+	return ok
+}
+
+// Load is the load of the class-c quorum family under the uniform access
+// strategy over its listed quorums: the largest fraction of quorums any
+// single server participates in (Naor–Wool [44]).
+func Load(r *core.RQS, class core.QuorumClass) float64 {
+	quorums := r.QuorumsOfClass(class)
+	if len(quorums) == 0 {
+		return 0
+	}
+	maxIn := 0
+	for _, id := range r.Universe().Members() {
+		in := 0
+		for _, q := range quorums {
+			if q.Contains(id) {
+				in++
+			}
+		}
+		if in > maxIn {
+			maxIn = in
+		}
+	}
+	return float64(maxIn) / float64(len(quorums))
+}

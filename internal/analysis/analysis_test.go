@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAvailabilityEdgeCases(t *testing.T) {
+	r := core.FiveServerRQS()
+	if got := Availability(r, core.Class3, 0); !almost(got, 1) {
+		t.Errorf("p=0: availability = %v, want 1", got)
+	}
+	if got := Availability(r, core.Class3, 1); !almost(got, 0) {
+		t.Errorf("p=1: availability = %v, want 0", got)
+	}
+}
+
+func TestAvailabilityMonotoneInClass(t *testing.T) {
+	// Stronger classes are harder to keep alive: A(class1) ≤ A(class2) ≤
+	// A(class3) for every p.
+	r, err := core.NewThresholdRQS(core.ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.05, 0.1, 0.3, 0.5} {
+		a1 := Availability(r, core.Class1, p)
+		a2 := Availability(r, core.Class2, p)
+		a3 := Availability(r, core.Class3, p)
+		if a1 > a2+1e-12 || a2 > a3+1e-12 {
+			t.Errorf("p=%v: availability not monotone: %v %v %v", p, a1, a2, a3)
+		}
+	}
+}
+
+func TestAvailabilityClosedFormFiveServers(t *testing.T) {
+	// FiveServerRQS class-3 quorums are all 3-subsets: availability =
+	// P(at least 3 of 5 alive) = Σ_{k≥3} C(5,k)(1-p)^k p^(5-k).
+	p := 0.2
+	want := 0.0
+	for k := 3; k <= 5; k++ {
+		want += float64(binom(5, k)) * math.Pow(1-p, float64(k)) * math.Pow(p, float64(5-k))
+	}
+	if got := Availability(core.FiveServerRQS(), core.Class3, p); !almost(got, want) {
+		t.Errorf("availability = %v, want %v", got, want)
+	}
+}
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+	}
+	return res
+}
+
+func TestExpectedRounds(t *testing.T) {
+	r := core.FiveServerRQS()
+	exp, live := ExpectedRounds(r, 0)
+	if !almost(exp, 1) || !almost(live, 1) {
+		t.Errorf("p=0: expected=%v live=%v, want 1, 1", exp, live)
+	}
+	// Rounds grow with p; liveness shrinks.
+	e1, l1 := ExpectedRounds(r, 0.1)
+	e2, l2 := ExpectedRounds(r, 0.4)
+	if e2 < e1 {
+		t.Errorf("expected rounds should grow with p: %v then %v", e1, e2)
+	}
+	if l2 > l1 {
+		t.Errorf("liveness should shrink with p: %v then %v", l1, l2)
+	}
+	if _, live := ExpectedRounds(r, 1); live != 0 {
+		t.Errorf("p=1: live = %v, want 0", live)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	// Majority system on 3 processes: each process is in 2 of the 3
+	// minimal quorums plus the full set... MajorityRQS(3) lists all
+	// 2-subsets: load = 2/3.
+	if got := Load(core.MajorityRQS(3), core.Class3); !almost(got, 2.0/3.0) {
+		t.Errorf("load = %v, want 2/3", got)
+	}
+	// A singleton quorum family has load 1.
+	r := core.MustNew(core.Config{
+		Universe: core.FullSet(3),
+		Quorums:  []core.Set{core.NewSet(0, 1)},
+	})
+	if got := Load(r, core.Class3); !almost(got, 1) {
+		t.Errorf("load = %v, want 1", got)
+	}
+	// No class-1 quorums: load 0.
+	if got := Load(core.MajorityRQS(3), core.Class1); got != 0 {
+		t.Errorf("class-1 load = %v, want 0", got)
+	}
+}
+
+func TestMinimalNTable(t *testing.T) {
+	rows := MinimalNTable(2, 2)
+	if len(rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, row := range rows {
+		// Every tabulated minimum must actually validate, and n-1 must
+		// not (skip overly large systems).
+		if row.MinN > core.MaxProcesses {
+			continue
+		}
+		p := core.ThresholdParams{N: row.MinN, T: row.T, R: row.R, Q: row.Q, K: row.K}
+		if err := p.Validate(); err != nil {
+			t.Errorf("row %+v does not validate: %v", row, err)
+		}
+		p.N--
+		if p.N > 0 && p.Validate() == nil {
+			t.Errorf("row %+v is not minimal", row)
+		}
+	}
+	// Spot checks: PBFT-style and Martin–Alvisi-style bounds.
+	found := map[MinNRow]bool{}
+	for _, row := range rows {
+		found[row] = true
+	}
+	if !found[MinNRow{T: 1, R: 1, Q: 0, K: 1, MinN: 4}] {
+		t.Error("missing 3t+1 row")
+	}
+	if !found[MinNRow{T: 1, R: 1, Q: 1, K: 1, MinN: 6}] {
+		t.Error("missing 5t+1 row")
+	}
+}

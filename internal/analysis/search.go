@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ClassAssignment reports, for a fixed quorum family and adversary, which
+// quorums can be promoted to the stronger classes — a concrete take on
+// the paper's Section 6 question "how many RQS can be found given some
+// adversary structure".
+type ClassAssignment struct {
+	// Class1 and Class2 are the maximal promotable index sets: the
+	// quorums (by index into the input family) that may be class 1
+	// (resp. class 2) simultaneously while Properties 1-3 hold.
+	Class1 []int
+	Class2 []int
+	// Count1 and Count2 are their sizes.
+	Count1, Count2 int
+}
+
+// SearchClassAssignment computes the maximal class assignment for the
+// quorum family under the adversary. It requires Property 1 to hold
+// (otherwise no assignment exists and ok is false).
+//
+// The search exploits two monotonicity facts:
+//
+//   - Property 2 constrains class-1 quorums pairwise (and against every
+//     quorum): the class-1 sets are the cliques of a compatibility
+//     graph, so a true maximum is a clique problem. The search returns
+//     an inclusion-maximal clique built greedily in descending quorum
+//     size (larger quorums have larger intersections, so this heuristic
+//     recovers the published assignments of the paper's examples).
+//   - Property 3 for a class-2 quorum Q2 is monotone in QC1 (a larger
+//     QC1 only makes P3b easier), so class-2 eligibility is evaluated
+//     against that class-1 set.
+func SearchClassAssignment(quorums []core.Set, adv core.Adversary) (ClassAssignment, bool) {
+	if !core.CheckP1(quorums, adv) {
+		return ClassAssignment{}, false
+	}
+
+	// Maximal class-1 set: every pair (including self-pairs) must have
+	// large intersections with every quorum. Pairwise violations are
+	// symmetric, so first drop quorums failing against themselves, then
+	// drop pairs greedily (preferring to keep earlier quorums, which
+	// makes the result deterministic).
+	eligible := make([]bool, len(quorums))
+	for i, q1 := range quorums {
+		eligible[i] = true
+		for _, q := range quorums {
+			if adv.CoveredByTwo(q1.Intersect(q1).Intersect(q)) {
+				eligible[i] = false
+				break
+			}
+		}
+	}
+	// Greedy clique construction, largest quorums first (ties by index).
+	order := make([]int, 0, len(quorums))
+	for i := range quorums {
+		if eligible[i] {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return quorums[order[a]].Count() > quorums[order[b]].Count()
+	})
+	var class1 []int
+	var qc1 []core.Set
+	for _, i := range order {
+		compatible := true
+	pairwise:
+		for _, kept := range qc1 {
+			for _, q := range quorums {
+				if adv.CoveredByTwo(quorums[i].Intersect(kept).Intersect(q)) {
+					compatible = false
+					break pairwise
+				}
+			}
+		}
+		if compatible {
+			class1 = append(class1, i)
+			qc1 = append(qc1, quorums[i])
+		}
+	}
+	sort.Ints(class1)
+
+	// Class-2 eligibility against the maximal QC1.
+	elems := core.Elements(adv)
+	var class2 []int
+	for i, q2 := range quorums {
+		ok := true
+	outer:
+		for _, q := range quorums {
+			for _, b := range elems {
+				if p3aHolds(q2, q, b, adv) {
+					continue
+				}
+				if !p3bHolds(qc1, q2, q, b) {
+					ok = false
+					break outer
+				}
+			}
+		}
+		if ok {
+			class2 = append(class2, i)
+		}
+	}
+	return ClassAssignment{
+		Class1: class1, Class2: class2,
+		Count1: len(class1), Count2: len(class2),
+	}, true
+}
+
+func p3aHolds(q2, q, b core.Set, adv core.Adversary) bool {
+	return !adv.Contains(q2.Intersect(q).Diff(b))
+}
+
+func p3bHolds(qc1 []core.Set, q2, q, b core.Set) bool {
+	if len(qc1) == 0 {
+		return false
+	}
+	for _, q1 := range qc1 {
+		if q1.Intersect(q2).Intersect(q).Diff(b).IsEmpty() {
+			return false
+		}
+	}
+	return true
+}

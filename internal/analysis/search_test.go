@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSearchClassAssignmentExample7(t *testing.T) {
+	r := core.Example7RQS()
+	asg, ok := SearchClassAssignment(r.Quorums(), r.Adversary())
+	if !ok {
+		t.Fatal("Property 1 holds, search must succeed")
+	}
+	// The published assignment (Q1 class 1; Q2, Q2' class 2) must be
+	// within the maximal one.
+	has := func(xs []int, i int) bool {
+		for _, x := range xs {
+			if x == i {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(asg.Class1, 0) {
+		t.Errorf("Q1 (index 0) should be class-1 eligible; got %v", asg.Class1)
+	}
+	for _, i := range []int{0, 1, 2} {
+		if !has(asg.Class2, i) {
+			t.Errorf("index %d should be class-2 eligible; got %v", i, asg.Class2)
+		}
+	}
+	// Q2 and Q2' must NOT be class-1 eligible: their self-intersection
+	// with each other, {s1..s4}, is covered by {s1,s2} ∪ {s3,s4}.
+	if has(asg.Class1, 1) || has(asg.Class1, 2) {
+		t.Errorf("Q2/Q2' cannot be class 1; got %v", asg.Class1)
+	}
+}
+
+func TestSearchClassAssignmentBrokenSystem(t *testing.T) {
+	// In Example7Broken, Q1 = {s4,s5,s6}'s self-intersection with Q2 is
+	// {s4,s5}... still large; but the published broken system fails P3.
+	// The search never *produces* an invalid system: whatever it
+	// returns, building an RQS from it must verify.
+	r := core.Example7Broken()
+	asg, ok := SearchClassAssignment(r.Quorums(), r.Adversary())
+	if !ok {
+		t.Fatal("Property 1 holds")
+	}
+	built := core.MustNew(core.Config{
+		Universe:  r.Universe(),
+		Adversary: r.Adversary(),
+		Quorums:   r.Quorums(),
+		Class2:    asg.Class2,
+		Class1:    asg.Class1,
+	})
+	if err := built.Verify(); err != nil {
+		t.Errorf("search produced an invalid assignment: %v", err)
+	}
+}
+
+func TestSearchClassAssignmentAlwaysVerifies(t *testing.T) {
+	// On every shipped system, the maximal assignment must itself be a
+	// valid RQS, and at least as generous as the published one.
+	systems := []*core.RQS{
+		core.MajorityRQS(5), core.ByzantineThirdRQS(4),
+		core.Fig3RQS(), core.Example7RQS(), core.FiveServerRQS(),
+	}
+	for _, r := range systems {
+		asg, ok := SearchClassAssignment(r.Quorums(), r.Adversary())
+		if !ok {
+			t.Fatalf("%v: search failed", r)
+		}
+		built := core.MustNew(core.Config{
+			Universe:  r.Universe(),
+			Adversary: r.Adversary(),
+			Quorums:   r.Quorums(),
+			Class2:    asg.Class2,
+			Class1:    asg.Class1,
+		})
+		if err := built.Verify(); err != nil {
+			t.Errorf("%v: maximal assignment invalid: %v", r, err)
+		}
+		if asg.Count1 < len(r.QuorumsOfClass(core.Class1)) {
+			t.Errorf("%v: search found %d class-1 quorums, published has %d",
+				r, asg.Count1, len(r.QuorumsOfClass(core.Class1)))
+		}
+		if asg.Count2 < len(r.QuorumsOfClass(core.Class2)) {
+			t.Errorf("%v: search found %d class-2 quorums, published has %d",
+				r, asg.Count2, len(r.QuorumsOfClass(core.Class2)))
+		}
+	}
+}
+
+func TestSearchClassAssignmentP1Failure(t *testing.T) {
+	adv := core.NewThreshold(4, 1)
+	if _, ok := SearchClassAssignment([]core.Set{core.NewSet(0, 1), core.NewSet(1, 2)}, adv); ok {
+		t.Error("P1-violating family should fail the search")
+	}
+}

@@ -1,0 +1,466 @@
+package consensus
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// ElectionConfig tunes the Election module (Figure 14).
+type ElectionConfig struct {
+	// Enabled turns the view-change machinery on. Best-case experiments
+	// may disable it to freeze the initial view.
+	Enabled bool
+	// InitTimeout is the initial suspect timeout (the paper's 5Δ); it
+	// doubles after every expiration.
+	InitTimeout time.Duration
+}
+
+// Acceptor is one acceptor of the Locking module (Figure 15) together
+// with its Election module half (Figure 14).
+type Acceptor struct {
+	id     core.ProcessID
+	rqs    *core.RQS
+	elems  []core.Set
+	ring   *Keyring
+	signer *Signer
+	topo   Topology
+	port   transport.Port
+	elect  ElectionConfig
+
+	// Locking state (Figure 15 initialisation).
+	view        int
+	prep        Value
+	prepview    map[int]bool
+	update      [2]Value
+	updateview  [2]map[int]bool
+	updateQ     [2]map[int][]core.Set
+	updateproof [2]map[int][]SignedUpdate
+	oldStep     map[int]map[vwKey]bool // update messages sent (the `old` set), per step
+
+	// Received update bookkeeping for the quorum triggers of line 34.
+	coll [2]map[vwKey]*senderRec
+
+	dec        decider
+	hasDecided bool
+	decidedVal Value
+
+	// Consult-phase pending ack, while countersignatures are gathered.
+	pendingTo     core.ProcessID
+	pendingActive bool
+	pendingNeeded map[[2]int]bool // (step index 0/1, view) still unproven
+
+	// Election state.
+	timerRunning   bool
+	timer          *time.Timer
+	suspectTimeout time.Duration
+	nextView       int
+	timerStopped   bool // permanently stopped after a decided quorum
+	decisionFrom   map[Value]core.Set
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewAcceptor builds an acceptor. signer must hold this acceptor's key.
+func NewAcceptor(rqs *core.RQS, topo Topology, port transport.Port, ring *Keyring, signer *Signer, elect ElectionConfig) *Acceptor {
+	if elect.InitTimeout <= 0 {
+		elect.InitTimeout = 50 * time.Millisecond
+	}
+	a := &Acceptor{
+		id:             port.ID(),
+		rqs:            rqs,
+		elems:          core.Elements(rqs.Adversary()),
+		ring:           ring,
+		signer:         signer,
+		topo:           topo,
+		port:           port,
+		elect:          elect,
+		view:           InitView,
+		prepview:       make(map[int]bool),
+		oldStep:        map[int]map[vwKey]bool{1: {}, 2: {}, 3: {}},
+		dec:            newDecider(rqs),
+		suspectTimeout: elect.InitTimeout,
+		nextView:       InitView,
+		decisionFrom:   make(map[Value]core.Set),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+	}
+	for s := 0; s < 2; s++ {
+		a.updateview[s] = make(map[int]bool)
+		a.updateQ[s] = make(map[int][]core.Set)
+		a.updateproof[s] = make(map[int][]SignedUpdate)
+		a.coll[s] = make(map[vwKey]*senderRec)
+	}
+	// Inert timer until armed.
+	a.timer = time.NewTimer(time.Hour)
+	if !a.timer.Stop() {
+		<-a.timer.C
+	}
+	return a
+}
+
+// Start launches the acceptor loop.
+func (a *Acceptor) Start() { go a.run() }
+
+// Stop terminates the loop and waits for exit.
+func (a *Acceptor) Stop() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+}
+
+// Decided returns the acceptor's decision, if any. Safe only after Stop.
+func (a *Acceptor) Decided() (Value, bool) { return a.decidedVal, a.hasDecided }
+
+func (a *Acceptor) run() {
+	defer close(a.done)
+	defer a.timer.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-a.timer.C:
+			a.onSuspectTimeout()
+		case env, ok := <-a.port.Inbox():
+			if !ok {
+				return
+			}
+			a.handle(env)
+		}
+	}
+}
+
+func (a *Acceptor) handle(env transport.Envelope) {
+	switch m := env.Payload.(type) {
+	case PrepareMsg:
+		a.onPrepare(env, m)
+	case UpdateMsg:
+		a.onUpdate(env, m)
+	case NewViewMsg:
+		a.onNewView(env, m)
+	case SignReq:
+		a.onSignReq(env, m)
+	case SignAck:
+		a.onSignAck(m)
+	case DecisionMsg:
+		a.onDecision(env.From, m)
+	case DecisionPullMsg:
+		if a.hasDecided {
+			a.port.Send(env.From, DecisionMsg{V: a.decidedVal})
+		}
+	case SyncMsg:
+		a.armTimer()
+	}
+}
+
+// updTargets is where update messages go: acceptors ∪ learners.
+func (a *Acceptor) updTargets() core.Set {
+	return a.topo.Acceptors.Union(a.topo.Learners)
+}
+
+// onPrepare is line 31-33 of Figure 15.
+func (a *Acceptor) onPrepare(env transport.Envelope, m PrepareMsg) {
+	a.armTimer() // Figure 14 line 0
+	if m.View != a.view {
+		return
+	}
+	// (w ∈ Prepview ⇒ w < view): must not have prepared in this view yet.
+	for w := range a.prepview {
+		if w >= a.view {
+			return
+		}
+	}
+	if a.view != InitView {
+		if env.From != a.topo.Leader(a.view) {
+			return
+		}
+		if !ValidateVProof(a.ring, a.rqs, a.view, m.VProof, m.Q) {
+			return
+		}
+		res := Choose(a.rqs, a.elems, m.V, m.VProof, m.Q)
+		if res.Abort || res.V != m.V {
+			return
+		}
+	}
+	// Line 32.
+	if a.prep == m.V {
+		a.prepview[a.view] = true
+	} else {
+		a.prep = m.V
+		a.prepview = map[int]bool{a.view: true}
+	}
+	// Line 33: echo update1.
+	u := UpdateMsg{Step: 1, V: m.V, View: a.view}
+	a.oldStep[1][vwKey{m.V, a.view}] = true
+	transport.BroadcastHop(a.port, a.updTargets(), u, env.Hop+1)
+	// The "upon received update_step from some quorum" guards of line 34
+	// are standing rules: update messages that raced ahead of this
+	// prepare may already satisfy them.
+	a.evalTriggers(1, m.V, a.view)
+	a.evalTriggers(2, m.V, a.view)
+}
+
+// onUpdate is lines 34-38 plus the decision rules (lines 51-53).
+func (a *Acceptor) onUpdate(env transport.Envelope, m UpdateMsg) {
+	if !a.topo.Acceptors.Contains(env.From) {
+		return
+	}
+	a.dec.record(env.From, m, env.Hop)
+	if !a.hasDecided {
+		if d, ok := a.dec.check(); ok {
+			a.decide(d.v)
+		}
+	}
+	if m.Step != 1 && m.Step != 2 {
+		return
+	}
+	// Track senders of update_step〈v, view〉 regardless of attached Q.
+	k := vwKey{m.V, m.View}
+	r := rec(a.coll[m.Step-1], k)
+	r.add(env.From, env.Hop)
+
+	a.evalTriggers(m.Step, m.V, m.View)
+}
+
+// evalTriggers re-evaluates the standing guards of lines 34-38 for
+// update_step〈v, view〉: if v is prepared in the current view and a quorum
+// of step messages has been collected, perform the step-update and emit
+// the next update message.
+func (a *Acceptor) evalTriggers(step int, v Value, view int) {
+	if view != a.view || a.prep != v || !a.prepview[view] {
+		return
+	}
+	k := vwKey{v, view}
+	r, ok := a.coll[step-1][k]
+	if !ok {
+		return
+	}
+	switch step {
+	case 1:
+		for _, q := range a.rqs.ContainedQuorums(r.set, core.Class3) {
+			if hasQuorum(a.updateQ[0][view], q) {
+				continue
+			}
+			a.applyUpdate(0, v, view)
+			a.updateQ[0][view] = append(a.updateQ[0][view], q)
+			next := UpdateMsg{Step: 2, V: v, View: view, Q: q}
+			a.oldStep[2][k] = true
+			transport.BroadcastHop(a.port, a.updTargets(), next, r.maxHopOver(q)+1)
+		}
+	case 2:
+		if len(a.updateQ[1][view]) > 0 {
+			return
+		}
+		if q, ok := a.rqs.ContainedQuorum(r.set, core.Class3); ok {
+			a.applyUpdate(1, v, view)
+			a.updateQ[1][view] = append(a.updateQ[1][view], q)
+			next := UpdateMsg{Step: 3, V: v, View: view, Q: q}
+			a.oldStep[3][k] = true
+			transport.BroadcastHop(a.port, a.updTargets(), next, r.maxHopOver(q)+1)
+		}
+	}
+}
+
+// applyUpdate is lines 34-35: adopt v as the step-updated value.
+func (a *Acceptor) applyUpdate(step int, v Value, view int) {
+	if a.update[step] == v {
+		a.updateview[step][view] = true
+		return
+	}
+	a.update[step] = v
+	a.updateview[step] = map[int]bool{view: true}
+	a.updateQ[step] = make(map[int][]core.Set)
+	a.updateproof[step] = make(map[int][]SignedUpdate)
+}
+
+func (a *Acceptor) decide(v Value) {
+	a.hasDecided = true
+	a.decidedVal = v
+	// Figure 14 line 7: publish the decision to the acceptors (and, so
+	// pulls converge faster, to the learners).
+	transport.Broadcast(a.port, a.updTargets(), DecisionMsg{V: v})
+}
+
+// onNewView is lines 21-28 of Figure 15.
+func (a *Acceptor) onNewView(env transport.Envelope, m NewViewMsg) {
+	a.armTimer()
+	if m.View <= a.view {
+		return
+	}
+	if env.From != a.topo.Leader(m.View) {
+		return
+	}
+	if !a.viewProofValid(m.View, m.ViewProof) {
+		return
+	}
+	a.view = m.View
+	// Lines 23-27: gather countersignatures for every unproven update.
+	a.pendingTo = env.From
+	a.pendingActive = true
+	a.pendingNeeded = make(map[[2]int]bool)
+	for s := 0; s < 2; s++ {
+		for w := range a.updateview[s] {
+			if len(a.updateproof[s][w]) == 0 {
+				a.pendingNeeded[[2]int{s, w}] = true
+				req := SignReq{V: a.update[s], View: w, Step: s + 1}
+				targets := a.topo.Acceptors
+				if qs := a.updateQ[s][w]; len(qs) > 0 {
+					targets = qs[0]
+				}
+				transport.Broadcast(a.port, targets, req)
+			}
+		}
+	}
+	a.maybeSendAck()
+}
+
+// viewProofValid checks a quorum of valid signed view_change〈view〉.
+func (a *Acceptor) viewProofValid(view int, proof []SignedViewChange) bool {
+	var signers core.Set
+	for _, vc := range proof {
+		if vc.Body.NextView == view && a.ring.VerifyViewChange(vc) {
+			signers = signers.Add(vc.Acceptor)
+		}
+	}
+	_, ok := a.rqs.ContainedQuorum(signers, core.Class3)
+	return ok
+}
+
+// onSignReq is line 29: countersign an update message this acceptor
+// really sent.
+func (a *Acceptor) onSignReq(env transport.Envelope, m SignReq) {
+	if m.Step < 1 || m.Step > 3 {
+		return
+	}
+	if !a.oldStep[m.Step][vwKey{m.V, m.View}] {
+		return
+	}
+	msg := UpdateMsg{Step: m.Step, V: m.V, View: m.View}
+	su := SignedUpdate{Msg: msg, Signer: a.id, Sig: a.signer.Sign(msg.signingBody())}
+	a.port.Send(env.From, SignAck{Update: su})
+}
+
+// onSignAck is lines 26-27: collect countersignatures until each needed
+// (step, view) has a basic subset of them, then release the new_view_ack.
+func (a *Acceptor) onSignAck(m SignAck) {
+	if !a.pendingActive {
+		return
+	}
+	su := m.Update
+	s := su.Msg.Step - 1
+	if s < 0 || s > 1 {
+		return
+	}
+	key := [2]int{s, su.Msg.View}
+	if !a.pendingNeeded[key] {
+		return
+	}
+	if su.Msg.V != a.update[s] || !a.ring.VerifyUpdate(su) {
+		return
+	}
+	// Deduplicate signers.
+	for _, have := range a.updateproof[s][su.Msg.View] {
+		if have.Signer == su.Signer {
+			return
+		}
+	}
+	a.updateproof[s][su.Msg.View] = append(a.updateproof[s][su.Msg.View], su)
+	var signers core.Set
+	for _, have := range a.updateproof[s][su.Msg.View] {
+		signers = signers.Add(have.Signer)
+	}
+	if core.IsBasic(signers, a.rqs.Adversary()) {
+		delete(a.pendingNeeded, key)
+		a.maybeSendAck()
+	}
+}
+
+func (a *Acceptor) maybeSendAck() {
+	if !a.pendingActive || len(a.pendingNeeded) > 0 {
+		return
+	}
+	a.pendingActive = false
+	body := AckBody{
+		View:   a.view,
+		Prep:   a.prep,
+		Update: a.update,
+	}
+	body.Prepview = sortedViews(a.prepview)
+	for s := 0; s < 2; s++ {
+		body.Updateview[s] = sortedViews(a.updateview[s])
+		body.UpdateQ[s] = copyQMap(a.updateQ[s])
+		body.Updateproof[s] = copyProofMap(a.updateproof[s])
+	}
+	ack := NewViewAck{Acceptor: a.id, Body: body, Sig: a.signer.Sign(body.signingBody())}
+	a.port.Send(a.pendingTo, ack)
+}
+
+// onDecision is Figure 14 line 8 (stop suspecting after a decided
+// quorum) and also lets an undecided acceptor adopt a decision certified
+// by a basic subset.
+func (a *Acceptor) onDecision(from core.ProcessID, m DecisionMsg) {
+	if !a.topo.Acceptors.Contains(from) {
+		return
+	}
+	a.decisionFrom[m.V] = a.decisionFrom[m.V].Add(from)
+	if _, ok := a.rqs.ContainedQuorum(a.decisionFrom[m.V], core.Class3); ok {
+		a.timerStopped = true
+		a.timer.Stop()
+	}
+	if !a.hasDecided && core.IsBasic(a.decisionFrom[m.V], a.rqs.Adversary()) {
+		a.decide(m.V)
+	}
+}
+
+// Election module (Figure 14).
+
+func (a *Acceptor) armTimer() {
+	if !a.elect.Enabled || a.timerRunning || a.timerStopped {
+		return
+	}
+	a.timerRunning = true
+	a.timer.Reset(a.suspectTimeout)
+}
+
+func (a *Acceptor) onSuspectTimeout() {
+	if a.timerStopped || !a.elect.Enabled {
+		return
+	}
+	a.suspectTimeout *= 2
+	a.nextView++
+	body := ViewChangeBody{NextView: a.nextView}
+	vc := SignedViewChange{Acceptor: a.id, Body: body, Sig: a.signer.Sign(body.signingBody())}
+	a.port.Send(a.topo.Leader(a.nextView), vc)
+	a.timer.Reset(a.suspectTimeout)
+}
+
+func sortedViews(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for w := range m {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func copyQMap(m map[int][]core.Set) map[int][]core.Set {
+	out := make(map[int][]core.Set, len(m))
+	for w, qs := range m {
+		out[w] = append([]core.Set(nil), qs...)
+	}
+	return out
+}
+
+func copyProofMap(m map[int][]SignedUpdate) map[int][]SignedUpdate {
+	out := make(map[int][]SignedUpdate, len(m))
+	for w, ps := range m {
+		out[w] = append([]SignedUpdate(nil), ps...)
+	}
+	return out
+}

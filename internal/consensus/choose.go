@@ -1,0 +1,306 @@
+package consensus
+
+import (
+	"repro/internal/core"
+)
+
+// VProof is the array of new_view_ack messages received from the quorum
+// Q, keyed by acceptor (Figure 12 line 5).
+type VProof map[core.ProcessID]NewViewAck
+
+// ChooseResult is the outcome of the choose() function.
+type ChooseResult struct {
+	V     Value
+	Abort bool
+}
+
+// Choose implements the choose() function of Figure 13. It is exported at
+// package level (rather than buried in the proposer) because the paper's
+// safety argument — and the Theorem 6 lower-bound experiment — live
+// entirely inside it: given a valid vProof from quorum q, Choose must
+// return any value already decided in an earlier view, or abort (which,
+// by Lemma 28, implies q contains a Byzantine acceptor).
+//
+// advElems must be the full enumeration core.Elements(rqs.Adversary()):
+// the ∃B quantifiers of Cand2/Cand3 are not monotone in B.
+func Choose(rqs *core.RQS, advElems []core.Set, vDefault Value, vProof VProof, q core.Set) ChooseResult {
+	c := chooser{rqs: rqs, elems: advElems, vProof: vProof, q: q}
+
+	type cand struct {
+		v Value
+		w int
+	}
+	// Lines 11-12: gather every candidate (value, view) pair and the
+	// maximal candidate view. Values and views range over what the acks
+	// mention.
+	var cands []cand
+	viewmax := -1
+	for _, v := range c.values() {
+		for _, w := range c.views() {
+			if c.cand2(v, w) || c.cand3(v, w, p3a) || c.cand3(v, w, p3b) || c.cand4(v, w) {
+				cands = append(cands, cand{v, w})
+				if w > viewmax {
+					viewmax = w
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		// Line 21: no candidate; keep the proposer's own value.
+		return ChooseResult{V: vDefault}
+	}
+
+	// Line 13-14: a 3a- or 4-candidate at viewmax wins outright.
+	for _, cd := range cands {
+		if cd.w != viewmax {
+			continue
+		}
+		if c.cand3(cd.v, viewmax, p3a) || c.cand4(cd.v, viewmax) {
+			return ChooseResult{V: cd.v}
+		}
+	}
+
+	// Lines 15-16: two distinct 3b-candidates ⇒ Byzantine quorum; abort.
+	var b3 []Value
+	seen := map[Value]bool{}
+	for _, cd := range cands {
+		if cd.w == viewmax && !seen[cd.v] && c.cand3(cd.v, viewmax, p3b) {
+			seen[cd.v] = true
+			b3 = append(b3, cd.v)
+		}
+	}
+	if len(b3) >= 2 {
+		return ChooseResult{Abort: true}
+	}
+
+	// Lines 17-19: a single 3b-candidate must also be Valid3.
+	if len(b3) == 1 {
+		if c.valid3(b3[0], viewmax) {
+			return ChooseResult{V: b3[0]}
+		}
+		return ChooseResult{Abort: true}
+	}
+
+	// Line 20: fall back to the (unique, Lemma 22) 2-candidate.
+	for _, cd := range cands {
+		if cd.w == viewmax && c.cand2(cd.v, viewmax) {
+			return ChooseResult{V: cd.v}
+		}
+	}
+	return ChooseResult{V: vDefault}
+}
+
+// p3char selects between the P3a and P3b disjuncts.
+type p3char int
+
+const (
+	p3a p3char = iota + 1
+	p3b
+)
+
+type chooser struct {
+	rqs    *core.RQS
+	elems  []core.Set
+	vProof VProof
+	q      core.Set
+}
+
+// values collects every value mentioned anywhere in the proof.
+func (c *chooser) values() []Value {
+	seen := map[Value]bool{}
+	var out []Value
+	add := func(v Value) {
+		if v != None && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, ack := range c.vProof {
+		add(ack.Body.Prep)
+		add(ack.Body.Update[0])
+		add(ack.Body.Update[1])
+	}
+	return out
+}
+
+// views collects every view mentioned anywhere in the proof.
+func (c *chooser) views() []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(w int) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for _, ack := range c.vProof {
+		for _, w := range ack.Body.Prepview {
+			add(w)
+		}
+		for s := 0; s < 2; s++ {
+			for _, w := range ack.Body.Updateview[s] {
+				add(w)
+			}
+		}
+	}
+	return out
+}
+
+func hasView(views []int, w int) bool {
+	for _, x := range views {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+func hasQuorum(sets []core.Set, q core.Set) bool {
+	for _, x := range sets {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+// cand2 is Cand2(v, w) (line 1): some class-1 quorum minus some adversary
+// set unanimously reports having prepared v in w.
+func (c *chooser) cand2(v Value, w int) bool {
+	for _, q1 := range c.rqs.QuorumsOfClass(core.Class1) {
+		for _, b := range c.elems {
+			ok := true
+			for _, aj := range q1.Intersect(c.q).Diff(b).Members() {
+				ack, present := c.vProof[aj]
+				if !present || ack.Body.Prep != v || !hasView(ack.Body.Prepview, w) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// c3 is C3(v, w, char, Q2, B) (line 2): P3char(Q2, Q, B) holds and every
+// acceptor of Q2 ∩ Q \ B reports having 1-updated v in w with Q2.
+func (c *chooser) c3(v Value, w int, char p3char, q2, b core.Set) bool {
+	switch char {
+	case p3a:
+		if !c.rqs.P3a(q2, c.q, b) {
+			return false
+		}
+	case p3b:
+		if !c.rqs.P3b(q2, c.q, b) {
+			return false
+		}
+	}
+	for _, aj := range q2.Intersect(c.q).Diff(b).Members() {
+		ack, present := c.vProof[aj]
+		if !present ||
+			ack.Body.Update[0] != v ||
+			!hasView(ack.Body.Updateview[0], w) ||
+			!hasQuorum(ack.Body.UpdateQ[0][w], q2) {
+			return false
+		}
+	}
+	return true
+}
+
+// cand3 is Cand3(v, w, char) (line 3).
+func (c *chooser) cand3(v Value, w int, char p3char) bool {
+	for _, q2 := range c.rqs.QuorumsOfClass(core.Class2) {
+		for _, b := range c.elems {
+			if c.c3(v, w, char, q2, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// valid3 is Valid3(v, w, 'b') (line 4): wherever C3 holds, every acceptor
+// of Q2 ∩ Q either confirms preparing v in w, or has moved entirely past
+// view w.
+func (c *chooser) valid3(v Value, w int) bool {
+	for _, q2 := range c.rqs.QuorumsOfClass(core.Class2) {
+		for _, b := range c.elems {
+			if !c.c3(v, w, p3b, q2, b) {
+				continue
+			}
+			for _, aj := range q2.Intersect(c.q).Members() {
+				ack, present := c.vProof[aj]
+				if !present {
+					continue
+				}
+				confirms := ack.Body.Prep == v && hasView(ack.Body.Prepview, w)
+				movedOn := true
+				for _, wp := range ack.Body.Prepview {
+					if wp <= w {
+						movedOn = false
+						break
+					}
+				}
+				if !confirms && !movedOn {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// cand4 is Cand4(v, w) (line 5): some acceptor reports having 2-updated v
+// in w.
+func (c *chooser) cand4(v Value, w int) bool {
+	for _, aj := range c.q.Members() {
+		ack, present := c.vProof[aj]
+		if present && ack.Body.Update[1] == v && hasView(ack.Body.Updateview[1], w) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateVProof checks the line-4 validity of the acks from quorum q:
+// every acceptor of q contributed a correctly signed ack for view, and
+// every claimed update is certified by countersignatures from a basic
+// subset of acceptors.
+func ValidateVProof(ring *Keyring, rqs *core.RQS, view int, vProof VProof, q core.Set) bool {
+	for _, aj := range q.Members() {
+		ack, present := vProof[aj]
+		if !present || ack.Acceptor != aj || ack.Body.View != view {
+			return false
+		}
+		if !ring.VerifyAck(ack) {
+			return false
+		}
+		for s := 0; s < 2; s++ {
+			for _, w := range ack.Body.Updateview[s] {
+				if !validUpdateProof(ring, rqs, ack.Body.Update[s], w, s+1, ack.Body.Updateproof[s][w]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// validUpdateProof checks that the countersignatures cover a basic subset
+// of acceptors, each over update_step〈v, w〉.
+func validUpdateProof(ring *Keyring, rqs *core.RQS, v Value, w, step int, sigs []SignedUpdate) bool {
+	var signers core.Set
+	for _, su := range sigs {
+		if su.Msg.Step != step || su.Msg.V != v || su.Msg.View != w {
+			continue
+		}
+		if !ring.VerifyUpdate(su) {
+			continue
+		}
+		signers = signers.Add(su.Signer)
+	}
+	return core.IsBasic(signers, rqs.Adversary())
+}

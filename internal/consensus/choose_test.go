@@ -1,0 +1,227 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// chooseEnv bundles a keyring-free test harness for Choose: the acks are
+// constructed directly (Choose itself never checks signatures — that is
+// ValidateVProof's job, tested separately).
+type chooseEnv struct {
+	rqs   *core.RQS
+	elems []core.Set
+	q     core.Set
+}
+
+func newChooseEnv(rqs *core.RQS, q core.Set) *chooseEnv {
+	return &chooseEnv{rqs: rqs, elems: core.Elements(rqs.Adversary()), q: q}
+}
+
+func (e *chooseEnv) choose(def Value, vp VProof) ChooseResult {
+	return Choose(e.rqs, e.elems, def, vp, e.q)
+}
+
+func ack(id core.ProcessID, body AckBody) NewViewAck {
+	return NewViewAck{Acceptor: id, Body: body}
+}
+
+func prepAck(id core.ProcessID, v Value, views ...int) NewViewAck {
+	return ack(id, AckBody{View: 1, Prep: v, Prepview: views})
+}
+
+func TestChooseNoCandidatesKeepsDefault(t *testing.T) {
+	r := core.Example7RQS()
+	q := core.NewSet(0, 1, 2, 3, 4)
+	e := newChooseEnv(r, q)
+	vp := VProof{}
+	for _, id := range q.Members() {
+		vp[id] = ack(id, AckBody{View: 1})
+	}
+	res := e.choose("mine", vp)
+	if res.Abort || res.V != "mine" {
+		t.Errorf("choose = %+v, want default value", res)
+	}
+}
+
+func TestChooseCand2LocksDecidedValue(t *testing.T) {
+	// All acceptors of Q1 ∩ Q prepared v in view 0 — a Decide-2 may have
+	// happened; choose must return v.
+	r := core.Example7RQS()
+	q := core.NewSet(0, 1, 2, 3, 4) // Q2
+	e := newChooseEnv(r, q)
+	vp := VProof{}
+	for _, id := range q.Members() {
+		vp[id] = prepAck(id, "v", 0)
+	}
+	res := e.choose("other", vp)
+	if res.Abort || res.V != "v" {
+		t.Errorf("choose = %+v, want v", res)
+	}
+}
+
+func TestChooseCand4Wins(t *testing.T) {
+	// One acceptor 2-updated w in a higher view than an old prepared
+	// value: Cand4 at viewmax wins (line 14).
+	r := core.Example7RQS()
+	q := core.NewSet(0, 1, 2, 3, 4)
+	e := newChooseEnv(r, q)
+	vp := VProof{}
+	for _, id := range q.Members() {
+		vp[id] = prepAck(id, "old", 0)
+	}
+	body := AckBody{View: 2, Prep: "new", Prepview: []int{1}}
+	body.Update[1] = "new"
+	body.Updateview[1] = []int{1}
+	vp[1] = ack(1, body)
+	res := e.choose("def", vp)
+	if res.Abort || res.V != "new" {
+		t.Errorf("choose = %+v, want new (Cand4 at viewmax)", res)
+	}
+}
+
+func TestChooseHigherViewShadowsLower(t *testing.T) {
+	// A full Cand2 at view 3 must beat a full Cand2 at view 1. Build
+	// acks where every acceptor prepared "a" in view 1, then "b" in 3.
+	r := core.Example7RQS()
+	q := core.NewSet(0, 1, 2, 3, 4)
+	e := newChooseEnv(r, q)
+	vp := VProof{}
+	for _, id := range q.Members() {
+		vp[id] = prepAck(id, "b", 3)
+	}
+	// One stale acceptor still on "a" in view 1.
+	vp[0] = prepAck(0, "a", 1)
+	res := e.choose("def", vp)
+	if res.Abort || res.V != "b" {
+		t.Errorf("choose = %+v, want b", res)
+	}
+}
+
+func TestChooseTwoThreeBCandidatesAborts(t *testing.T) {
+	// Two distinct values both satisfying Cand3(·, w, 'b') can only come
+	// from a Byzantine quorum: line 16 aborts. Geometry: consult quorum
+	// Q = Q2' = {s1..s4,s6}; the pair {s1,s2} ∈ B claims it 1-updated
+	// "y" with Q2, the pair {s3,s4} ∈ B claims "x". For each claim the
+	// non-claimants of Q2 ∩ Q2' are exactly the other Byzantine pair, so
+	// P3a fails and P3b holds — both are pure 3b candidates.
+	r := core.Example7RQS()
+	q := core.NewSet(0, 1, 2, 3, 5)  // Q2'
+	q2 := core.NewSet(0, 1, 2, 3, 4) // Q2, the claimed 1-update quorum
+	e := newChooseEnv(r, q)
+	mk := func(id core.ProcessID, v Value) NewViewAck {
+		body := AckBody{View: 1, Prep: v, Prepview: []int{0}}
+		body.Update[0] = v
+		body.Updateview[0] = []int{0}
+		body.UpdateQ[0] = map[int][]core.Set{0: {q2}}
+		return ack(id, body)
+	}
+	vp := VProof{
+		0: mk(0, "y"), 1: mk(1, "y"),
+		2: mk(2, "x"), 3: mk(3, "x"),
+		5: ack(5, AckBody{View: 1}),
+	}
+	res := e.choose("def", vp)
+	if !res.Abort {
+		t.Errorf("choose = %+v, want abort (two 3b candidates)", res)
+	}
+}
+
+func TestValidateVProofRejectsBadCertificates(t *testing.T) {
+	r := core.Example7RQS()
+	ring, signers, err := GenKeys(r.Universe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.NewSet(0, 1, 2, 3, 4)
+
+	mkAck := func(id core.ProcessID, tamper func(*AckBody), badSig bool) NewViewAck {
+		body := AckBody{View: 1, Prep: "v", Prepview: []int{0}}
+		if tamper != nil {
+			tamper(&body)
+		}
+		a := NewViewAck{Acceptor: id, Body: body, Sig: signers[id].SignAckBody(body)}
+		if badSig {
+			a.Sig = append([]byte(nil), a.Sig...)
+			a.Sig[0] ^= 0xff
+		}
+		return a
+	}
+	full := func(mod func(vp VProof)) VProof {
+		vp := VProof{}
+		for _, id := range q.Members() {
+			vp[id] = mkAck(id, nil, false)
+		}
+		if mod != nil {
+			mod(vp)
+		}
+		return vp
+	}
+
+	if !ValidateVProof(ring, r, 1, full(nil), q) {
+		t.Fatal("clean vProof should validate")
+	}
+	if ValidateVProof(ring, r, 1, full(func(vp VProof) { delete(vp, 2) }), q) {
+		t.Error("missing ack should invalidate")
+	}
+	if ValidateVProof(ring, r, 1, full(func(vp VProof) { vp[2] = mkAck(2, nil, true) }), q) {
+		t.Error("bad signature should invalidate")
+	}
+	if ValidateVProof(ring, r, 2, full(nil), q) {
+		t.Error("wrong view should invalidate")
+	}
+	// An update claim without a basic-subset certificate must fail.
+	if ValidateVProof(ring, r, 1, full(func(vp VProof) {
+		vp[2] = mkAck(2, func(b *AckBody) {
+			b.Update[0] = "v"
+			b.Updateview[0] = []int{0}
+			b.Updateproof[0] = map[int][]SignedUpdate{0: {signers[2].SignUpdate(1, "v", 0)}}
+		}, false)
+	}), q) {
+		t.Error("single-signer certificate ({s3} ∈ B) should invalidate")
+	}
+	// The same claim with a basic subset of correct countersignatures
+	// passes.
+	if !ValidateVProof(ring, r, 1, full(func(vp VProof) {
+		vp[2] = mkAck(2, func(b *AckBody) {
+			b.Update[0] = "v"
+			b.Updateview[0] = []int{0}
+			b.Updateproof[0] = map[int][]SignedUpdate{0: {
+				signers[0].SignUpdate(1, "v", 0),
+				signers[1].SignUpdate(1, "v", 0),
+				signers[2].SignUpdate(1, "v", 0),
+			}}
+		}, false)
+	}), q) {
+		t.Error("basic-subset certificate should validate")
+	}
+}
+
+func TestKeyringVerification(t *testing.T) {
+	r := core.Example7RQS()
+	ring, signers, err := GenKeys(r.Universe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	su := signers[0].SignUpdate(1, "v", 3)
+	if !ring.VerifyUpdate(su) {
+		t.Error("genuine countersignature rejected")
+	}
+	su.Msg.V = "tampered"
+	if ring.VerifyUpdate(su) {
+		t.Error("tampered countersignature accepted")
+	}
+	body := ViewChangeBody{NextView: 2}
+	vc := SignedViewChange{Acceptor: 1, Body: body, Sig: signers[1].Sign(body.signingBody())}
+	if !ring.VerifyViewChange(vc) {
+		t.Error("genuine view change rejected")
+	}
+	vc.Acceptor = 2
+	if ring.VerifyViewChange(vc) {
+		t.Error("misattributed view change accepted")
+	}
+	if ring.Verify(99, []byte("x"), []byte("y")) {
+		t.Error("unknown signer accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package consensus
+
+import (
+	"repro/internal/core"
+)
+
+// Topology names the three process roles of the framework (Section 4.1):
+// acceptors form the RQS universe; proposers and learners are disjoint
+// from them.
+type Topology struct {
+	Acceptors core.Set
+	Proposers []core.ProcessID
+	Learners  core.Set
+}
+
+// Leader returns the leader of a view: proposers[view mod |proposers|].
+func (t Topology) Leader(view int) core.ProcessID {
+	return t.Proposers[view%len(t.Proposers)]
+}
+
+// decider tracks received update messages and fires the decision rules of
+// lines 51-53 (Figure 10), shared by acceptors and learners:
+//
+//	update1〈v, view, *〉 from a class-1 quorum → decide v (2 delays)
+//	update2〈v, view, Q2〉 from exactly Q2 ∈ QC2 → decide v (3 delays)
+//	update3〈v, view, *〉 from any quorum       → decide v (4 delays)
+type decider struct {
+	rqs *core.RQS
+	// senders[step][key] records who sent which update and at what hop.
+	upd1 map[vwKey]*senderRec
+	upd2 map[vwqKey]*senderRec
+	upd3 map[vwKey]*senderRec
+}
+
+type vwKey struct {
+	v Value
+	w int
+}
+
+type vwqKey struct {
+	v Value
+	w int
+	q core.Set
+}
+
+type senderRec struct {
+	set  core.Set
+	hops map[core.ProcessID]int
+}
+
+func newDecider(rqs *core.RQS) decider {
+	return decider{
+		rqs:  rqs,
+		upd1: make(map[vwKey]*senderRec),
+		upd2: make(map[vwqKey]*senderRec),
+		upd3: make(map[vwKey]*senderRec),
+	}
+}
+
+func (r *senderRec) add(from core.ProcessID, hop int) {
+	r.set = r.set.Add(from)
+	if h, ok := r.hops[from]; !ok || hop < h {
+		r.hops[from] = hop
+	}
+}
+
+// maxHopOver returns the largest hop among members of q: the message
+// delay at which the triggering quorum completed.
+func (r *senderRec) maxHopOver(q core.Set) int {
+	hop := 0
+	for _, id := range q.Members() {
+		if h, ok := r.hops[id]; ok && h > hop {
+			hop = h
+		}
+	}
+	return hop
+}
+
+func rec(m map[vwKey]*senderRec, k vwKey) *senderRec {
+	r, ok := m[k]
+	if !ok {
+		r = &senderRec{hops: make(map[core.ProcessID]int)}
+		m[k] = r
+	}
+	return r
+}
+
+// record notes an update message from an acceptor. Messages from
+// processes outside the acceptor set are ignored.
+func (d *decider) record(from core.ProcessID, m UpdateMsg, hop int) {
+	if !d.rqs.Universe().Contains(from) {
+		return
+	}
+	switch m.Step {
+	case 1:
+		rec(d.upd1, vwKey{m.V, m.View}).add(from, hop)
+	case 2:
+		k := vwqKey{m.V, m.View, m.Q}
+		r, ok := d.upd2[k]
+		if !ok {
+			r = &senderRec{hops: make(map[core.ProcessID]int)}
+			d.upd2[k] = r
+		}
+		r.add(from, hop)
+	case 3:
+		rec(d.upd3, vwKey{m.V, m.View}).add(from, hop)
+	}
+}
+
+// decision is a fired decision with its message-delay depth.
+type decision struct {
+	v    Value
+	hops int
+}
+
+// check evaluates the three decision rules and returns the first that
+// fires.
+func (d *decider) check() (decision, bool) {
+	// Line 51: same update1 from a class-1 quorum.
+	for k, r := range d.upd1 {
+		if q, ok := d.rqs.ContainedQuorum(r.set, core.Class1); ok {
+			return decision{v: k.v, hops: r.maxHopOver(q)}, true
+		}
+	}
+	// Line 52: same update2〈v, view, Q2〉 from exactly the class-2 quorum
+	// Q2 named in the message.
+	for k, r := range d.upd2 {
+		if cls, listed := d.rqs.ClassOfListed(k.q); listed && cls <= core.Class2 && k.q.SubsetOf(r.set) {
+			return decision{v: k.v, hops: r.maxHopOver(k.q)}, true
+		}
+	}
+	// Line 53: same update3 from any quorum.
+	for k, r := range d.upd3 {
+		if q, ok := d.rqs.ContainedQuorum(r.set, core.Class3); ok {
+			return decision{v: k.v, hops: r.maxHopOver(q)}, true
+		}
+	}
+	return decision{}, false
+}

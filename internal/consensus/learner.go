@@ -1,0 +1,134 @@
+package consensus
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Learn is a learned value together with the number of message delays it
+// took from the proposal (2/3/4 in best-case executions). Hops is -1 when
+// the value arrived through decision-pull gossip rather than the update
+// stream.
+type Learn struct {
+	V    Value
+	Hops int
+}
+
+// Learner learns the decided value (Figure 10 right column and Figure 15
+// lines 60 and 101-103).
+type Learner struct {
+	id   core.ProcessID
+	rqs  *core.RQS
+	topo Topology
+	port transport.Port
+
+	dec          decider
+	decisionFrom map[Value]core.Set
+	pullEvery    time.Duration
+
+	learned chan Learn
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewLearner builds a learner. pullEvery is the "preset time" after which
+// an unlearned learner starts pulling decisions (0 disables pulling).
+func NewLearner(rqs *core.RQS, topo Topology, port transport.Port, pullEvery time.Duration) *Learner {
+	return &Learner{
+		id:           port.ID(),
+		rqs:          rqs,
+		topo:         topo,
+		port:         port,
+		dec:          newDecider(rqs),
+		decisionFrom: make(map[Value]core.Set),
+		pullEvery:    pullEvery,
+		learned:      make(chan Learn, 1),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+}
+
+// Start launches the learner loop.
+func (l *Learner) Start() { go l.run() }
+
+// Stop terminates the loop and waits for exit.
+func (l *Learner) Stop() {
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+	}
+	<-l.done
+}
+
+// Learned yields the learned value (at most one per learner). The
+// channel is closed when the learner stops, so a receiver blocked on it
+// always wakes up; check the second receive value.
+func (l *Learner) Learned() <-chan Learn { return l.learned }
+
+// Wait blocks until the learner learns or the timeout elapses.
+func (l *Learner) Wait(timeout time.Duration) (Learn, bool) {
+	select {
+	case v, ok := <-l.learned:
+		return v, ok && v.V != None
+	case <-time.After(timeout):
+		return Learn{}, false
+	}
+}
+
+func (l *Learner) run() {
+	defer close(l.done)
+	defer close(l.learned)
+	var pull <-chan time.Time
+	var ticker *time.Ticker
+	if l.pullEvery > 0 {
+		ticker = time.NewTicker(l.pullEvery)
+		defer ticker.Stop()
+		pull = ticker.C
+	}
+	hasLearned := false
+	learn := func(v Learn) {
+		if hasLearned {
+			return
+		}
+		hasLearned = true
+		l.learned <- v
+		if ticker != nil {
+			ticker.Stop()
+		}
+	}
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-pull:
+			if !hasLearned {
+				transport.Broadcast(l.port, l.topo.Acceptors, DecisionPullMsg{})
+			}
+		case env, ok := <-l.port.Inbox():
+			if !ok {
+				return
+			}
+			switch m := env.Payload.(type) {
+			case UpdateMsg:
+				if !l.topo.Acceptors.Contains(env.From) {
+					continue
+				}
+				l.dec.record(env.From, m, env.Hop)
+				if d, decided := l.dec.check(); decided {
+					learn(Learn{V: d.v, Hops: d.hops})
+				}
+			case DecisionMsg:
+				if !l.topo.Acceptors.Contains(env.From) {
+					continue
+				}
+				l.decisionFrom[m.V] = l.decisionFrom[m.V].Add(env.From)
+				if core.IsBasic(l.decisionFrom[m.V], l.rqs.Adversary()) {
+					learn(Learn{V: m.V, Hops: -1})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package consensus
+
+import (
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Proposer drives the Locking module's proposer side (Figure 15 lines
+// 1-10): in the initial view it sends prepare directly; when elected
+// later it runs the consult phase (new_view → quorum of acks → choose)
+// before preparing.
+type Proposer struct {
+	id    core.ProcessID
+	rqs   *core.RQS
+	elems []core.Set
+	ring  *Keyring
+	topo  Topology
+	port  transport.Port
+
+	value     Value
+	proposed  bool
+	view      int
+	viewProof []SignedViewChange
+
+	// Consult-phase collection state.
+	collecting bool
+	acks       VProof
+	faulty     map[core.Set]bool
+
+	// View-change messages per next-view.
+	vcs map[int]map[core.ProcessID]SignedViewChange
+
+	proposeCh chan Value
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewProposer builds a proposer.
+func NewProposer(rqs *core.RQS, topo Topology, port transport.Port, ring *Keyring) *Proposer {
+	return &Proposer{
+		id:        port.ID(),
+		rqs:       rqs,
+		elems:     core.Elements(rqs.Adversary()),
+		ring:      ring,
+		topo:      topo,
+		port:      port,
+		view:      InitView,
+		faulty:    make(map[core.Set]bool),
+		vcs:       make(map[int]map[core.ProcessID]SignedViewChange),
+		proposeCh: make(chan Value, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the proposer loop.
+func (p *Proposer) Start() { go p.run() }
+
+// Stop terminates the loop and waits for exit.
+func (p *Proposer) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}
+
+// Propose submits the proposer's value. In the initial view the prepare
+// goes out immediately (every proposer is a leader of view 0); in later
+// views the proposer acts when elected.
+func (p *Proposer) Propose(v Value) {
+	select {
+	case p.proposeCh <- v:
+	case <-p.stop:
+	}
+}
+
+func (p *Proposer) run() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case v := <-p.proposeCh:
+			p.value = v
+			p.proposed = true
+			if p.view == InitView {
+				// Skip the consult phase (Figure 9) and wake the
+				// acceptors' election timers.
+				transport.Broadcast(p.port, p.topo.Acceptors, SyncMsg{})
+				transport.BroadcastHop(p.port, p.topo.Acceptors,
+					PrepareMsg{V: v, View: InitView}, 1)
+			} else {
+				p.startConsult()
+			}
+		case env, ok := <-p.port.Inbox():
+			if !ok {
+				return
+			}
+			p.handle(env)
+		}
+	}
+}
+
+func (p *Proposer) handle(env transport.Envelope) {
+	switch m := env.Payload.(type) {
+	case SignedViewChange:
+		p.onViewChange(env.From, m)
+	case NewViewAck:
+		p.onNewViewAck(m)
+	}
+}
+
+// onViewChange collects signed view_change messages; a quorum for a view
+// this proposer leads elects it (Figure 14 lines 10-13).
+func (p *Proposer) onViewChange(from core.ProcessID, m SignedViewChange) {
+	nv := m.Body.NextView
+	if nv <= p.view || p.topo.Leader(nv) != p.id {
+		return
+	}
+	if from != m.Acceptor || !p.topo.Acceptors.Contains(from) || !p.ring.VerifyViewChange(m) {
+		return
+	}
+	if p.vcs[nv] == nil {
+		p.vcs[nv] = make(map[core.ProcessID]SignedViewChange)
+	}
+	p.vcs[nv][from] = m
+	var signers core.Set
+	for id := range p.vcs[nv] {
+		signers = signers.Add(id)
+	}
+	if _, ok := p.rqs.ContainedQuorum(signers, core.Class3); !ok {
+		return
+	}
+	p.view = nv
+	p.viewProof = make([]SignedViewChange, 0, len(p.vcs[nv]))
+	for _, vc := range p.vcs[nv] {
+		p.viewProof = append(p.viewProof, vc)
+	}
+	if p.proposed {
+		p.startConsult()
+	}
+}
+
+// startConsult begins the consult phase for the current view (lines 2-8).
+func (p *Proposer) startConsult() {
+	p.collecting = true
+	p.acks = make(VProof)
+	p.faulty = make(map[core.Set]bool)
+	transport.Broadcast(p.port, p.topo.Acceptors, NewViewMsg{View: p.view, ViewProof: p.viewProof})
+}
+
+// onNewViewAck accumulates acks; once a quorum of valid acks (not yet
+// marked faulty) is present, choose() picks the value to prepare. An
+// abort marks the quorum faulty and waits for a different one (Lemma 28
+// guarantees a correct quorum never aborts).
+func (p *Proposer) onNewViewAck(m NewViewAck) {
+	if !p.collecting || m.Body.View != p.view {
+		return
+	}
+	if !p.topo.Acceptors.Contains(m.Acceptor) || !p.ring.VerifyAck(m) {
+		return
+	}
+	p.acks[m.Acceptor] = m
+
+	var responded core.Set
+	for id := range p.acks {
+		responded = responded.Add(id)
+	}
+	for _, q := range p.rqs.ContainedQuorums(responded, core.Class3) {
+		if p.faulty[q] {
+			continue
+		}
+		vProof := make(VProof, q.Count())
+		for _, id := range q.Members() {
+			vProof[id] = p.acks[id]
+		}
+		if !ValidateVProof(p.ring, p.rqs, p.view, vProof, q) {
+			p.faulty[q] = true
+			continue
+		}
+		res := Choose(p.rqs, p.elems, p.value, vProof, q)
+		if res.Abort {
+			p.faulty[q] = true
+			continue
+		}
+		p.collecting = false
+		transport.BroadcastHop(p.port, p.topo.Acceptors,
+			PrepareMsg{V: res.V, View: p.view, VProof: vProof, Q: q}, 1)
+		return
+	}
+}

@@ -1,0 +1,149 @@
+// Package consensus implements the paper's Byzantine consensus
+// (Section 4): proposers, acceptors and learners in the state-machine
+// replication framework of [34], built over a refined quorum system on the
+// acceptors.
+//
+// The Locking module (Figures 10, 12, 15) ensures safety through the
+// choose() function (Figure 13); the Election module (Figure 14) provides
+// liveness under eventual synchrony. Best-case executions use no message
+// authentication: a value is learned in 2 / 3 / 4 message delays when a
+// class-1 / class-2 / class-3 quorum of correct acceptors is available.
+// View changes authenticate with ed25519 signatures (substituting the
+// paper's RSA [47]).
+//
+// Conventions: acceptors occupy process IDs 0..nA-1 (the RQS universe);
+// proposers and learners take the IDs above them.
+package consensus
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+)
+
+// Value is a proposal value. None ("") denotes the absence of a value
+// (the nil of the pseudocode); real proposals are non-empty.
+type Value = string
+
+// None is the nil value of the pseudocode.
+const None Value = ""
+
+// InitView is the initial view in which every proposer may propose.
+const InitView = 0
+
+// UpdateMsg is update_step〈v, view, Q〉 (Figure 10). Step is 1, 2 or 3;
+// Q is the quorum certificate attached from step 2 on.
+type UpdateMsg struct {
+	Step int      `json:"step"`
+	V    Value    `json:"v"`
+	View int      `json:"view"`
+	Q    core.Set `json:"q"`
+}
+
+// signingBody is the authenticated content of an update message: the
+// quorum id is excluded, matching the proof obligations ("signed
+// update_step〈v, w, *〉 messages").
+func (m UpdateMsg) signingBody() []byte {
+	b, err := json.Marshal(struct {
+		Step int   `json:"step"`
+		V    Value `json:"v"`
+		View int   `json:"view"`
+	}{m.Step, m.V, m.View})
+	if err != nil {
+		panic("consensus: marshal update body: " + err.Error())
+	}
+	return b
+}
+
+// SignedUpdate is an update message countersigned by an acceptor, used in
+// Updateproof certificates.
+type SignedUpdate struct {
+	Msg    UpdateMsg
+	Signer core.ProcessID
+	Sig    []byte
+}
+
+// PrepareMsg is prepare〈v, view, vProof, Q〉.
+type PrepareMsg struct {
+	V      Value
+	View   int
+	VProof map[core.ProcessID]NewViewAck // nil in the initial view
+	Q      core.Set                      // the quorum vProof came from
+}
+
+// NewViewMsg is new_view〈view, viewProof〉.
+type NewViewMsg struct {
+	View      int
+	ViewProof []SignedViewChange
+}
+
+// AckBody is the authenticated content of a new_view_ack (Figure 12,
+// line 28): the acceptor's prepared and updated values with their view
+// sets, quorum ids and signature certificates. Map keys are views.
+type AckBody struct {
+	View        int                       `json:"view"`
+	Prep        Value                     `json:"prep"`
+	Prepview    []int                     `json:"prepview"`
+	Update      [2]Value                  `json:"update"`
+	Updateview  [2][]int                  `json:"updateview"`
+	UpdateQ     [2]map[int][]core.Set     `json:"updateQ"`
+	Updateproof [2]map[int][]SignedUpdate `json:"updateproof"`
+}
+
+func (b AckBody) signingBody() []byte {
+	buf, err := json.Marshal(b)
+	if err != nil {
+		panic("consensus: marshal ack body: " + err.Error())
+	}
+	return buf
+}
+
+// NewViewAck is the signed new_view_ack message.
+type NewViewAck struct {
+	Acceptor core.ProcessID
+	Body     AckBody
+	Sig      []byte
+}
+
+// SignReq is sign_req〈v, w, step〉.
+type SignReq struct {
+	V    Value
+	View int
+	Step int
+}
+
+// SignAck carries the countersignature back.
+type SignAck struct {
+	Update SignedUpdate
+}
+
+// ViewChangeBody is the authenticated content of view_change〈nextView〉.
+type ViewChangeBody struct {
+	NextView int `json:"nextView"`
+}
+
+func (b ViewChangeBody) signingBody() []byte {
+	buf, err := json.Marshal(b)
+	if err != nil {
+		panic("consensus: marshal view change: " + err.Error())
+	}
+	return buf
+}
+
+// SignedViewChange is a signed view_change message.
+type SignedViewChange struct {
+	Acceptor core.ProcessID
+	Body     ViewChangeBody
+	Sig      []byte
+}
+
+// DecisionMsg is decision〈v〉.
+type DecisionMsg struct {
+	V Value
+}
+
+// DecisionPullMsg asks decided acceptors to re-send their decision.
+type DecisionPullMsg struct{}
+
+// SyncMsg starts the acceptors' election timers (Figure 14 line 0).
+type SyncMsg struct{}

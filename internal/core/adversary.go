@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Adversary is a general adversary structure B for a set S
+// (Definition 1): a family of subsets of S closed under taking subsets.
+// Each element is a set of processes that may simultaneously be Byzantine.
+//
+// Two derived notions recur throughout the paper (Definition 5 in the
+// appendix): a set T is a *basic* subset if T ∉ B (so T always contains at
+// least one benign process), and a *large* subset if T is not covered by
+// the union of any two elements of B (so T always contains a whole basic
+// subset of benign processes).
+type Adversary interface {
+	// Contains reports whether s ∈ B, honouring subset closure.
+	Contains(s Set) bool
+
+	// MaximalSets returns the maximal elements of B. Every element of B
+	// is a subset of some returned set. The result must not be mutated.
+	MaximalSets() []Set
+
+	// CoveredByTwo reports whether s ⊆ B1 ∪ B2 for some B1, B2 ∈ B,
+	// i.e. whether s fails to be a large subset.
+	CoveredByTwo(s Set) bool
+}
+
+// Elements enumerates every element of B: all subsets of the maximal
+// sets, deduplicated, including ∅. Predicates of the form "∃B ∈ B" that
+// are not monotone in B (such as the reader's valid3, Figure 7 line 5)
+// need the full enumeration; it is exponential only in the size of the
+// individual maximal sets, which is small for protocol-scale adversaries.
+func Elements(a Adversary) []Set {
+	seen := map[Set]bool{EmptySet: true}
+	out := []Set{EmptySet}
+	for _, m := range a.MaximalSets() {
+		for size := 1; size <= m.Count(); size++ {
+			m.Subsets(size, func(s Set) bool {
+				if !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// IsBasic reports whether s is a basic subset for adversary b: s ∉ B.
+// In every execution a basic subset contains at least one benign process
+// (Lemma 1).
+func IsBasic(s Set, b Adversary) bool { return !b.Contains(s) }
+
+// IsLarge reports whether s is a large subset for adversary b: s is not a
+// subset of the union of any two elements of B. Every large subset
+// contains a basic subset of benign processes (Lemma 2).
+func IsLarge(s Set, b Adversary) bool { return !b.CoveredByTwo(s) }
+
+// Structured is an adversary given by an explicit list of maximal sets;
+// membership is decided by subset closure. It implements the fully general
+// (non-threshold, non-IID) adversary structures of Hirt–Maurer [26] that
+// the paper is designed around.
+type Structured struct {
+	maximal []Set
+}
+
+var _ Adversary = (*Structured)(nil)
+
+// NewStructured builds an adversary from the given sets. Redundant sets
+// (subsets of others) are pruned so MaximalSets returns only maximal
+// elements. The empty adversary {∅} — "no Byzantine processes ever" — is
+// obtained by passing no sets.
+func NewStructured(sets ...Set) *Structured {
+	pruned := make([]Set, 0, len(sets))
+	for i, s := range sets {
+		redundant := false
+		for j, t := range sets {
+			if i == j {
+				continue
+			}
+			// Strict subset, or equal with a later duplicate winning.
+			if s.SubsetOf(t) && (s != t || i < j) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			pruned = append(pruned, s)
+		}
+	}
+	sort.Slice(pruned, func(i, j int) bool { return pruned[i] < pruned[j] })
+	return &Structured{maximal: pruned}
+}
+
+// Contains reports whether s ∈ B.
+func (a *Structured) Contains(s Set) bool {
+	if s.IsEmpty() {
+		return true // ∅ ∈ B always, by subset closure.
+	}
+	for _, m := range a.maximal {
+		if s.SubsetOf(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// MaximalSets returns the maximal elements of B.
+func (a *Structured) MaximalSets() []Set { return a.maximal }
+
+// CoveredByTwo reports whether s ⊆ B1 ∪ B2 for some B1, B2 ∈ B.
+func (a *Structured) CoveredByTwo(s Set) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	if len(a.maximal) == 0 {
+		return false
+	}
+	for _, m1 := range a.maximal {
+		for _, m2 := range a.maximal {
+			if s.SubsetOf(m1.Union(m2)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the adversary's maximal sets.
+func (a *Structured) String() string {
+	return fmt.Sprintf("Structured%v", a.maximal)
+}
+
+// Threshold is the k-bounded threshold adversary B_k over a fixed
+// universe: every subset of the universe of cardinality at most K belongs
+// to B (Section 2.1). Membership tests are O(1).
+type Threshold struct {
+	universe Set
+	k        int
+}
+
+var _ Adversary = (*Threshold)(nil)
+
+// NewThreshold returns the adversary B_k over FullSet(n).
+func NewThreshold(n, k int) *Threshold {
+	if k < 0 {
+		k = 0
+	}
+	return &Threshold{universe: FullSet(n), k: k}
+}
+
+// K returns the threshold k.
+func (a *Threshold) K() int { return a.k }
+
+// Contains reports whether s ∈ B_k, i.e. s ⊆ universe and |s| ≤ k.
+func (a *Threshold) Contains(s Set) bool {
+	return s.SubsetOf(a.universe) && s.Count() <= a.k
+}
+
+// MaximalSets enumerates all subsets of the universe of size exactly k.
+// This is combinatorial; it is intended for verification on small systems.
+func (a *Threshold) MaximalSets() []Set {
+	if a.k == 0 {
+		return nil
+	}
+	var out []Set
+	a.universe.Subsets(a.k, func(s Set) bool {
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// CoveredByTwo reports whether s is covered by two elements of B_k,
+// which for a threshold adversary reduces to |s| ≤ 2k.
+func (a *Threshold) CoveredByTwo(s Set) bool {
+	return s.SubsetOf(a.universe) && s.Count() <= 2*a.k
+}
+
+// String renders the threshold adversary.
+func (a *Threshold) String() string {
+	return fmt.Sprintf("Threshold{n=%d,k=%d}", a.universe.Count(), a.k)
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestStructuredContainsSubsetClosure(t *testing.T) {
+	// Definition 1: B' ⊆ B ∈ B ⇒ B' ∈ B.
+	adv := NewStructured(NewSet(0, 1), NewSet(2, 3))
+	tests := []struct {
+		s    Set
+		want bool
+	}{
+		{EmptySet, true},
+		{NewSet(0), true},
+		{NewSet(1), true},
+		{NewSet(0, 1), true},
+		{NewSet(2, 3), true},
+		{NewSet(0, 2), false},
+		{NewSet(0, 1, 2), false},
+		{NewSet(4), false},
+	}
+	for _, tt := range tests {
+		if got := adv.Contains(tt.s); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestStructuredPrunesRedundantSets(t *testing.T) {
+	adv := NewStructured(NewSet(0), NewSet(0, 1), NewSet(2), NewSet(0, 1))
+	max := adv.MaximalSets()
+	if len(max) != 2 {
+		t.Fatalf("MaximalSets = %v, want 2 sets", max)
+	}
+	if max[0] != NewSet(0, 1) && max[1] != NewSet(0, 1) {
+		t.Errorf("missing {0,1} in %v", max)
+	}
+	if !adv.Contains(NewSet(2)) {
+		t.Error("pruning dropped {2}")
+	}
+}
+
+func TestStructuredEmptyAdversary(t *testing.T) {
+	adv := NewStructured()
+	if !adv.Contains(EmptySet) {
+		t.Error("∅ must be in B")
+	}
+	if adv.Contains(NewSet(0)) {
+		t.Error("{0} must not be in the trivial adversary")
+	}
+	if adv.CoveredByTwo(NewSet(0)) {
+		t.Error("{0} is large under the trivial adversary")
+	}
+	if !adv.CoveredByTwo(EmptySet) {
+		t.Error("∅ is always covered")
+	}
+}
+
+func TestStructuredCoveredByTwo(t *testing.T) {
+	adv := NewStructured(NewSet(0, 1), NewSet(2, 3), NewSet(1, 3))
+	tests := []struct {
+		s    Set
+		want bool
+	}{
+		{NewSet(0, 1, 2, 3), true},  // {0,1} ∪ {2,3}
+		{NewSet(0, 1, 3), true},     // {0,1} ∪ {1,3}
+		{NewSet(4), false},          // 4 in no element
+		{NewSet(0, 1, 2, 4), false}, // contains 4
+		{NewSet(1, 3), true},        // single element suffices
+	}
+	for _, tt := range tests {
+		if got := adv.CoveredByTwo(tt.s); got != tt.want {
+			t.Errorf("CoveredByTwo(%v) = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestThresholdMatchesStructured(t *testing.T) {
+	// The threshold adversary must agree with an explicitly structured
+	// one built from all k-subsets, on every query.
+	const n, k = 6, 2
+	th := NewThreshold(n, k)
+	st := NewStructured(th.MaximalSets()...)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 4000; i++ {
+		s := Set(r.Uint64()) & FullSet(n)
+		if th.Contains(s) != st.Contains(s) {
+			t.Fatalf("Contains(%v) disagrees: threshold=%v", s, th.Contains(s))
+		}
+		if th.CoveredByTwo(s) != st.CoveredByTwo(s) {
+			t.Fatalf("CoveredByTwo(%v) disagrees", s)
+		}
+	}
+}
+
+func TestThresholdBounds(t *testing.T) {
+	th := NewThreshold(5, 2)
+	if th.K() != 2 {
+		t.Errorf("K = %d", th.K())
+	}
+	if !th.Contains(NewSet(0, 1)) || th.Contains(NewSet(0, 1, 2)) {
+		t.Error("threshold membership broken")
+	}
+	if th.Contains(NewSet(5)) {
+		t.Error("sets escaping the universe are not in B")
+	}
+	if !th.CoveredByTwo(NewSet(0, 1, 2, 3)) || th.CoveredByTwo(FullSet(5)) {
+		t.Error("CoveredByTwo threshold broken")
+	}
+	zero := NewThreshold(5, 0)
+	if len(zero.MaximalSets()) != 0 {
+		t.Error("k=0 has no nonempty maximal sets")
+	}
+	if !zero.Contains(EmptySet) {
+		t.Error("∅ ∈ B_0")
+	}
+	neg := NewThreshold(5, -3)
+	if neg.K() != 0 {
+		t.Error("negative k should clamp to 0")
+	}
+}
+
+func TestBasicAndLargeSubsets(t *testing.T) {
+	// Lemma 1 / Lemma 2 machinery: under B_1 over 5 processes, any
+	// 2-subset is basic, any 3-subset is large.
+	adv := NewThreshold(5, 1)
+	if IsBasic(NewSet(0), adv) {
+		t.Error("singleton is not basic under B_1")
+	}
+	if !IsBasic(NewSet(0, 1), adv) {
+		t.Error("pair is basic under B_1")
+	}
+	if IsLarge(NewSet(0, 1), adv) {
+		t.Error("pair is not large under B_1")
+	}
+	if !IsLarge(NewSet(0, 1, 2), adv) {
+		t.Error("triple is large under B_1")
+	}
+}
+
+func TestMaximalSetsCount(t *testing.T) {
+	th := NewThreshold(6, 2)
+	if got := len(th.MaximalSets()); got != 15 { // C(6,2)
+		t.Errorf("MaximalSets count = %d, want 15", got)
+	}
+}

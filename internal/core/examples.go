@@ -1,0 +1,132 @@
+package core
+
+// This file constructs, as ready-made values, the refined quorum systems
+// the paper uses as running examples. Each is verified in the test suite.
+
+// MajorityRQS is Example 2: crash failures only (B = {∅}), every majority
+// subset of S is a quorum, QC1 = QC2 = ∅. This is the quorum system of
+// ABD-style crash-tolerant storage and Paxos-style consensus.
+func MajorityRQS(n int) *RQS {
+	universe := FullSet(n)
+	var quorums []Set
+	universe.Subsets(n-(n-1)/2, func(s Set) bool {
+		quorums = append(quorums, s)
+		return true
+	})
+	return MustNew(Config{
+		Universe:  universe,
+		Adversary: NewStructured(),
+		Quorums:   quorums,
+	})
+}
+
+// ByzantineThirdRQS is Example 3: adversary B_⌊(n-1)/3⌋, every quorum
+// contains more than two thirds of the processes, QC1 = QC2 = ∅. This is
+// the dissemination quorum system used by classic BFT protocols.
+func ByzantineThirdRQS(n int) *RQS {
+	k := (n - 1) / 3
+	universe := FullSet(n)
+	var quorums []Set
+	universe.Subsets(n-k, func(s Set) bool {
+		quorums = append(quorums, s)
+		return true
+	})
+	return MustNew(Config{
+		Universe:  universe,
+		Adversary: NewThreshold(n, k),
+		Quorums:   quorums,
+	})
+}
+
+// Fig3RQS is the refined quorum system of Figure 3 / Example 1: eight
+// elements, threshold adversary B_1, four quorums
+//
+//	Q  = {5,6,7,8}        (class 3)
+//	Q' = {1,2,3,4,7,8}    (class 3)
+//	Q2 = {3,4,5,6,7}      (class 2)
+//	Q1 = {3,5,6,7,8}      (class 1)
+//
+// (processes renumbered 0-based). The figure in the source text is
+// OCR-garbled on Q1's exact membership; this reconstruction satisfies
+// every cardinality stated in the caption: |Q1| = 5 yet Q1 is class 1
+// while |Q'| = 6 yet Q' is only class 3; |Q2 ∩ Q'| = 2k+1 = |Q2 ∩ Q1|;
+// and P3b(Q2, Q, B) holds via |Q2 ∩ Q ∩ Q1| ≥ k+1.
+func Fig3RQS() *RQS {
+	var (
+		q  = NewSet(4, 5, 6, 7)       // {5,6,7,8}
+		qp = NewSet(0, 1, 2, 3, 6, 7) // {1,2,3,4,7,8}
+		q2 = NewSet(2, 3, 4, 5, 6)    // {3,4,5,6,7}
+		q1 = NewSet(2, 4, 5, 6, 7)    // {3,5,6,7,8}
+	)
+	return MustNew(Config{
+		Universe:  FullSet(8),
+		Adversary: NewThreshold(8, 1),
+		Quorums:   []Set{q, qp, q2, q1},
+		Class2:    []int{2, 3},
+		Class1:    []int{3},
+	})
+}
+
+// Example7RQS is the six-server system of Example 7 / Figure 4, the
+// paper's showcase for why Property 3 matters under a general (non-
+// threshold) adversary:
+//
+//	S = {s1..s6} (0-based: 0..5)
+//	B maximal sets: {s1,s2}, {s3,s4}, {s2,s4}
+//	Q1  = {s2,s4,s5,s6}      (class 1)
+//	Q2  = {s1,s2,s3,s4,s5}   (class 2)
+//	Q2' = {s1,s2,s3,s4,s6}   (class 2)
+func Example7RQS() *RQS {
+	var (
+		q1  = NewSet(1, 3, 4, 5)
+		q2  = NewSet(0, 1, 2, 3, 4)
+		q2p = NewSet(0, 1, 2, 3, 5)
+	)
+	return MustNew(Config{
+		Universe:  FullSet(6),
+		Adversary: NewStructured(NewSet(0, 1), NewSet(2, 3), NewSet(1, 3)),
+		Quorums:   []Set{q1, q2, q2p},
+		Class2:    []int{1, 2},
+		Class1:    []int{0},
+	})
+}
+
+// Example7Broken is Example7RQS with server s2 removed from the class-1
+// quorum, which breaks Property 3 (P3b loses its witness in
+// Q1 ∩ Q2 ∩ Q2' \ {s3,s4}). It is the substrate for the Theorem 3 and
+// Theorem 6 lower-bound experiments (E6, E8): a fast algorithm run over
+// this system can be driven to a safety violation.
+func Example7Broken() *RQS {
+	var (
+		q1  = NewSet(3, 4, 5) // {s4,s5,s6}: s2 dropped
+		q2  = NewSet(0, 1, 2, 3, 4)
+		q2p = NewSet(0, 1, 2, 3, 5)
+	)
+	return MustNew(Config{
+		Universe:  FullSet(6),
+		Adversary: NewStructured(NewSet(0, 1), NewSet(2, 3), NewSet(1, 3)),
+		Quorums:   []Set{q1, q2, q2p},
+		Class2:    []int{1, 2},
+		Class1:    []int{0},
+	})
+}
+
+// FiveServerRQS is the introductory system of Section 1.2 and Figure 2:
+// n = 5 crash-prone servers, t = 2; subsets of 3 servers are ordinary
+// quorums and subsets of 4 servers are both class-2 and class-1 quorums.
+// It is the RQS behind the "variation of ABD" described there: 1-round
+// writes when 4 servers respond, 2-round otherwise.
+func FiveServerRQS() *RQS {
+	r, err := NewThresholdRQS(ThresholdParams{N: 5, T: 2, R: 1, Q: 1, K: 0})
+	if err != nil {
+		panic(err) // statically valid: 5 > 2+0+max(2, 0+2, 1+0)
+	}
+	return r
+}
+
+// PBFTStyleRQS is the important instantiation noted at the end of
+// Example 6: n = 3t+1 processes, k = t Byzantine, every quorum (size 2t+1)
+// is class 2 (r = t), and the full set is the only class-1 quorum (q = 0).
+func PBFTStyleRQS(t int) (*RQS, error) {
+	return NewThresholdRQS(ThresholdParams{N: 3*t + 1, T: t, R: t, Q: 0, K: t})
+}

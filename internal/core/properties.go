@@ -1,0 +1,103 @@
+package core
+
+// Standalone property checks over arbitrary quorum families, as used by
+// the optimality theorems (Section 3.3, Section 4.3). There, the paper
+// writes P1(Q(3)), P2(Q(1), Q(3)) and P3(Q(1), Q(2), Q(3)) for the three
+// RQS properties instantiated with arbitrary set families Q(i), and shows
+// each is necessary for the corresponding resilience / fastness
+// combination. These functions let the experiments test families that are
+// deliberately *not* refined quorum systems.
+
+// CheckP1 reports whether Property 1 holds for the family q3 under
+// adversary b: every pairwise intersection is a basic subset.
+func CheckP1(q3 []Set, b Adversary) bool {
+	for i, q := range q3 {
+		for _, qq := range q3[i:] {
+			if b.Contains(q.Intersect(qq)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckP2 reports whether Property 2 holds for families q1 (class 1) and
+// q3 (all quorums) under adversary b: every Q1 ∩ Q1' ∩ Q is a large
+// subset.
+func CheckP2(q1, q3 []Set, b Adversary) bool {
+	for i, a := range q1 {
+		for _, c := range q1[i:] {
+			for _, q := range q3 {
+				if b.CoveredByTwo(a.Intersect(c).Intersect(q)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CheckP3 reports whether Property 3 holds for families q1, q2, q3 under
+// adversary b. Only maximal adversary elements need checking because both
+// disjuncts are antitone in B.
+func CheckP3(q1, q2, q3 []Set, b Adversary) bool {
+	_, ok := FindP3Violation(q1, q2, q3, b)
+	return !ok
+}
+
+// P3Violation is a concrete witness that Property 3 fails: for the given
+// class-2 quorum Q2, quorum Q and adversary set B, neither P3a nor P3b
+// holds. The lower-bound experiments (Theorems 3 and 6) build their
+// adversarial schedules directly from such a witness, following the
+// notation of the proofs:
+//
+//	B2 = Q2 ∩ Q \ B  (in B, because P3a fails)
+//	B0 = Q1 ∩ Q2 ∩ Q (empty after removing B, because P3b fails)
+//	B1 = Q2 ∩ Q ∩ B
+type P3Violation struct {
+	Q1 Set // a class-1 quorum witnessing the P3b failure
+	Q2 Set
+	Q  Set
+	B  Set
+	B2 Set // Q2 ∩ Q \ B
+	B1 Set // Q2 ∩ Q ∩ B
+	B0 Set // Q1 ∩ Q2 ∩ Q
+}
+
+// FindP3Violation searches for a Property 3 violation and returns the
+// first witness found.
+func FindP3Violation(q1, q2, q3 []Set, b Adversary) (P3Violation, bool) {
+	maximal := b.MaximalSets()
+	if len(maximal) == 0 {
+		maximal = []Set{EmptySet}
+	}
+	for _, c2 := range q2 {
+		for _, q := range q3 {
+			for _, bb := range maximal {
+				rest := c2.Intersect(q).Diff(bb)
+				if !b.Contains(rest) {
+					continue // P3a holds
+				}
+				// P3a fails; find a class-1 quorum making P3b fail.
+				if len(q1) == 0 {
+					return P3Violation{
+						Q2: c2, Q: q, B: bb,
+						B2: rest, B1: c2.Intersect(q).Intersect(bb),
+					}, true
+				}
+				for _, c1 := range q1 {
+					inter := c1.Intersect(c2).Intersect(q)
+					if inter.Diff(bb).IsEmpty() {
+						return P3Violation{
+							Q1: c1, Q2: c2, Q: q, B: bb,
+							B2: rest,
+							B1: c2.Intersect(q).Intersect(bb),
+							B0: inter,
+						}, true
+					}
+				}
+			}
+		}
+	}
+	return P3Violation{}, false
+}

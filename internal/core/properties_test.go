@@ -1,0 +1,96 @@
+package core
+
+import "testing"
+
+func TestCheckP1P2P3AgreeWithVerify(t *testing.T) {
+	systems := []*RQS{
+		MajorityRQS(5), ByzantineThirdRQS(4), Fig3RQS(), Example7RQS(), FiveServerRQS(),
+	}
+	for _, r := range systems {
+		q1 := r.QuorumsOfClass(Class1)
+		q2 := r.QuorumsOfClass(Class2)
+		q3 := r.Quorums()
+		adv := r.Adversary()
+		if !CheckP1(q3, adv) || !CheckP2(q1, q3, adv) || !CheckP3(q1, q2, q3, adv) {
+			t.Errorf("%v: standalone checks disagree with Verify", r)
+		}
+	}
+}
+
+func TestFindP3ViolationOnBrokenExample7(t *testing.T) {
+	r := Example7Broken()
+	w, ok := FindP3Violation(
+		r.QuorumsOfClass(Class1), r.QuorumsOfClass(Class2), r.Quorums(), r.Adversary())
+	if !ok {
+		t.Fatal("no P3 violation found in the deliberately broken system")
+	}
+	// The witness must satisfy the proof's decomposition:
+	// B2 = Q2∩Q\B ∈ B, B1 = Q2∩Q∩B, B0 = Q1∩Q2∩Q ⊆ B1, Q2∩Q = B1∪B2.
+	adv := r.Adversary()
+	if !adv.Contains(w.B2) {
+		t.Errorf("B2 = %v should be in B", w.B2)
+	}
+	if !adv.Contains(w.B1) || !adv.Contains(w.B0) {
+		t.Errorf("B1 = %v, B0 = %v should be in B", w.B1, w.B0)
+	}
+	if !w.B0.SubsetOf(w.B1) {
+		t.Errorf("B0 = %v ⊄ B1 = %v", w.B0, w.B1)
+	}
+	if got := w.B1.Union(w.B2); got != w.Q2.Intersect(w.Q) {
+		t.Errorf("B1 ∪ B2 = %v, want Q2∩Q = %v", got, w.Q2.Intersect(w.Q))
+	}
+	if !w.Q1.Intersect(w.Q2).Intersect(w.Q).Diff(w.B).IsEmpty() {
+		t.Error("P3b should fail for the witness")
+	}
+}
+
+func TestFindP3ViolationEmptyClass1(t *testing.T) {
+	// With QC1 = ∅, P3b can never hold, so any P3a failure is a
+	// violation.
+	adv := NewThreshold(4, 1)
+	q2 := []Set{NewSet(0, 1)}
+	q3 := []Set{NewSet(0, 1), NewSet(1, 2, 3)}
+	// Q2 ∩ Q = {1}; minus B={1} leaves ∅ ∈ B ⇒ P3a fails, no class 1.
+	w, ok := FindP3Violation(nil, q2, q3, adv)
+	if !ok {
+		t.Fatal("violation expected")
+	}
+	if w.Q1 != EmptySet {
+		t.Errorf("Q1 witness should be empty, got %v", w.Q1)
+	}
+}
+
+func TestCheckP3TrivialAdversary(t *testing.T) {
+	// B = {∅}: Property 1 implies Property 3 (remark after Def. 2).
+	r := MajorityRQS(5)
+	qs := r.Quorums()
+	if !CheckP3(nil, qs, qs, r.Adversary()) {
+		t.Error("P3 must hold under the trivial adversary when P1 does")
+	}
+}
+
+func TestCheckP2EmptyClass1(t *testing.T) {
+	// Vacuous when QC1 = ∅ (Examples 2–4).
+	r := ByzantineThirdRQS(7)
+	if !CheckP2(nil, r.Quorums(), r.Adversary()) {
+		t.Error("P2 is vacuous with no class-1 quorums")
+	}
+}
+
+func TestCheckP1Violation(t *testing.T) {
+	adv := NewThreshold(6, 1)
+	// Intersection of size 1 ≤ k ⇒ in B ⇒ P1 fails.
+	if CheckP1([]Set{NewSet(0, 1, 2), NewSet(2, 3, 4)}, adv) {
+		t.Error("P1 should fail on a 1-element intersection under B_1")
+	}
+}
+
+func TestCheckP2Violation(t *testing.T) {
+	adv := NewThreshold(6, 1)
+	q1 := []Set{NewSet(0, 1, 2, 3)}
+	q3 := []Set{NewSet(2, 3, 4, 5)}
+	// Q1∩Q1∩Q = {2,3}: size 2 ≤ 2k ⇒ covered by two ⇒ P2 fails.
+	if CheckP2(q1, q3, adv) {
+		t.Error("P2 should fail")
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickLargeImpliesBasic(t *testing.T) {
+	// Every large subset is basic: s ∈ B ⇒ s ⊆ s ∪ ∅ is a two-cover.
+	advs := []Adversary{
+		NewThreshold(8, 2),
+		NewStructured(NewSet(0, 1), NewSet(2, 3), NewSet(1, 3)),
+		NewStructured(),
+	}
+	if err := quick.Check(func(x uint8, which uint8) bool {
+		adv := advs[int(which)%len(advs)]
+		s := Set(x) & FullSet(8)
+		if IsLarge(s, adv) && !IsBasic(s, adv) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickElementsEnumeratesB(t *testing.T) {
+	adv := NewStructured(NewSet(0, 1, 2), NewSet(2, 3), NewSet(4))
+	elems := Elements(adv)
+	seen := make(map[Set]bool, len(elems))
+	for _, e := range elems {
+		if !adv.Contains(e) {
+			t.Errorf("Elements returned %v ∉ B", e)
+		}
+		if seen[e] {
+			t.Errorf("Elements returned %v twice", e)
+		}
+		seen[e] = true
+	}
+	// Exhaustively cross-check against brute force over the universe.
+	for mask := Set(0); mask < 1<<5; mask++ {
+		if adv.Contains(mask) != seen[mask] {
+			t.Errorf("membership of %v: Contains=%v, enumerated=%v",
+				mask, adv.Contains(mask), seen[mask])
+		}
+	}
+}
+
+// randomExplicitRQS builds a random quorum family over n ≤ 7 processes
+// under B_1 and returns it unverified.
+func randomExplicitRQS(r *rand.Rand) *RQS {
+	n := 5 + r.Intn(3)
+	universe := FullSet(n)
+	nq := 2 + r.Intn(4)
+	quorums := make([]Set, 0, nq)
+	for i := 0; i < nq; i++ {
+		size := n/2 + 1 + r.Intn(n-n/2)
+		var q Set
+		for q.Count() < size {
+			q = q.Add(r.Intn(n))
+		}
+		quorums = append(quorums, q)
+	}
+	var class2, class1 []int
+	for i := range quorums {
+		if r.Intn(2) == 0 {
+			class2 = append(class2, i)
+			if r.Intn(2) == 0 {
+				class1 = append(class1, i)
+			}
+		}
+	}
+	return MustNew(Config{
+		Universe:  universe,
+		Adversary: NewThreshold(n, 1),
+		Quorums:   quorums,
+		Class2:    class2,
+		Class1:    class1,
+	})
+}
+
+func TestQuickVerifyAgreesWithStandaloneChecks(t *testing.T) {
+	// Verify() must hold exactly when CheckP1 ∧ CheckP2 ∧ CheckP3 hold
+	// over the same families — two independent implementations of
+	// Definition 2 kept honest against each other on random systems.
+	r := rand.New(rand.NewSource(2007))
+	agreeValid, agreeInvalid := 0, 0
+	for i := 0; i < 400; i++ {
+		sys := randomExplicitRQS(r)
+		q1 := sys.QuorumsOfClass(Class1)
+		q2 := sys.QuorumsOfClass(Class2)
+		q3 := sys.Quorums()
+		adv := sys.Adversary()
+		standalone := CheckP1(q3, adv) && CheckP2(q1, q3, adv) && CheckP3(q1, q2, q3, adv)
+		verified := sys.Verify() == nil
+		if standalone != verified {
+			t.Fatalf("disagreement on %v: standalone=%v Verify=%v", sys, standalone, verified)
+		}
+		if verified {
+			agreeValid++
+		} else {
+			agreeInvalid++
+		}
+	}
+	if agreeValid == 0 || agreeInvalid == 0 {
+		t.Errorf("degenerate sample: %d valid, %d invalid", agreeValid, agreeInvalid)
+	}
+}
+
+func TestQuickContainedQuorumSoundness(t *testing.T) {
+	// ContainedQuorum(responded, c) must return a listed quorum of class
+	// ≤ c that is a subset of responded; and must fail exactly when no
+	// listed quorum of that class fits.
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 300; i++ {
+		sys := randomExplicitRQS(r)
+		responded := Set(r.Uint64()) & sys.Universe()
+		for _, c := range []QuorumClass{Class1, Class2, Class3} {
+			got, ok := sys.ContainedQuorum(responded, c)
+			want := false
+			for _, q := range sys.QuorumsOfClass(c) {
+				if q.SubsetOf(responded) {
+					want = true
+				}
+			}
+			if ok != want {
+				t.Fatalf("ContainedQuorum(%v, %v) = %v, want %v", responded, c, ok, want)
+			}
+			if ok {
+				if !got.SubsetOf(responded) {
+					t.Fatalf("returned quorum %v escapes %v", got, responded)
+				}
+				// The random generator may list the same set under two
+				// class flags, so check membership in the class family
+				// rather than ClassOfListed (which reports the first).
+				inFamily := false
+				for _, q := range sys.QuorumsOfClass(c) {
+					if q == got {
+						inFamily = true
+						break
+					}
+				}
+				if !inFamily {
+					t.Fatalf("returned quorum %v not in the class-%v family", got, c)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickP3DisjunctsAntitoneInB(t *testing.T) {
+	// The Verify optimisation relies on P3a and P3b being antitone in B:
+	// holding for a maximal B implies holding for every subset.
+	sys := Example7RQS()
+	elems := Elements(sys.Adversary())
+	quorums := sys.Quorums()
+	for _, q2 := range sys.QuorumsOfClass(Class2) {
+		for _, q := range quorums {
+			for _, big := range elems {
+				for _, small := range elems {
+					if !small.SubsetOf(big) {
+						continue
+					}
+					if sys.P3a(q2, q, big) && !sys.P3a(q2, q, small) {
+						t.Fatalf("P3a not antitone: Q2=%v Q=%v %v⊆%v", q2, q, small, big)
+					}
+					if sys.P3b(q2, q, big) && !sys.P3b(q2, q, small) {
+						t.Fatalf("P3b not antitone: Q2=%v Q=%v %v⊆%v", q2, q, small, big)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPaperExamplesAreValidRQS(t *testing.T) {
+	tests := []struct {
+		name string
+		rqs  *RQS
+	}{
+		{"Example2 majority n=3", MajorityRQS(3)},
+		{"Example2 majority n=5", MajorityRQS(5)},
+		{"Example2 majority n=7", MajorityRQS(7)},
+		{"Example3 byzantine n=4", ByzantineThirdRQS(4)},
+		{"Example3 byzantine n=7", ByzantineThirdRQS(7)},
+		{"Example1 Fig3", Fig3RQS()},
+		{"Example7 Fig4", Example7RQS()},
+		{"Section1.2 five servers", FiveServerRQS()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.rqs.Verify(); err != nil {
+				t.Errorf("Verify() = %v, want nil", err)
+			}
+		})
+	}
+}
+
+func TestExample7BrokenViolatesP3Only(t *testing.T) {
+	r := Example7Broken()
+	err := r.Verify()
+	if !errors.Is(err, ErrProperty3) {
+		t.Fatalf("Verify() = %v, want Property 3 violation", err)
+	}
+	// Properties 1 and 2 still hold: the breakage is isolated to P3,
+	// exactly the hypothesis of Theorem 3 / Theorem 6.
+	if !CheckP1(r.Quorums(), r.Adversary()) {
+		t.Error("Property 1 should hold for the broken system")
+	}
+	if !CheckP2(r.QuorumsOfClass(Class1), r.Quorums(), r.Adversary()) {
+		t.Error("Property 2 should hold for the broken system")
+	}
+}
+
+func TestFig3Cardinalities(t *testing.T) {
+	// Figure 3's caption: a 5-element quorum is class 1 while a
+	// 6-element one is only class 3 — cardinality does not determine
+	// class.
+	r := Fig3RQS()
+	var class1Size, class3MaxSize int
+	for _, q := range r.QuorumsOfClass(Class1) {
+		class1Size = q.Count()
+	}
+	for _, q := range r.Quorums() {
+		if c, _ := r.ClassOfListed(q); c == Class3 && q.Count() > class3MaxSize {
+			class3MaxSize = q.Count()
+		}
+	}
+	if class1Size != 5 {
+		t.Errorf("class-1 quorum size = %d, want 5", class1Size)
+	}
+	if class3MaxSize != 6 {
+		t.Errorf("largest class-3-only quorum size = %d, want 6", class3MaxSize)
+	}
+}
+
+func TestExample7PropertyThreeMechanics(t *testing.T) {
+	// Walk through the P3 case analysis of Example 7 explicitly.
+	r := Example7RQS()
+	q2 := NewSet(0, 1, 2, 3, 4)  // {s1..s5}
+	q2p := NewSet(0, 1, 2, 3, 5) // {s1..s4, s6}
+	b12 := NewSet(0, 1)          // {s1,s2}
+	b34 := NewSet(2, 3)          // {s3,s4}
+
+	// P3a(Q2, Q2', B12) fails: Q2 ∩ Q2' \ B12 = {s3,s4} ∈ B.
+	if r.P3a(q2, q2p, b12) {
+		t.Error("P3a(Q2, Q2', B12) should fail")
+	}
+	// Hence P3b must hold (s2 witnesses it).
+	if !r.P3b(q2, q2p, b12) {
+		t.Error("P3b(Q2, Q2', B12) should hold")
+	}
+	// Same with B34.
+	if r.P3a(q2, q2p, b34) {
+		t.Error("P3a(Q2, Q2', B34) should fail")
+	}
+	if !r.P3b(q2, q2p, b34) {
+		t.Error("P3b(Q2, Q2', B34) should hold")
+	}
+}
+
+func TestContainedQuorum(t *testing.T) {
+	r := Example7RQS()
+	tests := []struct {
+		name      string
+		responded Set
+		class     QuorumClass
+		want      bool
+	}{
+		{"class1 exact", NewSet(1, 3, 4, 5), Class1, true},
+		{"class1 superset", FullSet(6), Class1, true},
+		{"class1 miss", NewSet(0, 1, 2, 3, 4), Class1, false},
+		{"class2 via Q2", NewSet(0, 1, 2, 3, 4), Class2, true},
+		{"class3 any quorum", NewSet(0, 1, 2, 3, 5), Class3, true},
+		{"nothing", NewSet(0, 1), Class3, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q, ok := r.ContainedQuorum(tt.responded, tt.class)
+			if ok != tt.want {
+				t.Fatalf("ContainedQuorum = %v, want %v", ok, tt.want)
+			}
+			if ok && !q.SubsetOf(tt.responded) {
+				t.Errorf("returned quorum %v escapes responded %v", q, tt.responded)
+			}
+		})
+	}
+}
+
+func TestContainedQuorumsLists(t *testing.T) {
+	r := FiveServerRQS()
+	// All 5 servers responded: every minimal quorum is contained.
+	all := r.ContainedQuorums(FullSet(5), Class2)
+	if len(all) != 5 { // C(5,4) class-2 quorums
+		t.Errorf("class-2 quorums contained in full set = %d, want 5", len(all))
+	}
+	some := r.ContainedQuorums(NewSet(0, 1, 2), Class2)
+	if len(some) != 0 {
+		t.Errorf("3 responders contain %d class-2 quorums, want 0", len(some))
+	}
+	c3 := r.ContainedQuorums(NewSet(0, 1, 2), Class3)
+	if len(c3) != 1 {
+		t.Errorf("3 responders contain %d class-3 quorums, want 1", len(c3))
+	}
+}
+
+func TestNewStructuralErrors(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoQuorums) {
+		t.Errorf("empty config: err = %v", err)
+	}
+	if _, err := New(Config{
+		Universe: FullSet(3),
+		Quorums:  []Set{NewSet(0, 5)},
+	}); !errors.Is(err, ErrUniverse) {
+		t.Errorf("escaping quorum: err = %v", err)
+	}
+	if _, err := New(Config{
+		Universe: FullSet(3),
+		Quorums:  []Set{NewSet(0, 1)},
+		Class2:   []int{7},
+	}); err == nil {
+		t.Error("out-of-range class index should error")
+	}
+	if _, err := New(Config{
+		Universe: FullSet(3),
+		Quorums:  []Set{NewSet(0, 1)},
+		Class1:   []int{-1},
+	}); err == nil {
+		t.Error("negative class index should error")
+	}
+}
+
+func TestClassNesting(t *testing.T) {
+	// Marking an index class 1 makes it class 1 even without listing it
+	// in Class2; QuorumsOfClass must respect nesting.
+	r := MustNew(Config{
+		Universe: FullSet(4),
+		Quorums:  []Set{NewSet(0, 1, 2), NewSet(1, 2, 3), FullSet(4)},
+		Class2:   []int{1},
+		Class1:   []int{2},
+	})
+	if n := len(r.QuorumsOfClass(Class3)); n != 3 {
+		t.Errorf("class3 count = %d", n)
+	}
+	if n := len(r.QuorumsOfClass(Class2)); n != 2 {
+		t.Errorf("class2 count = %d (class1 quorums are class 2 too)", n)
+	}
+	if n := len(r.QuorumsOfClass(Class1)); n != 1 {
+		t.Errorf("class1 count = %d", n)
+	}
+	if !r.HasClass1() {
+		t.Error("HasClass1 = false")
+	}
+	if MajorityRQS(3).HasClass1() {
+		t.Error("majority system has no class-1 quorums")
+	}
+}
+
+func TestLivenessQuorum(t *testing.T) {
+	r := Example7RQS()
+	if _, ok := r.LivenessQuorum(FullSet(6)); !ok {
+		t.Error("full correct set must contain a quorum")
+	}
+	if _, ok := r.LivenessQuorum(NewSet(0, 1)); ok {
+		t.Error("two servers contain no quorum")
+	}
+}
+
+func TestVerifyDetectsP1Violation(t *testing.T) {
+	// Two disjoint "quorums" violate Property 1 even under B = {∅}.
+	r := MustNew(Config{
+		Universe: FullSet(4),
+		Quorums:  []Set{NewSet(0, 1), NewSet(2, 3)},
+	})
+	if err := r.Verify(); !errors.Is(err, ErrProperty1) {
+		t.Errorf("Verify = %v, want P1 violation", err)
+	}
+}
+
+func TestVerifyDetectsP2Violation(t *testing.T) {
+	// A class-1 quorum whose self-intersection with a quorum is coverable
+	// by two adversary sets.
+	r := MustNew(Config{
+		Universe:  FullSet(5),
+		Adversary: NewThreshold(5, 1),
+		Quorums:   []Set{NewSet(0, 1, 2), NewSet(1, 2, 3, 4)},
+		Class2:    []int{0},
+		Class1:    []int{0},
+	})
+	// P1 holds (every pairwise intersection has ≥ 2 elements) but
+	// Q1 ∩ Q1 ∩ Q' = {1,2} is covered by two B_1 sets ⇒ P2 fails.
+	if err := r.Verify(); !errors.Is(err, ErrProperty2) {
+		t.Errorf("Verify = %v, want P2 violation", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on structural error")
+		}
+	}()
+	MustNew(Config{})
+}
+
+func TestRQSStringAndClassString(t *testing.T) {
+	if Class1.String() != "class 1" {
+		t.Errorf("Class1.String() = %q", Class1.String())
+	}
+	s := Example7RQS().String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestQC1EqualsQC2ImpliesP2CoversP3(t *testing.T) {
+	// Remark after Definition 2: when QC1 = QC2, Property 2 implies
+	// Property 3. Build threshold systems with q = r and check that
+	// whenever Validate passes on P1+P2 grounds, full Verify passes too.
+	for n := 4; n <= 8; n++ {
+		for t1 := 1; t1 <= 2; t1++ {
+			for k := 0; k <= 1; k++ {
+				for q := 0; q <= t1; q++ {
+					p := ThresholdParams{N: n, T: t1, R: q, Q: q, K: k}
+					r, err := NewThresholdRQS(p)
+					if err != nil {
+						continue
+					}
+					if err := r.Verify(); err != nil {
+						t.Errorf("n=%d t=%d q=r=%d k=%d: %v", n, t1, q, k, err)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package core implements the mathematical heart of the paper: process
+// sets, general adversary structures (Definition 1), and refined quorum
+// systems with their three intersection properties (Definition 2).
+//
+// Everything downstream — the atomic storage of Section 3, the consensus
+// protocol of Section 4, the analysis tools — is built on this package.
+package core
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxProcesses is the largest universe a Set can describe. Sets are
+// bitmasks, which keeps every quorum-intersection operation O(1); the
+// paper's protocols are evaluated on far smaller systems.
+const MaxProcesses = 64
+
+// ProcessID identifies a process (server, acceptor, client) within a
+// universe of at most MaxProcesses elements. IDs are dense, starting at 0.
+type ProcessID = int
+
+// Set is an immutable set of process IDs represented as a bitmask.
+// The zero value is the empty set and is ready to use.
+type Set uint64
+
+// EmptySet is the set with no members.
+const EmptySet Set = 0
+
+// NewSet returns the set containing exactly the given members.
+// Members outside [0, MaxProcesses) are ignored.
+func NewSet(members ...ProcessID) Set {
+	var s Set
+	for _, m := range members {
+		s = s.Add(m)
+	}
+	return s
+}
+
+// FullSet returns the set {0, 1, ..., n-1}.
+func FullSet(n int) Set {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxProcesses {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Add returns s ∪ {id}.
+func (s Set) Add(id ProcessID) Set {
+	if id < 0 || id >= MaxProcesses {
+		return s
+	}
+	return s | Set(1)<<uint(id)
+}
+
+// Remove returns s \ {id}.
+func (s Set) Remove(id ProcessID) Set {
+	if id < 0 || id >= MaxProcesses {
+		return s
+	}
+	return s &^ (Set(1) << uint(id))
+}
+
+// Contains reports whether id ∈ s.
+func (s Set) Contains(id ProcessID) bool {
+	if id < 0 || id >= MaxProcesses {
+		return false
+	}
+	return s&(Set(1)<<uint(id)) != 0
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set { return s &^ t }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// SupersetOf reports whether s ⊇ t.
+func (s Set) SupersetOf(t Set) bool { return t.SubsetOf(s) }
+
+// IsEmpty reports whether s = ∅.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Count returns |s|.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Members returns the elements of s in increasing order.
+func (s Set) Members() []ProcessID {
+	out := make([]ProcessID, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		id := bits.TrailingZeros64(v)
+		out = append(out, id)
+		v &= v - 1
+	}
+	return out
+}
+
+// Min returns the smallest member of s, or -1 if s is empty.
+func (s Set) Min() ProcessID {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// String renders the set as "{a,b,c}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, m := range s.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(m))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Subsets calls fn for every subset of s of exactly size k, in a
+// deterministic order. It stops early if fn returns false. It reports
+// whether the enumeration ran to completion.
+func (s Set) Subsets(k int, fn func(Set) bool) bool {
+	members := s.Members()
+	if k < 0 || k > len(members) {
+		return true
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		var sub Set
+		for _, i := range idx {
+			sub = sub.Add(members[i])
+		}
+		if !fn(sub) {
+			return false
+		}
+		// Advance the combination indices.
+		i := k - 1
+		for i >= 0 && idx[i] == len(members)-k+i {
+			i--
+		}
+		if i < 0 {
+			return true
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// SubsetsAtLeast calls fn for every subset of s with size ≥ k.
+// It stops early if fn returns false and reports whether it completed.
+func (s Set) SubsetsAtLeast(k int, fn func(Set) bool) bool {
+	for size := k; size <= s.Count(); size++ {
+		if !s.Subsets(size, fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetAndMembers(t *testing.T) {
+	tests := []struct {
+		name    string
+		members []ProcessID
+		want    []ProcessID
+	}{
+		{"empty", nil, []ProcessID{}},
+		{"single", []ProcessID{3}, []ProcessID{3}},
+		{"sorted", []ProcessID{5, 1, 3}, []ProcessID{1, 3, 5}},
+		{"dupes", []ProcessID{2, 2, 2}, []ProcessID{2}},
+		{"out of range ignored", []ProcessID{-1, 64, 100, 7}, []ProcessID{7}},
+		{"boundary", []ProcessID{0, 63}, []ProcessID{0, 63}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := NewSet(tt.members...).Members()
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Members() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{{0, 0}, {-2, 0}, {1, 1}, {5, 5}, {63, 63}, {64, 64}, {100, 64}}
+	for _, tt := range tests {
+		if got := FullSet(tt.n).Count(); got != tt.want {
+			t.Errorf("FullSet(%d).Count() = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if !FullSet(5).Contains(i) {
+			t.Errorf("FullSet(5) missing %d", i)
+		}
+	}
+	if FullSet(5).Contains(5) {
+		t.Error("FullSet(5) contains 5")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+	if got := a.Union(b); got != NewSet(1, 2, 3, 4) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NewSet(3) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); got != NewSet(1, 2) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !NewSet(1, 2).SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("SubsetOf misbehaves")
+	}
+	if !a.SupersetOf(NewSet(2)) {
+		t.Error("SupersetOf misbehaves")
+	}
+	if !EmptySet.IsEmpty() || a.IsEmpty() {
+		t.Error("IsEmpty misbehaves")
+	}
+	if a.Min() != 1 || EmptySet.Min() != -1 {
+		t.Error("Min misbehaves")
+	}
+	if got := a.Remove(2); got != NewSet(1, 3) {
+		t.Errorf("Remove = %v", got)
+	}
+	if got := a.Remove(-1); got != a {
+		t.Errorf("Remove(-1) = %v", got)
+	}
+	if a.Contains(64) || a.Contains(-1) {
+		t.Error("Contains out-of-range should be false")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := NewSet(2, 0, 5).String(); got != "{0,2,5}" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := EmptySet.String(); got != "{}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSubsetsEnumeratesAllCombinations(t *testing.T) {
+	s := NewSet(0, 1, 2, 3, 4)
+	counts := map[int]int{0: 1, 1: 5, 2: 10, 3: 10, 4: 5, 5: 1}
+	for k, want := range counts {
+		got := 0
+		seen := map[Set]bool{}
+		s.Subsets(k, func(sub Set) bool {
+			got++
+			if sub.Count() != k {
+				t.Errorf("subset %v has size %d, want %d", sub, sub.Count(), k)
+			}
+			if !sub.SubsetOf(s) {
+				t.Errorf("subset %v escapes %v", sub, s)
+			}
+			if seen[sub] {
+				t.Errorf("subset %v enumerated twice", sub)
+			}
+			seen[sub] = true
+			return true
+		})
+		if got != want {
+			t.Errorf("Subsets(%d) enumerated %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	s := NewSet(0, 1, 2, 3)
+	calls := 0
+	done := s.Subsets(2, func(Set) bool {
+		calls++
+		return calls < 3
+	})
+	if done {
+		t.Error("Subsets should report early stop")
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestSubsetsDegenerate(t *testing.T) {
+	s := NewSet(0, 1)
+	if !s.Subsets(-1, func(Set) bool { t.Error("called"); return true }) {
+		t.Error("k<0 should complete vacuously")
+	}
+	if !s.Subsets(3, func(Set) bool { t.Error("called"); return true }) {
+		t.Error("k>|s| should complete vacuously")
+	}
+}
+
+func TestSubsetsAtLeast(t *testing.T) {
+	s := NewSet(0, 1, 2, 3)
+	got := 0
+	s.SubsetsAtLeast(3, func(sub Set) bool {
+		got++
+		if sub.Count() < 3 {
+			t.Errorf("size %d < 3", sub.Count())
+		}
+		return true
+	})
+	if got != 5 { // C(4,3)+C(4,4)
+		t.Errorf("enumerated %d, want 5", got)
+	}
+}
+
+// Property-based tests over random sets.
+
+func randomSet(r *rand.Rand) Set { return Set(r.Uint64()) & Set(FullSet(16)) }
+
+func TestQuickSetAlgebra(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	// Union is commutative and monotone; De Morgan over a universe.
+	if err := quick.Check(func(x, y uint16) bool {
+		a, b := Set(x), Set(y)
+		u := FullSet(16)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if !a.SubsetOf(a.Union(b)) || !a.Intersect(b).SubsetOf(a) {
+			return false
+		}
+		// |A| + |B| = |A∪B| + |A∩B|
+		if a.Count()+b.Count() != a.Union(b).Count()+a.Intersect(b).Count() {
+			return false
+		}
+		// De Morgan: U \ (A∪B) == (U\A) ∩ (U\B)
+		return u.Diff(a.Union(b)) == u.Diff(a).Intersect(u.Diff(b))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMembersRoundTrip(t *testing.T) {
+	if err := quick.Check(func(x uint16) bool {
+		s := Set(x)
+		return NewSet(s.Members()...) == s && s.Count() == len(s.Members())
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetTransitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomSet(r), randomSet(r), randomSet(r)
+		ab, bc := a.Intersect(b), b.Union(c)
+		if !ab.SubsetOf(b) {
+			t.Fatalf("A∩B ⊄ B: %v %v", a, b)
+		}
+		if !b.SubsetOf(bc) {
+			t.Fatalf("B ⊄ B∪C")
+		}
+		if ab.SubsetOf(b) && b.SubsetOf(bc) && !ab.SubsetOf(bc) {
+			t.Fatalf("transitivity broken")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import "fmt"
+
+// ThresholdParams describes the threshold instantiation of Example 6:
+// |S| = n processes, adversary B_k, quorums contain all but at most t
+// processes, class-2 quorums all but at most r, class-1 all but at most q,
+// with 0 ≤ q ≤ r ≤ t.
+type ThresholdParams struct {
+	N int // number of processes
+	T int // class-3 quorums have size ≥ n-t
+	R int // class-2 quorums have size ≥ n-r
+	Q int // class-1 quorums have size ≥ n-q
+	K int // adversary threshold (at most k Byzantine)
+}
+
+// Validate checks the inequalities of Example 6, i.e. the conditions under
+// which the threshold family is a refined quorum system:
+//
+//	Property 1 ⟺ n > 2t + k
+//	Property 2 ⟺ n > t + 2k + 2q
+//	Property 3 ⟺ n > t + r + k + min(k, q)
+//
+// equivalently n > t + k + max(t, k+2q, r+min(k,q)).
+func (p ThresholdParams) Validate() error {
+	if p.N <= 0 || p.N > MaxProcesses {
+		return fmt.Errorf("threshold: n=%d out of range", p.N)
+	}
+	if p.Q < 0 || p.Q > p.R || p.R > p.T {
+		return fmt.Errorf("threshold: need 0 ≤ q ≤ r ≤ t, got q=%d r=%d t=%d", p.Q, p.R, p.T)
+	}
+	if p.K < 0 {
+		return fmt.Errorf("threshold: k=%d negative", p.K)
+	}
+	if p.N <= 2*p.T+p.K {
+		return fmt.Errorf("%w: need n > 2t+k (n=%d, t=%d, k=%d)", ErrProperty1, p.N, p.T, p.K)
+	}
+	if p.N <= p.T+2*p.K+2*p.Q {
+		return fmt.Errorf("%w: need n > t+2k+2q (n=%d)", ErrProperty2, p.N)
+	}
+	if p.N <= p.T+p.R+p.K+min(p.K, p.Q) {
+		return fmt.Errorf("%w: need n > t+r+k+min(k,q) (n=%d)", ErrProperty3, p.N)
+	}
+	return nil
+}
+
+// MinimalN returns the smallest n for which the parameters (t, r, q, k)
+// form a refined quorum system: t + k + max(t, k+2q, r+min(k,q)) + 1.
+func MinimalN(t, r, q, k int) int {
+	return t + k + max(t, max(k+2*q, r+min(k, q))) + 1
+}
+
+// NewThresholdRQS enumerates the minimal quorums of the threshold family
+// of Example 6 into an explicit RQS: all subsets of size n-t (class 3),
+// n-r (class 2) and n-q (class 1). Listing only minimal quorums is
+// sufficient for the protocols: any responding superset contains one.
+//
+// The enumeration is combinatorial; it is intended for the protocol-scale
+// systems of the paper (n up to roughly 16). Validate is called first.
+func NewThresholdRQS(p ThresholdParams) (*RQS, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	universe := FullSet(p.N)
+	var (
+		quorums []Set
+		class2  []int
+		class1  []int
+	)
+	appendSize := func(size int, cls QuorumClass) {
+		universe.Subsets(size, func(s Set) bool {
+			idx := len(quorums)
+			quorums = append(quorums, s)
+			switch cls {
+			case Class1:
+				class1 = append(class1, idx)
+			case Class2:
+				class2 = append(class2, idx)
+			}
+			return true
+		})
+	}
+	appendSize(p.N-p.T, Class3)
+	if p.R < p.T {
+		appendSize(p.N-p.R, Class2)
+	} else {
+		// r == t: every minimal quorum is class 2.
+		for i := range quorums {
+			class2 = append(class2, i)
+		}
+	}
+	switch {
+	case p.Q < p.R:
+		appendSize(p.N-p.Q, Class1)
+	case p.Q == p.R && p.R < p.T:
+		// q == r < t: the class-2 layer is also class 1.
+		for i := len(quorums) - binomial(p.N, p.N-p.R); i < len(quorums); i++ {
+			class1 = append(class1, i)
+		}
+	default:
+		// q == r == t: everything is class 1.
+		for i := range quorums {
+			class1 = append(class1, i)
+		}
+	}
+	return New(Config{
+		Universe:  universe,
+		Adversary: NewThreshold(p.N, p.K),
+		Quorums:   quorums,
+		Class2:    class2,
+		Class1:    class1,
+	})
+}
+
+// binomial returns C(n, k) for small n, saturating at a large value.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+	}
+	return res
+}

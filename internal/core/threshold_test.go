@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       ThresholdParams
+		wantErr error
+	}{
+		{"five-server crash system", ThresholdParams{N: 5, T: 2, R: 1, Q: 1, K: 0}, nil},
+		{"pbft-style t=1", ThresholdParams{N: 4, T: 1, R: 1, Q: 0, K: 1}, nil},
+		{"pbft-style t=2", ThresholdParams{N: 7, T: 2, R: 2, Q: 0, K: 2}, nil},
+		{"fast byzantine 5t+1", ThresholdParams{N: 6, T: 1, R: 1, Q: 1, K: 1}, nil},
+		{"fast byzantine below 5t+1", ThresholdParams{N: 5, T: 1, R: 1, Q: 1, K: 1}, ErrProperty2},
+		{"P1 fails", ThresholdParams{N: 5, T: 2, R: 2, Q: 2, K: 1}, ErrProperty1},
+		{"P3 fails", ThresholdParams{N: 8, T: 3, R: 3, Q: 1, K: 1}, ErrProperty3},
+		{"bad ordering", ThresholdParams{N: 5, T: 1, R: 2, Q: 0, K: 0}, nil},
+		{"n too big", ThresholdParams{N: 100, T: 1, R: 1, Q: 1, K: 1}, nil},
+		{"negative k", ThresholdParams{N: 5, T: 1, R: 1, Q: 1, K: -1}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			switch tt.name {
+			case "bad ordering", "n too big", "negative k":
+				if err == nil {
+					t.Error("want structural error")
+				}
+			default:
+				if tt.wantErr == nil && err != nil {
+					t.Errorf("Validate = %v, want nil", err)
+				}
+				if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+					t.Errorf("Validate = %v, want %v", err, tt.wantErr)
+				}
+			}
+		})
+	}
+}
+
+func TestValidateAgreesWithBruteForceVerify(t *testing.T) {
+	// Example 6's closed-form inequalities must coincide with the
+	// brute-force property check on the enumerated system. We sweep all
+	// small parameterisations.
+	for n := 3; n <= 8; n++ {
+		for tt := 1; tt < n; tt++ {
+			for r := 0; r <= tt; r++ {
+				for q := 0; q <= r; q++ {
+					for k := 0; k <= 2; k++ {
+						p := ThresholdParams{N: n, T: tt, R: r, Q: q, K: k}
+						closed := p.Validate()
+						if closed != nil {
+							continue // enumerate only claimed-valid systems
+						}
+						rqs, err := NewThresholdRQS(p)
+						if err != nil {
+							t.Fatalf("%+v: constructor failed: %v", p, err)
+						}
+						if err := rqs.Verify(); err != nil {
+							t.Errorf("%+v: closed form says valid, Verify says %v", p, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInvalidClosedFormAlsoFailsVerify(t *testing.T) {
+	// Conversely: where the closed form rejects for a property reason,
+	// force-build the family anyway and confirm brute force also rejects
+	// (tightness of the Example 6 inequalities).
+	cases := []ThresholdParams{
+		{N: 5, T: 2, R: 2, Q: 2, K: 1}, // P1: n ≤ 2t+k
+		{N: 5, T: 1, R: 1, Q: 1, K: 1}, // P2: n ≤ t+2k+2q
+		{N: 8, T: 3, R: 3, Q: 1, K: 1}, // P3: n ≤ t+r+k+min(k,q)
+	}
+	for _, p := range cases {
+		if p.Validate() == nil {
+			t.Fatalf("%+v unexpectedly valid", p)
+		}
+		rqs := forceThreshold(t, p)
+		if err := rqs.Verify(); err == nil {
+			t.Errorf("%+v: closed form rejects but Verify accepts", p)
+		}
+	}
+}
+
+// forceThreshold builds the threshold family without Validate gating.
+func forceThreshold(t *testing.T, p ThresholdParams) *RQS {
+	t.Helper()
+	universe := FullSet(p.N)
+	var quorums []Set
+	var class2, class1 []int
+	add := func(size int) (from, to int) {
+		from = len(quorums)
+		universe.Subsets(size, func(s Set) bool {
+			quorums = append(quorums, s)
+			return true
+		})
+		return from, len(quorums)
+	}
+	add(p.N - p.T)
+	f2, t2 := add(p.N - p.R)
+	for i := f2; i < t2; i++ {
+		class2 = append(class2, i)
+	}
+	f1, t1 := add(p.N - p.Q)
+	for i := f1; i < t1; i++ {
+		class1 = append(class1, i)
+	}
+	r, err := New(Config{
+		Universe:  universe,
+		Adversary: NewThreshold(p.N, p.K),
+		Quorums:   quorums,
+		Class2:    class2,
+		Class1:    class1,
+	})
+	if err != nil {
+		t.Fatalf("force build: %v", err)
+	}
+	return r
+}
+
+func TestMinimalN(t *testing.T) {
+	tests := []struct {
+		t, r, q, k int
+		want       int
+	}{
+		{1, 1, 0, 1, 4}, // PBFT-style: 3t+1
+		{2, 2, 0, 2, 7}, // 3t+1 with t=2
+		{1, 1, 1, 1, 6}, // all-fast Byzantine: 5t+1 (Martin–Alvisi)
+		{2, 1, 1, 0, 5}, // the five-server crash system of §1.2
+		{1, 0, 0, 0, 3}, // crash majority with fast path at full set
+		{2, 2, 2, 0, 7}, // crash fast consensus, q=r=t: n > 2q+t (Example 5)
+	}
+	for _, tt := range tests {
+		if got := MinimalN(tt.t, tt.r, tt.q, tt.k); got != tt.want {
+			t.Errorf("MinimalN(t=%d,r=%d,q=%d,k=%d) = %d, want %d",
+				tt.t, tt.r, tt.q, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestMinimalNIsTight(t *testing.T) {
+	// MinimalN must be exactly the threshold where Validate flips.
+	if err := quick.Check(func(tt, rr, qq, kk uint8) bool {
+		tv, kv := int(tt%4)+1, int(kk%3)
+		rv := int(rr) % (tv + 1)
+		qv := int(qq) % (rv + 1)
+		n := MinimalN(tv, rv, qv, kv)
+		if n > MaxProcesses {
+			return true
+		}
+		ok := ThresholdParams{N: n, T: tv, R: rv, Q: qv, K: kv}.Validate() == nil
+		tooSmall := ThresholdParams{N: n - 1, T: tv, R: rv, Q: qv, K: kv}.Validate() == nil
+		return ok && !tooSmall
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPBFTStyleRQS(t *testing.T) {
+	for tt := 1; tt <= 2; tt++ {
+		r, err := PBFTStyleRQS(tt)
+		if err != nil {
+			t.Fatalf("t=%d: %v", tt, err)
+		}
+		if err := r.Verify(); err != nil {
+			t.Errorf("t=%d: %v", tt, err)
+		}
+		if n := len(r.QuorumsOfClass(Class1)); n != 1 {
+			t.Errorf("t=%d: class-1 quorums = %d, want 1 (the full set)", tt, n)
+		}
+		q1 := r.QuorumsOfClass(Class1)[0]
+		if q1 != FullSet(3*tt+1) {
+			t.Errorf("t=%d: class-1 quorum = %v, want full set", tt, q1)
+		}
+	}
+}
+
+func TestNewThresholdRQSQuorumCounts(t *testing.T) {
+	r := FiveServerRQS() // N=5 T=2 R=1 Q=1
+	c3 := len(r.Quorums())
+	if c3 != 10+5 { // C(5,3) minimal quorums + C(5,4) class-2/1
+		t.Errorf("total quorums = %d, want 15", c3)
+	}
+	if n := len(r.QuorumsOfClass(Class2)); n != 5 {
+		t.Errorf("class-2 quorums = %d, want 5", n)
+	}
+	if n := len(r.QuorumsOfClass(Class1)); n != 5 {
+		t.Errorf("class-1 quorums = %d, want 5 (q == r)", n)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct{ n, k, want int }{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {5, 3, 10}, {6, 2, 15},
+		{5, -1, 0}, {5, 6, 0}, {10, 5, 252},
+	}
+	for _, tt := range tests {
+		if got := binomial(tt.n, tt.k); got != tt.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package expt
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/abd"
+	"repro/internal/histcheck"
+	"repro/internal/transport"
+)
+
+// E1Result is the outcome of the Figure 1 schedule for one algorithm.
+type E1Result struct {
+	Algorithm string
+	Rd1       abd.Result // the read rd by reader r
+	Rd2       abd.Result // the read rd' by reader r'
+	Violation string     // empty if the history is atomic
+}
+
+// E1Fig1 replays the Figure 1 / Section 1.2 schedule against the greedy
+// 5-server algorithm (fast at 3 servers — the paper proves it non-atomic)
+// and against the safe variant (fast at 4 servers):
+//
+//	ex3: the writer's round-1 message reaches only server 3; the writer
+//	     never completes (it crashed).
+//	     rd by r talks only to Q2 = {3,4,5} and returns.
+//	ex4: servers 3 and 5 crash; rd' by r' talks to Q3 = {1,2,4}.
+//
+// The greedy algorithm returns v from rd and ⊥ from rd' — a read
+// inversion; the safe variant's rd writes back before returning, so rd'
+// still sees v.
+func E1Fig1() (*Table, []E1Result) {
+	tbl := &Table{
+		ID:      "E1",
+		Title:   "Figure 1 / §1.2: greedy 3-fast algorithm violates atomicity, 4-fast does not",
+		Columns: []string{"algorithm", "rd rounds", "rd value", "rd' rounds", "rd' value", "atomicity"},
+	}
+	var results []E1Result
+	for _, cfg := range []struct {
+		name string
+		p    abd.Params
+	}{
+		{"greedy (fast at 3)", abd.GreedyFive(4 * time.Millisecond)},
+		{"safe (fast at 4, §1.2)", abd.FastFive(4 * time.Millisecond)},
+	} {
+		res := runE1Schedule(cfg.p)
+		res.Algorithm = cfg.name
+		verdict := "OK"
+		if res.Violation != "" {
+			verdict = "VIOLATED: " + res.Violation
+		}
+		tbl.AddRow(res.Algorithm, res.Rd1.Rounds, render(res.Rd1.Val), res.Rd2.Rounds, render(res.Rd2.Val), verdict)
+		results = append(results, res)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"servers are paper-numbered 1..5 (IDs 0..4); writer ID 5, readers IDs 6 and 7",
+		"the incomplete write is recorded as pending, so returning v or ⊥ is individually legal — only the inversion is illegal")
+	return tbl, results
+}
+
+func render(v string) string {
+	if v == "" {
+		return "⊥"
+	}
+	return v
+}
+
+// runE1Schedule drives one algorithm through the ex3/ex4 schedule.
+func runE1Schedule(p abd.Params) E1Result {
+	const (
+		writerID = 5
+		r1ID     = 6
+		r2ID     = 7
+	)
+	net := transport.NewNetwork(8)
+	defer net.Close()
+	var servers []*abd.Server
+	for i := 0; i < p.N; i++ {
+		s := abd.NewServer(net.Port(i))
+		s.Start()
+		servers = append(servers, s)
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Stop()
+		}
+	}()
+
+	// Schedule filter: the writer reaches only server 3 (ID 2); reader r
+	// talks only to Q2 = servers {3,4,5} (IDs 2,3,4).
+	net.SetFilter(func(env transport.Envelope) transport.Verdict {
+		if env.From == writerID && env.To != 2 {
+			return transport.Drop
+		}
+		if env.From == r1ID && env.To <= 1 || env.To == r1ID && env.From <= 1 {
+			return transport.Drop
+		}
+		return transport.Deliver
+	})
+
+	rec := histcheck.NewRecorder()
+	// The writer crashes mid-operation: the write never completes, which
+	// we model by recording it as pending (response at +∞).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := abd.NewWriter(p, net.Port(writerID))
+		w.Write("v") // blocks until the network closes
+	}()
+	rec.Record(histcheck.Op{
+		Kind: histcheck.Write, Client: "w", TS: 1,
+		Inv: time.Now(), Resp: time.Now().Add(time.Hour),
+	})
+
+	time.Sleep(2 * p.Timeout) // let the round-1 write land on server 3
+
+	r1 := abd.NewReader(p, net.Port(r1ID))
+	inv := time.Now()
+	rd1 := r1.Read()
+	rec.Record(histcheck.Op{Kind: histcheck.Read, Client: "r", TS: rd1.TS, Inv: inv, Resp: time.Now()})
+
+	// ex4: servers 3 and 5 (IDs 2 and 4) crash; rd' reads Q3 = {1,2,4}.
+	net.Crash(2)
+	net.Crash(4)
+	r2 := abd.NewReader(p, net.Port(r2ID))
+	inv = time.Now()
+	rd2 := r2.Read()
+	rec.Record(histcheck.Op{Kind: histcheck.Read, Client: "r'", TS: rd2.TS, Inv: inv, Resp: time.Now()})
+
+	res := E1Result{Rd1: rd1, Rd2: rd2}
+	if v := rec.Check(); v != nil {
+		res.Violation = v.Reason
+	}
+	net.Close()
+	wg.Wait()
+	return res
+}

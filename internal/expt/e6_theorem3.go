@@ -1,0 +1,194 @@
+package expt
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/histcheck"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// E6Outcome is the Theorem 3 schedule's result on one quorum system.
+type E6Outcome struct {
+	System     string
+	Rd1        storage.ReadResult
+	Rd2        storage.ReadResult
+	Rd2Blocked bool
+	Violation  string
+}
+
+// E6Theorem3 replays the proof schedule of Theorem 3 against the real
+// storage protocol, once on Example7Broken (Property 3 violated: s2 is
+// dropped from the class-1 quorum) and once on the valid Example 7 RQS:
+//
+//  1. write(v1) reaches s1..s5 in round 1, Q1 ∩ Q2 in round 2, then the
+//     writer crashes (rounds ≥ 3 are dropped).
+//  2. rd1 talks only to Q1 and — with Q1 ∩ Q2's round-2 state — returns
+//     v1 in a single round (the (1,Q1)-fast behaviour of the proof).
+//  3. s5 crashes; B = {s3,s4} turn Byzantine and forge their state back
+//     to σ0 (the initial state), exactly as in execution ex4.
+//  4. rd2 talks to Q2'.
+//
+// On the broken system rd2 returns ⊥ — a read inversion against rd1,
+// reproducing the violation the proof constructs. On the valid system the
+// same schedule cannot break safety: s2's round-2 state keeps v1 alive
+// and rd2 (whose liveness premise — a fully correct quorum — no longer
+// holds) simply cannot terminate, let alone return ⊥.
+func E6Theorem3() (*Table, []E6Outcome) {
+	tbl := &Table{
+		ID:      "E6",
+		Title:   "Theorem 3: the proof schedule on a P3-violating RQS vs the valid Example 7 RQS",
+		Columns: []string{"system", "rd1", "rd2", "atomicity"},
+	}
+	var outcomes []E6Outcome
+	for _, sys := range []struct {
+		name string
+		rqs  *core.RQS
+	}{
+		{"broken (P3 violated)", core.Example7Broken()},
+		{"valid Example 7", core.Example7RQS()},
+	} {
+		out := runTheorem3Schedule(sys.rqs)
+		out.System = sys.name
+		rd2desc := render(out.Rd2.Val)
+		if out.Rd2Blocked {
+			rd2desc = "blocked (liveness premise broken, safety intact)"
+		}
+		verdict := "atomic"
+		if out.Violation != "" {
+			verdict = "VIOLATED: " + out.Violation
+		}
+		tbl.AddRow(out.System, render(out.Rd1.Val), rd2desc, verdict)
+		outcomes = append(outcomes, out)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"with Property 3, s2 ∈ Q1∩Q2 carries the write's round-2 state into rd2's view, blocking the ⊥ answer",
+		"without it, rd2 cannot distinguish the schedule from one where no write happened, and returns ⊥ — the Theorem 3 violation")
+	return tbl, outcomes
+}
+
+func runTheorem3Schedule(rqs *core.RQS) E6Outcome {
+	const (
+		sSix     = core.ProcessID(5)
+		writerID = core.ProcessID(6)
+		r1ID     = core.ProcessID(7)
+		r2ID     = core.ProcessID(8)
+	)
+	q1 := rqs.QuorumsOfClass(core.Class1)[0]
+	q2 := core.NewSet(0, 1, 2, 3, 4)  // Q2
+	q2p := core.NewSet(0, 1, 2, 3, 5) // Q2'
+	round2Dst := q1.Intersect(q2)
+
+	var (
+		c       *sim.StorageCluster
+		forging atomic.Bool
+	)
+	sigma0 := func(id core.ProcessID) storage.Hooks {
+		return storage.Hooks{ForgeHistory: func() storage.History {
+			if forging.Load() {
+				return storage.History{}
+			}
+			return c.Servers[id].HistorySnapshot()
+		}}
+	}
+	c = sim.NewStorageCluster(rqs, sim.StorageOptions{
+		Timeout: 2 * time.Millisecond,
+		Clients: 3,
+		Hooks:   map[core.ProcessID]storage.Hooks{2: sigma0(2), 3: sigma0(3)},
+	})
+	defer c.Stop()
+
+	// Phase 1: the write. Round 1 misses s6; round 2 reaches only
+	// Q1 ∩ Q2; the writer then crashes (everything later is dropped).
+	c.Net.SetFilter(func(env transport.Envelope) transport.Verdict {
+		if env.From == writerID || env.To == writerID {
+			if env.From == writerID {
+				req, isW := env.Payload.(storage.WriteReq)
+				switch {
+				case !isW:
+					return transport.Drop
+				case req.Round == 1 && env.To == sSix:
+					return transport.Drop
+				case req.Round == 2 && !round2Dst.Contains(env.To):
+					return transport.Drop
+				case req.Round >= 3:
+					return transport.Drop
+				}
+			}
+		}
+		return transport.Deliver
+	})
+	rec := histcheck.NewRecorder()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	w := c.Writer()
+	go func() {
+		defer wg.Done()
+		w.Write("v1") // stalls in round 2 forever
+	}()
+	rec.Record(histcheck.Op{
+		Kind: histcheck.Write, Client: "w", TS: 1,
+		Inv: time.Now(), Resp: time.Now().Add(time.Hour),
+	})
+	time.Sleep(10 * time.Millisecond)
+
+	// Phase 2: rd1 talks only to Q1.
+	c.Net.SetFilter(func(env transport.Envelope) transport.Verdict {
+		switch {
+		case env.From == r1ID && !q1.Contains(env.To),
+			env.To == r1ID && !q1.Contains(env.From):
+			return transport.Drop
+		case env.From == writerID || env.To == writerID:
+			return transport.Drop
+		}
+		return transport.Deliver
+	})
+	r1 := c.Reader()
+	inv := time.Now()
+	rd1 := r1.Read()
+	rec.Record(histcheck.Op{Kind: histcheck.Read, Client: "r1", TS: rd1.TS, Inv: inv, Resp: time.Now()})
+
+	// Phase 3: s5 crashes, {s3, s4} forge σ0.
+	c.Net.Crash(4)
+	forging.Store(true)
+
+	// Phase 4: rd2 talks to Q2' (everything else for r2 is dropped).
+	c.Net.SetFilter(func(env transport.Envelope) transport.Verdict {
+		switch {
+		case env.From == r2ID && !q2p.Contains(env.To),
+			env.To == r2ID && !q2p.Contains(env.From):
+			return transport.Drop
+		case env.From == writerID || env.To == writerID,
+			env.From == r1ID || env.To == r1ID:
+			return transport.Drop
+		}
+		return transport.Deliver
+	})
+	r2 := c.Reader()
+	out := E6Outcome{Rd1: rd1}
+	type rdRes struct{ res storage.ReadResult }
+	ch := make(chan rdRes, 1)
+	inv = time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- rdRes{r2.Read()}
+	}()
+	select {
+	case r := <-ch:
+		out.Rd2 = r.res
+		rec.Record(histcheck.Op{Kind: histcheck.Read, Client: "r2", TS: r.res.TS, Inv: inv, Resp: time.Now()})
+	case <-time.After(150 * time.Millisecond):
+		out.Rd2Blocked = true
+	}
+	if v := rec.Check(); v != nil {
+		out.Violation = v.Reason
+	}
+	c.Net.Close() // unblock the stalled writer (and rd2, if blocked)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,117 @@
+package expt
+
+import (
+	"repro/internal/consensus"
+	"repro/internal/core"
+)
+
+// E8Outcome is the Theorem 6 replay's result on one quorum system.
+type E8Outcome struct {
+	System  string
+	Decided consensus.Value // what learner l1 already decided in view 0
+	Choose  consensus.ChooseResult
+	// AgreementViolated is true when choose() locks a different value
+	// than the one already decided — the Theorem 6 disagreement.
+	AgreementViolated bool
+}
+
+// E8Theorem6 replays the Theorem 6 proof at the point where consensus
+// safety lives: the choose() function evaluating the view-1 vProof that
+// the schedule of Figure 16 produces.
+//
+// The scenario (contention in view 0, exactly as the proof's ex3-ex5):
+// proposer p0 proposes "0", p1 proposes "1". Honest acceptors s1, s2
+// receive p0's prepare and prepare "0" (sending — and later
+// countersigning — update1〈0,0〉). Honest s5, s6 prepare "1"; learner l1
+// decides "1" via a class-1 quorum of update1 messages. The Byzantine
+// acceptors B = {s3, s4} then lie in the view change: they claim to have
+// 1-updated "0" in view 0 with quorum Q2, certifying the claim with the
+// (real!) countersignatures of s1, s2 and their own — a certificate from
+// a basic subset, so it validates.
+//
+// On the valid Example 7 RQS, the class-1 quorum contains s2, so l1's
+// decision forces s2 to vouch for "1"; Valid3 then fails at s2 and
+// choose() aborts (Lemma 25's boxed case). On the broken RQS, Q1 misses
+// s2, s2 can honestly report "0", Valid3 passes, and choose() locks "0"
+// against the decided "1" — agreement is gone.
+func E8Theorem6() (*Table, []E8Outcome) {
+	tbl := &Table{
+		ID:      "E8",
+		Title:   "Theorem 6: the Figure 16 view-change attack at choose(), broken vs valid RQS",
+		Columns: []string{"system", "decided in view 0", "choose() result", "agreement"},
+	}
+	var outcomes []E8Outcome
+	for _, sys := range []struct {
+		name   string
+		rqs    *core.RQS
+		s2Prep consensus.Value // forced by membership of the class-1 quorum
+	}{
+		{"broken (P3 violated)", core.Example7Broken(), "0"},
+		{"valid Example 7", core.Example7RQS(), "1"},
+	} {
+		out := runTheorem6Choose(sys.rqs, sys.s2Prep)
+		out.System = sys.name
+		desc := "returned " + out.Choose.V
+		if out.Choose.Abort {
+			desc = "abort (Byzantine quorum detected)"
+		}
+		verdict := "safe"
+		if out.AgreementViolated {
+			verdict = "VIOLATED: locks 0 against decided 1"
+		}
+		tbl.AddRow(out.System, out.Decided, desc, verdict)
+		outcomes = append(outcomes, out)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"the vProof is fully signature-checked (ValidateVProof) before choose() runs: the attack needs no forged signatures,",
+		"only the honest update1〈0,0〉 countersignatures of s1 and s2 that view-0 contention legitimately produced")
+	return tbl, outcomes
+}
+
+func runTheorem6Choose(rqs *core.RQS, s2Prep consensus.Value) E8Outcome {
+	ring, signers, err := consensus.GenKeys(rqs.Universe())
+	if err != nil {
+		panic(err)
+	}
+	q2 := core.NewSet(0, 1, 2, 3, 4)  // Q2
+	q2p := core.NewSet(0, 1, 2, 3, 5) // Q2' — the consult-phase quorum Q
+
+	// Countersignatures over update1〈"0", view 0〉 from s1, s2 (honest:
+	// they really prepared "0" and sent that update) and s3 (Byzantine,
+	// signing its own lie): {s1,s2,s3} ∉ B, a valid basic subset.
+	proof := []consensus.SignedUpdate{
+		signers[0].SignUpdate(1, "0", 0),
+		signers[1].SignUpdate(1, "0", 0),
+		signers[2].SignUpdate(1, "0", 0),
+	}
+
+	honest := func(id core.ProcessID, prep consensus.Value) consensus.NewViewAck {
+		body := consensus.AckBody{View: 1, Prep: prep, Prepview: []int{0}}
+		return consensus.NewViewAck{Acceptor: id, Body: body, Sig: signers[id].SignAckBody(body)}
+	}
+	liar := func(id core.ProcessID) consensus.NewViewAck {
+		body := consensus.AckBody{View: 1, Prep: "0", Prepview: []int{0}}
+		body.Update[0] = "0"
+		body.Updateview[0] = []int{0}
+		body.UpdateQ[0] = map[int][]core.Set{0: {q2}}
+		body.Updateproof[0] = map[int][]consensus.SignedUpdate{0: proof}
+		return consensus.NewViewAck{Acceptor: id, Body: body, Sig: signers[id].SignAckBody(body)}
+	}
+
+	vProof := consensus.VProof{
+		0: honest(0, "0"),    // s1 prepared p0's value
+		1: honest(1, s2Prep), // s2: "0" unless the class-1 decision forced "1"
+		2: liar(2),           // s3 Byzantine
+		3: liar(3),           // s4 Byzantine
+		5: honest(5, "1"),    // s6 prepared p1's (decided) value
+	}
+	if !consensus.ValidateVProof(ring, rqs, 1, vProof, q2p) {
+		panic("expt: constructed vProof should validate")
+	}
+	res := consensus.Choose(rqs, core.Elements(rqs.Adversary()), "leader-default", vProof, q2p)
+	return E8Outcome{
+		Decided:           "1",
+		Choose:            res,
+		AgreementViolated: !res.Abort && res.V == "0",
+	}
+}

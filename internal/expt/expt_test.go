@@ -1,0 +1,186 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestE1GreedyViolatesSafeDoesNot(t *testing.T) {
+	_, results := E1Fig1()
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	greedy, safe := results[0], results[1]
+	if greedy.Violation == "" {
+		t.Error("greedy 3-fast algorithm should violate atomicity (Figure 1)")
+	}
+	if greedy.Rd1.Rounds != 1 {
+		t.Errorf("greedy rd rounds = %d, want 1", greedy.Rd1.Rounds)
+	}
+	if safe.Violation != "" {
+		t.Errorf("safe 4-fast variant violated atomicity: %s", safe.Violation)
+	}
+	if safe.Rd2.Val != "v" {
+		t.Errorf("safe rd' = %q, want v", safe.Rd2.Val)
+	}
+}
+
+func TestE2IntersectionCounts(t *testing.T) {
+	tbl := E2Fig2()
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// (3,3,3) must admit empty triple intersections; (4,4,3) must not.
+	if tbl.Rows[0][2] == "0" {
+		t.Error("(3,3,3) should have empty intersections")
+	}
+	if tbl.Rows[1][2] != "0" {
+		t.Errorf("(4,4,3) empty intersections = %s, want 0", tbl.Rows[1][2])
+	}
+	if tbl.Rows[1][3] == "0" {
+		t.Error("(4,4,3) min intersection should be ≥ 1")
+	}
+}
+
+func TestE3VerifiesFig3(t *testing.T) {
+	tbl := E3Fig3()
+	for _, row := range tbl.Rows {
+		if row[3] != "valid RQS" {
+			t.Errorf("Fig3 verification failed: %v", row)
+		}
+	}
+}
+
+func TestE4Fig4Executions(t *testing.T) {
+	tbl := E4Fig4()
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[4], "VIOLATED") || strings.Contains(row[4], "UNEXPECTED") {
+			t.Errorf("E4 row failed: %v", row)
+		}
+	}
+}
+
+func TestE5LatencyShape(t *testing.T) {
+	tbl := E5StorageLatency()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		wantRounds := strconv.Itoa(i + 1)
+		if row[2] != wantRounds {
+			t.Errorf("class %d RQS write rounds = %s, want %s", i+1, row[2], wantRounds)
+		}
+		if row[3] > wantRounds {
+			t.Errorf("class %d RQS read rounds = %s, want ≤ %s", i+1, row[3], wantRounds)
+		}
+		if row[5] != "2" {
+			t.Errorf("ABD read rounds = %s, want 2", row[5])
+		}
+	}
+}
+
+func TestE6Theorem3Shape(t *testing.T) {
+	_, outcomes := E6Theorem3()
+	broken, valid := outcomes[0], outcomes[1]
+	if broken.Rd1.Val != "v1" {
+		t.Errorf("broken rd1 = %+v, want v1", broken.Rd1)
+	}
+	if broken.Violation == "" {
+		t.Error("broken system should violate atomicity under the Theorem 3 schedule")
+	}
+	if valid.Violation != "" {
+		t.Errorf("valid system violated atomicity: %s", valid.Violation)
+	}
+	if valid.Rd1.Val != "v1" {
+		t.Errorf("valid rd1 = %+v, want v1", valid.Rd1)
+	}
+	if !valid.Rd2Blocked && valid.Rd2.Val != "v1" {
+		t.Errorf("valid rd2 = %+v, want v1 or blocked", valid.Rd2)
+	}
+}
+
+func TestE7LatencyShape(t *testing.T) {
+	tbl := E7ConsensusLatency()
+	wantRQS := []string{"2", "3", "4"}
+	for i, row := range tbl.Rows {
+		if row[2] != wantRQS[i] {
+			t.Errorf("class %d RQS delays = %s, want %s", i+1, row[2], wantRQS[i])
+		}
+		if row[3] != "4" {
+			t.Errorf("PBFT delays = %s, want 4", row[3])
+		}
+	}
+}
+
+func TestE8Theorem6Shape(t *testing.T) {
+	_, outcomes := E8Theorem6()
+	broken, valid := outcomes[0], outcomes[1]
+	if !broken.AgreementViolated {
+		t.Errorf("broken system should violate agreement; choose = %+v", broken.Choose)
+	}
+	if valid.AgreementViolated {
+		t.Error("valid system violated agreement")
+	}
+	if !valid.Choose.Abort && valid.Choose.V != "1" {
+		t.Errorf("valid choose = %+v, want abort or the decided value 1", valid.Choose)
+	}
+}
+
+func TestE9TableHasKnownInstances(t *testing.T) {
+	tbl := E9MinimalN()
+	var sawPBFT, sawFaB bool
+	for _, row := range tbl.Rows {
+		switch row[5] {
+		case "PBFT n=3t+1":
+			sawPBFT = true
+		case "FaB n=5t+1 (Martin-Alvisi)":
+			sawFaB = true
+		}
+	}
+	if !sawPBFT || !sawFaB {
+		t.Error("E9 should annotate the known PBFT and FaB instantiations")
+	}
+}
+
+func TestE10Converges(t *testing.T) {
+	tbl := E10ViewChange()
+	for _, row := range tbl.Rows {
+		if row[1] == "timeout" {
+			t.Errorf("E10 scenario %q did not converge", row[0])
+		}
+		if row[2] != "true" {
+			t.Errorf("E10 scenario %q: agreement = %s", row[0], row[2])
+		}
+	}
+}
+
+func TestE12Monotone(t *testing.T) {
+	tbl := E12Availability()
+	prev := 2.0
+	for _, row := range tbl.Rows {
+		a1, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a1 > prev {
+			t.Errorf("class-1 availability should fall with p: %v", row)
+		}
+		prev = a1
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		ID: "X", Title: "demo",
+		Columns: []string{"a", "bbbb"},
+		Notes:   []string{"hello"},
+	}
+	tbl.AddRow(1, "y")
+	out := tbl.Format()
+	for _, want := range []string{"== X — demo ==", "a", "bbbb", "1", "y", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}

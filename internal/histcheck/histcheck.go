@@ -1,0 +1,153 @@
+// Package histcheck checks recorded operation histories of a SWMR
+// register for atomicity (linearizability for a single-writer register,
+// Lamport [33] / Herlihy–Wing [25]).
+//
+// Because the storage protocol attaches a unique, monotonically increasing
+// timestamp to every written value, atomicity of a SWMR history reduces to
+// three real-time conditions on timestamps, which the checker verifies in
+// O(n log n):
+//
+//  1. Reads return written timestamps (or 0, the initial value).
+//  2. A read that follows a complete write w returns a timestamp ≥ ts(w);
+//     a read never returns a timestamp of a write invoked after the read
+//     responded.
+//  3. A read that follows another complete read r' returns a timestamp
+//     ≥ ts(r') (no read inversion).
+//
+// The experiments use the checker both positively (the RQS storage passes
+// under fault injection) and negatively (the Figure 1 and Theorem 3
+// schedules make broken algorithms fail it).
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind distinguishes recorded operations.
+type Kind int
+
+// Operation kinds.
+const (
+	Write Kind = iota + 1
+	Read
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Op is one completed operation: the timestamp it wrote or returned and
+// its real-time invocation/response instants.
+type Op struct {
+	Kind   Kind
+	Client string
+	TS     int64
+	Inv    time.Time
+	Resp   time.Time
+}
+
+// Violation describes an atomicity violation between two operations (Second
+// may be zero-valued for single-operation violations).
+type Violation struct {
+	Reason        string
+	First, Second Op
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("atomicity violated: %s (first: %v %s ts=%d, second: %v %s ts=%d)",
+		v.Reason, v.First.Kind, v.First.Client, v.First.TS,
+		v.Second.Kind, v.Second.Client, v.Second.TS)
+}
+
+// Recorder collects operations concurrently.
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends a completed operation.
+func (r *Recorder) Record(op Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, op)
+}
+
+// Ops returns a copy of the recorded operations.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Op(nil), r.ops...)
+}
+
+// Check verifies atomicity of the recorded history.
+func (r *Recorder) Check() *Violation { return Check(r.Ops()) }
+
+// Check verifies atomicity of a history of completed operations.
+// It returns nil if the history is atomic.
+func Check(ops []Op) *Violation {
+	sorted := append([]Op(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Inv.Before(sorted[j].Inv) })
+
+	written := make(map[int64]Op, len(sorted))
+	for _, op := range sorted {
+		if op.Kind == Write {
+			if prev, dup := written[op.TS]; dup {
+				return &Violation{Reason: "duplicate write timestamp", First: prev, Second: op}
+			}
+			written[op.TS] = op
+		}
+	}
+
+	for _, op := range sorted {
+		if op.Kind != Read {
+			continue
+		}
+		// Condition 1: the value must exist.
+		w, ok := written[op.TS]
+		if op.TS != 0 && !ok {
+			return &Violation{Reason: "read returned a never-written timestamp", First: op}
+		}
+		// Condition 2b: no reading from the future.
+		if op.TS != 0 && w.Inv.After(op.Resp) {
+			return &Violation{
+				Reason: "read returned a timestamp written after it responded",
+				First:  w, Second: op,
+			}
+		}
+		for _, other := range sorted {
+			if !other.Resp.Before(op.Inv) {
+				continue // not strictly preceding
+			}
+			switch other.Kind {
+			case Write:
+				// Condition 2a: reads see all completed writes.
+				if other.TS > op.TS {
+					return &Violation{
+						Reason: "read missed a preceding complete write",
+						First:  other, Second: op,
+					}
+				}
+			case Read:
+				// Condition 3: no read inversion.
+				if other.TS > op.TS {
+					return &Violation{
+						Reason: "read inversion (older value after newer read)",
+						First:  other, Second: op,
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

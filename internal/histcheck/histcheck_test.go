@@ -1,0 +1,125 @@
+package histcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// at builds a time base-relative instant for concise test histories.
+var base = time.Unix(1000, 0)
+
+func at(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+
+func wr(ts int64, inv, resp int) Op {
+	return Op{Kind: Write, Client: "w", TS: ts, Inv: at(inv), Resp: at(resp)}
+}
+
+func rd(client string, ts int64, inv, resp int) Op {
+	return Op{Kind: Read, Client: client, TS: ts, Inv: at(inv), Resp: at(resp)}
+}
+
+func TestCheckAcceptsAtomicHistories(t *testing.T) {
+	tests := []struct {
+		name string
+		ops  []Op
+	}{
+		{"empty", nil},
+		{"read of initial value", []Op{rd("r", 0, 0, 1)}},
+		{"sequential", []Op{wr(1, 0, 1), rd("r", 1, 2, 3), wr(2, 4, 5), rd("r", 2, 6, 7)}},
+		{"concurrent read may return old", []Op{wr(1, 0, 10), rd("r", 0, 2, 5)}},
+		{"concurrent read may return new", []Op{wr(1, 0, 10), rd("r", 1, 2, 5)}},
+		{"two readers same value", []Op{wr(1, 0, 1), rd("a", 1, 2, 4), rd("b", 1, 3, 5)}},
+		{"overlapping reads either order", []Op{wr(1, 0, 10), rd("a", 1, 2, 8), rd("b", 0, 3, 9)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if v := Check(tt.ops); v != nil {
+				t.Errorf("Check = %v, want nil", v)
+			}
+		})
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	tests := []struct {
+		name   string
+		ops    []Op
+		reason string
+	}{
+		{
+			"never-written value",
+			[]Op{rd("r", 7, 0, 1)},
+			"never-written",
+		},
+		{
+			"missed complete write",
+			[]Op{wr(1, 0, 1), rd("r", 0, 2, 3)},
+			"missed a preceding complete write",
+		},
+		{
+			"read inversion",
+			[]Op{wr(1, 0, 20), rd("a", 1, 2, 5), rd("b", 0, 6, 9)},
+			"inversion",
+		},
+		{
+			// Also a missed-write violation; the checker may report
+			// either — it reports the write one first.
+			"stale after newer read completes",
+			[]Op{wr(1, 0, 1), wr(2, 2, 3), rd("a", 2, 4, 5), rd("b", 1, 6, 7)},
+			"missed a preceding complete write",
+		},
+		{
+			"reading the future",
+			[]Op{rd("r", 1, 0, 1), wr(1, 5, 6)},
+			"written after",
+		},
+		{
+			"duplicate write timestamp",
+			[]Op{wr(1, 0, 1), wr(1, 2, 3)},
+			"duplicate",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := Check(tt.ops)
+			if v == nil {
+				t.Fatal("Check = nil, want violation")
+			}
+			if !strings.Contains(v.Reason, tt.reason) {
+				t.Errorf("reason = %q, want contains %q", v.Reason, tt.reason)
+			}
+			if v.Error() == "" {
+				t.Error("empty Error()")
+			}
+		})
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				rec.Record(rd("c", 0, 0, 1))
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := len(rec.Ops()); got != 200 {
+		t.Errorf("ops = %d, want 200", got)
+	}
+	if v := rec.Check(); v != nil {
+		t.Errorf("Check = %v", v)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Write.String() != "write" || Read.String() != "read" {
+		t.Error("Kind.String broken")
+	}
+}

@@ -1,0 +1,257 @@
+// Package pbft implements the comparison baseline for the consensus
+// experiments: a single-shot, PBFT-style [7] Byzantine agreement without a
+// fast path. The leader pre-prepares, acceptors echo (prepare) and commit
+// in fixed phases, and learners learn after the commit quorum — always
+// four message delays (pre-prepare → prepare → commit → learner), no
+// matter how many acceptors are correct.
+//
+// It runs over the same transport and the same n = 3t+1 threshold quorum
+// logic classic PBFT assumes, which is exactly the PBFTStyleRQS
+// instantiation of Example 6 without its class-1 fast path.
+package pbft
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Value is a proposal value.
+type Value = string
+
+// PrePrepare is the leader's proposal.
+type PrePrepare struct{ V Value }
+
+// Prepare is an acceptor's echo of the proposal.
+type Prepare struct{ V Value }
+
+// Commit is an acceptor's commit vote after a prepare quorum.
+type Commit struct{ V Value }
+
+// Reply carries a locally committed value to the learners; learners learn
+// on t+1 matching replies.
+type Reply struct{ V Value }
+
+// Topology fixes the roles: acceptors 0..N-1, then the leader, then
+// learners.
+type Topology struct {
+	Acceptors core.Set
+	Leader    core.ProcessID
+	Learners  core.Set
+}
+
+// Quorum returns the 2t+1 quorum size for n = 3t+1 acceptors.
+func (t Topology) Quorum() int {
+	n := t.Acceptors.Count()
+	return n - (n-1)/3
+}
+
+// Acceptor is a baseline acceptor.
+type Acceptor struct {
+	id        core.ProcessID
+	topo      Topology
+	port      transport.Port
+	prepared  map[Value]core.Set
+	committed map[Value]core.Set
+	sentCmt   bool
+	replied   bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewAcceptor builds an acceptor.
+func NewAcceptor(topo Topology, port transport.Port) *Acceptor {
+	return &Acceptor{
+		id:        port.ID(),
+		topo:      topo,
+		port:      port,
+		prepared:  make(map[Value]core.Set),
+		committed: make(map[Value]core.Set),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the acceptor loop.
+func (a *Acceptor) Start() { go a.run() }
+
+// Stop terminates the loop.
+func (a *Acceptor) Stop() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	<-a.done
+}
+
+func (a *Acceptor) run() {
+	defer close(a.done)
+	sentPrep := false
+	for {
+		select {
+		case <-a.stop:
+			return
+		case env, ok := <-a.port.Inbox():
+			if !ok {
+				return
+			}
+			switch m := env.Payload.(type) {
+			case PrePrepare:
+				if env.From != a.topo.Leader || sentPrep {
+					continue
+				}
+				sentPrep = true
+				transport.BroadcastHop(a.port, a.topo.Acceptors, Prepare{V: m.V}, env.Hop+1)
+			case Prepare:
+				if !a.topo.Acceptors.Contains(env.From) || a.sentCmt {
+					continue
+				}
+				a.prepared[m.V] = a.prepared[m.V].Add(env.From)
+				if a.prepared[m.V].Count() >= a.topo.Quorum() {
+					a.sentCmt = true
+					transport.BroadcastHop(a.port, a.topo.Acceptors, Commit{V: m.V}, env.Hop+1)
+				}
+			case Commit:
+				if !a.topo.Acceptors.Contains(env.From) || a.replied {
+					continue
+				}
+				a.committed[m.V] = a.committed[m.V].Add(env.From)
+				if a.committed[m.V].Count() >= a.topo.Quorum() {
+					a.replied = true
+					transport.BroadcastHop(a.port, a.topo.Learners, Reply{V: m.V}, env.Hop+1)
+				}
+			}
+		}
+	}
+}
+
+// Learn is a learned value with its message-delay depth.
+type Learn struct {
+	V    Value
+	Hops int
+}
+
+// Learner learns after a commit quorum.
+type Learner struct {
+	topo    Topology
+	port    transport.Port
+	learned chan Learn
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewLearner builds a learner.
+func NewLearner(topo Topology, port transport.Port) *Learner {
+	return &Learner{
+		topo:    topo,
+		port:    port,
+		learned: make(chan Learn, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the learner loop.
+func (l *Learner) Start() { go l.run() }
+
+// Stop terminates the loop.
+func (l *Learner) Stop() {
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+	}
+	<-l.done
+}
+
+// Wait blocks for the learned value.
+func (l *Learner) Wait(timeout time.Duration) (Learn, bool) {
+	select {
+	case v := <-l.learned:
+		return v, true
+	case <-time.After(timeout):
+		return Learn{}, false
+	}
+}
+
+func (l *Learner) run() {
+	defer close(l.done)
+	replies := make(map[Value]core.Set)
+	hops := make(map[Value]int)
+	learned := false
+	// t+1 matching replies guarantee one comes from a correct acceptor.
+	need := (l.topo.Acceptors.Count()-1)/3 + 1
+	for {
+		select {
+		case <-l.stop:
+			return
+		case env, ok := <-l.port.Inbox():
+			if !ok {
+				return
+			}
+			m, isReply := env.Payload.(Reply)
+			if !isReply || !l.topo.Acceptors.Contains(env.From) || learned {
+				continue
+			}
+			replies[m.V] = replies[m.V].Add(env.From)
+			if env.Hop > hops[m.V] {
+				hops[m.V] = env.Hop
+			}
+			if replies[m.V].Count() >= need {
+				learned = true
+				l.learned <- Learn{V: m.V, Hops: hops[m.V]}
+			}
+		}
+	}
+}
+
+// Propose runs the leader's side: broadcast the pre-prepare at hop 1.
+func Propose(topo Topology, port transport.Port, v Value) {
+	transport.BroadcastHop(port, topo.Acceptors, PrePrepare{V: v}, 1)
+}
+
+// Cluster bundles a running baseline deployment.
+type Cluster struct {
+	Topo      Topology
+	Net       *transport.Network
+	Acceptors []*Acceptor
+	Learners  []*Learner
+	leader    transport.Port
+}
+
+// NewCluster starts n acceptors, one leader and nLearners learners.
+func NewCluster(n, nLearners int) *Cluster {
+	topo := Topology{Acceptors: core.FullSet(n), Leader: n}
+	for i := 0; i < nLearners; i++ {
+		topo.Learners = topo.Learners.Add(n + 1 + i)
+	}
+	net := transport.NewNetwork(n + 1 + nLearners)
+	c := &Cluster{Topo: topo, Net: net, leader: net.Port(n)}
+	for i := 0; i < n; i++ {
+		a := NewAcceptor(topo, net.Port(i))
+		a.Start()
+		c.Acceptors = append(c.Acceptors, a)
+	}
+	for _, id := range topo.Learners.Members() {
+		l := NewLearner(topo, net.Port(id))
+		l.Start()
+		c.Learners = append(c.Learners, l)
+	}
+	return c
+}
+
+// Propose has the leader propose v.
+func (c *Cluster) Propose(v Value) { Propose(c.Topo, c.leader, v) }
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	c.Net.Close()
+	for _, a := range c.Acceptors {
+		a.Stop()
+	}
+	for _, l := range c.Learners {
+		l.Stop()
+	}
+}

@@ -1,0 +1,66 @@
+package pbft
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestBaselineAlwaysFourDelays(t *testing.T) {
+	for _, n := range []int{4, 7} {
+		c := NewCluster(n, 2)
+		c.Propose("v")
+		for i, l := range c.Learners {
+			res, ok := l.Wait(5 * time.Second)
+			if !ok {
+				t.Fatalf("n=%d learner %d did not learn", n, i)
+			}
+			if res.V != "v" || res.Hops != 4 {
+				t.Errorf("n=%d learner %d: %+v, want v at 4 delays", n, i, res)
+			}
+		}
+		c.Stop()
+	}
+}
+
+func TestBaselineToleratesCrashes(t *testing.T) {
+	// n = 3t+1 = 7 tolerates t = 2 crashed acceptors, still 4 delays.
+	c := NewCluster(7, 1)
+	defer c.Stop()
+	c.Net.Crash(5)
+	c.Net.Crash(6)
+	c.Propose("v")
+	res, ok := c.Learners[0].Wait(5 * time.Second)
+	if !ok {
+		t.Fatal("did not learn with t crashes")
+	}
+	if res.V != "v" || res.Hops != 4 {
+		t.Errorf("learned %+v, want v at 4 delays", res)
+	}
+}
+
+func TestBaselineQuorum(t *testing.T) {
+	tests := []struct{ n, want int }{{4, 3}, {7, 5}, {10, 7}}
+	for _, tt := range tests {
+		topo := Topology{Acceptors: core.FullSet(tt.n)}
+		if got := topo.Quorum(); got != tt.want {
+			t.Errorf("Quorum(n=%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestBaselineIgnoresForeignLeader(t *testing.T) {
+	c := NewCluster(4, 1)
+	defer c.Stop()
+	// A non-leader process sends a pre-prepare: acceptors must ignore it.
+	imposter := c.Net.Port(c.Topo.Learners.Min())
+	Propose(Topology{Acceptors: c.Topo.Acceptors, Leader: imposter.ID()}, imposter, "evil")
+	if res, ok := c.Learners[0].Wait(100 * time.Millisecond); ok {
+		t.Fatalf("learned %+v from an imposter", res)
+	}
+	c.Propose("good")
+	if res, ok := c.Learners[0].Wait(5 * time.Second); !ok || res.V != "good" {
+		t.Fatalf("got %+v, want good", res)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// ConsensusCluster is a running consensus deployment: acceptors on IDs
+// 0..nA-1 (the RQS universe), then proposers, then learners.
+type ConsensusCluster struct {
+	RQS       *core.RQS
+	Net       *transport.Network
+	Topo      consensus.Topology
+	Ring      *consensus.Keyring
+	Acceptors []*consensus.Acceptor
+	Proposers []*consensus.Proposer
+	Learners  []*consensus.Learner
+}
+
+// ConsensusOptions configures NewConsensusCluster.
+type ConsensusOptions struct {
+	// Proposers and Learners count the respective roles (defaults 2, 3:
+	// the minimums the optimality theorems assume).
+	Proposers int
+	Learners  int
+	// Election configures the view-change machinery.
+	Election consensus.ElectionConfig
+	// PullEvery enables learner decision-pulling (0 disables).
+	PullEvery time.Duration
+}
+
+// NewConsensusCluster starts acceptors, proposers and learners.
+func NewConsensusCluster(rqs *core.RQS, opts ConsensusOptions) (*ConsensusCluster, error) {
+	if opts.Proposers <= 0 {
+		opts.Proposers = 2
+	}
+	if opts.Learners <= 0 {
+		opts.Learners = 3
+	}
+	nA := rqs.N()
+	total := nA + opts.Proposers + opts.Learners
+	topo := consensus.Topology{Acceptors: rqs.Universe()}
+	for i := 0; i < opts.Proposers; i++ {
+		topo.Proposers = append(topo.Proposers, nA+i)
+	}
+	for i := 0; i < opts.Learners; i++ {
+		topo.Learners = topo.Learners.Add(nA + opts.Proposers + i)
+	}
+
+	ring, signers, err := consensus.GenKeys(rqs.Universe())
+	if err != nil {
+		return nil, fmt.Errorf("consensus cluster: %w", err)
+	}
+	net := transport.NewNetwork(total)
+	c := &ConsensusCluster{RQS: rqs, Net: net, Topo: topo, Ring: ring}
+	for _, id := range rqs.Universe().Members() {
+		a := consensus.NewAcceptor(rqs, topo, net.Port(id), ring, signers[id], opts.Election)
+		a.Start()
+		c.Acceptors = append(c.Acceptors, a)
+	}
+	for _, id := range topo.Proposers {
+		p := consensus.NewProposer(rqs, topo, net.Port(id), ring)
+		p.Start()
+		c.Proposers = append(c.Proposers, p)
+	}
+	for _, id := range topo.Learners.Members() {
+		l := consensus.NewLearner(rqs, topo, net.Port(id), opts.PullEvery)
+		l.Start()
+		c.Learners = append(c.Learners, l)
+	}
+	return c, nil
+}
+
+// CrashAcceptors crashes the given acceptors at the network boundary.
+func (c *ConsensusCluster) CrashAcceptors(set core.Set) {
+	for _, id := range set.Members() {
+		c.Net.Crash(id)
+	}
+}
+
+// Stop shuts the cluster down.
+func (c *ConsensusCluster) Stop() {
+	c.Net.Close()
+	for _, a := range c.Acceptors {
+		a.Stop()
+	}
+	for _, p := range c.Proposers {
+		p.Stop()
+	}
+	for _, l := range c.Learners {
+		l.Stop()
+	}
+}

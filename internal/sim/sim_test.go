@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func TestStorageClusterDefaults(t *testing.T) {
+	c := NewStorageCluster(core.Example7RQS(), StorageOptions{})
+	defer c.Stop()
+	if c.Timeout != storage.DefaultTimeout {
+		t.Errorf("timeout = %v", c.Timeout)
+	}
+	if len(c.Servers) != 6 {
+		t.Errorf("servers = %d", len(c.Servers))
+	}
+	w, r := c.Writer(), c.Reader()
+	w.Write("x")
+	if res := r.Read(); res.Val != "x" {
+		t.Errorf("read = %+v", res)
+	}
+}
+
+func TestStorageClusterClientExhaustionPanics(t *testing.T) {
+	c := NewStorageCluster(core.Example7RQS(), StorageOptions{Clients: 1})
+	defer c.Stop()
+	c.Writer()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on client-slot exhaustion")
+		}
+	}()
+	c.Reader()
+}
+
+func TestStorageClusterReaderOptsInheritsTimeout(t *testing.T) {
+	c := NewStorageCluster(core.Example7RQS(), StorageOptions{Timeout: 3 * time.Millisecond})
+	defer c.Stop()
+	r := c.ReaderOpts(storage.ReaderOptions{Semantics: storage.Regular})
+	if res := r.Read(); res.TS != 0 {
+		t.Errorf("empty read = %+v", res)
+	}
+}
+
+func TestConsensusClusterDefaults(t *testing.T) {
+	c, err := NewConsensusCluster(core.Example7RQS(), ConsensusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if len(c.Proposers) != 2 || len(c.Learners) != 3 {
+		t.Errorf("defaults: %d proposers, %d learners", len(c.Proposers), len(c.Learners))
+	}
+	// Role IDs must tile: acceptors 0..5, proposers 6..7, learners 8..10.
+	if c.Topo.Proposers[0] != 6 || !c.Topo.Learners.Contains(8) {
+		t.Errorf("topology = %+v", c.Topo)
+	}
+	if c.Topo.Leader(0) != 6 || c.Topo.Leader(1) != 7 || c.Topo.Leader(2) != 6 {
+		t.Error("leader rotation broken")
+	}
+}
+
+func TestCrashHelpers(t *testing.T) {
+	c := NewStorageCluster(core.Example7RQS(), StorageOptions{})
+	defer c.Stop()
+	c.CrashServers(core.NewSet(0, 5))
+	if got := c.Net.Crashed(); got != core.NewSet(0, 5) {
+		t.Errorf("crashed = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Package sim assembles protocol clusters over the in-memory transport:
+// servers plus client ports for the storage protocol, and the
+// proposer/acceptor/learner topologies of the consensus protocol. It is
+// the shared harness behind the tests, the benchmarks and the examples.
+package sim
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// StorageCluster is a running storage deployment: n servers on process
+// IDs 0..n-1 and a pool of client ports above them.
+type StorageCluster struct {
+	RQS     *core.RQS
+	Net     *transport.Network
+	Servers []*storage.Server
+	Timeout time.Duration
+
+	nClients   int
+	nextClient int
+}
+
+// StorageOptions configures NewStorageCluster.
+type StorageOptions struct {
+	// Clients is the number of client slots to reserve (default 4).
+	Clients int
+	// Timeout is the protocol's 2Δ timer (default storage.DefaultTimeout).
+	Timeout time.Duration
+	// Hooks optionally makes individual servers Byzantine.
+	Hooks map[core.ProcessID]storage.Hooks
+}
+
+// NewStorageCluster starts servers for every process in the RQS universe.
+func NewStorageCluster(rqs *core.RQS, opts StorageOptions) *StorageCluster {
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = storage.DefaultTimeout
+	}
+	n := rqs.N()
+	net := transport.NewNetwork(n + opts.Clients)
+	c := &StorageCluster{
+		RQS:      rqs,
+		Net:      net,
+		Timeout:  opts.Timeout,
+		nClients: opts.Clients,
+	}
+	for id := 0; id < n; id++ {
+		srv := storage.NewServer(net.Port(id), opts.Hooks[id])
+		srv.Start()
+		c.Servers = append(c.Servers, srv)
+	}
+	return c
+}
+
+// Writer returns a writer on a fresh client port.
+func (c *StorageCluster) Writer() *storage.Writer {
+	return storage.NewWriter(c.RQS, c.clientPort(), c.Timeout)
+}
+
+// Reader returns a reader on a fresh client port.
+func (c *StorageCluster) Reader() *storage.Reader {
+	return storage.NewReader(c.RQS, c.clientPort(), c.Timeout)
+}
+
+// ReaderOpts returns a reader with explicit options (regular semantics,
+// QC'2 ablation) on a fresh client port.
+func (c *StorageCluster) ReaderOpts(opts storage.ReaderOptions) *storage.Reader {
+	if opts.Timeout <= 0 {
+		opts.Timeout = c.Timeout
+	}
+	return storage.NewReaderOpts(c.RQS, c.clientPort(), opts)
+}
+
+func (c *StorageCluster) clientPort() transport.Port {
+	if c.nextClient >= c.nClients {
+		panic("sim: client slots exhausted; raise StorageOptions.Clients")
+	}
+	id := c.RQS.N() + c.nextClient
+	c.nextClient++
+	return c.Net.Port(id)
+}
+
+// CrashServers crashes every server in the set at the network boundary.
+func (c *StorageCluster) CrashServers(set core.Set) {
+	for _, id := range set.Members() {
+		c.Net.Crash(id)
+	}
+}
+
+// Stop shuts the cluster down.
+func (c *StorageCluster) Stop() {
+	c.Net.Close()
+	for _, s := range c.Servers {
+		s.Stop()
+	}
+}

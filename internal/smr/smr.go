@@ -1,0 +1,305 @@
+// Package smr layers a replicated command log on top of the single-shot
+// consensus of Section 4 — the "general state machine replication (SMR)
+// framework of [34]" that motivates the paper's consensus algorithm. Each
+// log slot is one consensus instance; all instances share the physical
+// network through a per-slot multiplexer, so a deployment needs one
+// process per role, not one per slot.
+package smr
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// SlotMsg wraps a consensus message with its log-slot index.
+type SlotMsg struct {
+	Slot    int
+	Payload transport.Message
+}
+
+// mux demultiplexes a real port into per-slot virtual ports.
+type mux struct {
+	real transport.Port
+
+	mu     sync.Mutex
+	slots  map[int]chan transport.Envelope
+	onNew  func(slot int) // called (unlocked) when a new slot appears
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newMux(real transport.Port, onNew func(int)) *mux {
+	m := &mux{real: real, slots: make(map[int]chan transport.Envelope), onNew: onNew}
+	m.wg.Add(1)
+	go m.run()
+	return m
+}
+
+func (m *mux) run() {
+	defer m.wg.Done()
+	for env := range m.real.Inbox() {
+		sm, ok := env.Payload.(SlotMsg)
+		if !ok {
+			continue
+		}
+		ch, fresh := m.slotChan(sm.Slot)
+		if ch == nil {
+			return
+		}
+		if fresh && m.onNew != nil {
+			m.onNew(sm.Slot)
+		}
+		ch <- transport.Envelope{From: env.From, To: env.To, Hop: env.Hop, Payload: sm.Payload}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	for _, ch := range m.slots {
+		close(ch)
+	}
+}
+
+func (m *mux) slotChan(slot int) (ch chan transport.Envelope, fresh bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false
+	}
+	ch, ok := m.slots[slot]
+	if !ok {
+		ch = make(chan transport.Envelope, 1024)
+		m.slots[slot] = ch
+		fresh = true
+	}
+	return ch, fresh
+}
+
+// port returns the virtual port of a slot.
+func (m *mux) port(slot int) transport.Port {
+	ch, _ := m.slotChan(slot)
+	return &slotPort{mux: m, slot: slot, inbox: ch}
+}
+
+// wait blocks until the mux goroutine exits (after the real port closes).
+func (m *mux) wait() { m.wg.Wait() }
+
+type slotPort struct {
+	mux   *mux
+	slot  int
+	inbox chan transport.Envelope
+}
+
+var _ transport.Port = (*slotPort)(nil)
+
+func (p *slotPort) ID() core.ProcessID { return p.mux.real.ID() }
+
+func (p *slotPort) Send(to core.ProcessID, payload transport.Message) {
+	p.mux.real.Send(to, SlotMsg{Slot: p.slot, Payload: payload})
+}
+
+func (p *slotPort) SendHop(to core.ProcessID, payload transport.Message, hop int) {
+	p.mux.real.SendHop(to, SlotMsg{Slot: p.slot, Payload: payload}, hop)
+}
+
+func (p *slotPort) Inbox() <-chan transport.Envelope { return p.inbox }
+
+// Replica hosts the acceptor role for every slot: consensus acceptors are
+// created lazily when a slot's first message arrives.
+type Replica struct {
+	rqs    *core.RQS
+	topo   consensus.Topology
+	ring   *consensus.Keyring
+	signer *consensus.Signer
+	elect  consensus.ElectionConfig
+	mux    *mux
+
+	mu        sync.Mutex
+	acceptors map[int]*consensus.Acceptor
+}
+
+// NewReplica starts the acceptor host on the given port.
+func NewReplica(rqs *core.RQS, topo consensus.Topology, port transport.Port,
+	ring *consensus.Keyring, signer *consensus.Signer, elect consensus.ElectionConfig) *Replica {
+	r := &Replica{
+		rqs: rqs, topo: topo, ring: ring, signer: signer, elect: elect,
+		acceptors: make(map[int]*consensus.Acceptor),
+	}
+	r.mux = newMux(port, r.ensureSlot)
+	return r
+}
+
+func (r *Replica) ensureSlot(slot int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.acceptors[slot]; ok {
+		return
+	}
+	a := consensus.NewAcceptor(r.rqs, r.topo, r.mux.port(slot), r.ring, r.signer, r.elect)
+	a.Start()
+	r.acceptors[slot] = a
+}
+
+// Stop shuts every slot's acceptor down. Call after the network closes.
+func (r *Replica) Stop() {
+	r.mux.wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range r.acceptors {
+		a.Stop()
+	}
+}
+
+// Proposer hosts the proposer role across slots.
+type Proposer struct {
+	rqs  *core.RQS
+	topo consensus.Topology
+	ring *consensus.Keyring
+	mux  *mux
+
+	mu        sync.Mutex
+	proposers map[int]*consensus.Proposer
+}
+
+// NewProposer starts the proposer host on the given port.
+func NewProposer(rqs *core.RQS, topo consensus.Topology, port transport.Port, ring *consensus.Keyring) *Proposer {
+	p := &Proposer{rqs: rqs, topo: topo, ring: ring, proposers: make(map[int]*consensus.Proposer)}
+	p.mux = newMux(port, func(slot int) { p.ensureSlot(slot) })
+	return p
+}
+
+func (p *Proposer) ensureSlot(slot int) *consensus.Proposer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pr, ok := p.proposers[slot]
+	if !ok {
+		pr = consensus.NewProposer(p.rqs, p.topo, p.mux.port(slot), p.ring)
+		pr.Start()
+		p.proposers[slot] = pr
+	}
+	return pr
+}
+
+// Propose submits a command for a log slot.
+func (p *Proposer) Propose(slot int, cmd consensus.Value) {
+	p.ensureSlot(slot).Propose(cmd)
+}
+
+// Stop shuts the proposer host down. Call after the network closes.
+func (p *Proposer) Stop() {
+	p.mux.wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pr := range p.proposers {
+		pr.Stop()
+	}
+}
+
+// Log hosts the learner role and assembles the committed command log.
+type Log struct {
+	rqs       *core.RQS
+	topo      consensus.Topology
+	pullEvery time.Duration
+	mux       *mux
+
+	mu       sync.Mutex
+	learners map[int]*consensus.Learner
+	entries  map[int]consensus.Value
+	watchers map[int][]chan consensus.Value
+	lwg      sync.WaitGroup
+}
+
+// NewLog starts the learner host on the given port.
+func NewLog(rqs *core.RQS, topo consensus.Topology, port transport.Port, pullEvery time.Duration) *Log {
+	l := &Log{
+		rqs: rqs, topo: topo, pullEvery: pullEvery,
+		learners: make(map[int]*consensus.Learner),
+		entries:  make(map[int]consensus.Value),
+		watchers: make(map[int][]chan consensus.Value),
+	}
+	l.mux = newMux(port, l.ensureSlot)
+	return l
+}
+
+func (l *Log) ensureSlot(slot int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.learners[slot]; ok {
+		return
+	}
+	lr := consensus.NewLearner(l.rqs, l.topo, l.mux.port(slot), l.pullEvery)
+	lr.Start()
+	l.learners[slot] = lr
+	l.lwg.Add(1)
+	go func() {
+		defer l.lwg.Done()
+		res, ok := <-lr.Learned()
+		if !ok {
+			return
+		}
+		l.mu.Lock()
+		l.entries[slot] = res.V
+		ws := l.watchers[slot]
+		delete(l.watchers, slot)
+		l.mu.Unlock()
+		for _, w := range ws {
+			w <- res.V
+		}
+	}()
+}
+
+// Get returns the committed command of a slot, if any.
+func (l *Log) Get(slot int) (consensus.Value, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.entries[slot]
+	return v, ok
+}
+
+// Wait blocks until a slot commits or the timeout elapses.
+func (l *Log) Wait(slot int, timeout time.Duration) (consensus.Value, bool) {
+	l.mu.Lock()
+	if v, ok := l.entries[slot]; ok {
+		l.mu.Unlock()
+		return v, true
+	}
+	ch := make(chan consensus.Value, 1)
+	l.watchers[slot] = append(l.watchers[slot], ch)
+	l.mu.Unlock()
+	select {
+	case v := <-ch:
+		return v, true
+	case <-time.After(timeout):
+		return consensus.None, false
+	}
+}
+
+// Prefix returns the longest gap-free committed prefix starting at slot 0.
+func (l *Log) Prefix() []consensus.Value {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []consensus.Value
+	for slot := 0; ; slot++ {
+		v, ok := l.entries[slot]
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// Stop shuts the learner host down. Call after the network closes.
+func (l *Log) Stop() {
+	l.mux.wait()
+	l.mu.Lock()
+	learners := l.learners
+	l.learners = map[int]*consensus.Learner{}
+	l.mu.Unlock()
+	for _, lr := range learners {
+		lr.Stop()
+	}
+	l.lwg.Wait()
+}

@@ -1,0 +1,102 @@
+package storage_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// TestModelSequentialRandomOps drives a long random sequence of
+// sequential operations against a reference model (the last written
+// value): with no concurrency, every read must return exactly the latest
+// write — on several quorum systems and under random crash/recovery-free
+// fault patterns that keep a correct quorum alive.
+func TestModelSequentialRandomOps(t *testing.T) {
+	systems := []struct {
+		name string
+		rqs  *core.RQS
+		// safeCrash lists servers that may crash while leaving a fully
+		// correct quorum.
+		safeCrash []core.Set
+	}{
+		{"example7", core.Example7RQS(), []core.Set{core.NewSet(5), core.NewSet(0, 2)}},
+		{"five-server", core.FiveServerRQS(), []core.Set{core.NewSet(0), core.NewSet(1, 4)}},
+	}
+	for _, sys := range systems {
+		t.Run(sys.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(7))
+			c := sim.NewStorageCluster(sys.rqs, sim.StorageOptions{
+				Timeout: time.Millisecond, Clients: 2,
+			})
+			defer c.Stop()
+			w := c.Writer()
+			rd := c.Reader()
+
+			model := storage.Pair{}
+			crashed := false
+			for op := 0; op < 40; op++ {
+				switch {
+				case !crashed && op == 20:
+					// Crash a safe set halfway through.
+					c.CrashServers(sys.safeCrash[r.Intn(len(sys.safeCrash))])
+					crashed = true
+				case r.Intn(2) == 0:
+					val := string(rune('a' + r.Intn(26)))
+					res := w.Write(val)
+					model = storage.Pair{TS: res.TS, Val: val}
+				default:
+					res := rd.Read()
+					if res.TS != model.TS || res.Val != model.Val {
+						t.Fatalf("op %d: read %+v, model %+v", op, res, model)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestModelHistoryMonotonicity checks the server-side invariant behind
+// Lemma 8 (sticky values): once a slot holds a pair it never changes, and
+// slot k+1 for a timestamp is only ever populated after slot k
+// (Lemma 13's shape), across a random workload.
+func TestModelHistoryMonotonicity(t *testing.T) {
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{
+		Timeout: time.Millisecond, Clients: 2,
+	})
+	defer c.Stop()
+	w := c.Writer()
+	rd := c.Reader()
+	prev := make([]storage.History, len(c.Servers))
+	for op := 0; op < 15; op++ {
+		if op%3 == 0 {
+			w.Write("v")
+		} else {
+			rd.Read()
+		}
+		for i, srv := range c.Servers {
+			cur := srv.HistorySnapshot()
+			for ts, row := range prev[i] {
+				for rnd := 1; rnd <= 3; rnd++ {
+					was := row[rnd-1].Pair
+					now := cur.Slot(ts, rnd).Pair
+					if !was.IsBottom() && now != was {
+						t.Fatalf("server %d ts %d slot %d changed %v → %v", i, ts, rnd, was, now)
+					}
+				}
+			}
+			for ts := range cur {
+				if !cur.Slot(ts, 3).Pair.IsBottom() && cur.Slot(ts, 2).Pair.IsBottom() {
+					t.Fatalf("server %d ts %d: slot 3 without slot 2", i, ts)
+				}
+				if !cur.Slot(ts, 2).Pair.IsBottom() && cur.Slot(ts, 1).Pair.IsBottom() {
+					t.Fatalf("server %d ts %d: slot 2 without slot 1", i, ts)
+				}
+			}
+			prev[i] = cur
+		}
+	}
+}

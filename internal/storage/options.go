@@ -1,0 +1,51 @@
+package storage
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Semantics selects the consistency level a reader enforces.
+type Semantics int
+
+// Reader semantics.
+const (
+	// Atomic is the full algorithm of Figure 7: regular selection plus
+	// the BCD-guided writeback that prevents read inversion.
+	Atomic Semantics = iota + 1
+	// Regular skips the writeback part entirely (lines 40-49): reads
+	// return the selected candidate immediately. This is the weaker
+	// regular semantics of Lamport [33] that Section 6 discusses —
+	// Properties 1 and 3a suffice for it, and every read is as fast as
+	// its first part (typically one round), but read inversion between
+	// concurrent readers becomes possible.
+	Regular
+)
+
+// ReaderOptions tune a reader beyond the defaults, for the semantics
+// comparison (Section 6) and the ablation experiments.
+type ReaderOptions struct {
+	// Timeout is the 2Δ round timer (default DefaultTimeout).
+	Timeout time.Duration
+	// Semantics selects Atomic (default) or Regular reads.
+	Semantics Semantics
+	// DisableQC2 ablates the paper's "novel algorithmic scheme": the
+	// reader neither remembers which class-2 quorums responded in round
+	// 1 nor writes their ids back (Figure 7 lines 30-32 and 41-48). The
+	// algorithm stays safe but loses the 2-round read path — reads that
+	// would take 2 rounds now take 3. DESIGN.md calls this ablation out;
+	// the A1 bench measures it.
+	DisableQC2 bool
+}
+
+// NewReaderOpts creates a reader with explicit options.
+func NewReaderOpts(rqs *core.RQS, port transport.Port, opts ReaderOptions) *Reader {
+	r := NewReader(rqs, port, opts.Timeout)
+	if opts.Semantics != 0 {
+		r.semantics = opts.Semantics
+	}
+	r.disableQC2 = opts.DisableQC2
+	return r
+}

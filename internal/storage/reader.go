@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// ReadResult reports how a read completed.
+type ReadResult struct {
+	Val    string
+	TS     int64 // timestamp of the returned value (0 for ⊥)
+	Rounds int   // total communication round-trips used
+}
+
+// Reader is a reader of the SWMR storage (Figure 7). Like the writer, a
+// Reader runs one operation at a time.
+type Reader struct {
+	rqs        *core.RQS
+	port       transport.Port
+	timeout    time.Duration
+	readNo     int64
+	advElem    []core.Set // cached enumeration of B for valid3
+	semantics  Semantics
+	disableQC2 bool
+}
+
+// NewReader creates a reader. timeout is the paper's 2Δ; zero selects
+// DefaultTimeout.
+func NewReader(rqs *core.RQS, port transport.Port, timeout time.Duration) *Reader {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Reader{
+		rqs:       rqs,
+		port:      port,
+		timeout:   timeout,
+		advElem:   core.Elements(rqs.Adversary()),
+		semantics: Atomic,
+	}
+}
+
+// Read returns the current value of the storage (lines 20-49 of
+// Figure 7): a regular-semantics phase that repeats rounds until a safe,
+// highest candidate exists, then a BCD-guided writeback phase that
+// enforces atomicity while preserving best-case latency.
+func (r *Reader) Read() ReadResult {
+	r.readNo++
+	r.drainStale()
+	st := &readState{
+		rqs:  r.rqs,
+		adv:  r.rqs.Adversary(),
+		elem: r.advElem,
+		hist: make(map[core.ProcessID]History),
+	}
+
+	rounds := 0
+	var csel Pair
+	for {
+		rounds++
+		r.queryRound(st, rounds)
+		if st.portClosed {
+			// The transport shut down mid-operation; report what little
+			// is known instead of spinning (test harnesses close the
+			// network under deliberately blocked reads).
+			return ReadResult{Val: NoValue, TS: 0, Rounds: rounds}
+		}
+		if rounds == 1 {
+			st.highestTS = st.computeHighestTS()
+			if !r.disableQC2 {
+				st.qc2prime = r.rqs.ContainedQuorums(st.roundAcked, core.Class2)
+			}
+		}
+		if c, ok := st.selectCandidate(); ok {
+			csel = c
+			break
+		}
+	}
+
+	// Regular semantics (Section 6): return the selection with no
+	// writeback; read inversion becomes possible but regularity holds.
+	if r.semantics == Regular {
+		return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: rounds}
+	}
+
+	// Second part: atomicity via the Best-Case Detector (lines 40-49).
+	if rounds == 1 {
+		if st.bcd1Any(csel) {
+			// Line 40: a class-1 quorum confirmed the pair; no writeback.
+			return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 1}
+		}
+		x1 := st.bcd2(csel, 1)
+		x2 := st.bcd2(csel, 2)
+		x3 := st.bcd2(csel, 3)
+		if len(x1)+len(x2)+len(x3) > 0 {
+			if len(x2)+len(x3) > 0 {
+				// Line 42: the writer already informed a full quorum;
+				// write back directly with round number 2.
+				r.writeback(2, csel, nil, false)
+				return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 2}
+			}
+			// Lines 43-47: R = 1. Write back the class-2 quorum ids and
+			// hope a quorum from X confirms before the timer runs out.
+			acked := r.writeback(1, csel, x1, true)
+			for _, q := range x1 {
+				if q.SubsetOf(acked) {
+					return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 2}
+				}
+			}
+			r.writeback(2, csel, nil, false)
+			return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 3}
+		}
+	}
+
+	// Line 49: generic two-round writeback.
+	r.writeback(1, csel, nil, false)
+	r.writeback(2, csel, nil, false)
+	return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: rounds + 2}
+}
+
+// queryRound sends rd〈read_no, rnd〉 to all servers and waits until some
+// quorum replied in this round and, in round 1, the 2Δ timer expired.
+func (r *Reader) queryRound(st *readState, rnd int) {
+	transport.Broadcast(r.port, r.rqs.Universe(), ReadReq{ReadNo: r.readNo, Round: rnd})
+
+	st.roundAcked = core.EmptySet
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	timerDone := rnd != 1
+
+	for {
+		if timerDone {
+			if _, ok := r.rqs.ContainedQuorum(st.roundAcked, core.Class3); ok {
+				return
+			}
+		}
+		select {
+		case env, ok := <-r.port.Inbox():
+			if !ok {
+				st.portClosed = true
+				return
+			}
+			if ack, isAck := env.Payload.(ReadAck); isAck && ack.ReadNo == r.readNo {
+				// Lines 50-53: any ack refreshes the local copy of the
+				// server's history and the Responded bookkeeping; only
+				// current-round acks advance the round.
+				st.hist[env.From] = ack.History
+				st.responded = st.responded.Add(env.From)
+				if ack.Round == rnd {
+					st.roundAcked = st.roundAcked.Add(env.From)
+				}
+			}
+		case <-timer.C:
+			timerDone = true
+		}
+	}
+}
+
+// writeback implements lines 60-62: send wr〈ts, val, sets, round〉 to all
+// servers and wait for a quorum of acks; with withTimer it additionally
+// waits for the 2Δ timer (the line 43-45 dance). It returns the servers
+// that acked.
+func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool) core.Set {
+	req := WriteReq{TS: c.TS, Val: c.Val, Sets: sets, Round: round}
+	transport.Broadcast(r.port, r.rqs.Universe(), req)
+
+	var acked core.Set
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	timerDone := !withTimer
+
+	for {
+		if timerDone {
+			if _, ok := r.rqs.ContainedQuorum(acked, core.Class3); ok {
+				return acked
+			}
+		}
+		select {
+		case env, ok := <-r.port.Inbox():
+			if !ok {
+				return acked
+			}
+			if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == c.TS && ack.Round == round {
+				acked = acked.Add(env.From)
+			}
+		case <-timer.C:
+			timerDone = true
+		}
+	}
+}
+
+func (r *Reader) drainStale() {
+	for {
+		select {
+		case _, ok := <-r.port.Inbox():
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Hooks let the fault-injection layer turn a server Byzantine. All hooks
+// are optional; a zero Hooks value is an honest server. Hooks run on the
+// server's goroutine.
+type Hooks struct {
+	// ForgeHistory, if non-nil, replaces the history sent in read acks
+	// (state forging, as the Byzantine servers of the Theorem 3 proof do
+	// when they revert to σ0 or fabricate σ1).
+	ForgeHistory func() History
+	// DropWrite, if non-nil and returning true, silently ignores a write
+	// request ("forgetting" rounds, as in execution ex4 of Figure 4).
+	DropWrite func(from core.ProcessID, req WriteReq) bool
+	// DropRead, if non-nil and returning true, silently ignores a read
+	// request.
+	DropRead func(from core.ProcessID, req ReadReq) bool
+}
+
+// Server is one storage server (Figure 6). Run processes its inbox until
+// the port's inbox closes; Stop aborts earlier.
+type Server struct {
+	id    core.ProcessID
+	port  transport.Port
+	hooks Hooks
+
+	mu      sync.Mutex
+	history History
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewServer creates a server bound to the given port.
+func NewServer(port transport.Port, hooks Hooks) *Server {
+	return &Server{
+		id:      port.ID(),
+		port:    port,
+		hooks:   hooks,
+		history: make(History),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the server loop in its own goroutine.
+func (s *Server) Start() {
+	go s.run()
+}
+
+// Stop terminates the server loop and waits for it to exit.
+func (s *Server) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// HistorySnapshot returns a deep copy of the server's current history,
+// for assertions and Byzantine state capture.
+func (s *Server) HistorySnapshot() History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.history.Clone()
+}
+
+// SetHistory overwrites the server's state (used by fault injection to
+// forge state transitions that a Byzantine process may perform).
+func (s *Server) SetHistory(h History) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = h.Clone()
+}
+
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case env, ok := <-s.port.Inbox():
+			if !ok {
+				return
+			}
+			s.handle(env)
+		}
+	}
+}
+
+func (s *Server) handle(env transport.Envelope) {
+	switch req := env.Payload.(type) {
+	case WriteReq:
+		if s.hooks.DropWrite != nil && s.hooks.DropWrite(env.From, req) {
+			return
+		}
+		s.applyWrite(req)
+		s.port.SendHop(env.From, WriteAck{TS: req.TS, Round: req.Round}, env.Hop+1)
+	case ReadReq:
+		if s.hooks.DropRead != nil && s.hooks.DropRead(env.From, req) {
+			return
+		}
+		h := s.replyHistory()
+		s.port.SendHop(env.From, ReadAck{ReadNo: req.ReadNo, Round: req.Round, History: h}, env.Hop+1)
+	}
+}
+
+// applyWrite implements lines 2-7 of Figure 6: for every round m ≤ rnd,
+// store the pair unless a *different* pair already occupies the slot, and
+// merge the class-2 quorum ids into the final round's slot.
+func (s *Server) applyWrite(req WriteReq) {
+	if req.Round < 1 || req.Round > 3 {
+		return
+	}
+	pair := Pair{TS: req.TS, Val: req.Val}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row := s.history[req.TS]
+	for m := 1; m <= req.Round; m++ {
+		slot := row[m-1]
+		if slot.Pair.IsBottom() || slot.Pair == pair {
+			slot.Pair = pair
+			if m == req.Round {
+				slot = slot.addSet(req.Sets)
+			}
+			row[m-1] = slot
+		}
+	}
+	s.history[req.TS] = row
+}
+
+func (s *Server) replyHistory() History {
+	if s.hooks.ForgeHistory != nil {
+		return s.hooks.ForgeHistory()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.history.Clone()
+}

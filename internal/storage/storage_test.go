@@ -1,0 +1,249 @@
+package storage_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/histcheck"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// threshold8 is an RQS with three genuinely distinct quorum classes:
+// n=8, t=3, r=2, q=1, k=1 — class-1 quorums have 7 servers, class-2 six,
+// class-3 five, tolerating one Byzantine server.
+func threshold8(t *testing.T) *core.RQS {
+	t.Helper()
+	r, err := core.NewThresholdRQS(core.ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{Timeout: 2 * time.Millisecond})
+	defer c.Stop()
+	w, r := c.Writer(), c.Reader()
+
+	if res := r.Read(); res.Val != storage.NoValue || res.TS != 0 {
+		t.Errorf("empty read = %+v, want ⊥", res)
+	}
+	wres := w.Write("alpha")
+	if wres.TS != 1 {
+		t.Errorf("first write ts = %d", wres.TS)
+	}
+	rres := r.Read()
+	if rres.Val != "alpha" || rres.TS != 1 {
+		t.Errorf("read = %+v, want alpha/1", rres)
+	}
+	w.Write("beta")
+	if rres := r.Read(); rres.Val != "beta" {
+		t.Errorf("read = %+v, want beta", rres)
+	}
+}
+
+func TestBestCaseLatenciesByClass(t *testing.T) {
+	// Theorem 9: the algorithm is (m, QCm)-fast. With n=8, t=3, r=2,
+	// q=1: crash 0/2/3 servers to leave exactly a class-1/2/3 quorum of
+	// correct servers, and observe 1/2/3-round writes and reads.
+	tests := []struct {
+		name       string
+		crash      core.Set
+		wantRounds int
+	}{
+		{"class1 all alive", core.EmptySet, 1},
+		{"class2 two crashed", core.NewSet(6, 7), 2},
+		{"class3 three crashed", core.NewSet(5, 6, 7), 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := sim.NewStorageCluster(threshold8(t), sim.StorageOptions{Timeout: 2 * time.Millisecond})
+			defer c.Stop()
+			c.CrashServers(tt.crash)
+			w, r := c.Writer(), c.Reader()
+
+			wres := w.Write("v")
+			if wres.Rounds != tt.wantRounds {
+				t.Errorf("write rounds = %d, want %d", wres.Rounds, tt.wantRounds)
+			}
+			rres := r.Read()
+			if rres.Val != "v" {
+				t.Fatalf("read = %+v, want v", rres)
+			}
+			if rres.Rounds > tt.wantRounds {
+				t.Errorf("read rounds = %d, want ≤ %d", rres.Rounds, tt.wantRounds)
+			}
+		})
+	}
+}
+
+func TestExample7TwoRoundReadAfterFastWrite(t *testing.T) {
+	// Figure 4 flavour: a 1-round write through the class-1 quorum, then
+	// s6 disappears, leaving class-2 quorum Q2 = {s1..s5}. The read needs
+	// the QC'2 writeback machinery (lines 43-46) and completes in 2
+	// rounds.
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{Timeout: 2 * time.Millisecond})
+	defer c.Stop()
+	w, r := c.Writer(), c.Reader()
+
+	wres := w.Write("one")
+	if wres.Rounds != 1 {
+		t.Fatalf("write rounds = %d, want 1 (class-1 quorum alive)", wres.Rounds)
+	}
+	c.CrashServers(core.NewSet(5)) // s6
+	rres := r.Read()
+	if rres.Val != "one" {
+		t.Fatalf("read = %+v, want one", rres)
+	}
+	if rres.Rounds != 2 {
+		t.Errorf("read rounds = %d, want 2", rres.Rounds)
+	}
+}
+
+func TestByzantineServerCannotFabricateValues(t *testing.T) {
+	// A single Byzantine server ({s1} ∈ B) forges a history claiming a
+	// huge timestamp. safe() requires a basic subset of witnesses, so the
+	// fabricated pair must never be returned; moreover highCand forces
+	// the reader to look past it. (s1 rather than s2: every quorum of
+	// Example 7 contains s2, so liveness requires s2 correct.)
+	forged := storage.History{
+		999: {0: storage.Slot{Pair: storage.Pair{TS: 999, Val: "evil"}},
+			1: storage.Slot{Pair: storage.Pair{TS: 999, Val: "evil"}}},
+	}
+	hooks := map[core.ProcessID]storage.Hooks{
+		0: {ForgeHistory: func() storage.History { return forged.Clone() }},
+	}
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{
+		Timeout: 2 * time.Millisecond,
+		Hooks:   hooks,
+	})
+	defer c.Stop()
+	w, r := c.Writer(), c.Reader()
+
+	w.Write("honest")
+	res := r.Read()
+	if res.Val != "honest" || res.TS != 1 {
+		t.Errorf("read = %+v, want the honest value", res)
+	}
+}
+
+func TestByzantineServerDroppingWrites(t *testing.T) {
+	// A Byzantine server (s3) that ignores all writes (but answers reads
+	// with its stale state) must not prevent progress or atomicity: the
+	// class-1 quorum Q1 = {s2,s4,s5,s6} stays fully correct.
+	hooks := map[core.ProcessID]storage.Hooks{
+		2: {DropWrite: func(core.ProcessID, storage.WriteReq) bool { return true }},
+	}
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{
+		Timeout: 2 * time.Millisecond,
+		Hooks:   hooks,
+	})
+	defer c.Stop()
+	w, r := c.Writer(), c.Reader()
+	w.Write("x")
+	w.Write("y")
+	if res := r.Read(); res.Val != "y" {
+		t.Errorf("read = %+v, want y", res)
+	}
+}
+
+func TestSequentialReadersObserveMonotoneTimestamps(t *testing.T) {
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{
+		Timeout: 2 * time.Millisecond, Clients: 3,
+	})
+	defer c.Stop()
+	w := c.Writer()
+	r1, r2 := c.Reader(), c.Reader()
+	var last int64
+	for i := 0; i < 5; i++ {
+		w.Write("v")
+		a := r1.Read()
+		b := r2.Read()
+		if a.TS < last || b.TS < a.TS {
+			t.Fatalf("timestamps regressed: last=%d a=%d b=%d", last, a.TS, b.TS)
+		}
+		last = b.TS
+	}
+}
+
+func TestConcurrentAtomicityStress(t *testing.T) {
+	// The core safety test: a writer and two readers hammer the storage
+	// concurrently while server s1 is Byzantine (forging stale state);
+	// the recorded history must be atomic.
+	stale := storage.History{}
+	hooks := map[core.ProcessID]storage.Hooks{
+		0: {ForgeHistory: func() storage.History { return stale.Clone() }},
+	}
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{
+		Timeout: time.Millisecond, Clients: 3, Hooks: hooks,
+	})
+	defer c.Stop()
+
+	rec := histcheck.NewRecorder()
+	const ops = 25
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := c.Writer()
+		for i := 0; i < ops; i++ {
+			inv := time.Now()
+			res := w.Write("v")
+			rec.Record(histcheck.Op{Kind: histcheck.Write, Client: "w", TS: res.TS, Inv: inv, Resp: time.Now()})
+		}
+	}()
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		r := c.Reader()
+		name := string(rune('a' + g))
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				inv := time.Now()
+				res := r.Read()
+				rec.Record(histcheck.Op{Kind: histcheck.Read, Client: name, TS: res.TS, Inv: inv, Resp: time.Now()})
+			}
+		}()
+	}
+	wg.Wait()
+	if v := rec.Check(); v != nil {
+		t.Fatalf("atomicity violated: %v", v)
+	}
+}
+
+func TestAsynchronousLinksStillAtomic(t *testing.T) {
+	// Slow (but reliable) links to two servers: operations degrade but
+	// stay correct — indulgence in action.
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{
+		Timeout: time.Millisecond, Clients: 2,
+	})
+	defer c.Stop()
+	for _, srv := range []core.ProcessID{4, 5} {
+		for client := 6; client < 8; client++ {
+			c.Net.SetLinkDelay(srv, client, 20*time.Millisecond)
+			c.Net.SetLinkDelay(client, srv, 20*time.Millisecond)
+		}
+	}
+	w, r := c.Writer(), c.Reader()
+	w.Write("slow")
+	if res := r.Read(); res.Val != "slow" {
+		t.Errorf("read = %+v, want slow", res)
+	}
+}
+
+func TestWriterTimestampsIncrease(t *testing.T) {
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{Timeout: time.Millisecond})
+	defer c.Stop()
+	w := c.Writer()
+	for i := int64(1); i <= 3; i++ {
+		if res := w.Write("v"); res.TS != i {
+			t.Errorf("write %d: ts = %d", i, res.TS)
+		}
+	}
+	if w.Timestamp() != 3 {
+		t.Errorf("Timestamp() = %d", w.Timestamp())
+	}
+}

@@ -1,0 +1,133 @@
+// Package storage implements the paper's Byzantine-resilient SWMR atomic
+// storage (Section 3): a writer (Figure 5), servers (Figure 6) and readers
+// (Figure 7) built over a refined quorum system.
+//
+// The algorithm is (m, QCm)-fast for m ∈ {1,2,3}: a synchronous,
+// uncontended operation completes in one round if a class-1 quorum of
+// correct servers responds, two rounds for class 2, three rounds
+// otherwise. No data authentication is used.
+//
+// Conventions: servers occupy process IDs 0..n-1 (matching the RQS
+// universe); clients use IDs ≥ n.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// NoValue is the initial value ⊥ of the storage; it is outside the domain
+// of valid written values.
+const NoValue = ""
+
+// Pair is a timestamp/value pair 〈ts, val〉. The zero Pair is 〈0, ⊥〉.
+type Pair struct {
+	TS  int64
+	Val string
+}
+
+// Bottom is the initial pair 〈0, ⊥〉.
+var Bottom = Pair{}
+
+// IsBottom reports whether p is the initial pair.
+func (p Pair) IsBottom() bool { return p == Bottom }
+
+// String renders the pair.
+func (p Pair) String() string {
+	if p.IsBottom() {
+		return "〈0,⊥〉"
+	}
+	return fmt.Sprintf("〈%d,%q〉", p.TS, p.Val)
+}
+
+// Slot is one round-slot of a server's history for one timestamp:
+// the stored pair plus the set of class-2 quorum ids attached to it
+// (history[ts, rnd].pair and history[ts, rnd].sets in Figure 6).
+type Slot struct {
+	Pair Pair
+	Sets []core.Set
+}
+
+// HasSet reports whether q ∈ slot.Sets.
+func (s Slot) HasSet(q core.Set) bool {
+	for _, x := range s.Sets {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+// addSet returns the slot with q added to Sets if absent.
+func (s Slot) addSet(qs []core.Set) Slot {
+	for _, q := range qs {
+		if !s.HasSet(q) {
+			s.Sets = append(s.Sets, q)
+		}
+	}
+	return s
+}
+
+// Row is a server's history row for one timestamp: slots for rounds 1..3,
+// indexed by round-1.
+type Row [3]Slot
+
+// History is a server's entire history of the shared variable, keyed by
+// timestamp. Absent rows mean 〈〈0,⊥〉, ∅〉 everywhere, matching the
+// initialisation of Figure 6.
+type History map[int64]Row
+
+// Slot returns the slot for (ts, rnd); rnd ∈ {1,2,3}.
+func (h History) Slot(ts int64, rnd int) Slot {
+	if h == nil {
+		return Slot{}
+	}
+	return h[ts][rnd-1]
+}
+
+// Clone deep-copies the history (server state must not escape by
+// reference through the in-memory transport).
+func (h History) Clone() History {
+	out := make(History, len(h))
+	for ts, row := range h {
+		var cp Row
+		for i, s := range row {
+			cp[i] = Slot{Pair: s.Pair, Sets: append([]core.Set(nil), s.Sets...)}
+		}
+		out[ts] = cp
+	}
+	return out
+}
+
+// Messages of the protocol.
+
+// WriteReq is the wr〈ts, v, QC'2, rnd〉 message of Figures 5 and 7.
+// Readers use it for writebacks as well.
+type WriteReq struct {
+	TS    int64
+	Val   string
+	Sets  []core.Set // class-2 quorum ids (QC'2); nil in rounds 1 and 3
+	Round int        // 1, 2 or 3
+}
+
+// WriteAck is the wr_ack〈ts, rnd〉 reply.
+type WriteAck struct {
+	TS    int64
+	Round int
+}
+
+// ReadReq is the rd〈read_no, read_rnd〉 message.
+type ReadReq struct {
+	ReadNo int64
+	Round  int
+}
+
+// ReadAck is the rd_ack〈read_no, read_rnd, history〉 reply carrying the
+// server's entire history (footnote 4 of the paper: servers keep the full
+// history to keep the algorithm simple).
+type ReadAck struct {
+	ReadNo  int64
+	Round   int
+	History History
+}

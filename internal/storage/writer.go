@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// DefaultTimeout is the default round timer (the paper's 2Δ) used when a
+// client is constructed with a zero timeout.
+const DefaultTimeout = 10 * time.Millisecond
+
+// WriteResult reports how a write completed.
+type WriteResult struct {
+	TS     int64 // timestamp attached to the written value
+	Rounds int   // communication round-trips used (1, 2 or 3)
+}
+
+// Writer is the single writer of the SWMR storage (Figure 5).
+// It is not safe for concurrent use: the model forbids a client from
+// invoking a new operation before the previous one completes.
+type Writer struct {
+	rqs     *core.RQS
+	port    transport.Port
+	timeout time.Duration // the 2Δ round timer
+	ts      int64
+}
+
+// NewWriter creates the writer. timeout is the paper's 2Δ; zero selects
+// DefaultTimeout.
+func NewWriter(rqs *core.RQS, port transport.Port, timeout time.Duration) *Writer {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Writer{rqs: rqs, port: port, timeout: timeout}
+}
+
+// Timestamp returns the writer's current local timestamp.
+func (w *Writer) Timestamp() int64 { return w.ts }
+
+// SetTimestamp resumes the writer at a given timestamp, for a writer
+// process restarting after a crash (the model's single writer must never
+// reuse a timestamp). The next write uses ts+1.
+func (w *Writer) SetTimestamp(ts int64) {
+	if ts > w.ts {
+		w.ts = ts
+	}
+}
+
+// Write stores v (Figure 5). It completes after one round if a class-1
+// quorum acknowledges within the timer, after two rounds if a class-2
+// quorum that acked round 1 acks again, and after three rounds otherwise.
+// It blocks until a quorum of servers is reachable (wait-freedom assumes
+// one correct quorum).
+func (w *Writer) Write(v string) WriteResult {
+	w.ts++
+	w.drainStale()
+
+	// Round 1: wait for a quorum AND the 2Δ timer.
+	acked := w.round(1, v, nil, true)
+	if _, ok := w.rqs.ContainedQuorum(acked, core.Class1); ok {
+		return WriteResult{TS: w.ts, Rounds: 1}
+	}
+	// Remember the class-2 quorums that responded (lines 4-5).
+	qc2 := w.rqs.ContainedQuorums(acked, core.Class2)
+
+	// Round 2: write the pair with the QC'2 certificate.
+	acked = w.round(2, v, qc2, true)
+	for _, q := range qc2 {
+		if q.SubsetOf(acked) {
+			return WriteResult{TS: w.ts, Rounds: 2}
+		}
+	}
+
+	// Round 3: plain quorum write.
+	w.round(3, v, nil, false)
+	return WriteResult{TS: w.ts, Rounds: 3}
+}
+
+// round sends wr〈ts, v, sets, rnd〉 to all servers and waits for acks from
+// some quorum, plus (rounds 1-2) the expiration of the 2Δ timer. It
+// returns the set of servers that acked this round.
+func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool) core.Set {
+	req := WriteReq{TS: w.ts, Val: v, Sets: sets, Round: rnd}
+	transport.Broadcast(w.port, w.rqs.Universe(), req)
+
+	var acked core.Set
+	timer := time.NewTimer(w.timeout)
+	defer timer.Stop()
+	timerDone := !withTimer
+
+	for {
+		if timerDone {
+			if _, ok := w.rqs.ContainedQuorum(acked, core.Class3); ok {
+				return acked
+			}
+		}
+		select {
+		case env, ok := <-w.port.Inbox():
+			if !ok {
+				return acked
+			}
+			if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == w.ts && ack.Round == rnd {
+				acked = acked.Add(env.From)
+			}
+		case <-timer.C:
+			timerDone = true
+		}
+	}
+}
+
+// drainStale discards any leftover replies from previous operations.
+// Server state is monotone, so dropping stale acks never loses
+// information — it only keeps per-operation accounting exact.
+func (w *Writer) drainStale() {
+	for {
+		select {
+		case _, ok := <-w.port.Inbox():
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
+}

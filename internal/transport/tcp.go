@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Register makes a concrete payload type encodable over the TCP transport.
+// Protocol packages call this for each of their message types.
+func Register(v Message) { gob.Register(v) }
+
+// TCPNode is a Port backed by real TCP connections, used by the demo
+// binaries to run the protocols across processes. Envelopes are
+// gob-encoded; payload types must be registered with Register.
+type TCPNode struct {
+	id    core.ProcessID
+	addrs map[core.ProcessID]string
+	ln    net.Listener
+	inbox chan Envelope
+
+	mu       sync.Mutex
+	conns    map[core.ProcessID]*tcpConn
+	accepted []net.Conn
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+var _ Port = (*TCPNode)(nil)
+
+// NewTCPNode starts a node listening on addrs[id] and able to dial every
+// other address in addrs.
+func NewTCPNode(id core.ProcessID, addrs map[core.ProcessID]string) (*TCPNode, error) {
+	addr, ok := addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("tcp: no address for process %d", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:    id,
+		addrs: addrs,
+		ln:    ln,
+		inbox: make(chan Envelope, inboxCap),
+		conns: make(map[core.ProcessID]*tcpConn),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address (useful with ":0").
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// ID returns the node's process ID.
+func (n *TCPNode) ID() core.ProcessID { return n.id }
+
+// Inbox returns incoming envelopes; closed on Close.
+func (n *TCPNode) Inbox() <-chan Envelope { return n.inbox }
+
+// Send dispatches a payload with hop 0. Errors (unreachable peer) are
+// swallowed: the model's channels may be slow, and protocol correctness
+// never depends on detecting send failure.
+func (n *TCPNode) Send(to core.ProcessID, payload Message) {
+	n.SendHop(to, payload, 0)
+}
+
+// SendHop dispatches a payload with an explicit hop depth.
+func (n *TCPNode) SendHop(to core.ProcessID, payload Message, hop int) {
+	env := Envelope{From: n.id, To: to, Hop: hop, Payload: payload}
+	c, err := n.connTo(to)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	err = c.enc.Encode(&env)
+	c.mu.Unlock()
+	if err != nil {
+		n.dropConn(to, c)
+	}
+}
+
+// Close stops the listener, drops connections, and closes the inbox.
+func (n *TCPNode) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := n.conns
+	accepted := n.accepted
+	n.conns = map[core.ProcessID]*tcpConn{}
+	n.accepted = nil
+	n.mu.Unlock()
+	_ = n.ln.Close()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	for _, c := range accepted {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+	close(n.inbox)
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.accepted = append(n.accepted, conn)
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		n.inbox <- env
+	}
+}
+
+func (n *TCPNode) connTo(to core.ProcessID) (*tcpConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("tcp: node closed")
+	}
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.addrs[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcp: unknown process %d", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %s: %w", addr, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.conns[to]; ok {
+		_ = conn.Close()
+		return existing, nil
+	}
+	if n.closed {
+		_ = conn.Close()
+		return nil, fmt.Errorf("tcp: node closed")
+	}
+	n.conns[to] = c
+	return c, nil
+}
+
+func (n *TCPNode) dropConn(to core.ProcessID, c *tcpConn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.conns[to] == c {
+		delete(n.conns, to)
+		_ = c.conn.Close()
+	}
+}

@@ -1,0 +1,269 @@
+// Package transport provides the message-passing substrate of the paper's
+// model (Sections 3.1 and 4.1): point-to-point channels between processes,
+// with controllable synchrony.
+//
+// The in-memory Network supports per-link delays, message drops, holds and
+// releases, and process crashes. Holds and releases are what let the test
+// suite and the lower-bound experiments replay the paper's proof schedules
+// (Figures 8 and 16) deterministically. A TCP transport with the same Port
+// interface backs the demo binaries.
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Message is a protocol payload. Protocol packages define concrete types.
+type Message any
+
+// Envelope carries a payload between two processes. Hop is the logical
+// message-delay depth used to measure consensus latency exactly: a message
+// sent in reaction to an envelope with hop h carries hop h+1.
+type Envelope struct {
+	From    core.ProcessID
+	To      core.ProcessID
+	Hop     int
+	Payload Message
+}
+
+// Verdict is a filter's decision about an in-flight envelope.
+type Verdict int
+
+// Filter verdicts.
+const (
+	Deliver Verdict = iota // deliver normally
+	Drop                   // silently discard (lossy channels, §4.1)
+	Hold                   // park until released (asynchrony scripting)
+)
+
+// Filter inspects an envelope before delivery.
+type Filter func(Envelope) Verdict
+
+// Port is one process's attachment to a network.
+type Port interface {
+	// ID returns the process ID this port belongs to.
+	ID() core.ProcessID
+	// Send dispatches a payload to another process with hop depth 0.
+	Send(to core.ProcessID, payload Message)
+	// SendHop dispatches a payload with an explicit hop depth.
+	SendHop(to core.ProcessID, payload Message, hop int)
+	// Inbox returns the channel of incoming envelopes. It is closed when
+	// the network shuts down.
+	Inbox() <-chan Envelope
+}
+
+// inboxCap bounds each inbox. Protocol loops drain promptly; the capacity
+// only smooths bursts (e.g. a broadcast landing on one process).
+const inboxCap = 4096
+
+// Network is an in-memory network connecting n processes.
+// The zero value is not usable; use NewNetwork.
+type Network struct {
+	n int
+
+	mu       sync.Mutex
+	closed   bool
+	filter   Filter
+	delay    time.Duration
+	linkDly  map[[2]core.ProcessID]time.Duration
+	crashed  core.Set
+	held     []Envelope
+	inboxes  []chan Envelope
+	inflight sync.WaitGroup
+}
+
+// NewNetwork creates a network for processes 0..n-1 with instant delivery
+// and no faults.
+func NewNetwork(n int) *Network {
+	net := &Network{
+		n:       n,
+		inboxes: make([]chan Envelope, n),
+		linkDly: make(map[[2]core.ProcessID]time.Duration),
+	}
+	for i := range net.inboxes {
+		net.inboxes[i] = make(chan Envelope, inboxCap)
+	}
+	return net
+}
+
+// N returns the number of attached processes.
+func (net *Network) N() int { return net.n }
+
+// Port returns the port of process id.
+func (net *Network) Port(id core.ProcessID) Port {
+	return &memPort{net: net, id: id}
+}
+
+// SetFilter installs a delivery filter. Passing nil restores plain
+// delivery. The filter runs under the network lock: it must not call back
+// into the network.
+func (net *Network) SetFilter(f Filter) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	net.filter = f
+}
+
+// SetDelay sets the uniform link delay; per-link delays take precedence.
+func (net *Network) SetDelay(d time.Duration) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	net.delay = d
+}
+
+// SetLinkDelay overrides the delay of the from→to link.
+func (net *Network) SetLinkDelay(from, to core.ProcessID, d time.Duration) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	net.linkDly[[2]core.ProcessID{from, to}] = d
+}
+
+// Crash disconnects a process: all messages to and from it are dropped
+// from now on. This models a crash at the network boundary; the process's
+// goroutine may keep running but becomes invisible.
+func (net *Network) Crash(id core.ProcessID) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	net.crashed = net.crashed.Add(id)
+}
+
+// Crashed returns the set of crashed processes.
+func (net *Network) Crashed() core.Set {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return net.crashed
+}
+
+// ReleaseHeld re-injects every held envelope matching the predicate
+// (nil matches all). Released envelopes are re-filtered, so a filter that
+// still says Hold will park them again.
+func (net *Network) ReleaseHeld(match func(Envelope) bool) {
+	net.mu.Lock()
+	var release []Envelope
+	var keep []Envelope
+	for _, env := range net.held {
+		if match == nil || match(env) {
+			release = append(release, env)
+		} else {
+			keep = append(keep, env)
+		}
+	}
+	net.held = keep
+	net.mu.Unlock()
+	for _, env := range release {
+		net.dispatch(env)
+	}
+}
+
+// HeldCount returns the number of parked envelopes.
+func (net *Network) HeldCount() int {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return len(net.held)
+}
+
+// Close shuts the network down: in-flight deliveries finish, inboxes are
+// closed, later sends are dropped.
+func (net *Network) Close() {
+	net.mu.Lock()
+	if net.closed {
+		net.mu.Unlock()
+		return
+	}
+	net.closed = true
+	net.mu.Unlock()
+	net.inflight.Wait()
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	for _, ch := range net.inboxes {
+		close(ch)
+	}
+}
+
+// dispatch routes an envelope through crash state, the filter and delays.
+func (net *Network) dispatch(env Envelope) {
+	net.mu.Lock()
+	if net.closed || env.To < 0 || env.To >= net.n {
+		net.mu.Unlock()
+		return
+	}
+	if net.crashed.Contains(env.From) || net.crashed.Contains(env.To) {
+		net.mu.Unlock()
+		return
+	}
+	if net.filter != nil {
+		switch net.filter(env) {
+		case Drop:
+			net.mu.Unlock()
+			return
+		case Hold:
+			net.held = append(net.held, env)
+			net.mu.Unlock()
+			return
+		}
+	}
+	d := net.delay
+	if ld, ok := net.linkDly[[2]core.ProcessID{env.From, env.To}]; ok {
+		d = ld
+	}
+	ch := net.inboxes[env.To]
+	net.inflight.Add(1)
+	net.mu.Unlock()
+
+	if d <= 0 {
+		net.deliver(ch, env)
+		return
+	}
+	go func() {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		<-timer.C
+		net.deliver(ch, env)
+	}()
+}
+
+func (net *Network) deliver(ch chan Envelope, env Envelope) {
+	defer net.inflight.Done()
+	// Close waits for in-flight deliveries before closing inboxes, so the
+	// channel is guaranteed open here. Delivery blocks if the inbox is
+	// full: channels are reliable in the model (§3.1), never lossy.
+	ch <- env
+}
+
+type memPort struct {
+	net *Network
+	id  core.ProcessID
+}
+
+var _ Port = (*memPort)(nil)
+
+func (p *memPort) ID() core.ProcessID { return p.id }
+
+func (p *memPort) Send(to core.ProcessID, payload Message) {
+	p.SendHop(to, payload, 0)
+}
+
+func (p *memPort) SendHop(to core.ProcessID, payload Message, hop int) {
+	p.net.dispatch(Envelope{From: p.id, To: to, Hop: hop, Payload: payload})
+}
+
+func (p *memPort) Inbox() <-chan Envelope {
+	return p.net.inboxes[p.id]
+}
+
+// Broadcast sends payload from port to each process in dst.
+func Broadcast(p Port, dst core.Set, payload Message) {
+	for _, id := range dst.Members() {
+		p.Send(id, payload)
+	}
+}
+
+// BroadcastHop sends payload with an explicit hop depth to each process in
+// dst.
+func BroadcastHop(p Port, dst core.Set, payload Message, hop int) {
+	for _, id := range dst.Members() {
+		p.SendHop(id, payload, hop)
+	}
+}

@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func recvOne(t *testing.T, p Port) Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-p.Inbox():
+		if !ok {
+			t.Fatal("inbox closed")
+		}
+		return env
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for envelope")
+	}
+	return Envelope{}
+}
+
+func TestNetworkBasicDelivery(t *testing.T) {
+	net := NewNetwork(3)
+	defer net.Close()
+	a, b := net.Port(0), net.Port(1)
+	a.Send(1, "hello")
+	env := recvOne(t, b)
+	if env.From != 0 || env.To != 1 || env.Payload != "hello" || env.Hop != 0 {
+		t.Errorf("unexpected envelope %+v", env)
+	}
+}
+
+func TestNetworkHopPropagation(t *testing.T) {
+	net := NewNetwork(2)
+	defer net.Close()
+	net.Port(0).SendHop(1, "x", 3)
+	if env := recvOne(t, net.Port(1)); env.Hop != 3 {
+		t.Errorf("hop = %d, want 3", env.Hop)
+	}
+}
+
+func TestNetworkCrashSilencesBothDirections(t *testing.T) {
+	net := NewNetwork(2)
+	defer net.Close()
+	net.Crash(1)
+	net.Port(0).Send(1, "to crashed")
+	net.Port(1).Send(0, "from crashed")
+	select {
+	case env := <-net.Port(0).Inbox():
+		t.Errorf("received %+v from crashed process", env)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if !net.Crashed().Contains(1) || net.Crashed().Contains(0) {
+		t.Error("Crashed() set wrong")
+	}
+}
+
+func TestNetworkFilterDropAndHold(t *testing.T) {
+	net := NewNetwork(2)
+	defer net.Close()
+	net.SetFilter(func(env Envelope) Verdict {
+		s, _ := env.Payload.(string)
+		switch s {
+		case "drop":
+			return Drop
+		case "hold":
+			return Hold
+		}
+		return Deliver
+	})
+	p0 := net.Port(0)
+	p0.Send(1, "drop")
+	p0.Send(1, "hold")
+	p0.Send(1, "pass")
+	if env := recvOne(t, net.Port(1)); env.Payload != "pass" {
+		t.Errorf("got %v, want pass", env.Payload)
+	}
+	if net.HeldCount() != 1 {
+		t.Errorf("held = %d, want 1", net.HeldCount())
+	}
+	// Releasing re-filters; clear the filter first.
+	net.SetFilter(nil)
+	net.ReleaseHeld(nil)
+	if env := recvOne(t, net.Port(1)); env.Payload != "hold" {
+		t.Errorf("got %v, want hold", env.Payload)
+	}
+	if net.HeldCount() != 0 {
+		t.Errorf("held = %d, want 0", net.HeldCount())
+	}
+}
+
+func TestNetworkReleaseHeldSelective(t *testing.T) {
+	net := NewNetwork(3)
+	defer net.Close()
+	net.SetFilter(func(Envelope) Verdict { return Hold })
+	net.Port(0).Send(1, "a")
+	net.Port(0).Send(2, "b")
+	net.SetFilter(nil)
+	net.ReleaseHeld(func(env Envelope) bool { return env.To == 2 })
+	if env := recvOne(t, net.Port(2)); env.Payload != "b" {
+		t.Errorf("got %v", env.Payload)
+	}
+	if net.HeldCount() != 1 {
+		t.Errorf("held = %d, want 1", net.HeldCount())
+	}
+}
+
+func TestNetworkReleasedMessagesAreRefiltered(t *testing.T) {
+	net := NewNetwork(2)
+	defer net.Close()
+	net.SetFilter(func(Envelope) Verdict { return Hold })
+	net.Port(0).Send(1, "x")
+	net.ReleaseHeld(nil) // filter still holds: parked again
+	if net.HeldCount() != 1 {
+		t.Errorf("held = %d, want 1 after re-filtering", net.HeldCount())
+	}
+}
+
+func TestNetworkDelays(t *testing.T) {
+	net := NewNetwork(2)
+	defer net.Close()
+	net.SetDelay(20 * time.Millisecond)
+	net.SetLinkDelay(0, 1, 1*time.Millisecond)
+	start := time.Now()
+	net.Port(0).Send(1, "fast link")
+	recvOne(t, net.Port(1))
+	if d := time.Since(start); d > 15*time.Millisecond {
+		t.Errorf("per-link delay not applied: %v", d)
+	}
+	start = time.Now()
+	net.Port(1).Send(0, "slow default")
+	recvOne(t, net.Port(0))
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("default delay not applied: %v", d)
+	}
+}
+
+func TestNetworkCloseIdempotentAndClosesInboxes(t *testing.T) {
+	net := NewNetwork(1)
+	net.Close()
+	net.Close() // must not panic
+	if _, ok := <-net.Port(0).Inbox(); ok {
+		t.Error("inbox should be closed")
+	}
+	net.Port(0).Send(0, "late") // dropped, no panic
+}
+
+func TestNetworkOutOfRangeDestination(t *testing.T) {
+	net := NewNetwork(1)
+	defer net.Close()
+	net.Port(0).Send(5, "nowhere")  // dropped
+	net.Port(0).Send(-1, "nowhere") // dropped
+}
+
+func TestBroadcastHelpers(t *testing.T) {
+	net := NewNetwork(4)
+	defer net.Close()
+	dst := core.NewSet(1, 2, 3)
+	Broadcast(net.Port(0), dst, "hi")
+	BroadcastHop(net.Port(0), dst, "hop", 2)
+	for _, id := range dst.Members() {
+		if env := recvOne(t, net.Port(id)); env.Payload != "hi" {
+			t.Errorf("proc %d: got %v", id, env.Payload)
+		}
+		if env := recvOne(t, net.Port(id)); env.Hop != 2 {
+			t.Errorf("proc %d: hop %d", id, env.Hop)
+		}
+	}
+}
+
+func TestTCPNodeRoundTrip(t *testing.T) {
+	Register("")
+	addrs := map[core.ProcessID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	n0, err := NewTCPNode(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+	addrs[0] = n0.Addr()
+	n1, err := NewTCPNode(1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	addrs[1] = n1.Addr()
+	// Re-point node 0's dial table at node 1's real address.
+	n0.addrs = map[core.ProcessID]string{0: n0.Addr(), 1: n1.Addr()}
+
+	n0.SendHop(1, "over tcp", 7)
+	env := recvOne(t, n1)
+	if env.Payload != "over tcp" || env.From != 0 || env.Hop != 7 {
+		t.Errorf("unexpected envelope %+v", env)
+	}
+	n1.Send(0, "reply")
+	if env := recvOne(t, n0); env.Payload != "reply" {
+		t.Errorf("unexpected reply %+v", env)
+	}
+}
+
+func TestTCPNodeErrors(t *testing.T) {
+	if _, err := NewTCPNode(0, map[core.ProcessID]string{1: "x"}); err == nil {
+		t.Error("missing own address should error")
+	}
+	n, err := NewTCPNode(0, map[core.ProcessID]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Send(9, "unknown peer") // swallowed
+	n.Close()
+	n.Send(0, "after close") // swallowed
+	n.Close()                // idempotent
+}

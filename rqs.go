@@ -1,0 +1,248 @@
+// Package rqs is the public API of the refined-quorum-systems library, a
+// reproduction of "Refined Quorum Systems" (Guerraoui & Vukolić, PODC
+// 2007). It re-exports:
+//
+//   - the RQS mathematics: process sets, general adversary structures,
+//     the three-class quorum systems of Definition 2 with verification
+//     of Properties 1-3, threshold instantiations (Example 6), and the
+//     paper's worked examples;
+//   - the Byzantine-resilient SWMR atomic storage of Section 3, which is
+//     (m, QCm)-fast for m ∈ {1,2,3};
+//   - the Byzantine consensus of Section 4, in which correct learners
+//     learn in 2/3/4 message delays by surviving quorum class;
+//   - analysis tools (minimal system sizes, fast-path availability,
+//     quorum load) and ready-made in-memory deployments for both
+//     protocols.
+//
+// Quick start:
+//
+//	system := rqs.FiveServerRQS()              // n=5, t=2 (§1.2)
+//	cluster := rqs.NewStorage(system, rqs.StorageOptions{})
+//	defer cluster.Stop()
+//	w, r := cluster.Writer(), cluster.Reader()
+//	w.Write("hello")                           // 1 round when 4+ respond
+//	fmt.Println(r.Read().Val)                  // "hello"
+package rqs
+
+import (
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/smr"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Core set and quorum-system types (see internal/core for full docs).
+type (
+	// Set is an immutable set of process IDs (bitmask, ≤ 64 processes).
+	Set = core.Set
+	// ProcessID identifies a process; IDs are dense from 0.
+	ProcessID = core.ProcessID
+	// Adversary is a general adversary structure (Definition 1).
+	Adversary = core.Adversary
+	// QuorumClass is one of the three nested classes of Definition 2.
+	QuorumClass = core.QuorumClass
+	// System is a refined quorum system.
+	System = core.RQS
+	// Config describes a refined quorum system for New.
+	Config = core.Config
+	// ThresholdParams is the Example 6 threshold instantiation.
+	ThresholdParams = core.ThresholdParams
+)
+
+// Quorum classes.
+const (
+	Class1 = core.Class1
+	Class2 = core.Class2
+	Class3 = core.Class3
+)
+
+// Set constructors.
+var (
+	// NewSet builds a set from member IDs.
+	NewSet = core.NewSet
+	// FullSet returns {0, .., n-1}.
+	FullSet = core.FullSet
+)
+
+// Adversary constructors and predicates.
+var (
+	// NewStructured builds a general adversary from its maximal sets.
+	NewStructured = core.NewStructured
+	// NewThreshold builds the k-bounded threshold adversary B_k.
+	NewThreshold = core.NewThreshold
+	// IsBasic reports whether a set is outside B (contains a benign
+	// process in every execution).
+	IsBasic = core.IsBasic
+	// IsLarge reports whether a set is not covered by two elements of B.
+	IsLarge = core.IsLarge
+)
+
+// Quorum-system constructors.
+var (
+	// New builds a refined quorum system (verify with System.Verify).
+	New = core.New
+	// NewThresholdRQS enumerates the Example 6 threshold family.
+	NewThresholdRQS = core.NewThresholdRQS
+	// MinimalN is the closed-form minimal |S| of Example 6.
+	MinimalN = core.MinimalN
+)
+
+// The paper's worked examples.
+var (
+	// MajorityRQS is Example 2 (crash-only majorities).
+	MajorityRQS = core.MajorityRQS
+	// ByzantineThirdRQS is Example 3 (n > 3k dissemination quorums).
+	ByzantineThirdRQS = core.ByzantineThirdRQS
+	// Fig3RQS is Example 1 / Figure 3.
+	Fig3RQS = core.Fig3RQS
+	// Example7RQS is the six-server general-adversary system of
+	// Example 7 / Figure 4.
+	Example7RQS = core.Example7RQS
+	// FiveServerRQS is the Section 1.2 five-server crash system.
+	FiveServerRQS = core.FiveServerRQS
+	// PBFTStyleRQS is the n = 3t+1 instantiation noted in Example 6.
+	PBFTStyleRQS = core.PBFTStyleRQS
+)
+
+// Analysis tools.
+var (
+	// Availability is the probability a class-c quorum of correct
+	// servers survives iid crash probability p.
+	Availability = analysis.Availability
+	// ExpectedRounds is the expected best-case latency given liveness.
+	ExpectedRounds = analysis.ExpectedRounds
+	// Load is the Naor-Wool load of a quorum class.
+	Load = analysis.Load
+	// SearchClassAssignment finds a maximal promotion of quorums to
+	// classes 1 and 2 under an adversary (the Section 6 "how many RQS
+	// exist" question).
+	SearchClassAssignment = analysis.SearchClassAssignment
+)
+
+// ClassAssignment is the result of SearchClassAssignment.
+type ClassAssignment = analysis.ClassAssignment
+
+// Storage deployment (Section 3).
+type (
+	// StorageCluster is a running storage deployment over the in-memory
+	// transport: servers on IDs 0..n-1 plus client slots.
+	StorageCluster = sim.StorageCluster
+	// StorageOptions configures NewStorage.
+	StorageOptions = sim.StorageOptions
+	// Writer is the storage's single writer (Figure 5).
+	Writer = storage.Writer
+	// Reader is a storage reader (Figure 7).
+	Reader = storage.Reader
+	// WriteResult reports a write's timestamp and round count.
+	WriteResult = storage.WriteResult
+	// ReadResult reports a read's value, timestamp and round count.
+	ReadResult = storage.ReadResult
+	// ServerHooks injects Byzantine behaviour into a storage server.
+	ServerHooks = storage.Hooks
+)
+
+// NewStorage starts an atomic-storage cluster over the given system.
+func NewStorage(system *System, opts StorageOptions) *StorageCluster {
+	return sim.NewStorageCluster(system, opts)
+}
+
+// Consensus deployment (Section 4).
+type (
+	// ConsensusCluster is a running consensus deployment: acceptors on
+	// IDs 0..n-1, then proposers, then learners.
+	ConsensusCluster = sim.ConsensusCluster
+	// ConsensusOptions configures NewConsensus.
+	ConsensusOptions = sim.ConsensusOptions
+	// ElectionConfig tunes the view-change module (Figure 14).
+	ElectionConfig = consensus.ElectionConfig
+	// Learn is a learned value with its message-delay depth.
+	Learn = consensus.Learn
+)
+
+// NewConsensus starts a consensus cluster over the given system.
+func NewConsensus(system *System, opts ConsensusOptions) (*ConsensusCluster, error) {
+	return sim.NewConsensusCluster(system, opts)
+}
+
+// State-machine replication (the framework of Section 4's introduction):
+// a replicated command log where each slot is one consensus instance,
+// multiplexed over a single network.
+type (
+	// LogReplica hosts the acceptor role for every log slot.
+	LogReplica = smr.Replica
+	// LogProposer proposes commands into slots.
+	LogProposer = smr.Proposer
+	// Log assembles the committed command log at a learner.
+	Log = smr.Log
+)
+
+// SMR constructors (see internal/smr for the deployment pattern).
+var (
+	// NewLogReplica starts an acceptor host on a port.
+	NewLogReplica = smr.NewReplica
+	// NewLogProposer starts a proposer host on a port.
+	NewLogProposer = smr.NewProposer
+	// NewLog starts a learner/log host on a port.
+	NewLog = smr.NewLog
+)
+
+// ReaderOptions tunes a storage reader: Regular (Section 6) semantics or
+// the QC'2 ablation.
+type ReaderOptions = storage.ReaderOptions
+
+// Reader semantics.
+const (
+	// AtomicReads is the full Figure 7 algorithm.
+	AtomicReads = storage.Atomic
+	// RegularReads skips the writeback: cheaper, admits read inversion.
+	RegularReads = storage.Regular
+)
+
+// Transport building blocks, for callers assembling their own
+// deployments (for example over TCP).
+type (
+	// Network is the in-memory network with synchrony scripting.
+	Network = transport.Network
+	// Port is one process's attachment to a network.
+	Port = transport.Port
+	// TCPNode is a Port over real TCP connections.
+	TCPNode = transport.TCPNode
+)
+
+// Transport constructors.
+var (
+	// NewNetwork creates an in-memory network for n processes.
+	NewNetwork = transport.NewNetwork
+	// NewTCPNode starts a TCP-backed port.
+	NewTCPNode = transport.NewTCPNode
+)
+
+// NewStorageServer runs one storage server on an arbitrary Port (e.g. a
+// TCPNode), for hand-assembled deployments.
+func NewStorageServer(port Port, hooks ServerHooks) *storage.Server {
+	return storage.NewServer(port, hooks)
+}
+
+// NewStorageWriter builds the writer client on an arbitrary Port.
+func NewStorageWriter(system *System, port Port, timeout time.Duration) *Writer {
+	return storage.NewWriter(system, port, timeout)
+}
+
+// NewStorageReader builds a reader client on an arbitrary Port.
+func NewStorageReader(system *System, port Port, timeout time.Duration) *Reader {
+	return storage.NewReader(system, port, timeout)
+}
+
+// RegisterStorageMessages registers the storage message types with the
+// gob-encoded TCP transport.
+func RegisterStorageMessages() {
+	transport.Register(storage.WriteReq{})
+	transport.Register(storage.WriteAck{})
+	transport.Register(storage.ReadReq{})
+	transport.Register(storage.ReadAck{})
+}
