@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	rqs-bench            # run everything
-//	rqs-bench -e E5,E7   # run selected experiments
-//	rqs-bench -list      # list available experiments
+//	rqs-bench                          # run everything
+//	rqs-bench -e E5,E7                 # run selected experiments
+//	rqs-bench -list                    # list available experiments
+//	rqs-bench -json BENCH_RESULTS.json # machine-readable perf suite
 package main
 
 import (
@@ -29,11 +30,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rqs-bench", flag.ContinueOnError)
 	var (
-		exps = fs.String("e", "all", "comma-separated experiment ids (E1..E12) or 'all'")
-		list = fs.Bool("list", false, "list experiments and exit")
+		exps     = fs.String("e", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		jsonPath = fs.String("json", "", "run the perf suite and write BENCH_RESULTS-style JSON to this path ('-' for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonPath != "" {
+		return writeBenchJSON(*jsonPath)
 	}
 
 	runners := map[string]func() *expt.Table{

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// BenchResult is one entry of BENCH_RESULTS.json: a machine-readable
+// record of an operation's cost so the perf trajectory can be tracked
+// across PRs (compare the committed file against a fresh -json run).
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// perfSuite is the fixed operation set behind `rqs-bench -json`: the
+// quorum-engine primitives on both the scan path (general adversary)
+// and the O(1) threshold path, plus the end-to-end storage hot paths
+// that the E11 throughput benches measure.
+func perfSuite() ([]BenchResult, error) {
+	example7 := core.Example7RQS()
+	threshold8, err := core.NewThresholdRQS(core.ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		return nil, err
+	}
+
+	trackerRound := func(r *core.RQS) func(b *testing.B) {
+		return func(b *testing.B) {
+			tr := r.NewTracker()
+			members := r.Universe().Members()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr.Reset()
+				for _, p := range members {
+					if tr.Add(p) {
+						tr.Contained(core.Class3)
+					}
+				}
+				tr.ContainedAll(core.Class2)
+			}
+		}
+	}
+	containedQuorum := func(r *core.RQS, responded core.Set) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, ok := r.ContainedQuorum(responded, core.Class2); !ok {
+					b.Fatal("no quorum")
+				}
+			}
+		}
+	}
+	storageOp := func(r *core.RQS, read bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			c := sim.NewStorageCluster(r, sim.StorageOptions{Timeout: 500 * time.Microsecond})
+			defer c.Stop()
+			w := c.Writer()
+			w.Write("v")
+			rd := c.Reader()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if read {
+					rd.Read()
+				} else {
+					w.Write("v")
+				}
+			}
+		}
+	}
+	broadcast := func(b *testing.B) {
+		net := transport.NewNetwork(8)
+		defer net.Close()
+		src := net.Port(7)
+		dst := core.FullSet(7)
+		sink := make(chan struct{})
+		for id := 0; id < 7; id++ {
+			go func(p transport.Port) {
+				for range p.Inbox() {
+				}
+				sink <- struct{}{}
+			}(net.Port(id))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			transport.Broadcast(src, dst, i)
+		}
+		b.StopTimer()
+		net.Close()
+		for id := 0; id < 7; id++ {
+			<-sink
+		}
+	}
+
+	suite := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"core/contained-quorum/threshold8", containedQuorum(threshold8, core.NewSet(0, 1, 2, 3, 4, 5))},
+		{"core/contained-quorum/example7", containedQuorum(example7, core.NewSet(0, 1, 2, 3, 4))},
+		{"core/tracker-round/threshold8", trackerRound(threshold8)},
+		{"core/tracker-round/example7", trackerRound(example7)},
+		{"storage/write/example7", storageOp(example7, false)},
+		{"storage/read/example7", storageOp(example7, true)},
+		{"storage/read/threshold8", storageOp(threshold8, true)},
+		{"transport/broadcast-7", broadcast},
+	}
+
+	out := make([]BenchResult, 0, len(suite))
+	for _, s := range suite {
+		r := testing.Benchmark(s.fn)
+		if r.N == 0 {
+			return nil, fmt.Errorf("benchmark %s failed", s.name)
+		}
+		out = append(out, BenchResult{
+			Name:        s.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}
+
+// writeBenchJSON runs the perf suite and writes it to path (stdout when
+// path is "-").
+func writeBenchJSON(path string) error {
+	results, err := perfSuite()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

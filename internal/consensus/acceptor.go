@@ -222,7 +222,7 @@ func (a *Acceptor) onUpdate(env transport.Envelope, m UpdateMsg) {
 	}
 	// Track senders of update_step〈v, view〉 regardless of attached Q.
 	k := vwKey{m.V, m.View}
-	r := rec(a.coll[m.Step-1], k)
+	r := rec(a.coll[m.Step-1], k, a.rqs.Index())
 	r.add(env.From, env.Hop)
 
 	a.evalTriggers(m.Step, m.V, m.View)
@@ -243,7 +243,7 @@ func (a *Acceptor) evalTriggers(step int, v Value, view int) {
 	}
 	switch step {
 	case 1:
-		for _, q := range a.rqs.ContainedQuorums(r.set, core.Class3) {
+		for _, q := range r.tr.ContainedAll(core.Class3) {
 			if hasQuorum(a.updateQ[0][view], q) {
 				continue
 			}
@@ -257,7 +257,7 @@ func (a *Acceptor) evalTriggers(step int, v Value, view int) {
 		if len(a.updateQ[1][view]) > 0 {
 			return
 		}
-		if q, ok := a.rqs.ContainedQuorum(r.set, core.Class3); ok {
+		if q, ok := r.tr.Contained(core.Class3); ok {
 			a.applyUpdate(1, v, view)
 			a.updateQ[1][view] = append(a.updateQ[1][view], q)
 			next := UpdateMsg{Step: 3, V: v, View: view, Q: q}

@@ -24,8 +24,13 @@ func (t Topology) Leader(view int) core.ProcessID {
 //	update1〈v, view, *〉 from a class-1 quorum → decide v (2 delays)
 //	update2〈v, view, Q2〉 from exactly Q2 ∈ QC2 → decide v (3 delays)
 //	update3〈v, view, *〉 from any quorum       → decide v (4 delays)
+//
+// Quorum containment is tracked incrementally per (value, view) key, so
+// each received update costs O(quorums-containing-sender) instead of a
+// rescan of the quorum list.
 type decider struct {
 	rqs *core.RQS
+	idx *core.QuorumIndex
 	// senders[step][key] records who sent which update and at what hop.
 	upd1 map[vwKey]*senderRec
 	upd2 map[vwqKey]*senderRec
@@ -43,14 +48,20 @@ type vwqKey struct {
 	q core.Set
 }
 
+// senderRec records who sent one particular update message. Tracker-
+// backed records (upd1/upd3) keep the responded set inside the tracker;
+// tracker-less ones (upd2, which only needs an O(1) subset test against
+// the named quorum) keep it in set.
 type senderRec struct {
 	set  core.Set
+	tr   *core.QuorumTracker // nil when containment isn't needed (upd2)
 	hops map[core.ProcessID]int
 }
 
 func newDecider(rqs *core.RQS) decider {
 	return decider{
 		rqs:  rqs,
+		idx:  rqs.Index(),
 		upd1: make(map[vwKey]*senderRec),
 		upd2: make(map[vwqKey]*senderRec),
 		upd3: make(map[vwKey]*senderRec),
@@ -58,7 +69,11 @@ func newDecider(rqs *core.RQS) decider {
 }
 
 func (r *senderRec) add(from core.ProcessID, hop int) {
-	r.set = r.set.Add(from)
+	if r.tr != nil {
+		r.tr.Add(from)
+	} else {
+		r.set = r.set.Add(from)
+	}
 	if h, ok := r.hops[from]; !ok || hop < h {
 		r.hops[from] = hop
 	}
@@ -76,10 +91,12 @@ func (r *senderRec) maxHopOver(q core.Set) int {
 	return hop
 }
 
-func rec(m map[vwKey]*senderRec, k vwKey) *senderRec {
+// rec returns the record for k, creating it with a quorum tracker over
+// idx if absent.
+func rec(m map[vwKey]*senderRec, k vwKey, idx *core.QuorumIndex) *senderRec {
 	r, ok := m[k]
 	if !ok {
-		r = &senderRec{hops: make(map[core.ProcessID]int)}
+		r = &senderRec{tr: idx.NewTracker(), hops: make(map[core.ProcessID]int)}
 		m[k] = r
 	}
 	return r
@@ -93,8 +110,10 @@ func (d *decider) record(from core.ProcessID, m UpdateMsg, hop int) {
 	}
 	switch m.Step {
 	case 1:
-		rec(d.upd1, vwKey{m.V, m.View}).add(from, hop)
+		rec(d.upd1, vwKey{m.V, m.View}, d.idx).add(from, hop)
 	case 2:
+		// The rule only ever asks whether the named Q2 itself is covered,
+		// an O(1) subset test; no tracker needed.
 		k := vwqKey{m.V, m.View, m.Q}
 		r, ok := d.upd2[k]
 		if !ok {
@@ -103,7 +122,7 @@ func (d *decider) record(from core.ProcessID, m UpdateMsg, hop int) {
 		}
 		r.add(from, hop)
 	case 3:
-		rec(d.upd3, vwKey{m.V, m.View}).add(from, hop)
+		rec(d.upd3, vwKey{m.V, m.View}, d.idx).add(from, hop)
 	}
 }
 
@@ -118,20 +137,20 @@ type decision struct {
 func (d *decider) check() (decision, bool) {
 	// Line 51: same update1 from a class-1 quorum.
 	for k, r := range d.upd1 {
-		if q, ok := d.rqs.ContainedQuorum(r.set, core.Class1); ok {
+		if q, ok := r.tr.Contained(core.Class1); ok {
 			return decision{v: k.v, hops: r.maxHopOver(q)}, true
 		}
 	}
 	// Line 52: same update2〈v, view, Q2〉 from exactly the class-2 quorum
 	// Q2 named in the message.
 	for k, r := range d.upd2 {
-		if cls, listed := d.rqs.ClassOfListed(k.q); listed && cls <= core.Class2 && k.q.SubsetOf(r.set) {
+		if cls, listed := d.idx.ClassOf(k.q); listed && cls <= core.Class2 && k.q.SubsetOf(r.set) {
 			return decision{v: k.v, hops: r.maxHopOver(k.q)}, true
 		}
 	}
 	// Line 53: same update3 from any quorum.
 	for k, r := range d.upd3 {
-		if q, ok := d.rqs.ContainedQuorum(r.set, core.Class3); ok {
+		if q, ok := r.tr.Contained(core.Class3); ok {
 			return decision{v: k.v, hops: r.maxHopOver(q)}, true
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // QuorumClass labels the three nested classes of a refined quorum system.
@@ -39,6 +40,13 @@ type RQS struct {
 	adv      Adversary
 	quorums  []Set
 	class    []QuorumClass // class[i] is the class of quorums[i]
+
+	// blocks is non-nil for threshold systems built by NewThresholdRQS;
+	// it enables the O(1) cardinality fast path of the quorum engine.
+	blocks []quorumBlock
+
+	idxOnce sync.Once
+	idx     *QuorumIndex
 }
 
 // Config describes a refined quorum system to be built by New.
@@ -143,11 +151,32 @@ func (r *RQS) ClassOfListed(q Set) (QuorumClass, bool) {
 	return 0, false
 }
 
+// Index returns the RQS's precomputed quorum index, building it on
+// first use. The index is immutable and safe for concurrent use.
+func (r *RQS) Index() *QuorumIndex {
+	r.idxOnce.Do(func() { r.idx = buildIndex(r) })
+	return r.idx
+}
+
+// NewTracker creates an incremental quorum tracker for one protocol
+// operation over this RQS.
+func (r *RQS) NewTracker() *QuorumTracker { return r.Index().NewTracker() }
+
 // ContainedQuorum reports whether responded ⊇ some quorum of class at
-// least c, returning the strongest-contained listed quorum found. This is
-// the primitive protocols use to decide "acks received from some class-c
-// quorum".
+// least c, returning the first-listed contained quorum. This is the
+// primitive protocols use to decide "acks received from some class-c
+// quorum". Threshold systems answer in O(1); others scan the quorum
+// list (use a QuorumTracker for per-ack incremental checks).
 func (r *RQS) ContainedQuorum(responded Set, c QuorumClass) (Set, bool) {
+	if r.blocks != nil {
+		return thresholdContained(r.blocks, r.universe, responded, c)
+	}
+	return r.scanContainedQuorum(responded, c)
+}
+
+// scanContainedQuorum is the reference linear scan; the fast paths and
+// trackers are differentially tested against it.
+func (r *RQS) scanContainedQuorum(responded Set, c QuorumClass) (Set, bool) {
 	for i, q := range r.quorums {
 		if r.class[i] <= c && q.SubsetOf(responded) {
 			return q, true
@@ -157,9 +186,18 @@ func (r *RQS) ContainedQuorum(responded Set, c QuorumClass) (Set, bool) {
 }
 
 // ContainedQuorums returns every listed quorum of class at least c that is
-// a subset of responded. The storage protocol uses this to compute the set
-// QC'2 of class-2 quorums that responded in round 1.
+// a subset of responded, in list order. The storage protocol uses this to
+// compute the set QC'2 of class-2 quorums that responded in round 1.
 func (r *RQS) ContainedQuorums(responded Set, c QuorumClass) []Set {
+	if r.blocks != nil && !blocksMaybeContained(r.blocks, r.universe, responded, c) {
+		return nil
+	}
+	return r.scanContainedQuorums(responded, c)
+}
+
+// scanContainedQuorums is the reference linear scan behind
+// ContainedQuorums.
+func (r *RQS) scanContainedQuorums(responded Set, c QuorumClass) []Set {
 	var out []Set
 	for i, q := range r.quorums {
 		if r.class[i] <= c && q.SubsetOf(responded) {

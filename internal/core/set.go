@@ -105,6 +105,23 @@ func (s Set) Members() []ProcessID {
 	return out
 }
 
+// LowestK returns the set of the k smallest members of s, or s itself
+// when |s| ≤ k. It is the lexicographically first k-subset of s, which
+// is also the first k-subset of s that Subsets enumerates.
+func (s Set) LowestK(k int) Set {
+	if k <= 0 {
+		return 0
+	}
+	if s.Count() <= k {
+		return s
+	}
+	v := uint64(s)
+	for ; k > 0; k-- {
+		v &= v - 1 // clear the k lowest bits one by one…
+	}
+	return s &^ Set(v) // …and keep exactly the bits cleared
+}
+
 // Min returns the smallest member of s, or -1 if s is empty.
 func (s Set) Min() ProcessID {
 	if s == 0 {

@@ -103,13 +103,36 @@ func NewThresholdRQS(p ThresholdParams) (*RQS, error) {
 			class1 = append(class1, i)
 		}
 	}
-	return New(Config{
+	r, err := New(Config{
 		Universe:  universe,
 		Adversary: NewThreshold(p.N, p.K),
 		Quorums:   quorums,
 		Class2:    class2,
 		Class1:    class1,
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Record the block structure of the quorum list (same-size runs with
+	// their final declared class, in list order) so containment queries
+	// can use the O(1) cardinality fast path. This mirrors the class
+	// markings above, including the degenerate q = r and r = t cases.
+	blocks := []quorumBlock{{size: p.N - p.T, class: Class3}}
+	if p.R < p.T {
+		blocks = append(blocks, quorumBlock{size: p.N - p.R, class: Class2})
+	} else {
+		blocks[0].class = Class2
+	}
+	switch {
+	case p.Q < p.R:
+		blocks = append(blocks, quorumBlock{size: p.N - p.Q, class: Class1})
+	case p.R < p.T: // q == r < t
+		blocks[len(blocks)-1].class = Class1
+	default: // q == r == t
+		blocks[0].class = Class1
+	}
+	r.blocks = blocks
+	return r, nil
 }
 
 // binomial returns C(n, k) for small n, saturating at a large value.

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+)
+
+// benchSystems spans the engine's regimes: Example 7 (general
+// adversary, tiny quorum list — scan territory), the three-class
+// threshold system on 8 servers (O(1) cardinality path), and the
+// 175-quorum list for n=10 rebuilt as an explicit Config so it runs the
+// postings-list path — the regime the incremental engine exists for.
+func benchSystems(b *testing.B) map[string]*RQS {
+	b.Helper()
+	th, err := NewThresholdRQS(ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th10, err := NewThresholdRQS(ThresholdParams{N: 10, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var class1, class2 []int
+	for i, q := range th10.Quorums() {
+		if cls, _ := th10.ClassOfListed(q); cls <= Class2 {
+			class2 = append(class2, i)
+			if cls == Class1 {
+				class1 = append(class1, i)
+			}
+		}
+	}
+	biglist := MustNew(Config{
+		Universe:  th10.Universe(),
+		Adversary: th10.Adversary(),
+		Quorums:   th10.Quorums(),
+		Class2:    class2,
+		Class1:    class1,
+	})
+	return map[string]*RQS{"example7": Example7RQS(), "threshold8": th, "biglist175": biglist}
+}
+
+// BenchmarkCoreTrackerVsScan measures one protocol round's worth of
+// quorum checks — an ack from every server, with a containment query
+// after each — on the old per-ack rescan versus the incremental tracker.
+func BenchmarkCoreTrackerVsScan(b *testing.B) {
+	for name, r := range benchSystems(b) {
+		members := r.Universe().Members()
+		b.Run("scan/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var responded Set
+				for _, p := range members {
+					responded = responded.Add(p)
+					r.scanContainedQuorum(responded, Class3)
+				}
+				if _, ok := r.scanContainedQuorum(responded, Class1); !ok {
+					b.Fatal("no class-1 quorum")
+				}
+				r.scanContainedQuorums(responded, Class2)
+			}
+		})
+		b.Run("tracker/"+name, func(b *testing.B) {
+			tr := r.NewTracker()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr.Reset()
+				for _, p := range members {
+					if tr.Add(p) {
+						tr.Contained(Class3)
+					}
+				}
+				if _, ok := tr.Contained(Class1); !ok {
+					b.Fatal("no class-1 quorum")
+				}
+				tr.ContainedAll(Class2)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreTrackerAdd isolates the per-ack cost: postings-list
+// update (general) or counter bump (threshold).
+func BenchmarkCoreTrackerAdd(b *testing.B) {
+	for name, r := range benchSystems(b) {
+		members := r.Universe().Members()
+		tr := r.NewTracker()
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr.Reset()
+				for _, p := range members {
+					tr.Add(p)
+				}
+			}
+		})
+	}
+}

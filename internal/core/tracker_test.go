@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diffSystems are the instances the differential tests run over: the
+// paper's worked examples (general adversaries, scan path), every
+// degenerate shape of the threshold family (O(1) fast path), and a
+// batch of seeded random structured systems.
+func diffSystems(t testing.TB) map[string]*RQS {
+	t.Helper()
+	out := map[string]*RQS{
+		"example7":        Example7RQS(),
+		"fig3":            Fig3RQS(),
+		"majority5":       MajorityRQS(5),
+		"byzantineThird7": ByzantineThirdRQS(7),
+		"fiveServer":      FiveServerRQS(),
+	}
+	thresholds := []ThresholdParams{
+		{T: 3, R: 2, Q: 1, K: 1}, // q < r < t
+		{T: 2, R: 2, Q: 1, K: 1}, // q < r = t
+		{T: 2, R: 1, Q: 1, K: 1}, // q = r < t
+		{T: 2, R: 2, Q: 2, K: 1}, // q = r = t
+		{T: 1, R: 1, Q: 0, K: 1}, // PBFT-style n = 3t+1
+	}
+	for _, p := range thresholds {
+		p.N = MinimalN(p.T, p.R, p.Q, p.K)
+		r, err := NewThresholdRQS(p)
+		if err != nil {
+			t.Fatalf("threshold %+v: %v", p, err)
+		}
+		out[fmt.Sprintf("threshold-t%dr%dq%dk%d", p.T, p.R, p.Q, p.K)] = r
+	}
+	// Random structured systems: random quorums with random class
+	// promotions. Containment queries do not require the intersection
+	// properties to hold, so these need not be valid RQSs.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 8; i++ {
+		n := 5 + rng.Intn(4)
+		universe := FullSet(n)
+		nq := 2 + rng.Intn(6)
+		cfg := Config{Universe: universe, Adversary: NewThreshold(n, 1)}
+		for q := 0; q < nq; q++ {
+			var s Set
+			for s.Count() < 1+rng.Intn(n) {
+				s = s.Add(rng.Intn(n))
+			}
+			idx := len(cfg.Quorums)
+			cfg.Quorums = append(cfg.Quorums, s)
+			switch rng.Intn(3) {
+			case 1:
+				cfg.Class2 = append(cfg.Class2, idx)
+			case 2:
+				cfg.Class2 = append(cfg.Class2, idx)
+				cfg.Class1 = append(cfg.Class1, idx)
+			}
+		}
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatalf("random config %d: %v", i, err)
+		}
+		out[fmt.Sprintf("random%d", i)] = r
+	}
+	return out
+}
+
+func sameSets(a, b []Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstScans asserts that every tracker verdict and both RQS
+// containment entry points agree exactly with the reference scans for
+// the given response set.
+func checkAgainstScans(t *testing.T, r *RQS, tr *QuorumTracker, responded Set) {
+	t.Helper()
+	if tr.Responded() != responded {
+		t.Fatalf("Responded() = %v, want %v", tr.Responded(), responded)
+	}
+	for c := Class1; c <= Class3; c++ {
+		wantQ, wantOK := r.scanContainedQuorum(responded, c)
+		gotQ, gotOK := tr.Contained(c)
+		if gotQ != wantQ || gotOK != wantOK {
+			t.Fatalf("responded=%v class=%v: tracker.Contained = (%v,%v), scan = (%v,%v)",
+				responded, c, gotQ, gotOK, wantQ, wantOK)
+		}
+		gotQ, gotOK = r.ContainedQuorum(responded, c)
+		if gotQ != wantQ || gotOK != wantOK {
+			t.Fatalf("responded=%v class=%v: ContainedQuorum = (%v,%v), scan = (%v,%v)",
+				responded, c, gotQ, gotOK, wantQ, wantOK)
+		}
+		wantAll := r.scanContainedQuorums(responded, c)
+		if gotAll := tr.ContainedAll(c); !sameSets(gotAll, wantAll) {
+			t.Fatalf("responded=%v class=%v: tracker.ContainedAll = %v, scan = %v",
+				responded, c, gotAll, wantAll)
+		}
+		if gotAll := r.ContainedQuorums(responded, c); !sameSets(gotAll, wantAll) {
+			t.Fatalf("responded=%v class=%v: ContainedQuorums = %v, scan = %v",
+				responded, c, gotAll, wantAll)
+		}
+	}
+	if want := r.universe.SubsetOf(responded); tr.Complete() != want {
+		t.Fatalf("responded=%v: Complete() = %v, want %v", responded, tr.Complete(), want)
+	}
+}
+
+// TestTrackerMatchesScansDifferential drives trackers through seeded
+// random ack orders (with duplicates and an out-of-universe process) on
+// every instance and asserts verdict-for-verdict agreement with the
+// reference scans after every single ack.
+func TestTrackerMatchesScansDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for name, r := range diffSystems(t) {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			tr := r.NewTracker()
+			for trial := 0; trial < 20; trial++ {
+				tr.Reset()
+				var responded Set
+				checkAgainstScans(t, r, tr, responded)
+				order := append(r.Universe().Members(), r.N()+1) // one stranger
+				rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+				for _, p := range order {
+					if changed := tr.Add(p); !changed {
+						t.Fatalf("Add(%d) reported no change on first ack", p)
+					}
+					if tr.Add(p) {
+						t.Fatalf("Add(%d) reported change on duplicate ack", p)
+					}
+					responded = responded.Add(p)
+					checkAgainstScans(t, r, tr, responded)
+				}
+			}
+		})
+	}
+}
+
+// TestTrackerAddSetMatchesScans exercises the bulk-add path on random
+// response sets via testing/quick.
+func TestTrackerAddSetMatchesScans(t *testing.T) {
+	for name, r := range diffSystems(t) {
+		r := r
+		t.Run(name, func(t *testing.T) {
+			tr := r.NewTracker()
+			check := func(raw uint64) bool {
+				responded := Set(raw) & FullSet(r.N()+2)
+				tr.Reset()
+				tr.AddSet(responded)
+				for c := Class1; c <= Class3; c++ {
+					wantQ, wantOK := r.scanContainedQuorum(responded, c)
+					if gotQ, gotOK := tr.Contained(c); gotQ != wantQ || gotOK != wantOK {
+						return false
+					}
+					if !sameSets(tr.ContainedAll(c), r.scanContainedQuorums(responded, c)) {
+						return false
+					}
+				}
+				return true
+			}
+			cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(99))}
+			if err := quick.Check(check, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLowestK(t *testing.T) {
+	s := NewSet(1, 3, 4, 9, 12)
+	cases := []struct {
+		k    int
+		want Set
+	}{
+		{0, EmptySet},
+		{1, NewSet(1)},
+		{3, NewSet(1, 3, 4)},
+		{5, s},
+		{9, s},
+	}
+	for _, tt := range cases {
+		if got := s.LowestK(tt.k); got != tt.want {
+			t.Errorf("LowestK(%d) = %v, want %v", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestTrackerEmptyQuorumIsContained(t *testing.T) {
+	// A listed empty quorum is vacuously contained in any response set,
+	// including the empty one; the tracker must agree with the scan.
+	r := MustNew(Config{
+		Universe: FullSet(3),
+		Quorums:  []Set{EmptySet, NewSet(0, 1)},
+	})
+	tr := r.NewTracker()
+	if q, ok := tr.Contained(Class3); !ok || q != EmptySet {
+		t.Fatalf("Contained = (%v,%v), want (∅,true)", q, ok)
+	}
+	checkAgainstScans(t, r, tr, EmptySet)
+}
+
+func TestIndexClassOf(t *testing.T) {
+	r := Example7RQS()
+	idx := r.Index()
+	for _, q := range r.Quorums() {
+		want, wantOK := r.ClassOfListed(q)
+		if got, ok := idx.ClassOf(q); got != want || ok != wantOK {
+			t.Errorf("ClassOf(%v) = (%v,%v), want (%v,%v)", q, got, ok, want, wantOK)
+		}
+	}
+	if _, ok := idx.ClassOf(NewSet(0)); ok {
+		t.Error("ClassOf(unlisted) = true, want false")
+	}
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -20,6 +21,7 @@ type StorageCluster struct {
 	Servers []*storage.Server
 	Timeout time.Duration
 
+	clientMu   sync.Mutex // tests spawn clients from concurrent goroutines
 	nClients   int
 	nextClient int
 }
@@ -78,6 +80,8 @@ func (c *StorageCluster) ReaderOpts(opts storage.ReaderOptions) *storage.Reader 
 }
 
 func (c *StorageCluster) clientPort() transport.Port {
+	c.clientMu.Lock()
+	defer c.clientMu.Unlock()
 	if c.nextClient >= c.nClients {
 		panic("sim: client slots exhausted; raise StorageOptions.Clients")
 	}

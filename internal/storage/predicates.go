@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/core"
@@ -15,12 +16,13 @@ type readState struct {
 	adv  core.Adversary
 	elem []core.Set // enumeration of B, for valid3
 
-	hist       map[core.ProcessID]History
-	responded  core.Set   // servers that acked at least once this read
-	roundAcked core.Set   // servers that acked the current round
-	qc2prime   []core.Set // class-2 quorums that responded in round 1
-	highestTS  int64
-	portClosed bool // the transport shut down mid-read
+	hist        map[core.ProcessID]History
+	resp        *core.QuorumTracker // servers that acked at least once this read
+	round       *core.QuorumTracker // servers that acked the current round
+	respQuorums []core.Set          // quorums inside resp, refreshed once per round
+	qc2prime    []core.Set          // class-2 quorums that responded in round 1
+	highestTS   int64
+	portClosed  bool // the transport shut down mid-read
 }
 
 // slot returns the reader's local copy of server i's slot for (ts, rnd);
@@ -40,8 +42,8 @@ func (st *readState) readPred(c Pair, i core.ProcessID) bool {
 // alone cannot fabricate it.
 func (st *readState) safe(c Pair) bool {
 	var witnesses core.Set
-	for _, i := range st.rqs.Universe().Members() {
-		if st.readPred(c, i) {
+	for v := uint64(st.rqs.Universe()); v != 0; v &= v - 1 {
+		if i := bits.TrailingZeros64(v); st.readPred(c, i) {
 			witnesses = witnesses.Add(i)
 		}
 	}
@@ -53,8 +55,8 @@ func (st *readState) safe(c Pair) bool {
 // under subsets.
 func (st *readState) valid1(c Pair, q core.Set) bool {
 	var witnesses core.Set
-	for _, i := range q.Members() {
-		if st.slot(i, c.TS, 1).Pair == c {
+	for v := uint64(q); v != 0; v &= v - 1 {
+		if i := bits.TrailingZeros64(v); st.slot(i, c.TS, 1).Pair == c {
 			witnesses = witnesses.Add(i)
 		}
 	}
@@ -63,8 +65,8 @@ func (st *readState) valid1(c Pair, q core.Set) bool {
 
 // valid2 is valid2(c, Q) (line 4): some server in Q reported c in slot 2.
 func (st *readState) valid2(c Pair, q core.Set) bool {
-	for _, i := range q.Members() {
-		if st.slot(i, c.TS, 2).Pair == c {
+	for v := uint64(q); v != 0; v &= v - 1 {
+		if i := bits.TrailingZeros64(v); st.slot(i, c.TS, 2).Pair == c {
 			return true
 		}
 	}
@@ -82,8 +84,8 @@ func (st *readState) valid3(c Pair, q core.Set) bool {
 				continue
 			}
 			ok := true
-			for _, i := range q2.Intersect(q).Diff(b).Members() {
-				s := st.slot(i, c.TS, 1)
+			for v := uint64(q2.Intersect(q).Diff(b)); v != 0; v &= v - 1 {
+				s := st.slot(bits.TrailingZeros64(v), c.TS, 1)
 				if s.Pair != c || !s.HasSet(q2) {
 					ok = false
 					break
@@ -98,12 +100,13 @@ func (st *readState) valid3(c Pair, q core.Set) bool {
 }
 
 // invalid is invalid(c) (line 6): some responded quorum satisfies none of
-// the valid predicates for c, or c's timestamp exceeds highest_ts.
+// the valid predicates for c, or c's timestamp exceeds highest_ts. The
+// responded quorums are precomputed once per round in respQuorums.
 func (st *readState) invalid(c Pair) bool {
 	if c.TS > st.highestTS {
 		return true
 	}
-	for _, q := range st.rqs.ContainedQuorums(st.responded, core.Class3) {
+	for _, q := range st.respQuorums {
 		if !st.valid1(c, q) && !st.valid2(c, q) && !st.valid3(c, q) {
 			return true
 		}
@@ -183,8 +186,8 @@ func (st *readState) bcd1(c Pair, rnd int) bool {
 	for _, q1 := range st.rqs.QuorumsOfClass(core.Class1) {
 		for _, qr := range st.rqs.QuorumsOfClass(core.QuorumClass(rnd)) {
 			ok := true
-			for _, i := range q1.Intersect(qr).Members() {
-				s := st.slot(i, c.TS, rnd)
+			for v := uint64(q1.Intersect(qr)); v != 0; v &= v - 1 {
+				s := st.slot(bits.TrailingZeros64(v), c.TS, rnd)
 				if s.Pair != c || (rnd == 2 && !s.HasSet(qr)) {
 					ok = false
 					break
@@ -207,8 +210,8 @@ func (st *readState) bcd2(c Pair, rnd int) []core.Set {
 		found := false
 		for _, qr := range st.rqs.QuorumsOfClass(core.QuorumClass(rnd)) {
 			ok := true
-			for _, i := range q2.Intersect(qr).Members() {
-				if st.slot(i, c.TS, rnd).Pair != c {
+			for v := uint64(q2.Intersect(qr)); v != 0; v &= v - 1 {
+				if st.slot(bits.TrailingZeros64(v), c.TS, rnd).Pair != c {
 					ok = false
 					break
 				}

@@ -24,6 +24,11 @@ type Reader struct {
 	advElem    []core.Set // cached enumeration of B for valid3
 	semantics  Semantics
 	disableQC2 bool
+
+	// Trackers reused across operations (one operation at a time).
+	trRound *core.QuorumTracker // acks of the current query round
+	trResp  *core.QuorumTracker // servers heard from at all this read
+	trWB    *core.QuorumTracker // writeback acks
 }
 
 // NewReader creates a reader. timeout is the paper's 2Δ; zero selects
@@ -38,6 +43,9 @@ func NewReader(rqs *core.RQS, port transport.Port, timeout time.Duration) *Reade
 		timeout:   timeout,
 		advElem:   core.Elements(rqs.Adversary()),
 		semantics: Atomic,
+		trRound:   rqs.NewTracker(),
+		trResp:    rqs.NewTracker(),
+		trWB:      rqs.NewTracker(),
 	}
 }
 
@@ -48,11 +56,14 @@ func NewReader(rqs *core.RQS, port transport.Port, timeout time.Duration) *Reade
 func (r *Reader) Read() ReadResult {
 	r.readNo++
 	r.drainStale()
+	r.trResp.Reset()
 	st := &readState{
-		rqs:  r.rqs,
-		adv:  r.rqs.Adversary(),
-		elem: r.advElem,
-		hist: make(map[core.ProcessID]History),
+		rqs:   r.rqs,
+		adv:   r.rqs.Adversary(),
+		elem:  r.advElem,
+		hist:  make(map[core.ProcessID]History),
+		resp:  r.trResp,
+		round: r.trRound,
 	}
 
 	rounds := 0
@@ -66,10 +77,13 @@ func (r *Reader) Read() ReadResult {
 			// network under deliberately blocked reads).
 			return ReadResult{Val: NoValue, TS: 0, Rounds: rounds}
 		}
+		// The responded set only changes between rounds, so the quorums
+		// it contains are computed once per round, not per predicate.
+		st.respQuorums = st.resp.ContainedAll(core.Class3)
 		if rounds == 1 {
 			st.highestTS = st.computeHighestTS()
 			if !r.disableQC2 {
-				st.qc2prime = r.rqs.ContainedQuorums(st.roundAcked, core.Class2)
+				st.qc2prime = st.round.ContainedAll(core.Class2)
 			}
 		}
 		if c, ok := st.selectCandidate(); ok {
@@ -120,20 +134,21 @@ func (r *Reader) Read() ReadResult {
 }
 
 // queryRound sends rd〈read_no, rnd〉 to all servers and waits until some
-// quorum replied in this round and, in round 1, the 2Δ timer expired.
+// quorum replied in this round and, in round 1, the 2Δ timer expired or
+// every server replied (once the whole universe has answered, no later
+// message can add information, so the timer wait is provably redundant).
 func (r *Reader) queryRound(st *readState, rnd int) {
 	transport.Broadcast(r.port, r.rqs.Universe(), ReadReq{ReadNo: r.readNo, Round: rnd})
 
-	st.roundAcked = core.EmptySet
+	st.round.Reset()
 	timer := time.NewTimer(r.timeout)
 	defer timer.Stop()
 	timerDone := rnd != 1
+	quorumOK := false
 
 	for {
-		if timerDone {
-			if _, ok := r.rqs.ContainedQuorum(st.roundAcked, core.Class3); ok {
-				return
-			}
+		if quorumOK && (timerDone || st.round.Complete()) {
+			return
 		}
 		select {
 		case env, ok := <-r.port.Inbox():
@@ -144,11 +159,12 @@ func (r *Reader) queryRound(st *readState, rnd int) {
 			if ack, isAck := env.Payload.(ReadAck); isAck && ack.ReadNo == r.readNo {
 				// Lines 50-53: any ack refreshes the local copy of the
 				// server's history and the Responded bookkeeping; only
-				// current-round acks advance the round.
+				// current-round acks advance the round. Quorum checks
+				// rerun only when the ack set actually grew.
 				st.hist[env.From] = ack.History
-				st.responded = st.responded.Add(env.From)
-				if ack.Round == rnd {
-					st.roundAcked = st.roundAcked.Add(env.From)
+				st.resp.Add(env.From)
+				if ack.Round == rnd && st.round.Add(env.From) && !quorumOK {
+					_, quorumOK = st.round.Contained(core.Class3)
 				}
 			}
 		case <-timer.C:
@@ -159,30 +175,31 @@ func (r *Reader) queryRound(st *readState, rnd int) {
 
 // writeback implements lines 60-62: send wr〈ts, val, sets, round〉 to all
 // servers and wait for a quorum of acks; with withTimer it additionally
-// waits for the 2Δ timer (the line 43-45 dance). It returns the servers
-// that acked.
+// waits for the 2Δ timer (the line 43-45 dance), again cut short if the
+// whole universe acks. It returns the servers that acked.
 func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool) core.Set {
 	req := WriteReq{TS: c.TS, Val: c.Val, Sets: sets, Round: round}
 	transport.Broadcast(r.port, r.rqs.Universe(), req)
 
-	var acked core.Set
+	r.trWB.Reset()
 	timer := time.NewTimer(r.timeout)
 	defer timer.Stop()
 	timerDone := !withTimer
+	quorumOK := false
 
 	for {
-		if timerDone {
-			if _, ok := r.rqs.ContainedQuorum(acked, core.Class3); ok {
-				return acked
-			}
+		if quorumOK && (timerDone || r.trWB.Complete()) {
+			return r.trWB.Responded()
 		}
 		select {
 		case env, ok := <-r.port.Inbox():
 			if !ok {
-				return acked
+				return r.trWB.Responded()
 			}
 			if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == c.TS && ack.Round == round {
-				acked = acked.Add(env.From)
+				if r.trWB.Add(env.From) && !quorumOK {
+					_, quorumOK = r.trWB.Contained(core.Class3)
+				}
 			}
 		case <-timer.C:
 			timerDone = true

@@ -25,6 +25,7 @@ type Writer struct {
 	port    transport.Port
 	timeout time.Duration // the 2Δ round timer
 	ts      int64
+	tr      *core.QuorumTracker // per-round ack tracker, reset each round
 }
 
 // NewWriter creates the writer. timeout is the paper's 2Δ; zero selects
@@ -33,7 +34,7 @@ func NewWriter(rqs *core.RQS, port transport.Port, timeout time.Duration) *Write
 	if timeout <= 0 {
 		timeout = DefaultTimeout
 	}
-	return &Writer{rqs: rqs, port: port, timeout: timeout}
+	return &Writer{rqs: rqs, port: port, timeout: timeout, tr: rqs.NewTracker()}
 }
 
 // Timestamp returns the writer's current local timestamp.
@@ -57,16 +58,16 @@ func (w *Writer) Write(v string) WriteResult {
 	w.ts++
 	w.drainStale()
 
-	// Round 1: wait for a quorum AND the 2Δ timer.
-	acked := w.round(1, v, nil, true)
-	if _, ok := w.rqs.ContainedQuorum(acked, core.Class1); ok {
+	// Round 1: wait for a quorum AND the 2Δ timer (or every server).
+	w.round(1, v, nil, true)
+	if _, ok := w.tr.Contained(core.Class1); ok {
 		return WriteResult{TS: w.ts, Rounds: 1}
 	}
 	// Remember the class-2 quorums that responded (lines 4-5).
-	qc2 := w.rqs.ContainedQuorums(acked, core.Class2)
+	qc2 := w.tr.ContainedAll(core.Class2)
 
 	// Round 2: write the pair with the QC'2 certificate.
-	acked = w.round(2, v, qc2, true)
+	acked := w.round(2, v, qc2, true)
 	for _, q := range qc2 {
 		if q.SubsetOf(acked) {
 			return WriteResult{TS: w.ts, Rounds: 2}
@@ -79,30 +80,35 @@ func (w *Writer) Write(v string) WriteResult {
 }
 
 // round sends wr〈ts, v, sets, rnd〉 to all servers and waits for acks from
-// some quorum, plus (rounds 1-2) the expiration of the 2Δ timer. It
-// returns the set of servers that acked this round.
+// some quorum, plus (rounds 1-2) the expiration of the 2Δ timer. The
+// timer wait is cut short once every server has acked: nothing further
+// can arrive, so waiting longer cannot change any verdict. It returns
+// the set of servers that acked this round (also held by w.tr).
 func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool) core.Set {
 	req := WriteReq{TS: w.ts, Val: v, Sets: sets, Round: rnd}
 	transport.Broadcast(w.port, w.rqs.Universe(), req)
 
-	var acked core.Set
+	w.tr.Reset()
 	timer := time.NewTimer(w.timeout)
 	defer timer.Stop()
 	timerDone := !withTimer
+	quorumOK := false
 
 	for {
-		if timerDone {
-			if _, ok := w.rqs.ContainedQuorum(acked, core.Class3); ok {
-				return acked
-			}
+		if quorumOK && (timerDone || w.tr.Complete()) {
+			return w.tr.Responded()
 		}
 		select {
 		case env, ok := <-w.port.Inbox():
 			if !ok {
-				return acked
+				return w.tr.Responded()
 			}
+			// Re-check quorum containment only when the ack changed the
+			// tracker state; duplicates and stale messages are free.
 			if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == w.ts && ack.Round == rnd {
-				acked = acked.Add(env.From)
+				if w.tr.Add(env.From) && !quorumOK {
+					_, quorumOK = w.tr.Contained(core.Class3)
+				}
 			}
 		case <-timer.C:
 			timerDone = true

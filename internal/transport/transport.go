@@ -7,10 +7,19 @@
 // suite and the lower-bound experiments replay the paper's proof schedules
 // (Figures 8 and 16) deterministically. A TCP transport with the same Port
 // interface backs the demo binaries.
+//
+// The data plane is built for contention: routing state (delays, crashes,
+// filter) lives in an immutable snapshot read without locking, delivery
+// serializes only on a per-destination inbox lock, and delayed messages
+// share one timer queue instead of a goroutine each. Zero-delay sends —
+// the protocols' common case — touch no global mutex at all.
 package transport
 
 import (
+	"container/heap"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -59,33 +68,64 @@ type Port interface {
 // only smooths bursts (e.g. a broadcast landing on one process).
 const inboxCap = 4096
 
+// netConfig is the immutable routing snapshot read lock-free on every
+// dispatch. Mutators copy it, change the copy, and swap the pointer.
+type netConfig struct {
+	filter  Filter
+	delay   time.Duration
+	linkDly []time.Duration // flat n×n, -1 = no override; nil when unused
+	crashed core.Set
+}
+
+// inboxShard is one destination's delivery endpoint: the inbox channel
+// and the lock that serializes sends against Close. The padding keeps
+// independent shards off each other's cache line.
+type inboxShard struct {
+	mu     sync.Mutex
+	closed bool
+	ch     chan Envelope
+	_      [64 - 8*3]byte
+}
+
 // Network is an in-memory network connecting n processes.
 // The zero value is not usable; use NewNetwork.
 type Network struct {
-	n int
+	n      int
+	closed atomic.Bool
+	cfg    atomic.Pointer[netConfig]
+	shards []inboxShard
 
-	mu       sync.Mutex
-	closed   bool
-	filter   Filter
-	delay    time.Duration
-	linkDly  map[[2]core.ProcessID]time.Duration
-	crashed  core.Set
-	held     []Envelope
-	inboxes  []chan Envelope
+	// sendMu gates message acceptance: dispatch holds it shared while
+	// checking closed and registering with inflight, Close holds it
+	// exclusively once to flush in-progress accepts. Senders never
+	// contend with each other on it.
+	sendMu sync.RWMutex
+
+	// mu guards configuration writes and the held list; it is never
+	// taken on the delivery fast path.
+	mu   sync.Mutex
+	held []Envelope
+
+	// filterMu serializes filter invocations, preserving the old
+	// guarantee that a stateful filter closure never runs concurrently.
+	filterMu sync.Mutex
+
 	inflight sync.WaitGroup
+	timers   timerQueue
 }
 
 // NewNetwork creates a network for processes 0..n-1 with instant delivery
 // and no faults.
 func NewNetwork(n int) *Network {
 	net := &Network{
-		n:       n,
-		inboxes: make([]chan Envelope, n),
-		linkDly: make(map[[2]core.ProcessID]time.Duration),
+		n:      n,
+		shards: make([]inboxShard, n),
 	}
-	for i := range net.inboxes {
-		net.inboxes[i] = make(chan Envelope, inboxCap)
+	for i := range net.shards {
+		net.shards[i].ch = make(chan Envelope, inboxCap)
 	}
+	net.cfg.Store(&netConfig{})
+	net.timers.start(net)
 	return net
 }
 
@@ -97,43 +137,56 @@ func (net *Network) Port(id core.ProcessID) Port {
 	return &memPort{net: net, id: id}
 }
 
-// SetFilter installs a delivery filter. Passing nil restores plain
-// delivery. The filter runs under the network lock: it must not call back
-// into the network.
-func (net *Network) SetFilter(f Filter) {
+// updateCfg applies f to a copy of the routing snapshot and publishes it.
+func (net *Network) updateCfg(f func(*netConfig)) {
 	net.mu.Lock()
 	defer net.mu.Unlock()
-	net.filter = f
+	c := *net.cfg.Load()
+	if c.linkDly != nil {
+		c.linkDly = append([]time.Duration(nil), c.linkDly...)
+	}
+	f(&c)
+	net.cfg.Store(&c)
+}
+
+// SetFilter installs a delivery filter. Passing nil restores plain
+// delivery. Filter invocations are serialized, but the filter must not
+// call back into the network.
+func (net *Network) SetFilter(f Filter) {
+	net.updateCfg(func(c *netConfig) { c.filter = f })
 }
 
 // SetDelay sets the uniform link delay; per-link delays take precedence.
 func (net *Network) SetDelay(d time.Duration) {
-	net.mu.Lock()
-	defer net.mu.Unlock()
-	net.delay = d
+	net.updateCfg(func(c *netConfig) { c.delay = d })
 }
 
 // SetLinkDelay overrides the delay of the from→to link.
 func (net *Network) SetLinkDelay(from, to core.ProcessID, d time.Duration) {
-	net.mu.Lock()
-	defer net.mu.Unlock()
-	net.linkDly[[2]core.ProcessID{from, to}] = d
+	if from < 0 || from >= net.n || to < 0 || to >= net.n {
+		return
+	}
+	net.updateCfg(func(c *netConfig) {
+		if c.linkDly == nil {
+			c.linkDly = make([]time.Duration, net.n*net.n)
+			for i := range c.linkDly {
+				c.linkDly[i] = -1
+			}
+		}
+		c.linkDly[from*net.n+to] = d
+	})
 }
 
 // Crash disconnects a process: all messages to and from it are dropped
 // from now on. This models a crash at the network boundary; the process's
 // goroutine may keep running but becomes invisible.
 func (net *Network) Crash(id core.ProcessID) {
-	net.mu.Lock()
-	defer net.mu.Unlock()
-	net.crashed = net.crashed.Add(id)
+	net.updateCfg(func(c *netConfig) { c.crashed = c.crashed.Add(id) })
 }
 
 // Crashed returns the set of crashed processes.
 func (net *Network) Crashed() core.Set {
-	net.mu.Lock()
-	defer net.mu.Unlock()
-	return net.crashed
+	return net.cfg.Load().crashed
 }
 
 // ReleaseHeld re-injects every held envelope matching the predicate
@@ -164,72 +217,203 @@ func (net *Network) HeldCount() int {
 	return len(net.held)
 }
 
-// Close shuts the network down: in-flight deliveries finish, inboxes are
-// closed, later sends are dropped.
+// Close shuts the network down: in-flight deliveries (including delayed
+// ones) finish, inboxes are closed, later sends are dropped.
 func (net *Network) Close() {
-	net.mu.Lock()
-	if net.closed {
-		net.mu.Unlock()
+	if net.closed.Swap(true) {
 		return
 	}
-	net.closed = true
-	net.mu.Unlock()
+	// Exclude in-progress accept sections: any dispatch that saw the
+	// network open has registered with inflight (and scheduled its
+	// timer entry) by the time the exclusive lock is granted; any later
+	// dispatch observes closed and bails.
+	net.sendMu.Lock()
+	net.sendMu.Unlock() //nolint:staticcheck // empty critical section is the point
 	net.inflight.Wait()
-	net.mu.Lock()
-	defer net.mu.Unlock()
-	for _, ch := range net.inboxes {
-		close(ch)
+	for i := range net.shards {
+		s := &net.shards[i]
+		s.mu.Lock()
+		s.closed = true
+		close(s.ch)
+		s.mu.Unlock()
 	}
+	net.timers.stop()
 }
 
 // dispatch routes an envelope through crash state, the filter and delays.
+// The common path — no filter, no delay, network open — reads one atomic
+// snapshot and takes only the destination shard's lock.
 func (net *Network) dispatch(env Envelope) {
-	net.mu.Lock()
-	if net.closed || env.To < 0 || env.To >= net.n {
-		net.mu.Unlock()
+	if env.To < 0 || env.To >= net.n {
 		return
 	}
-	if net.crashed.Contains(env.From) || net.crashed.Contains(env.To) {
-		net.mu.Unlock()
+	net.sendMu.RLock()
+	if net.closed.Load() {
+		net.sendMu.RUnlock()
 		return
 	}
-	if net.filter != nil {
-		switch net.filter(env) {
+	cfg := net.cfg.Load()
+	if cfg.crashed.Contains(env.From) || cfg.crashed.Contains(env.To) {
+		net.sendMu.RUnlock()
+		return
+	}
+	if cfg.filter != nil {
+		net.filterMu.Lock()
+		v := cfg.filter(env)
+		net.filterMu.Unlock()
+		switch v {
 		case Drop:
-			net.mu.Unlock()
+			net.sendMu.RUnlock()
 			return
 		case Hold:
+			net.mu.Lock()
 			net.held = append(net.held, env)
 			net.mu.Unlock()
+			net.sendMu.RUnlock()
 			return
 		}
 	}
-	d := net.delay
-	if ld, ok := net.linkDly[[2]core.ProcessID{env.From, env.To}]; ok {
-		d = ld
+	d := cfg.delay
+	if cfg.linkDly != nil && env.From >= 0 && env.From < net.n {
+		if ld := cfg.linkDly[env.From*net.n+env.To]; ld >= 0 {
+			d = ld
+		}
 	}
-	ch := net.inboxes[env.To]
+	// Register with inflight (and the timer heap) before releasing the
+	// accept gate, so Close's Wait provably covers this message.
 	net.inflight.Add(1)
-	net.mu.Unlock()
-
 	if d <= 0 {
-		net.deliver(ch, env)
+		net.sendMu.RUnlock()
+		net.deliver(env) // may block on a full inbox; gate released
 		return
 	}
-	go func() {
-		timer := time.NewTimer(d)
-		defer timer.Stop()
-		<-timer.C
-		net.deliver(ch, env)
-	}()
+	net.timers.schedule(time.Now().Add(d), env)
+	net.sendMu.RUnlock()
 }
 
-func (net *Network) deliver(ch chan Envelope, env Envelope) {
+// deliver hands the envelope to its destination inbox under the shard
+// lock. Delivery blocks if the inbox is full: channels are reliable in
+// the model (§3.1), never lossy. A shard that closed while the message
+// was in flight drops it silently.
+func (net *Network) deliver(env Envelope) {
 	defer net.inflight.Done()
-	// Close waits for in-flight deliveries before closing inboxes, so the
-	// channel is guaranteed open here. Delivery blocks if the inbox is
-	// full: channels are reliable in the model (§3.1), never lossy.
-	ch <- env
+	s := &net.shards[env.To]
+	s.mu.Lock()
+	if !s.closed {
+		s.ch <- env
+	}
+	s.mu.Unlock()
+}
+
+// deliverAsync is deliver for the timer-queue goroutine: it must never
+// block the queue on one slow destination, so a full inbox hands the
+// envelope off to its own goroutine (the rare case) instead of
+// head-of-line-blocking every other delayed message.
+func (net *Network) deliverAsync(env Envelope) {
+	s := &net.shards[env.To]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		net.inflight.Done()
+		return
+	}
+	select {
+	case s.ch <- env:
+		s.mu.Unlock()
+		net.inflight.Done()
+	default:
+		s.mu.Unlock()
+		go net.deliver(env)
+	}
+}
+
+// timerQueue delivers delayed envelopes from a single goroutine fed by a
+// deadline min-heap, replacing the previous goroutine-per-message
+// scheme. Ties on the deadline preserve enqueue order.
+type timerQueue struct {
+	mu     sync.Mutex
+	h      delayHeap
+	seq    uint64
+	wake   chan struct{}
+	stopCh chan struct{}
+}
+
+type delayedEnv struct {
+	when time.Time
+	seq  uint64
+	env  Envelope
+}
+
+type delayHeap []delayedEnv
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(delayedEnv)) }
+func (h *delayHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (tq *timerQueue) start(net *Network) {
+	tq.wake = make(chan struct{}, 1)
+	tq.stopCh = make(chan struct{})
+	go tq.run(net)
+}
+
+func (tq *timerQueue) schedule(when time.Time, env Envelope) {
+	tq.mu.Lock()
+	tq.seq++
+	heap.Push(&tq.h, delayedEnv{when: when, seq: tq.seq, env: env})
+	earliest := tq.h[0].when == when && tq.h[0].seq == tq.seq
+	tq.mu.Unlock()
+	if earliest {
+		select {
+		case tq.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (tq *timerQueue) stop() { close(tq.stopCh) }
+
+func (tq *timerQueue) run(net *Network) {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		tq.mu.Lock()
+		now := time.Now()
+		var due []Envelope
+		for len(tq.h) > 0 && !tq.h[0].when.After(now) {
+			due = append(due, heap.Pop(&tq.h).(delayedEnv).env)
+		}
+		var next time.Duration = time.Hour
+		if len(tq.h) > 0 {
+			next = tq.h[0].when.Sub(now)
+		}
+		tq.mu.Unlock()
+		for _, env := range due {
+			net.deliverAsync(env)
+		}
+		if len(due) > 0 {
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(next)
+		select {
+		case <-tq.wake:
+		case <-timer.C:
+		case <-tq.stopCh:
+			return
+		}
+	}
 }
 
 type memPort struct {
@@ -250,20 +434,21 @@ func (p *memPort) SendHop(to core.ProcessID, payload Message, hop int) {
 }
 
 func (p *memPort) Inbox() <-chan Envelope {
-	return p.net.inboxes[p.id]
+	return p.net.shards[p.id].ch
 }
 
-// Broadcast sends payload from port to each process in dst.
+// Broadcast sends payload from port to each process in dst, iterating
+// the set's bitmask directly — no member-slice allocation per send.
 func Broadcast(p Port, dst core.Set, payload Message) {
-	for _, id := range dst.Members() {
-		p.Send(id, payload)
+	for v := uint64(dst); v != 0; v &= v - 1 {
+		p.Send(bits.TrailingZeros64(v), payload)
 	}
 }
 
-// BroadcastHop sends payload with an explicit hop depth to each process in
-// dst.
+// BroadcastHop sends payload with an explicit hop depth to each process
+// in dst.
 func BroadcastHop(p Port, dst core.Set, payload Message, hop int) {
-	for _, id := range dst.Members() {
-		p.SendHop(id, payload, hop)
+	for v := uint64(dst); v != 0; v &= v - 1 {
+		p.SendHop(bits.TrailingZeros64(v), payload, hop)
 	}
 }
