@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The perf regression gate: `rqs-bench -check BENCH_RESULTS.json` runs
+// the perf suite and fails if any hot-path entry regressed beyond the
+// tolerance relative to the committed baseline, turning the bench
+// smoke into an enforced perf trajectory (ROADMAP item).
+
+// compareBench returns one message per baseline entry that regressed
+// (fresh ns/op > base ns/op × (1+tolerance)) or disappeared from the
+// fresh run. New entries only present in fresh are fine — they become
+// the baseline when BENCH_RESULTS.json is regenerated.
+func compareBench(base, fresh []BenchResult, tolerance float64) []string {
+	freshBy := make(map[string]BenchResult, len(fresh))
+	for _, r := range fresh {
+		freshBy[r.Name] = r
+	}
+	var problems []string
+	for _, b := range base {
+		f, ok := freshBy[b.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from fresh run (baseline %.0f ns/op)", b.Name, b.NsPerOp))
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if f.NsPerOp > b.NsPerOp*(1+tolerance) {
+			problems = append(problems,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+					b.Name, f.NsPerOp, b.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1), 100*tolerance))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// checkBench runs the suite and compares it against the committed
+// baseline, printing a verdict per entry and failing on regressions.
+func checkBench(baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base []BenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	fresh, err := perfSuite()
+	if err != nil {
+		return err
+	}
+	baseBy := make(map[string]BenchResult, len(base))
+	for _, r := range base {
+		baseBy[r.Name] = r
+	}
+	for _, f := range fresh {
+		if b, ok := baseBy[f.Name]; ok && b.NsPerOp > 0 {
+			fmt.Printf("%-40s %10.0f ns/op  baseline %10.0f  (%+.1f%%)\n",
+				f.Name, f.NsPerOp, b.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1))
+		} else {
+			fmt.Printf("%-40s %10.0f ns/op  (new, no baseline)\n", f.Name, f.NsPerOp)
+		}
+	}
+	if problems := compareBench(base, fresh, tolerance); len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", p)
+		}
+		return fmt.Errorf("%d hot-path regression(s) beyond %.0f%% tolerance", len(problems), 100*tolerance)
+	}
+	fmt.Printf("perf gate passed: %d entries within %.0f%% of baseline\n", len(base), 100*tolerance)
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompareBench(t *testing.T) {
+	base := []BenchResult{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 1000},
+		{Name: "c", NsPerOp: 50},
+	}
+	fresh := []BenchResult{
+		{Name: "a", NsPerOp: 124},  // +24%: inside 25% tolerance
+		{Name: "b", NsPerOp: 1300}, // +30%: regression
+		{Name: "d", NsPerOp: 5},    // new entry: fine
+		// "c" missing: flagged
+	}
+	problems := compareBench(base, fresh, 0.25)
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems %v, want 2", len(problems), problems)
+	}
+	if !strings.HasPrefix(problems[0], "b:") || !strings.Contains(problems[0], "+30.0%") {
+		t.Errorf("unexpected regression line %q", problems[0])
+	}
+	if !strings.HasPrefix(problems[1], "c:") || !strings.Contains(problems[1], "missing") {
+		t.Errorf("unexpected missing line %q", problems[1])
+	}
+}
+
+func TestCompareBenchCleanRun(t *testing.T) {
+	base := []BenchResult{{Name: "a", NsPerOp: 100}}
+	fresh := []BenchResult{{Name: "a", NsPerOp: 80}} // improvement
+	if problems := compareBench(base, fresh, 0.25); len(problems) != 0 {
+		t.Errorf("improvement flagged as regression: %v", problems)
+	}
+}
+
+func TestCompareBenchZeroBaseline(t *testing.T) {
+	// A zero/corrupt baseline entry must not divide-by-zero or flag.
+	base := []BenchResult{{Name: "a", NsPerOp: 0}}
+	fresh := []BenchResult{{Name: "a", NsPerOp: 80}}
+	if problems := compareBench(base, fresh, 0.25); len(problems) != 0 {
+		t.Errorf("zero baseline flagged: %v", problems)
+	}
+}
+
+func TestCheckBenchMissingBaseline(t *testing.T) {
+	if err := checkBench("does-not-exist.json", 0.25); err == nil {
+		t.Error("missing baseline file should error")
+	}
+}

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	rqs-bench                          # run everything
-//	rqs-bench -e E5,E7                 # run selected experiments
-//	rqs-bench -list                    # list available experiments
-//	rqs-bench -json BENCH_RESULTS.json # machine-readable perf suite
+//	rqs-bench                           # run everything
+//	rqs-bench -e E5,E7                  # run selected experiments
+//	rqs-bench -list                     # list available experiments
+//	rqs-bench -json BENCH_RESULTS.json  # machine-readable perf suite
+//	rqs-bench -check BENCH_RESULTS.json # fail on >25% hot-path regressions
 package main
 
 import (
@@ -30,15 +31,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rqs-bench", flag.ContinueOnError)
 	var (
-		exps     = fs.String("e", "all", "comma-separated experiment ids (E1..E12) or 'all'")
-		list     = fs.Bool("list", false, "list experiments and exit")
-		jsonPath = fs.String("json", "", "run the perf suite and write BENCH_RESULTS-style JSON to this path ('-' for stdout)")
+		exps      = fs.String("e", "all", "comma-separated experiment ids (E1..E12) or 'all'")
+		list      = fs.Bool("list", false, "list experiments and exit")
+		jsonPath  = fs.String("json", "", "run the perf suite and write BENCH_RESULTS-style JSON to this path ('-' for stdout)")
+		checkPath = fs.String("check", "", "run the perf suite and fail on regressions against this baseline JSON (the committed BENCH_RESULTS.json)")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op regression fraction for -check (0.25 = 25%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonPath != "" {
 		return writeBenchJSON(*jsonPath)
+	}
+	if *checkPath != "" {
+		return checkBench(*checkPath, *tolerance)
 	}
 
 	runners := map[string]func() *expt.Table{

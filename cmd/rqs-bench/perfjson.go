@@ -1,14 +1,18 @@
 package main
 
 import (
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -115,6 +119,10 @@ func perfSuite() ([]BenchResult, error) {
 		{"storage/read/example7", storageOp(example7, true)},
 		{"storage/read/threshold8", storageOp(threshold8, true)},
 		{"transport/broadcast-7", broadcast},
+		{"transport/tcp-roundtrip", tcpRoundTrip},
+		{"transport/tcp-roundtrip-gob-baseline", gobRoundTrip},
+		{"transport/tcp-throughput", tcpThroughput},
+		{"transport/memory-roundtrip", memRoundTrip},
 	}
 
 	out := make([]BenchResult, 0, len(suite))
@@ -132,6 +140,170 @@ func perfSuite() ([]BenchResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// wirePayload is the protocols' hot message shape, shared by the wire
+// benchmarks below (mirroring BenchmarkTCPVsMemory in the transport
+// package, whose numbers these entries track across PRs).
+func wirePayload() storage.WriteReq {
+	return storage.WriteReq{
+		TS:    12345,
+		Val:   "benchmark-value",
+		Sets:  []core.Set{core.NewSet(0, 1, 2, 3), core.NewSet(1, 2, 4, 5)},
+		Round: 2,
+	}
+}
+
+func tcpNodePair(b *testing.B) (*transport.TCPNode, *transport.TCPNode) {
+	transport.Register(storage.WriteReq{})
+	addrs := map[core.ProcessID]string{0: "127.0.0.1:0", 1: "127.0.0.1:0"}
+	n0, err := transport.NewTCPNode(0, addrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrs[0] = n0.Addr()
+	n1, err := transport.NewTCPNode(1, addrs)
+	if err != nil {
+		n0.Close()
+		b.Fatal(err)
+	}
+	addrs[1] = n1.Addr()
+	return n0, n1
+}
+
+// tcpRoundTrip measures one framed-transport round trip.
+func tcpRoundTrip(b *testing.B) {
+	n0, n1 := tcpNodePair(b)
+	defer n0.Close()
+	defer n1.Close()
+	go func() {
+		for env := range n1.Inbox() {
+			n1.Send(env.From, env.Payload)
+		}
+	}()
+	payload := wirePayload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n0.Send(1, payload)
+		<-n0.Inbox()
+	}
+}
+
+// tcpThroughput measures one-way framed-transport streaming.
+func tcpThroughput(b *testing.B) {
+	n0, n1 := tcpNodePair(b)
+	defer n0.Close()
+	defer n1.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			<-n1.Inbox()
+		}
+	}()
+	payload := wirePayload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n0.Send(1, payload)
+	}
+	<-done
+}
+
+// memRoundTrip is the in-memory reference point for the TCP numbers.
+func memRoundTrip(b *testing.B) {
+	net := transport.NewNetwork(2)
+	defer net.Close()
+	p0, p1 := net.Port(0), net.Port(1)
+	go func() {
+		for env := range p1.Inbox() {
+			p1.Send(env.From, env.Payload)
+		}
+	}()
+	payload := wirePayload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p0.Send(1, payload)
+		<-p0.Inbox()
+	}
+}
+
+// gobRoundTrip is the seed's wire scheme — mutex-guarded gob.Encoder
+// per direction, decode goroutine feeding an inbox channel — kept as
+// the baseline the framed codec is measured against in
+// BENCH_RESULTS.json.
+func gobRoundTrip(b *testing.B) {
+	gob.Register(storage.WriteReq{})
+	type gobNode struct {
+		mu    sync.Mutex
+		enc   *gob.Encoder
+		inbox chan transport.Envelope
+	}
+	nodes := [2]*gobNode{
+		{inbox: make(chan transport.Envelope, 4096)},
+		{inbox: make(chan transport.Envelope, 4096)},
+	}
+	var lns [2]net.Listener
+	var conns []net.Conn
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[i] = ln
+		defer ln.Close()
+	}
+	for i := range lns {
+		i := i
+		go func() {
+			conn, err := lns[i].Accept()
+			if err != nil {
+				return
+			}
+			dec := gob.NewDecoder(conn)
+			for {
+				var env transport.Envelope
+				if dec.Decode(&env) != nil {
+					return
+				}
+				nodes[i].inbox <- env
+			}
+		}()
+		conn, err := net.Dial("tcp", lns[1-i].Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns = append(conns, conn)
+		nodes[i].enc = gob.NewEncoder(conn)
+	}
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	send := func(g *gobNode, env *transport.Envelope) error {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.enc.Encode(env)
+	}
+	go func() {
+		for env := range nodes[1].inbox {
+			if send(nodes[1], &env) != nil {
+				return
+			}
+		}
+	}()
+	env := transport.Envelope{From: 0, To: 1, Payload: wirePayload()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := send(nodes[0], &env); err != nil {
+			b.Fatal(err)
+		}
+		<-nodes[0].inbox
+	}
 }
 
 // writeBenchJSON runs the perf suite and writes it to path (stdout when

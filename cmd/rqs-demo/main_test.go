@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// TestWriteThenReadAcrossClientRestart is the ROADMAP hang reproducer
+// as an automated test: a writer client completes a write over real
+// TCP, its process exits, and a fresh reader client starts in the same
+// slot (same process ID, same address). With the seed transport the
+// servers' cached connections to the dead writer swallowed the first
+// ack batch and the read hung forever; with the reliable links it must
+// terminate, return the written value, and lose no messages.
+func TestWriteThenReadAcrossClientRestart(t *testing.T) {
+	system := core.Example7RQS()
+	n := system.N()
+	transport.Register(storage.WriteReq{})
+	transport.Register(storage.WriteAck{})
+	transport.Register(storage.ReadReq{})
+	transport.Register(storage.ReadAck{})
+
+	// Bind the servers on ephemeral ports, publishing real addresses as
+	// they come up; links dial lazily, after the map is complete.
+	addrs := make(map[core.ProcessID]string, n+1)
+	for i := 0; i <= n; i++ {
+		addrs[i] = "127.0.0.1:0"
+	}
+	nodes := make([]*transport.TCPNode, n)
+	for i := 0; i < n; i++ {
+		node, err := transport.NewTCPNode(i, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+	// The client slot needs a FIXED address so the restarted client is
+	// reachable where the servers' stale connections pointed.
+	clientAddr := reserveAddr(t)
+	addrs[n] = clientAddr
+
+	servers := make([]*storage.Server, n)
+	for i := 0; i < n; i++ {
+		servers[i] = storage.NewServer(nodes[i], storage.Hooks{})
+		servers[i].Start()
+		defer servers[i].Stop()
+	}
+
+	const timeout = 50 * time.Millisecond
+	done := make(chan string, 1)
+	go func() {
+		// Writer client process: read (timestamp resume), write, exit.
+		writerNode, err := transport.NewTCPNode(n, addrs)
+		if err != nil {
+			t.Error(err)
+			done <- ""
+			return
+		}
+		cur := storage.NewReader(system, writerNode, timeout).Read()
+		w := storage.NewWriter(system, writerNode, timeout)
+		w.SetTimestamp(cur.TS)
+		w.Write("hello-restart")
+		writerNode.Close() // the writer process exits
+
+		// Fresh reader client process in the same slot: this is the
+		// read that used to hang forever.
+		readerNode, err := transport.NewTCPNode(n, addrs)
+		if err != nil {
+			t.Error(err)
+			done <- ""
+			return
+		}
+		defer readerNode.Close()
+		res := storage.NewReader(system, readerNode, timeout).Read()
+		done <- res.Val
+	}()
+
+	select {
+	case val := <-done:
+		if val != "hello-restart" {
+			t.Fatalf("read %q after client restart, want %q", val, "hello-restart")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("read after client restart hung — the ROADMAP liveness bug is back")
+	}
+
+	// No message loss anywhere: reliable links may redial and
+	// retransmit, but nothing is dropped.
+	for i, node := range nodes {
+		if s := node.Stats(); s.Drops != 0 {
+			t.Errorf("server %d dropped %d messages (stats %+v)", i, s.Drops, s)
+		}
+	}
+}
+
+// reserveAddr grabs a free loopback port and releases it for the
+// client nodes to bind. Listeners use SO_REUSEADDR, so the immediate
+// rebind (twice, by the two client incarnations) is safe.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}

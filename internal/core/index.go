@@ -62,6 +62,23 @@ func blocksMaybeContained(blocks []quorumBlock, universe, responded Set, c Quoru
 	return false
 }
 
+// engineMode selects how an index answers containment queries. It is
+// picked once at Index() time from the quorum list's shape.
+type engineMode uint8
+
+const (
+	// modeThreshold: block-structured list (NewThresholdRQS); verdicts
+	// are O(1) popcounts.
+	modeThreshold engineMode = iota
+	// modePostings: sparse list; per-ack postings updates make
+	// verdicts O(1) lookups.
+	modePostings
+	// modeScan: dense list; a hot cached scan beats postings counters
+	// (each process sits in most quorums, so Σ|postings[p]| per round
+	// approaches acks × |quorums| with worse locality).
+	modeScan
+)
+
 // QuorumIndex is the precomputed acceleration structure of one RQS:
 // per-process postings lists (which quorums contain process p), quorum
 // cardinalities, and the first-listed class of every quorum value. It is
@@ -73,10 +90,23 @@ type QuorumIndex struct {
 	class    []QuorumClass
 	classOf  map[Set]QuorumClass
 	blocks   []quorumBlock // non-nil for threshold systems: O(1) path
+	mode     engineMode
 
-	// General-path data, nil when blocks is set.
+	// Postings data, non-nil only in modePostings.
 	sizes    []int32   // sizes[i] = |quorums[i]|
 	postings [][]int32 // postings[p] = indices of quorums containing p
+}
+
+// usePostings is the hybrid engine's density rule: postings pay off
+// only when the average quorum covers less than half the universe,
+// i.e. 2·Σ|q| < n·|quorums|. Denser lists (small universes, threshold
+// layouts rebuilt as explicit configs) answer faster from the scan.
+func usePostings(universe Set, quorums []Set) bool {
+	sumQ := 0
+	for _, q := range quorums {
+		sumQ += q.Count()
+	}
+	return 2*sumQ < universe.Count()*len(quorums)
 }
 
 // buildIndex constructs the index; called once per RQS via RQS.Index.
@@ -94,8 +124,14 @@ func buildIndex(r *RQS) *QuorumIndex {
 		}
 	}
 	if idx.blocks != nil {
+		idx.mode = modeThreshold
 		return idx
 	}
+	if !usePostings(r.universe, r.quorums) {
+		idx.mode = modeScan
+		return idx
+	}
+	idx.mode = modePostings
 	idx.sizes = make([]int32, len(r.quorums))
 	idx.postings = make([][]int32, MaxProcesses)
 	// Size the postings lists exactly before filling them.
@@ -120,6 +156,31 @@ func buildIndex(r *RQS) *QuorumIndex {
 	return idx
 }
 
+// EngineMode reports which engine the index picked at build time:
+// "threshold" (O(1) block fast path), "postings" (incremental
+// postings-list tracker) or "scan" (dense list, reference scan).
+func (idx *QuorumIndex) EngineMode() string {
+	switch idx.mode {
+	case modeThreshold:
+		return "threshold"
+	case modePostings:
+		return "postings"
+	default:
+		return "scan"
+	}
+}
+
+// scanContained is the reference scan over the index's quorum list,
+// used directly in modeScan; identical to RQS.scanContainedQuorum.
+func (idx *QuorumIndex) scanContained(responded Set, c QuorumClass) (Set, bool) {
+	for i, q := range idx.quorums {
+		if idx.class[i] <= c && q.SubsetOf(responded) {
+			return q, true
+		}
+	}
+	return 0, false
+}
+
 // ClassOf returns the declared class of the first listed quorum equal to
 // q and whether q is listed at all. It is the O(1) counterpart of
 // RQS.ClassOfListed.
@@ -131,7 +192,7 @@ func (idx *QuorumIndex) ClassOf(q Set) (QuorumClass, bool) {
 // NewTracker creates a tracker over this index, ready to use.
 func (idx *QuorumIndex) NewTracker() *QuorumTracker {
 	t := &QuorumTracker{idx: idx}
-	if idx.blocks == nil {
+	if idx.mode == modePostings {
 		t.missing = make([]int32, len(idx.quorums))
 		t.satisfied = make([]uint64, (len(idx.quorums)+63)/64)
 	}
@@ -234,6 +295,9 @@ func (t *QuorumTracker) Contained(c QuorumClass) (Set, bool) {
 	if t.idx.blocks != nil {
 		return thresholdContained(t.idx.blocks, t.idx.universe, t.responded, c)
 	}
+	if t.idx.mode == modeScan {
+		return t.idx.scanContained(t.responded, c)
+	}
 	best := trackerSentinel
 	for cl := Class1; cl <= c && cl <= Class3; cl++ {
 		if m := t.minSat[cl]; m < best {
@@ -254,6 +318,8 @@ func (t *QuorumTracker) ContainedAll(c QuorumClass) []Set {
 		if !blocksMaybeContained(t.idx.blocks, t.idx.universe, t.responded, c) {
 			return nil
 		}
+	}
+	if t.idx.blocks != nil || t.idx.mode == modeScan {
 		var out []Set
 		for i, q := range t.idx.quorums {
 			if t.idx.class[i] <= c && q.SubsetOf(t.responded) {

@@ -5,10 +5,12 @@ import (
 )
 
 // benchSystems spans the engine's regimes: Example 7 (general
-// adversary, tiny quorum list — scan territory), the three-class
-// threshold system on 8 servers (O(1) cardinality path), and the
-// 175-quorum list for n=10 rebuilt as an explicit Config so it runs the
-// postings-list path — the regime the incremental engine exists for.
+// adversary, tiny dense quorum list — scan territory), the three-class
+// threshold system on 8 servers (O(1) cardinality path), the
+// 175-quorum list for n=10 rebuilt as an explicit Config (dense, so
+// the hybrid sends it to the scan), and a sparse grid-style system
+// whose quorums cover a sliver of the universe each — the regime the
+// postings-list tracker exists for.
 func benchSystems(b *testing.B) map[string]*RQS {
 	b.Helper()
 	th, err := NewThresholdRQS(ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
@@ -35,7 +37,98 @@ func benchSystems(b *testing.B) map[string]*RQS {
 		Class2:    class2,
 		Class1:    class1,
 	})
-	return map[string]*RQS{"example7": Example7RQS(), "threshold8": th, "biglist175": biglist}
+	return map[string]*RQS{
+		"example7":   Example7RQS(),
+		"threshold8": th,
+		"biglist175": biglist,
+		"sparsegrid": sparseGridRQS(),
+		"sparse448":  sparseBigRQS(),
+	}
+}
+
+// sparseBigRQS is the postings path's home regime: 448 distinct
+// 4-member quorums over 56 processes (xorshift-generated, fixed seed).
+// Σ|q|/n = 32 postings touched per ack versus a 448-entry list scan.
+func sparseBigRQS() *RQS {
+	const n, size, count = 56, 4, 448
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	seen := make(map[Set]bool, count)
+	var quorums []Set
+	for len(quorums) < count {
+		var q Set
+		for q.Count() < size {
+			q = q.Add(int(next() % n))
+		}
+		if !seen[q] {
+			seen[q] = true
+			quorums = append(quorums, q)
+		}
+	}
+	idxs := make([]int, len(quorums))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return MustNew(Config{Universe: FullSet(n), Quorums: quorums, Class2: idxs, Class1: idxs})
+}
+
+// sparseGridRQS builds a 5×5 grid over 25 processes whose quorums are
+// the rows and columns: 10 quorums of 5, so 2·Σ|q| = 100 < n·|Q| = 250
+// and the hybrid engine picks the postings path.
+func sparseGridRQS() *RQS {
+	const side = 5
+	var quorums []Set
+	for r := 0; r < side; r++ {
+		var row, col Set
+		for c := 0; c < side; c++ {
+			row = row.Add(r*side + c)
+			col = col.Add(c*side + r)
+		}
+		quorums = append(quorums, row, col)
+	}
+	// Flag every quorum class-1 so the bench's class-1/class-2 queries
+	// have answers; the engine choice only depends on the list shape.
+	idxs := make([]int, len(quorums))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return MustNew(Config{Universe: FullSet(side * side), Quorums: quorums, Class2: idxs, Class1: idxs})
+}
+
+// TestEngineModeChoice pins the hybrid engine's Σ|q| decision on the
+// bench systems: dense lists must not regress onto the postings path.
+func TestEngineModeChoice(t *testing.T) {
+	th, err := NewThresholdRQS(ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th10, _ := NewThresholdRQS(ThresholdParams{N: 10, T: 3, R: 2, Q: 1, K: 1})
+	biglist := MustNew(Config{
+		Universe:  th10.Universe(),
+		Adversary: th10.Adversary(),
+		Quorums:   th10.Quorums(),
+	})
+	cases := []struct {
+		name string
+		r    *RQS
+		want string
+	}{
+		{"threshold8", th, "threshold"},
+		{"example7", Example7RQS(), "scan"},
+		{"biglist175", biglist, "scan"},
+		{"sparsegrid", sparseGridRQS(), "postings"},
+		{"sparse448", sparseBigRQS(), "postings"},
+	}
+	for _, c := range cases {
+		if got := c.r.Index().EngineMode(); got != c.want {
+			t.Errorf("%s: EngineMode = %q, want %q", c.name, got, c.want)
+		}
+	}
 }
 
 // BenchmarkCoreTrackerVsScan measures one protocol round's worth of

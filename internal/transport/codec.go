@@ -1,0 +1,541 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"reflect"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// This file is the TCP wire format: a length-prefixed frame layer and a
+// compact self-describing envelope codec that replaces the seed's
+// per-connection gob streams.
+//
+//	frame    := u32le bodyLen | body                 (bodyLen ≤ maxFrame)
+//	body     := kind byte | rest
+//	hello    := uvarint senderID | uvarint nonce | uvarint firstSeq
+//	data     := u64le seq | envelope
+//	ack      := uvarint cumulativeSeq
+//	envelope := varint from | varint to | varint hop | u32le typeTag | payload
+//
+// Payload encodings are compiled once per registered type from its
+// reflection structure: varints for integers, length-prefixed bytes for
+// strings and slices, fields in declaration order for structs. Unlike
+// gob there is no per-connection type negotiation, no field-name
+// dictionary and no allocation beyond the decoded value itself — the
+// type tag (an FNV-1a hash of the type's full name, stable across
+// processes and registration orders) is the whole type description.
+
+// Frame kinds of the link protocol (see link.go).
+const (
+	frameHello byte = 1 // sender identity + first seq on this conn
+	frameData  byte = 2 // one sequenced envelope
+	frameAck   byte = 3 // cumulative delivery acknowledgement
+)
+
+// dataSeqOff is the data frame's seq slot offset (past the length
+// prefix and kind byte). The seq is fixed-width so senders can encode
+// the envelope into the frame buffer first and assign the seq under
+// the link lock afterwards, without re-copying the payload.
+const dataSeqOff = 5
+
+// maxFrame bounds a frame body; a longer length prefix means a corrupt
+// or hostile stream and kills the connection.
+const maxFrame = 64 << 20
+
+var errShortFrame = errors.New("transport: truncated frame")
+
+// encFn appends the value's encoding to b; decFn decodes a value into v
+// (settable) and returns the remaining bytes.
+type encFn func(b []byte, v reflect.Value) []byte
+type decFn func(b []byte, v reflect.Value) ([]byte, error)
+
+type typeCodec struct {
+	typ  reflect.Type
+	tag  uint32
+	name string
+	enc  encFn
+	dec  decFn
+}
+
+var registry struct {
+	sync.RWMutex
+	byTag  map[uint32]*typeCodec
+	byType map[reflect.Type]*typeCodec
+}
+
+// Register makes a concrete payload type encodable over the TCP
+// transport, compiling its binary codec and assigning it a stable type
+// tag. Protocol packages call this for each of their message types.
+// Registering the same type twice is a no-op; a tag collision between
+// two distinct types panics (pick a different type name).
+func Register(v Message) {
+	if v == nil {
+		panic("transport: Register(nil)")
+	}
+	t := reflect.TypeOf(v)
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.byType == nil {
+		registry.byTag = make(map[uint32]*typeCodec)
+		registry.byType = make(map[reflect.Type]*typeCodec)
+	}
+	if _, ok := registry.byType[t]; ok {
+		return
+	}
+	name := wireTypeName(t)
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	tag := h.Sum32()
+	if tag == 0 {
+		tag = 1 // 0 is the nil-payload tag
+	}
+	if prev, ok := registry.byTag[tag]; ok {
+		panic(fmt.Sprintf("transport: type tag collision between %s and %s", prev.name, name))
+	}
+	tc := &typeCodec{typ: t, tag: tag, name: name}
+	tc.enc, tc.dec = compileCodec(t, make(map[reflect.Type]*typeCodec))
+	registry.byTag[tag] = tc
+	registry.byType[t] = tc
+}
+
+func wireTypeName(t reflect.Type) string {
+	if t.PkgPath() != "" {
+		return t.PkgPath() + "." + t.Name()
+	}
+	if t.Name() != "" {
+		return t.Name()
+	}
+	return t.String()
+}
+
+// compileCodec builds the encoder/decoder pair for t. seen breaks
+// recursive types: a self-referential field dispatches through the
+// placeholder filled in when the outer compilation finishes.
+func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decFn) {
+	if ph, ok := seen[t]; ok {
+		return func(b []byte, v reflect.Value) []byte { return ph.enc(b, v) },
+			func(b []byte, v reflect.Value) ([]byte, error) { return ph.dec(b, v) }
+	}
+	ph := &typeCodec{typ: t}
+	seen[t] = ph
+
+	var enc encFn
+	var dec decFn
+	switch t.Kind() {
+	case reflect.Bool:
+		enc = func(b []byte, v reflect.Value) []byte {
+			if v.Bool() {
+				return append(b, 1)
+			}
+			return append(b, 0)
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			if len(b) < 1 {
+				return nil, errShortFrame
+			}
+			v.SetBool(b[0] != 0)
+			return b[1:], nil
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		enc = func(b []byte, v reflect.Value) []byte {
+			return binary.AppendVarint(b, v.Int())
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			x, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, errShortFrame
+			}
+			v.SetInt(x)
+			return b[n:], nil
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		enc = func(b []byte, v reflect.Value) []byte {
+			return binary.AppendUvarint(b, v.Uint())
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			x, n := binary.Uvarint(b)
+			if n <= 0 {
+				return nil, errShortFrame
+			}
+			v.SetUint(x)
+			return b[n:], nil
+		}
+	case reflect.Float32:
+		enc = func(b []byte, v reflect.Value) []byte {
+			return binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(v.Float())))
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			if len(b) < 4 {
+				return nil, errShortFrame
+			}
+			v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(b))))
+			return b[4:], nil
+		}
+	case reflect.Float64:
+		enc = func(b []byte, v reflect.Value) []byte {
+			return binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Float()))
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			if len(b) < 8 {
+				return nil, errShortFrame
+			}
+			v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(b)))
+			return b[8:], nil
+		}
+	case reflect.String:
+		enc = func(b []byte, v reflect.Value) []byte {
+			s := v.String()
+			b = binary.AppendUvarint(b, uint64(len(s)))
+			return append(b, s...)
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			n, b, err := decUvarint(b)
+			if err != nil || n > uint64(len(b)) {
+				return nil, errShortFrame
+			}
+			v.SetString(string(b[:n]))
+			return b[n:], nil
+		}
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			enc = func(b []byte, v reflect.Value) []byte {
+				b = binary.AppendUvarint(b, uint64(v.Len()))
+				return append(b, v.Bytes()...)
+			}
+			dec = func(b []byte, v reflect.Value) ([]byte, error) {
+				n, b, err := decUvarint(b)
+				if err != nil || n > uint64(len(b)) {
+					return nil, errShortFrame
+				}
+				if n > 0 {
+					out := reflect.MakeSlice(t, int(n), int(n))
+					reflect.Copy(out, reflect.ValueOf(b[:n]))
+					v.Set(out)
+				}
+				return b[n:], nil
+			}
+			break
+		}
+		elemEnc, elemDec := compileCodec(t.Elem(), seen)
+		minElem := minEncodedSize(t.Elem())
+		enc = func(b []byte, v reflect.Value) []byte {
+			n := v.Len()
+			b = binary.AppendUvarint(b, uint64(n))
+			for i := 0; i < n; i++ {
+				b = elemEnc(b, v.Index(i))
+			}
+			return b
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			n, b, err := decUvarint(b)
+			if err != nil || n > maxFrame {
+				return nil, errShortFrame
+			}
+			// A corrupt length must fail before the allocation, not
+			// after: every element costs at least minElem bytes.
+			if minElem > 0 && n > uint64(len(b))/uint64(minElem) {
+				return nil, errShortFrame
+			}
+			if n == 0 {
+				return b, nil // zero-length decodes as nil, like gob
+			}
+			out := reflect.MakeSlice(t, int(n), int(n))
+			for i := 0; i < int(n); i++ {
+				if b, err = elemDec(b, out.Index(i)); err != nil {
+					return nil, err
+				}
+			}
+			v.Set(out)
+			return b, nil
+		}
+	case reflect.Array:
+		elemEnc, elemDec := compileCodec(t.Elem(), seen)
+		n := t.Len()
+		enc = func(b []byte, v reflect.Value) []byte {
+			for i := 0; i < n; i++ {
+				b = elemEnc(b, v.Index(i))
+			}
+			return b
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			var err error
+			for i := 0; i < n; i++ {
+				if b, err = elemDec(b, v.Index(i)); err != nil {
+					return nil, err
+				}
+			}
+			return b, nil
+		}
+	case reflect.Map:
+		keyEnc, keyDec := compileCodec(t.Key(), seen)
+		valEnc, valDec := compileCodec(t.Elem(), seen)
+		minPair := minEncodedSize(t.Key()) + minEncodedSize(t.Elem())
+		enc = func(b []byte, v reflect.Value) []byte {
+			b = binary.AppendUvarint(b, uint64(v.Len()))
+			it := v.MapRange()
+			for it.Next() {
+				b = keyEnc(b, it.Key())
+				b = valEnc(b, it.Value())
+			}
+			return b
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			n, b, err := decUvarint(b)
+			if err != nil || n > maxFrame {
+				return nil, errShortFrame
+			}
+			if minPair > 0 && n > uint64(len(b))/uint64(minPair) {
+				return nil, errShortFrame
+			}
+			if n == 0 {
+				return b, nil
+			}
+			out := reflect.MakeMapWithSize(t, int(n))
+			k := reflect.New(t.Key()).Elem()
+			val := reflect.New(t.Elem()).Elem()
+			for i := 0; i < int(n); i++ {
+				k.SetZero()
+				val.SetZero()
+				if b, err = keyDec(b, k); err != nil {
+					return nil, err
+				}
+				if b, err = valDec(b, val); err != nil {
+					return nil, err
+				}
+				out.SetMapIndex(k, val)
+			}
+			v.Set(out)
+			return b, nil
+		}
+	case reflect.Struct:
+		type fieldCodec struct {
+			idx int
+			enc encFn
+			dec decFn
+		}
+		var fields []fieldCodec
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue // like gob: unexported fields don't travel
+			}
+			fe, fd := compileCodec(f.Type, seen)
+			fields = append(fields, fieldCodec{idx: i, enc: fe, dec: fd})
+		}
+		enc = func(b []byte, v reflect.Value) []byte {
+			for _, f := range fields {
+				b = f.enc(b, v.Field(f.idx))
+			}
+			return b
+		}
+		dec = func(b []byte, v reflect.Value) ([]byte, error) {
+			var err error
+			for _, f := range fields {
+				if b, err = f.dec(b, v.Field(f.idx)); err != nil {
+					return nil, err
+				}
+			}
+			return b, nil
+		}
+	default:
+		panic(fmt.Sprintf("transport: cannot encode kind %s (type %s)", t.Kind(), t))
+	}
+	ph.enc, ph.dec = enc, dec
+	return enc, dec
+}
+
+// minEncodedSize is the smallest number of bytes a value of type t can
+// occupy on the wire — the bound that lets length-prefixed decoders
+// reject a corrupt count before allocating for it. Zero only for types
+// whose encoding can be empty (empty structs, zero-length arrays).
+func minEncodedSize(t reflect.Type) int {
+	switch t.Kind() {
+	case reflect.Float32:
+		return 4
+	case reflect.Float64:
+		return 8
+	case reflect.Array:
+		return t.Len() * minEncodedSize(t.Elem())
+	case reflect.Struct:
+		sum := 0
+		for i := 0; i < t.NumField(); i++ {
+			if f := t.Field(i); f.IsExported() {
+				sum += minEncodedSize(f.Type)
+			}
+		}
+		return sum
+	default:
+		return 1 // varints, bools, and length prefixes all take ≥ 1 byte
+	}
+}
+
+func decUvarint(b []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errShortFrame
+	}
+	return x, b[n:], nil
+}
+
+// EncodeEnvelope appends env's wire encoding to b and returns the
+// extended buffer; the payload type must have been registered. It is
+// the codec behind the TCP transport, exported for benchmarks and for
+// alternative transports built on the same wire format.
+func EncodeEnvelope(b []byte, env Envelope) ([]byte, error) {
+	return appendEnvelope(b, &env)
+}
+
+// DecodeEnvelope parses one envelope previously produced by
+// EncodeEnvelope. The result does not alias b.
+func DecodeEnvelope(b []byte) (Envelope, error) {
+	return decodeEnvelope(b)
+}
+
+// appendEnvelope appends env's wire encoding. The payload type must be
+// registered (nil payloads are legal and get tag 0).
+func appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
+	b = binary.AppendVarint(b, int64(env.From))
+	b = binary.AppendVarint(b, int64(env.To))
+	b = binary.AppendVarint(b, int64(env.Hop))
+	if env.Payload == nil {
+		return binary.LittleEndian.AppendUint32(b, 0), nil
+	}
+	registry.RLock()
+	tc := registry.byType[reflect.TypeOf(env.Payload)]
+	registry.RUnlock()
+	if tc == nil {
+		return nil, fmt.Errorf("transport: payload type %T not registered", env.Payload)
+	}
+	b = binary.LittleEndian.AppendUint32(b, tc.tag)
+	return tc.enc(b, reflect.ValueOf(env.Payload)), nil
+}
+
+// decodeEnvelope parses one envelope; strings and aggregates are copied
+// out of b, so the caller may reuse the buffer.
+func decodeEnvelope(b []byte) (Envelope, error) {
+	var env Envelope
+	var vals [3]int64
+	for i := range vals {
+		x, n := binary.Varint(b)
+		if n <= 0 {
+			return env, errShortFrame
+		}
+		vals[i], b = x, b[n:]
+	}
+	env.From, env.To, env.Hop = int(vals[0]), int(vals[1]), int(vals[2])
+	if len(b) < 4 {
+		return env, errShortFrame
+	}
+	tag := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if tag == 0 {
+		return env, nil
+	}
+	registry.RLock()
+	tc := registry.byTag[tag]
+	registry.RUnlock()
+	if tc == nil {
+		return env, fmt.Errorf("transport: unknown payload type tag %#x", tag)
+	}
+	v := reflect.New(tc.typ).Elem()
+	if _, err := tc.dec(b, v); err != nil {
+		return env, err
+	}
+	env.Payload = v.Interface()
+	return env, nil
+}
+
+// Buffer pool shared by frame encoding and the read loops.
+var framePool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+func getFrameBuf() []byte {
+	return (*(framePool.Get().(*[]byte)))[:0]
+}
+
+func putFrameBuf(b []byte) {
+	if cap(b) > maxFrame/64 {
+		return // don't keep giants alive
+	}
+	framePool.Put(&b)
+}
+
+// beginFrame appends the 4-byte length placeholder and the kind byte;
+// finishFrame back-fills the length once the body is complete.
+func beginFrame(b []byte, kind byte) []byte {
+	return append(b, 0, 0, 0, 0, kind)
+}
+
+func finishFrame(b []byte) []byte {
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	return b
+}
+
+// readFrame reads one frame into *scratch (grown as needed) and returns
+// its kind and body.
+func readFrame(br *bufio.Reader, scratch *[]byte) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	if uint32(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	body := (*scratch)[:n]
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// writeAck appends and flushes a cumulative ack frame.
+func writeAck(bw *bufio.Writer, seq uint64) error {
+	buf := getFrameBuf()
+	buf = beginFrame(buf, frameAck)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = finishFrame(buf)
+	_, err := bw.Write(buf)
+	putFrameBuf(buf)
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendHello builds the hello frame announcing the dialer's identity,
+// link incarnation nonce, and the first data seq this conn will carry.
+func appendHello(b []byte, id core.ProcessID, nonce, firstSeq uint64) []byte {
+	b = beginFrame(b, frameHello)
+	b = binary.AppendUvarint(b, uint64(id))
+	b = binary.AppendUvarint(b, nonce)
+	b = binary.AppendUvarint(b, firstSeq)
+	return finishFrame(b)
+}
+
+func parseHello(body []byte) (id core.ProcessID, nonce, firstSeq uint64, err error) {
+	var raw uint64
+	if raw, body, err = decUvarint(body); err != nil {
+		return 0, 0, 0, err
+	}
+	id = core.ProcessID(raw)
+	if nonce, body, err = decUvarint(body); err != nil {
+		return 0, 0, 0, err
+	}
+	if firstSeq, _, err = decUvarint(body); err != nil {
+		return 0, 0, 0, err
+	}
+	return id, nonce, firstSeq, nil
+}

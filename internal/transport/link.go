@@ -1,0 +1,479 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// A peerLink is one node's managed outgoing connection to a peer. It
+// replaces the seed's cache-forever tcpConn: frames are sequenced and
+// kept in a bounded retransmission queue until the peer acknowledges
+// them, so a message written into a dying socket (the ROADMAP ack-loss
+// hang) is re-sent on the next connection. The link redials with
+// backoff on write errors, on the peer closing the conn, and on ack
+// silence (retransmitTimeout with no cumulative-ack progress), which
+// covers the case where writes into a dead socket still "succeed"
+// locally because the peer vanished without a FIN.
+//
+// One writer goroutine per link owns the conn lifecycle and coalesces
+// all pending frames into a single buffered write per wakeup; a
+// per-conn reader feeds cumulative acks back. Isolated sends take an
+// inline fast path instead (one write from the sender's goroutine);
+// back-to-back sends are routed through the writer so they coalesce.
+// Only the writer trims the queue, which is what makes returning acked
+// frame buffers to the pool safe while a retransmission may still be
+// in flight.
+
+const (
+	// maxUnacked bounds the retransmission queue; a sender hitting the
+	// bound blocks until the peer acks, mirroring the backpressure of
+	// a full in-memory inbox.
+	maxUnacked = 4096
+	// retransmitTimeout is the ack-silence window after which the link
+	// declares the conn dead and redials.
+	retransmitTimeout = 250 * time.Millisecond
+	dialTimeout       = 2 * time.Second
+	dialBackoffMin    = 5 * time.Millisecond
+	dialBackoffMax    = 500 * time.Millisecond
+	// inlineGapNS separates isolated sends (inline write, lowest
+	// latency) from sprints (previous send < gap ago — skip the inline
+	// syscall and let the writer goroutine batch frames).
+	inlineGapNS = 5000
+	// sendStallTimeout bounds how long a full retransmission queue may
+	// block a sender. A live peer acks within milliseconds, so hitting
+	// this means the peer is gone for good (crash-stop): the send is
+	// dropped and counted rather than wedging the protocol goroutine —
+	// quorum protocols must keep making progress past dead servers.
+	sendStallTimeout = 2 * time.Second
+	// compactAt is the trimmed-prefix length that triggers queue
+	// compaction; trimming itself just advances the head index.
+	compactAt = 1024
+)
+
+type sendFrame struct {
+	seq uint64
+	buf []byte // complete wire frame: length prefix, kind, seq, envelope
+}
+
+type peerLink struct {
+	n     *TCPNode
+	to    core.ProcessID
+	addr  string
+	nonce uint64 // link incarnation: a restarted sender is a new stream
+
+	mu         sync.Mutex
+	space      chan struct{} // closed+replaced when the queue drains or the node closes
+	queue      []sendFrame   // queue[head:] = unacked frames, ascending seq
+	head       int           // trimmed prefix length (acked, not yet compacted)
+	nextSeq    uint64        // seq assigned to the next enqueued frame
+	acked      uint64        // highest cumulative ack from the peer
+	maxSent    uint64        // highest seq ever written to any conn
+	sentIdx    int           // queue index of the first frame not yet written on the current conn
+	conn       net.Conn      // current conn; Close()d by node shutdown to unblock I/O
+	bw         *bufio.Writer // current conn's writer, published after the hello
+	writing    bool          // someone is writing to bw outside mu
+	readerErr  error         // set by the current conn's ack reader
+	closed     bool          // node shutting down: stop blocking senders
+	lastSendNS int64         // when the previous send ran (sprint detection)
+
+	notify chan struct{} // buffered(1): new frames or ack progress
+}
+
+func newPeerLink(n *TCPNode, to core.ProcessID, addr string) *peerLink {
+	return &peerLink{
+		n:       n,
+		to:      to,
+		addr:    addr,
+		nonce:   rand.Uint64(),
+		nextSeq: 1,
+		notify:  make(chan struct{}, 1),
+		space:   make(chan struct{}),
+	}
+}
+
+// broadcastSpace wakes every sender blocked on a full queue; callers
+// hold l.mu.
+func (l *peerLink) broadcastSpace() {
+	close(l.space)
+	l.space = make(chan struct{})
+}
+
+// unacked reports the live queue length; callers hold l.mu.
+func (l *peerLink) unacked() int { return len(l.queue) - l.head }
+
+// send encodes env as a data frame and enqueues it. A full
+// retransmission queue blocks the sender until the peer acks — the
+// same backpressure a full in-memory inbox applies; channels are
+// reliable in the model (§3.1), never lossy — but only up to
+// sendStallTimeout: a peer that is gone for good must not wedge the
+// sending protocol goroutine, so the send is then dropped and counted.
+// It also reports false for unencodable payloads and node shutdown.
+func (l *peerLink) send(env *Envelope) bool {
+	// Encode straight into the frame buffer: header placeholder, a
+	// fixed-width seq slot (filled under the lock), then the envelope.
+	buf := getFrameBuf()
+	buf = beginFrame(buf, frameData)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // seq slot
+	buf, err := appendEnvelope(buf, env)
+	if err != nil || len(buf)-4 > maxFrame {
+		// Unencodable or oversized: the receiver would kill the conn
+		// on such a frame and the link would retransmit it forever, so
+		// reject it here as a counted drop.
+		putFrameBuf(buf)
+		return false
+	}
+	now := time.Now().UnixNano()
+	l.mu.Lock()
+	if l.unacked() >= maxUnacked && !l.closed {
+		deadline := time.Now().Add(sendStallTimeout)
+		for l.unacked() >= maxUnacked && !l.closed {
+			space := l.space
+			l.mu.Unlock()
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				putFrameBuf(buf)
+				return false // peer presumed crashed; counted as a drop
+			}
+			timer := time.NewTimer(remain)
+			select {
+			case <-space:
+			case <-timer.C:
+			case <-l.n.done:
+			}
+			timer.Stop()
+			l.mu.Lock()
+		}
+	}
+	if l.closed {
+		l.mu.Unlock()
+		putFrameBuf(buf)
+		return false
+	}
+	sprint := now-l.lastSendNS < inlineGapNS
+	l.lastSendNS = now
+	seq := l.nextSeq
+	l.nextSeq++
+	binary.LittleEndian.PutUint64(buf[dataSeqOff:], seq)
+	buf = finishFrame(buf)
+	l.queue = append(l.queue, sendFrame{seq: seq, buf: buf})
+	// Fast path for isolated sends: the conn is up, everything earlier
+	// is on the wire, nobody else is mid-write, and this is not a
+	// sprint — write the frame from the sender's own goroutine,
+	// skipping the writer-goroutine hop. The frame stays queued until
+	// acked, so a failure here is just an early redial. Sprints skip
+	// this so consecutive frames coalesce into one buffered write.
+	if bw := l.bw; bw != nil && !sprint && !l.writing && l.readerErr == nil && l.sentIdx == len(l.queue)-1 {
+		l.writing = true
+		l.sentIdx = len(l.queue)
+		l.maxSent = seq
+		l.mu.Unlock()
+		_, err := bw.Write(buf)
+		if err == nil {
+			err = bw.Flush()
+		}
+		l.mu.Lock()
+		l.writing = false
+		if err != nil && l.bw == bw && l.readerErr == nil {
+			l.readerErr = err
+		}
+		// Wake the writer only when it has work: an error to redial
+		// on, frames enqueued during our write, or the queue's
+		// empty→non-empty transition (it must arm the retransmit
+		// timer). Steady traffic trims in bulk on ack wakes instead of
+		// paying a writer wakeup per message.
+		mustWake := err != nil || l.sentIdx < len(l.queue) || l.queue[l.head].seq == seq
+		l.mu.Unlock()
+		if mustWake {
+			l.wake()
+		}
+		return true
+	}
+	l.mu.Unlock()
+	l.wake()
+	return true
+}
+
+func (l *peerLink) wake() {
+	select {
+	case l.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run is the link's writer goroutine: wait for work, keep a conn up,
+// stream the queue, redial and re-send on failure.
+func (l *peerLink) run() {
+	defer l.n.wg.Done()
+	established := false
+	for {
+		// Don't (re)dial until there is something to send.
+		l.mu.Lock()
+		empty := l.unacked() == 0
+		l.mu.Unlock()
+		if empty {
+			select {
+			case <-l.notify:
+			case <-l.n.done:
+				return
+			}
+			continue
+		}
+		conn := l.dial()
+		if conn == nil {
+			return // node closing
+		}
+		if established {
+			l.n.counters.redials.Add(1)
+		}
+		established = true
+		l.runConn(conn)
+		_ = conn.Close()
+		l.mu.Lock()
+		l.conn = nil
+		l.bw = nil // unpublish before the next conn resets sentIdx
+		l.readerErr = nil
+		l.mu.Unlock()
+		select {
+		case <-l.n.done:
+			return
+		default:
+		}
+	}
+}
+
+// dial connects to the peer with exponential backoff, returning nil
+// only when the node is shutting down.
+func (l *peerLink) dial() net.Conn {
+	backoff := dialBackoffMin
+	for {
+		select {
+		case <-l.n.done:
+			return nil
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", l.addr, dialTimeout)
+		if err == nil {
+			l.mu.Lock()
+			l.conn = conn
+			l.readerErr = nil
+			l.mu.Unlock()
+			// Re-check shutdown: Close may have swept links before we
+			// registered the conn; done is closed before that sweep.
+			select {
+			case <-l.n.done:
+				_ = conn.Close()
+				return nil
+			default:
+			}
+			return conn
+		}
+		select {
+		case <-l.n.done:
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+	}
+}
+
+// runConn drives one connection until it fails or the node closes:
+// hello, then batches of pending frames, trimming the queue as acks
+// arrive and treating ack silence as a dead conn.
+func (l *peerLink) runConn(conn net.Conn) {
+	bw := bufio.NewWriter(conn)
+	l.mu.Lock()
+	l.sentIdx = l.head // everything unacked is re-sent on this conn
+	firstSeq := l.nextSeq
+	if l.unacked() > 0 {
+		firstSeq = l.queue[l.head].seq
+	}
+	l.mu.Unlock()
+
+	hello := appendHello(getFrameBuf(), l.n.id, l.nonce, firstSeq)
+	_, err := bw.Write(hello)
+	putFrameBuf(hello)
+	if err != nil || bw.Flush() != nil {
+		return
+	}
+	l.n.wg.Add(1)
+	go l.readAcks(conn)
+	l.mu.Lock()
+	l.bw = bw // publish for the inline send fast path
+	l.mu.Unlock()
+
+	var batch []sendFrame
+	for {
+		l.mu.Lock()
+		if l.writing {
+			// An inline sender owns the socket right now; it wakes us
+			// when it is done. Wait with the retransmit timeout rather
+			// than bare — an inline write into a silently-dead socket
+			// can succeed without waking us, and unacked frames must
+			// still hit the ack-silence check below eventually.
+			l.mu.Unlock()
+			timer := time.NewTimer(retransmitTimeout)
+			select {
+			case <-l.notify:
+			case <-timer.C:
+			case <-l.n.done:
+				timer.Stop()
+				return
+			}
+			timer.Stop()
+			continue
+		}
+		// Trim acked frames by advancing the head index (O(popped));
+		// the prefix is compacted away once it grows. The writer is
+		// the only trimmer, so the buffers it returns here can no
+		// longer be referenced by a concurrent write.
+		popped := 0
+		for l.head+popped < len(l.queue) && l.queue[l.head+popped].seq <= l.acked {
+			putFrameBuf(l.queue[l.head+popped].buf)
+			popped++
+		}
+		if popped > 0 {
+			l.head += popped
+			if l.sentIdx < l.head {
+				l.sentIdx = l.head
+			}
+			if l.head == len(l.queue) {
+				l.queue = l.queue[:0]
+				l.sentIdx, l.head = 0, 0
+			} else if l.head >= compactAt {
+				n := copy(l.queue, l.queue[l.head:])
+				l.queue = l.queue[:n]
+				l.sentIdx -= l.head
+				l.head = 0
+			}
+			l.broadcastSpace() // senders blocked on a full queue
+		}
+		if l.readerErr != nil {
+			l.mu.Unlock()
+			return
+		}
+		pending := l.queue[l.sentIdx:]
+		if len(pending) == 0 {
+			if l.unacked() == 0 {
+				l.mu.Unlock()
+				select {
+				case <-l.notify:
+					continue
+				case <-l.n.done:
+					return
+				}
+			}
+			// Everything written, waiting for acks: silence past the
+			// retransmit window means the conn is dead even if writes
+			// kept succeeding (peer gone without a FIN).
+			ackedBefore := l.acked
+			l.mu.Unlock()
+			timer := time.NewTimer(retransmitTimeout)
+			select {
+			case <-l.notify:
+				timer.Stop()
+				continue
+			case <-timer.C:
+				l.mu.Lock()
+				progress := l.acked > ackedBefore
+				l.mu.Unlock()
+				if !progress {
+					l.n.counters.ackTimeouts.Add(1)
+					return
+				}
+				continue
+			case <-l.n.done:
+				timer.Stop()
+				return
+			}
+		}
+		batch = append(batch[:0], pending...)
+		resent := 0
+		for _, f := range batch {
+			if f.seq <= l.maxSent {
+				resent++
+			}
+		}
+		if last := batch[len(batch)-1].seq; last > l.maxSent {
+			l.maxSent = last
+		}
+		l.sentIdx = len(l.queue)
+		l.writing = true
+		l.mu.Unlock()
+		if resent > 0 {
+			l.n.counters.resent.Add(uint64(resent))
+		}
+		err := error(nil)
+		for _, f := range batch {
+			if _, err = bw.Write(f.buf); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		l.mu.Lock()
+		l.writing = false
+		l.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// readAcks consumes cumulative acks from one conn; any read error
+// closes that conn and, if it is still the link's current one, flags
+// the writer to redial.
+func (l *peerLink) readAcks(conn net.Conn) {
+	defer l.n.wg.Done()
+	br := bufio.NewReader(conn)
+	scratch := getFrameBuf()
+	defer func() { putFrameBuf(scratch) }() // scratch may be regrown by readFrame
+	for {
+		kind, body, err := readFrame(br, &scratch)
+		if err == nil && kind == frameAck {
+			var a uint64
+			if a, _, err = decUvarint(body); err == nil {
+				l.mu.Lock()
+				if a > l.acked {
+					l.acked = a
+				}
+				l.mu.Unlock()
+				l.n.counters.acksReceived.Add(1)
+				l.wake()
+				continue
+			}
+		}
+		if err == nil {
+			continue // tolerate unknown frame kinds from newer peers
+		}
+		l.mu.Lock()
+		if l.conn == conn && l.readerErr == nil {
+			l.readerErr = err
+		}
+		l.mu.Unlock()
+		_ = conn.Close()
+		l.wake()
+		return
+	}
+}
+
+// shutdown force-closes the link's current conn and releases any
+// sender blocked on a full queue (node shutdown).
+func (l *peerLink) shutdown() {
+	l.mu.Lock()
+	l.closed = true
+	conn := l.conn
+	l.broadcastSpace()
+	l.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}

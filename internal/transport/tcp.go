@@ -1,38 +1,99 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
 
-// Register makes a concrete payload type encodable over the TCP transport.
-// Protocol packages call this for each of their message types.
-func Register(v Message) { gob.Register(v) }
-
 // TCPNode is a Port backed by real TCP connections, used by the demo
-// binaries to run the protocols across processes. Envelopes are
-// gob-encoded; payload types must be registered with Register.
+// binaries to run the protocols across processes. Envelopes travel as
+// length-prefixed binary frames (codec.go); payload types must be
+// registered with Register. Outgoing messages go through managed peer
+// links (link.go) that redial and retransmit until the peer
+// acknowledges delivery, giving the TCP path the reliable-channel
+// semantics the paper's model assumes (§3.1) — a peer process may
+// crash and restart at the same address without losing messages.
 type TCPNode struct {
 	id    core.ProcessID
 	addrs map[core.ProcessID]string
 	ln    net.Listener
 	inbox chan Envelope
+	done  chan struct{} // closed on Close; gates inbox delivery
 
 	mu       sync.Mutex
-	conns    map[core.ProcessID]*tcpConn
-	accepted []net.Conn
+	links    map[core.ProcessID]*peerLink
+	rcv      map[core.ProcessID]*rcvState
+	accepted map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	counters tcpCounters
 }
 
-type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+// rcvState is the per-sender dedup state: the highest seq delivered for
+// the sender's current link incarnation. A reconnect from the same
+// incarnation resumes it (retransmitted frames are dropped as dups); a
+// new incarnation (sender process restarted) resets it.
+type rcvState struct {
+	mu        sync.Mutex
+	nonce     uint64
+	delivered uint64
+}
+
+// tcpCounters are the node's atomic stat counters (see TCPStats).
+type tcpCounters struct {
+	sent, delivered, dups, drops   atomic.Uint64
+	resent, redials, ackTimeouts   atomic.Uint64
+	acksSent, acksReceived, badEnv atomic.Uint64
+}
+
+// TCPStats is a snapshot of a node's transport counters, letting demos
+// and tests assert that no message was lost across peer restarts.
+type TCPStats struct {
+	Sent         uint64 // envelopes accepted into a link's queue
+	Delivered    uint64 // envelopes handed to this node's inbox
+	Dups         uint64 // retransmitted frames dropped by dedup
+	Drops        uint64 // envelopes dropped: unknown peer, closed node, full queue, encode error
+	Resent       uint64 // frames rewritten on a fresh conn after a failure
+	Redials      uint64 // conns re-established after an initial success
+	AckTimeouts  uint64 // conns declared dead for ack silence
+	AcksSent     uint64 // cumulative ack frames written
+	AcksReceived uint64 // cumulative ack frames read
+	BadEnvelopes uint64 // frames acked but not deliverable (unknown tag, decode error)
+	Queued       int    // frames currently awaiting acknowledgement across all links
+}
+
+// Stats returns a snapshot of the node's transport counters.
+func (n *TCPNode) Stats() TCPStats {
+	queued := 0
+	n.mu.Lock()
+	for _, l := range n.links {
+		l.mu.Lock()
+		queued += l.unacked()
+		l.mu.Unlock()
+	}
+	n.mu.Unlock()
+	return TCPStats{
+		Queued:       queued,
+		Sent:         n.counters.sent.Load(),
+		Delivered:    n.counters.delivered.Load(),
+		Dups:         n.counters.dups.Load(),
+		Drops:        n.counters.drops.Load(),
+		Resent:       n.counters.resent.Load(),
+		Redials:      n.counters.redials.Load(),
+		AckTimeouts:  n.counters.ackTimeouts.Load(),
+		AcksSent:     n.counters.acksSent.Load(),
+		AcksReceived: n.counters.acksReceived.Load(),
+		BadEnvelopes: n.counters.badEnv.Load(),
+	}
 }
 
 var _ Port = (*TCPNode)(nil)
@@ -49,11 +110,14 @@ func NewTCPNode(id core.ProcessID, addrs map[core.ProcessID]string) (*TCPNode, e
 		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
 	}
 	n := &TCPNode{
-		id:    id,
-		addrs: addrs,
-		ln:    ln,
-		inbox: make(chan Envelope, inboxCap),
-		conns: make(map[core.ProcessID]*tcpConn),
+		id:       id,
+		addrs:    addrs,
+		ln:       ln,
+		inbox:    make(chan Envelope, inboxCap),
+		done:     make(chan struct{}),
+		links:    make(map[core.ProcessID]*peerLink),
+		rcv:      make(map[core.ProcessID]*rcvState),
+		accepted: make(map[net.Conn]struct{}),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -69,9 +133,13 @@ func (n *TCPNode) ID() core.ProcessID { return n.id }
 // Inbox returns incoming envelopes; closed on Close.
 func (n *TCPNode) Inbox() <-chan Envelope { return n.inbox }
 
-// Send dispatches a payload with hop 0. Errors (unreachable peer) are
-// swallowed: the model's channels may be slow, and protocol correctness
-// never depends on detecting send failure.
+// Send dispatches a payload with hop 0. Delivery is reliable as long as
+// the peer (or a restarted process at its address) eventually comes
+// back: the link retransmits until acknowledged, and a full
+// retransmission queue applies backpressure (bounded by the link's
+// stall timeout) rather than dropping. Messages are dropped — and
+// counted in Stats — only for unknown peers, unregistered payload
+// types, a closed node, or a peer gone past the stall timeout.
 func (n *TCPNode) Send(to core.ProcessID, payload Message) {
 	n.SendHop(to, payload, 0)
 }
@@ -79,19 +147,38 @@ func (n *TCPNode) Send(to core.ProcessID, payload Message) {
 // SendHop dispatches a payload with an explicit hop depth.
 func (n *TCPNode) SendHop(to core.ProcessID, payload Message, hop int) {
 	env := Envelope{From: n.id, To: to, Hop: hop, Payload: payload}
-	c, err := n.connTo(to)
-	if err != nil {
+	l := n.linkTo(to)
+	if l == nil || !l.send(&env) {
+		n.counters.drops.Add(1)
 		return
 	}
-	c.mu.Lock()
-	err = c.enc.Encode(&env)
-	c.mu.Unlock()
-	if err != nil {
-		n.dropConn(to, c)
-	}
+	n.counters.sent.Add(1)
 }
 
-// Close stops the listener, drops connections, and closes the inbox.
+// linkTo returns the managed link to a peer, creating it (and its
+// writer goroutine) on first use.
+func (n *TCPNode) linkTo(to core.ProcessID) *peerLink {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	if l, ok := n.links[to]; ok {
+		return l
+	}
+	addr, ok := n.addrs[to]
+	if !ok {
+		return nil
+	}
+	l := newPeerLink(n, to, addr)
+	n.links[to] = l
+	n.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// Close stops the listener, tears down links and accepted conns, and
+// closes the inbox once every goroutine has drained.
 func (n *TCPNode) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -99,14 +186,19 @@ func (n *TCPNode) Close() {
 		return
 	}
 	n.closed = true
-	conns := n.conns
-	accepted := n.accepted
-	n.conns = map[core.ProcessID]*tcpConn{}
-	n.accepted = nil
+	links := make([]*peerLink, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	accepted := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		accepted = append(accepted, c)
+	}
 	n.mu.Unlock()
+	close(n.done) // before closing conns: links re-check it after dial
 	_ = n.ln.Close()
-	for _, c := range conns {
-		_ = c.conn.Close()
+	for _, l := range links {
+		l.shutdown()
 	}
 	for _, c := range accepted {
 		_ = c.Close()
@@ -128,71 +220,136 @@ func (n *TCPNode) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
-		n.accepted = append(n.accepted, conn)
+		n.accepted[conn] = struct{}{}
 		n.wg.Add(1)
 		n.mu.Unlock()
-		go n.readLoop(conn)
+		go n.serveConn(conn)
 	}
 }
 
-func (n *TCPNode) readLoop(conn net.Conn) {
+// stateFor resumes or resets the dedup state for a sender incarnation.
+func (n *TCPNode) stateFor(from core.ProcessID, nonce, firstSeq uint64) *rcvState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.rcv[from]
+	if st == nil || st.nonce != nonce {
+		st = &rcvState{nonce: nonce, delivered: firstSeq - 1}
+		n.rcv[from] = st
+	}
+	return st
+}
+
+// serveConn handles one accepted connection: parse the hello, then
+// deliver data frames in seq order, acking cumulatively. Acks are
+// coalesced off the latency path: one ack per ackEvery frames under
+// load, or one after an ackDelay quiet window — both far inside the
+// sender's retransmitTimeout. Inbox delivery selects against the
+// node's done channel, so a full inbox can never wedge shutdown.
+func (n *TCPNode) serveConn(conn net.Conn) {
 	defer n.wg.Done()
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	for {
-		var env Envelope
-		if err := dec.Decode(&env); err != nil {
-			return
-		}
+	defer func() {
+		_ = conn.Close()
 		n.mu.Lock()
-		closed := n.closed
+		delete(n.accepted, conn)
 		n.mu.Unlock()
-		if closed {
+	}()
+	const (
+		ackEvery = 64
+		ackDelay = 25 * time.Millisecond
+	)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	scratch := getFrameBuf()
+	defer func() { putFrameBuf(scratch) }()
+
+	kind, body, err := readFrame(br, &scratch)
+	if err != nil || kind != frameHello {
+		return
+	}
+	from, nonce, firstSeq, err := parseHello(body)
+	if err != nil || firstSeq == 0 {
+		// Legitimate senders number frames from 1; firstSeq 0 would
+		// underflow the dedup resume point and blackhole the stream.
+		return
+	}
+	st := n.stateFor(from, nonce, firstSeq)
+	st.mu.Lock()
+	d := st.delivered
+	st.mu.Unlock()
+	// Immediate ack of the resume point lets the sender trim its queue
+	// without waiting for data to flow.
+	if writeAck(bw, d) != nil {
+		return
+	}
+	n.counters.acksSent.Add(1)
+
+	pendingAck := false
+	sinceAck := 0
+	for {
+		if pendingAck && br.Buffered() == 0 {
+			// Wait for the next frame only up to the ack-delay window;
+			// Peek consumes nothing, so a timeout between frames is
+			// safe, and the deadline is cleared before the frame read.
+			_ = conn.SetReadDeadline(time.Now().Add(ackDelay))
+			_, err := br.Peek(1)
+			_ = conn.SetReadDeadline(time.Time{})
+			if err != nil {
+				var ne net.Error
+				if !errors.As(err, &ne) || !ne.Timeout() {
+					return
+				}
+				st.mu.Lock()
+				d := st.delivered
+				st.mu.Unlock()
+				if writeAck(bw, d) != nil {
+					return
+				}
+				n.counters.acksSent.Add(1)
+				pendingAck, sinceAck = false, 0
+				continue
+			}
+		}
+		kind, body, err := readFrame(br, &scratch)
+		if err != nil {
 			return
 		}
-		n.inbox <- env
-	}
-}
-
-func (n *TCPNode) connTo(to core.ProcessID) (*tcpConn, error) {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		return nil, fmt.Errorf("tcp: node closed")
-	}
-	if c, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return c, nil
-	}
-	addr, ok := n.addrs[to]
-	n.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("tcp: unknown process %d", to)
-	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("tcp: dial %s: %w", addr, err)
-	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if existing, ok := n.conns[to]; ok {
-		_ = conn.Close()
-		return existing, nil
-	}
-	if n.closed {
-		_ = conn.Close()
-		return nil, fmt.Errorf("tcp: node closed")
-	}
-	n.conns[to] = c
-	return c, nil
-}
-
-func (n *TCPNode) dropConn(to core.ProcessID, c *tcpConn) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.conns[to] == c {
-		delete(n.conns, to)
-		_ = c.conn.Close()
+		if kind != frameData {
+			continue // tolerate unknown frame kinds
+		}
+		if len(body) < 8 {
+			return
+		}
+		seq := binary.LittleEndian.Uint64(body)
+		env, decErr := decodeEnvelope(body[8:])
+		st.mu.Lock()
+		if seq > st.delivered {
+			if decErr == nil {
+				select {
+				case n.inbox <- env:
+					n.counters.delivered.Add(1)
+				case <-n.done:
+					st.mu.Unlock()
+					return
+				}
+			} else {
+				// Ack it anyway: an undecodable envelope would
+				// otherwise be retransmitted forever.
+				n.counters.badEnv.Add(1)
+			}
+			st.delivered = seq
+		} else {
+			n.counters.dups.Add(1)
+		}
+		d := st.delivered
+		st.mu.Unlock()
+		pendingAck = true
+		sinceAck++
+		if sinceAck >= ackEvery {
+			if writeAck(bw, d) != nil {
+				return
+			}
+			n.counters.acksSent.Add(1)
+			pendingAck, sinceAck = false, 0
+		}
 	}
 }
