@@ -1,6 +1,7 @@
 package rqs
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -119,6 +120,8 @@ func BenchmarkE11ThroughputStorageReadN8(b *testing.B) {
 func BenchmarkE11ThroughputConsensusDecision(b *testing.B) {
 	// Consensus is single-shot: each iteration stands up a cluster,
 	// decides, and tears it down — throughput includes deployment cost.
+	// BenchmarkSMRPipelined shows what pipelining slots over one shared
+	// deployment saves relative to this.
 	for i := 0; i < b.N; i++ {
 		c, err := NewConsensus(Example7RQS(), ConsensusOptions{Learners: 1})
 		if err != nil {
@@ -130,6 +133,78 @@ func BenchmarkE11ThroughputConsensusDecision(b *testing.B) {
 		}
 		c.Stop()
 	}
+}
+
+func BenchmarkE11ThroughputMWMRWrite(b *testing.B) {
+	c := NewStorage(Example7RQS(), StorageOptions{Timeout: 500 * time.Microsecond})
+	defer c.Stop()
+	w := c.MWWriter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Write("v")
+	}
+}
+
+func BenchmarkE11ThroughputMWMRRead(b *testing.B) {
+	c := NewStorage(Example7RQS(), StorageOptions{Timeout: 500 * time.Microsecond})
+	defer c.Stop()
+	c.MWWriter().Write("v")
+	r := c.MWReader()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Read()
+	}
+}
+
+// BenchmarkSMRPipelined measures per-decision cost when many log slots
+// share one consensus deployment (one key generation, one cluster),
+// against the per-slot-setup baseline that stands a full cluster up
+// for every decision (the E11 consensus bench). ns/op is ns/decision
+// in every case; the window is how many proposals are in flight at
+// once through the slot multiplexer.
+func BenchmarkSMRPipelined(b *testing.B) {
+	for _, window := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("pipelined/window-%d", window), func(b *testing.B) {
+			c, err := NewSMR(Example7RQS(), SMROptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Stop()
+			// Warm the per-role hosts before timing.
+			if _, _, ok := c.Decide("warm", 10*time.Second); !ok {
+				b.Fatal("warm-up decision failed")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += window {
+				n := window
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				slots := make([]int, n)
+				for j := 0; j < n; j++ {
+					slots[j] = c.Append("cmd")
+				}
+				for _, s := range slots {
+					if _, ok := c.Wait(s, 10*time.Second); !ok {
+						b.Fatalf("slot %d did not commit", s)
+					}
+				}
+			}
+		})
+	}
+	b.Run("per-slot-setup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c, err := NewConsensus(Example7RQS(), ConsensusOptions{Learners: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Proposers[0].Propose("v")
+			if _, ok := c.Learners[0].Wait(10 * time.Second); !ok {
+				b.Fatal("no decision")
+			}
+			c.Stop()
+		}
+	})
 }
 
 func BenchmarkE12Availability(b *testing.B) {
@@ -245,7 +320,7 @@ func BenchmarkA3SMRLogThroughput(b *testing.B) {
 	for _, id := range system.Universe().Members() {
 		replicas = append(replicas, NewLogReplica(system, topo, net.Port(id), ring, signers[id], ElectionConfig{}))
 	}
-	prop := NewLogProposer(system, topo, net.Port(nA), ring)
+	prop := NewLogProposer(system, topo, net.Port(nA), ring, ElectionConfig{})
 	logHost := NewLog(system, topo, net.Port(nA+1), 0)
 	defer func() {
 		net.Close()

@@ -64,6 +64,73 @@ func perfSuite() ([]BenchResult, error) {
 			}
 		}
 	}
+	mwmrOp := func(r *core.RQS, read bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			c := sim.NewStorageCluster(r, sim.StorageOptions{Timeout: 500 * time.Microsecond})
+			defer c.Stop()
+			w := c.MWWriter()
+			w.Write("v")
+			rd := c.MWReader()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if read {
+					rd.Read()
+				} else {
+					w.Write("v")
+				}
+			}
+		}
+	}
+	// smrPipelined is the amortized per-decision cost over one shared
+	// consensus deployment with `window` slots in flight (compare the
+	// consensus/per-slot-setup entry, which pays key generation and
+	// cluster setup per decision).
+	smrPipelined := func(r *core.RQS, window int) func(b *testing.B) {
+		return func(b *testing.B) {
+			c, err := sim.NewSMRCluster(r, sim.SMROptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Stop()
+			if _, _, ok := c.Decide("warm", 10*time.Second); !ok {
+				b.Fatal("warm-up decision failed")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += window {
+				n := window
+				if rem := b.N - i; rem < n {
+					n = rem
+				}
+				slots := make([]int, n)
+				for j := 0; j < n; j++ {
+					slots[j] = c.Append("cmd")
+				}
+				for _, s := range slots {
+					if _, ok := c.Wait(s, 10*time.Second); !ok {
+						b.Fatalf("slot %d did not commit", s)
+					}
+				}
+			}
+		}
+	}
+	perSlotSetup := func(r *core.RQS) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := sim.NewConsensusCluster(r, sim.ConsensusOptions{Learners: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c.Proposers[0].Propose("v")
+				if _, ok := c.Learners[0].Wait(10 * time.Second); !ok {
+					b.Fatal("no decision")
+				}
+				c.Stop()
+			}
+		}
+	}
 	storageOp := func(r *core.RQS, read bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			c := sim.NewStorageCluster(r, sim.StorageOptions{Timeout: 500 * time.Microsecond})
@@ -118,6 +185,10 @@ func perfSuite() ([]BenchResult, error) {
 		{"storage/write/example7", storageOp(example7, false)},
 		{"storage/read/example7", storageOp(example7, true)},
 		{"storage/read/threshold8", storageOp(threshold8, true)},
+		{"storage/mwmr-write/example7", mwmrOp(example7, false)},
+		{"storage/mwmr-read/example7", mwmrOp(example7, true)},
+		{"smr/pipelined-decision-w16/example7", smrPipelined(example7, 16)},
+		{"smr/per-slot-setup-decision/example7", perSlotSetup(example7)},
 		{"transport/broadcast-7", broadcast},
 		{"transport/tcp-roundtrip", tcpRoundTrip},
 		{"transport/tcp-roundtrip-gob-baseline", gobRoundTrip},

@@ -1,6 +1,7 @@
-// Command rqs-demo runs the RQS atomic storage over real TCP, one process
-// per role — the closest thing to the paper's deployment of commodity
-// storage servers.
+// Command rqs-demo runs the RQS storage over real TCP, one process per
+// role — the closest thing to the paper's deployment of commodity
+// storage servers. Each server hosts both registers: the SWMR atomic
+// storage of Section 3 and the multi-writer (MWMR) variant.
 //
 // Start the six Example 7 servers, then drive writes and reads:
 //
@@ -9,8 +10,24 @@
 //	rqs-demo -role write -value hello
 //	rqs-demo -role read
 //
+// # Multi-writer demo
+//
+// The MWMR register accepts concurrent writers: each writer process
+// takes its own client slot (-id picks one of the four slots 6..9;
+// default 6) and its slot ID becomes the writer ID inside its tags, so
+// writes from different slots never collide:
+//
+//	rqs-demo -role mwmr-write -id 6 -value from-w6 &
+//	rqs-demo -role mwmr-write -id 7 -value from-w7 &
+//	rqs-demo -role mwmr-read  -id 8
+//
+// A multi-writer write always uses two round-trips (read phase to
+// discover the maximum tag, then the write); an uncontended read
+// completes in one.
+//
 // All processes default to localhost ports 7700+id; override with
-// -addrs host:port,host:port,... (servers first, then one client slot).
+// -addrs host:port,host:port,... (servers first, then the client
+// slots).
 package main
 
 import (
@@ -27,6 +44,11 @@ import (
 	"repro/internal/transport"
 )
 
+// clientSlots is how many client process IDs (above the n servers) the
+// default address map reserves, so several concurrent MWMR writers can
+// run out of the box.
+const clientSlots = 4
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rqs-demo:", err)
@@ -37,11 +59,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rqs-demo", flag.ContinueOnError)
 	var (
-		role    = fs.String("role", "", "server | write | read")
-		id      = fs.Int("id", 0, "server id (role=server)")
-		value   = fs.String("value", "hello", "value to write (role=write)")
+		role    = fs.String("role", "", "server | write | read | mwmr-write | mwmr-read")
+		id      = fs.Int("id", -1, "process id: server id for -role server, client slot otherwise")
+		value   = fs.String("value", "hello", "value to write (role=write, mwmr-write)")
 		addrsCS = fs.String("addrs", "", "comma-separated addresses; default localhost:7700+i")
-		timeout = fs.Duration("timeout", 50*time.Millisecond, "round timer (2Δ)")
+		timeout = fs.Duration("timeout", 50*time.Millisecond, "round timer (2Δ); SWMR roles only — mwmr phases are pure quorum waits")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,21 +75,42 @@ func run(args []string) error {
 	transport.Register(storage.WriteAck{})
 	transport.Register(storage.ReadReq{})
 	transport.Register(storage.ReadAck{})
+	transport.Register(storage.MWReadReq{})
+	transport.Register(storage.MWReadAck{})
+	transport.Register(storage.MWWriteReq{})
+	transport.Register(storage.MWWriteAck{})
 
-	addrs := make(map[core.ProcessID]string, n+1)
+	addrs := make(map[core.ProcessID]string, n+clientSlots)
 	if *addrsCS != "" {
 		for i, a := range strings.Split(*addrsCS, ",") {
 			addrs[i] = strings.TrimSpace(a)
 		}
 	} else {
-		for i := 0; i <= n; i++ {
+		for i := 0; i < n+clientSlots; i++ {
 			addrs[i] = fmt.Sprintf("127.0.0.1:%d", 7700+i)
 		}
 	}
 
+	// clientID validates and defaults the -id flag for client roles.
+	clientID := func() (core.ProcessID, error) {
+		if *id < 0 {
+			return n, nil // first client slot
+		}
+		if *id < n {
+			return 0, fmt.Errorf("client slot id must be ≥ %d (ids 0..%d are servers)", n, n-1)
+		}
+		if _, ok := addrs[*id]; !ok {
+			return 0, fmt.Errorf("no address for client slot %d (add it to -addrs)", *id)
+		}
+		return *id, nil
+	}
+
 	switch *role {
 	case "server":
-		if *id < 0 || *id >= n {
+		if *id < 0 {
+			*id = 0
+		}
+		if *id >= n {
 			return fmt.Errorf("server id must be 0..%d", n-1)
 		}
 		node, err := transport.NewTCPNode(*id, addrs)
@@ -85,7 +128,11 @@ func run(args []string) error {
 		return nil
 
 	case "write":
-		node, err := transport.NewTCPNode(n, addrs)
+		cid, err := clientID()
+		if err != nil {
+			return err
+		}
+		node, err := transport.NewTCPNode(cid, addrs)
 		if err != nil {
 			return err
 		}
@@ -100,7 +147,11 @@ func run(args []string) error {
 		return nil
 
 	case "read":
-		node, err := transport.NewTCPNode(n, addrs)
+		cid, err := clientID()
+		if err != nil {
+			return err
+		}
+		node, err := transport.NewTCPNode(cid, addrs)
 		if err != nil {
 			return err
 		}
@@ -113,6 +164,44 @@ func run(args []string) error {
 		}
 		fmt.Printf("read %q (timestamp %d) in %d round(s)\n", val, res.TS, res.Rounds)
 		return nil
+
+	case "mwmr-write":
+		cid, err := clientID()
+		if err != nil {
+			return err
+		}
+		node, err := transport.NewTCPNode(cid, addrs)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		// No timestamp resume dance: the write's read phase discovers
+		// the maximum tag, and the writer ID keeps tags unique.
+		w := storage.NewMWWriter(system, node)
+		res := w.Write(*value)
+		fmt.Printf("mwmr wrote %q with tag (ts=%d, writer=%d) in %d round(s)\n",
+			*value, res.Tag.TS, res.Tag.Writer, res.Rounds)
+		return nil
+
+	case "mwmr-read":
+		cid, err := clientID()
+		if err != nil {
+			return err
+		}
+		node, err := transport.NewTCPNode(cid, addrs)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		r := storage.NewMWReader(system, node)
+		res := r.Read()
+		val := res.Val
+		if val == storage.NoValue {
+			val = "⊥"
+		}
+		fmt.Printf("mwmr read %q (tag ts=%d, writer=%d) in %d round(s)\n",
+			val, res.Tag.TS, res.Tag.Writer, res.Rounds)
+		return nil
 	}
-	return fmt.Errorf("unknown -role %q (want server, write or read)", *role)
+	return fmt.Errorf("unknown -role %q (want server, write, read, mwmr-write or mwmr-read)", *role)
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"net"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -97,6 +99,67 @@ func TestWriteThenReadAcrossClientRestart(t *testing.T) {
 		if s := node.Stats(); s.Drops != 0 {
 			t.Errorf("server %d dropped %d messages (stats %+v)", i, s.Drops, s)
 		}
+	}
+}
+
+// TestMWMRWriteReadRoles drives the demo's multi-writer roles end to
+// end: two mwmr-write client processes on distinct slots against
+// in-test TCP servers, then an independent reader verifying the last
+// write won with a writer-tagged value.
+func TestMWMRWriteReadRoles(t *testing.T) {
+	system := core.Example7RQS()
+	n := system.N()
+	transport.Register(storage.MWReadReq{})
+	transport.Register(storage.MWReadAck{})
+	transport.Register(storage.MWWriteReq{})
+	transport.Register(storage.MWWriteAck{})
+
+	addrs := make(map[core.ProcessID]string, n+3)
+	for i := 0; i < n; i++ {
+		addrs[i] = "127.0.0.1:0"
+	}
+	for i := 0; i < 3; i++ {
+		addrs[n+i] = reserveAddr(t)
+	}
+	for i := 0; i < n; i++ {
+		node, err := transport.NewTCPNode(i, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		addrs[i] = node.Addr()
+		srv := storage.NewServer(node, storage.Hooks{})
+		srv.Start()
+		defer srv.Stop()
+	}
+	csv := make([]string, n+3)
+	for i := range csv {
+		csv[i] = addrs[i]
+	}
+	addrsFlag := strings.Join(csv, ",")
+
+	for slot, val := range map[int]string{n: "from-w6", n + 1: "from-w7"} {
+		if err := run([]string{"-role", "mwmr-write", "-id", strconv.Itoa(slot),
+			"-value", val, "-addrs", addrsFlag}); err != nil {
+			t.Fatalf("mwmr-write on slot %d: %v", slot, err)
+		}
+	}
+	if err := run([]string{"-role", "mwmr-read", "-id", strconv.Itoa(n + 2), "-addrs", addrsFlag}); err != nil {
+		t.Fatalf("mwmr-read: %v", err)
+	}
+
+	// An independent reader client sees the second write (tag ts=2).
+	node, err := transport.NewTCPNode(n+2, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	res := storage.NewMWReader(system, node).Read()
+	if res.Tag.TS != 2 {
+		t.Fatalf("final tag = %+v, want ts 2 (two writes)", res.Tag)
+	}
+	if res.Val != "from-w6" && res.Val != "from-w7" {
+		t.Fatalf("final value = %q, want one of the two writes", res.Val)
 	}
 }
 

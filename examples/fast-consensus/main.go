@@ -1,7 +1,8 @@
 // Fast consensus: a replicated command log in the state-machine
-// replication style of Section 4, using the smr layer — each log slot is
-// one single-shot RQS consensus instance, all slots multiplexed over one
-// network. With the class-1 quorum alive, commands commit in two message
+// replication style of Section 4, using the pipelined smr layer — each
+// log slot is one single-shot RQS consensus instance, and every slot
+// shares one consensus deployment (one key generation, one cluster).
+// With the class-1 quorum alive, commands commit in two message
 // delays — half of what a PBFT-style protocol needs.
 package main
 
@@ -25,57 +26,38 @@ func run() error {
 	if err := system.Verify(); err != nil {
 		return err
 	}
-	nA := system.N()
-	topo := consensus.Topology{
-		Acceptors: system.Universe(),
-		Proposers: []rqs.ProcessID{nA},
-		Learners:  rqs.NewSet(nA + 1),
-	}
-	ring, signers, err := consensus.GenKeys(system.Universe())
+
+	// One shared deployment for every slot this program will decide:
+	// acceptor replicas on the six servers, a proposer host, a log host.
+	cluster, err := rqs.NewSMR(system, rqs.SMROptions{})
 	if err != nil {
 		return err
 	}
+	defer cluster.Stop()
 
-	net := rqs.NewNetwork(nA + 2)
-	var replicas []*rqs.LogReplica
-	for _, id := range system.Universe().Members() {
-		replicas = append(replicas, rqs.NewLogReplica(
-			system, topo, net.Port(id), ring, signers[id], rqs.ElectionConfig{}))
-	}
-	proposer := rqs.NewLogProposer(system, topo, net.Port(nA), ring)
-	commitLog := rqs.NewLog(system, topo, net.Port(nA+1), 25*time.Millisecond)
-	defer func() {
-		net.Close()
-		for _, r := range replicas {
-			r.Stop()
-		}
-		proposer.Stop()
-		commitLog.Stop()
-	}()
-
-	// Commit a batch of commands, one slot each.
+	// Commit a batch of commands; Append allocates the slots.
 	commands := []consensus.Value{"set x=1", "incr x", "del y", "set z=9"}
 	start := time.Now()
-	for slot, cmd := range commands {
-		proposer.Propose(slot, cmd)
+	for _, cmd := range commands {
+		cluster.Append(cmd)
 	}
 	for slot := range commands {
-		v, ok := commitLog.Wait(slot, 10*time.Second)
+		v, ok := cluster.Wait(slot, 10*time.Second)
 		if !ok {
 			return fmt.Errorf("slot %d did not commit", slot)
 		}
 		fmt.Printf("slot %d: %-10q committed\n", slot, v)
 	}
 	fmt.Printf("replicated log %v in %v (all slots on the 2-delay fast path)\n",
-		commitLog.Prefix(), time.Since(start).Round(time.Millisecond))
+		cluster.Log.Prefix(), time.Since(start).Round(time.Millisecond))
 
-	// Crash an acceptor mid-run: later slots ride the class-2 path.
-	net.Crash(5) // s6 down; Q2 = {s1..s5} remains correct
-	proposer.Propose(len(commands), "after-crash")
-	v, ok := commitLog.Wait(len(commands), 10*time.Second)
+	// Crash an acceptor mid-run: later slots ride the class-2 path on
+	// the same deployment — no new cluster, no new keys.
+	cluster.CrashAcceptors(rqs.NewSet(5)) // s6 down; Q2 = {s1..s5} remains
+	slot, v, ok := cluster.Decide("after-crash", 10*time.Second)
 	if !ok {
 		return fmt.Errorf("post-crash slot did not commit")
 	}
-	fmt.Printf("slot %d: %q committed after s6 crashed (class-2 path)\n", len(commands), v)
+	fmt.Printf("slot %d: %q committed after s6 crashed (class-2 path)\n", slot, v)
 	return nil
 }

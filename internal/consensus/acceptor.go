@@ -105,6 +105,15 @@ func NewAcceptor(rqs *core.RQS, topo Topology, port transport.Port, ring *Keyrin
 // Start launches the acceptor loop.
 func (a *Acceptor) Start() { go a.run() }
 
+// HandleEnvelope processes one incoming envelope synchronously, for
+// hosts that drive many acceptors from a single goroutine (the smr
+// replica pipelines all slots of a deployment this way). It must not
+// be mixed with Start — the caller owns serialization — and the
+// Election module must be disabled: its suspect timer only fires
+// inside Start's loop. Stop is unnecessary for acceptors driven this
+// way (there is no goroutine to stop).
+func (a *Acceptor) HandleEnvelope(env transport.Envelope) { a.handle(env) }
+
 // Stop terminates the loop and waits for exit.
 func (a *Acceptor) Stop() {
 	select {

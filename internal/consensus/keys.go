@@ -4,6 +4,7 @@ import (
 	"crypto/ed25519"
 	"crypto/rand"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -22,8 +23,18 @@ type Signer struct {
 	priv ed25519.PrivateKey
 }
 
+// keyGenCalls counts GenKeys invocations process-wide. Key generation
+// dominates deployment cost, so the SMR pipelining tests assert a whole
+// multi-slot deployment performs exactly one call.
+var keyGenCalls atomic.Int64
+
+// KeyGenCalls returns the number of GenKeys invocations so far in this
+// process (test instrumentation; see keyGenCalls).
+func KeyGenCalls() int64 { return keyGenCalls.Load() }
+
 // GenKeys generates key pairs for the given acceptors.
 func GenKeys(acceptors core.Set) (*Keyring, map[core.ProcessID]*Signer, error) {
+	keyGenCalls.Add(1)
 	ring := &Keyring{pubs: make(map[core.ProcessID]ed25519.PublicKey, acceptors.Count())}
 	signers := make(map[core.ProcessID]*Signer, acceptors.Count())
 	for _, id := range acceptors.Members() {

@@ -98,6 +98,11 @@ func (l *Learner) run() {
 		if ticker != nil {
 			ticker.Stop()
 		}
+		// Shed the per-instance protocol state: a learned learner only
+		// drains its inbox, so a host pipelining many instances (the
+		// smr log) keeps live heap proportional to unlearned slots.
+		l.dec = decider{}
+		l.decisionFrom = nil
 	}
 	for {
 		select {
@@ -110,6 +115,9 @@ func (l *Learner) run() {
 		case env, ok := <-l.port.Inbox():
 			if !ok {
 				return
+			}
+			if hasLearned {
+				continue
 			}
 			switch m := env.Payload.(type) {
 			case UpdateMsg:

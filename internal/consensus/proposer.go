@@ -76,6 +76,19 @@ func (p *Proposer) Propose(v Value) {
 	}
 }
 
+// ProposeOnce performs the initial-view propose synchronously on the
+// caller's goroutine and retains nothing. It serves hosts that will
+// never participate in later views — the pipelined smr proposer with
+// elections disabled constructs a transient proposer per slot, calls
+// this, and lets it be collected, instead of keeping a started
+// proposer per slot alive forever. Must not be mixed with Start.
+func (p *Proposer) ProposeOnce(v Value) {
+	p.value = v
+	p.proposed = true
+	transport.Broadcast(p.port, p.topo.Acceptors, SyncMsg{})
+	transport.BroadcastHop(p.port, p.topo.Acceptors, PrepareMsg{V: v, View: InitView}, 1)
+}
+
 func (p *Proposer) run() {
 	defer close(p.done)
 	for {

@@ -1,11 +1,10 @@
-// Package histcheck checks recorded operation histories of a SWMR
-// register for atomicity (linearizability for a single-writer register,
-// Lamport [33] / Herlihy–Wing [25]).
+// Package histcheck checks recorded operation histories of a register
+// for atomicity (linearizability, Lamport [33] / Herlihy–Wing [25]).
 //
-// Because the storage protocol attaches a unique, monotonically increasing
-// timestamp to every written value, atomicity of a SWMR history reduces to
-// three real-time conditions on timestamps, which the checker verifies in
-// O(n log n):
+// Because the storage protocols attach a unique, totally ordered
+// timestamp to every written value — the writer's counter in the SWMR
+// protocol, the packed 〈timestamp, writer-id〉 tag in the MWMR variant —
+// atomicity of a history reduces to real-time conditions on timestamps:
 //
 //  1. Reads return written timestamps (or 0, the initial value).
 //  2. A read that follows a complete write w returns a timestamp ≥ ts(w);
@@ -13,10 +12,16 @@
 //     responded.
 //  3. A read that follows another complete read r' returns a timestamp
 //     ≥ ts(r') (no read inversion).
+//  4. A write that follows a complete operation o carries a timestamp
+//     > ts(o): writes respect the real-time order of both earlier
+//     writes and earlier reads. (Trivial for a single sequential
+//     writer; load-bearing for concurrent MWMR writers, whose
+//     read-phase must propagate the newest tag.)
 //
 // The experiments use the checker both positively (the RQS storage passes
-// under fault injection) and negatively (the Figure 1 and Theorem 3
-// schedules make broken algorithms fail it).
+// under fault injection, the MWMR register under concurrent writers) and
+// negatively (the Figure 1 and Theorem 3 schedules make broken
+// algorithms fail it).
 package histcheck
 
 import (
@@ -143,6 +148,36 @@ func Check(ops []Op) *Violation {
 				if other.TS > op.TS {
 					return &Violation{
 						Reason: "read inversion (older value after newer read)",
+						First:  other, Second: op,
+					}
+				}
+			}
+		}
+	}
+
+	// Condition 4: writes respect real-time order. Checked after the
+	// read conditions so that histories violating both keep reporting
+	// the read-side violation first (the experiments pin those reasons).
+	for _, op := range sorted {
+		if op.Kind != Write {
+			continue
+		}
+		for _, other := range sorted {
+			if !other.Resp.Before(op.Inv) {
+				continue
+			}
+			switch other.Kind {
+			case Write:
+				if other.TS > op.TS {
+					return &Violation{
+						Reason: "write order inversion (older timestamp after newer write)",
+						First:  other, Second: op,
+					}
+				}
+			case Read:
+				if other.TS >= op.TS {
+					return &Violation{
+						Reason: "write reused or predated a timestamp already read",
 						First:  other, Second: op,
 					}
 				}

@@ -96,6 +96,45 @@ func TestCheckDetectsViolations(t *testing.T) {
 	}
 }
 
+// mwr builds a write by an explicit client, for multi-writer histories
+// (TS stands for a packed 〈timestamp, writer-id〉 tag).
+func mwr(client string, ts int64, inv, resp int) Op {
+	return Op{Kind: Write, Client: client, TS: ts, Inv: at(inv), Resp: at(resp)}
+}
+
+// TestCheckMultiWriterHistories exercises condition 4, the write-side
+// real-time order that only concurrent multi-writer histories can
+// violate.
+func TestCheckMultiWriterHistories(t *testing.T) {
+	t.Run("accepts", func(t *testing.T) {
+		histories := [][]Op{
+			// Two writers alternating sequentially, tags interleaved.
+			{mwr("w1", 1, 0, 1), mwr("w2", 2, 2, 3), mwr("w1", 3, 4, 5), rd("r", 3, 6, 7)},
+			// Concurrent writes may order either way.
+			{mwr("w1", 2, 0, 10), mwr("w2", 1, 1, 9), rd("r", 2, 11, 12)},
+		}
+		for i, ops := range histories {
+			if v := Check(ops); v != nil {
+				t.Errorf("history %d: Check = %v, want nil", i, v)
+			}
+		}
+	})
+	t.Run("write after write with older tag", func(t *testing.T) {
+		v := Check([]Op{mwr("w1", 5, 0, 1), mwr("w2", 3, 2, 3)})
+		if v == nil || !strings.Contains(v.Reason, "write order inversion") {
+			t.Fatalf("Check = %v, want write order inversion", v)
+		}
+	})
+	t.Run("write predating a completed read", func(t *testing.T) {
+		// w1 is still in flight when w2 starts (no write-write order
+		// between them), but the read of w1's tag completed first.
+		v := Check([]Op{mwr("w1", 5, 0, 10), rd("r", 5, 2, 3), mwr("w2", 4, 4, 6)})
+		if v == nil || !strings.Contains(v.Reason, "predated") {
+			t.Fatalf("Check = %v, want write-predates-read violation", v)
+		}
+	})
+}
+
 func TestRecorderConcurrent(t *testing.T) {
 	rec := NewRecorder()
 	done := make(chan struct{})

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+)
+
+// TestSMRClusterDecidesAcrossSlots commits commands through the shared
+// deployment with Append/Decide and checks the gap-free prefix.
+func TestSMRClusterDecidesAcrossSlots(t *testing.T) {
+	c, err := NewSMRCluster(core.Example7RQS(), SMROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const slots = 8
+	allocated := make([]int, slots)
+	for i := 0; i < slots; i++ {
+		allocated[i] = c.Append(fmt.Sprintf("cmd-%d", i))
+		if allocated[i] != i {
+			t.Fatalf("Append allocated slot %d, want %d", allocated[i], i)
+		}
+	}
+	for i := 0; i < slots; i++ {
+		v, ok := c.Wait(i, 10*time.Second)
+		if !ok {
+			t.Fatalf("slot %d did not commit", i)
+		}
+		if want := fmt.Sprintf("cmd-%d", i); v != want {
+			t.Errorf("slot %d = %q, want %q", i, v, want)
+		}
+	}
+	if got := len(c.Log.Prefix()); got != slots {
+		t.Errorf("prefix length = %d, want %d", got, slots)
+	}
+	if slot, v, ok := c.Decide("tail", 10*time.Second); !ok || v != "tail" || slot != slots {
+		t.Errorf("Decide = (%d, %q, %v), want (%d, %q, true)", slot, v, ok, slots, "tail")
+	}
+}
+
+// TestSMRClusterSingleKeyGeneration is the pipelining regression test:
+// a deployment deciding N slots performs exactly one key-generation
+// call — the cost that used to be paid per decision when every slot
+// stood up its own cluster (BenchmarkE11ThroughputConsensusDecision).
+func TestSMRClusterSingleKeyGeneration(t *testing.T) {
+	before := consensus.KeyGenCalls()
+	c, err := NewSMRCluster(core.Example7RQS(), SMROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const slots = 16
+	for i := 0; i < slots; i++ {
+		c.Append(fmt.Sprintf("cmd-%d", i))
+	}
+	for i := 0; i < slots; i++ {
+		if _, ok := c.Wait(i, 10*time.Second); !ok {
+			t.Fatalf("slot %d did not commit", i)
+		}
+	}
+	if calls := consensus.KeyGenCalls() - before; calls != 1 {
+		t.Fatalf("deciding %d slots performed %d key generations, want exactly 1", slots, calls)
+	}
+}

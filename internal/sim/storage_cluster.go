@@ -70,6 +70,18 @@ func (c *StorageCluster) Reader() *storage.Reader {
 	return storage.NewReader(c.RQS, c.clientPort(), c.Timeout)
 }
 
+// MWWriter returns a multi-writer client on a fresh client port; its
+// writer ID is the port's process ID, so every MWWriter from one
+// cluster tags its writes distinctly.
+func (c *StorageCluster) MWWriter() *storage.MWWriter {
+	return storage.NewMWWriter(c.RQS, c.clientPort())
+}
+
+// MWReader returns a multi-reader client on a fresh client port.
+func (c *StorageCluster) MWReader() *storage.MWReader {
+	return storage.NewMWReader(c.RQS, c.clientPort())
+}
+
 // ReaderOpts returns a reader with explicit options (regular semantics,
 // QC'2 ablation) on a fresh client port.
 func (c *StorageCluster) ReaderOpts(opts storage.ReaderOptions) *storage.Reader {

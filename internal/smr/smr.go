@@ -1,13 +1,26 @@
 // Package smr layers a replicated command log on top of the single-shot
 // consensus of Section 4 — the "general state machine replication (SMR)
-// framework of [34]" that motivates the paper's consensus algorithm. Each
-// log slot is one consensus instance; all instances share the physical
-// network through a per-slot multiplexer, so a deployment needs one
-// process per role, not one per slot.
+// framework of [34]" that motivates the paper's consensus algorithm.
+//
+// Each log slot is one consensus instance, but slots are pipelined over
+// one shared consensus deployment: a deployment performs one key
+// generation and stands up one process per role (Replica hosting
+// acceptors, Proposer hosting proposers, Log hosting learners), and a
+// per-slot multiplexer (mux) routes SlotMsg-wrapped consensus messages
+// to lazily created per-slot protocol instances. Deciding a command
+// therefore costs one consensus round over an already-running cluster
+// instead of a full cluster setup — the amortization BenchmarkSMRPipelined
+// measures against the per-slot-setup baseline.
+//
+// Proposer.Append allocates log slots; many slots may be in flight at
+// once and commit out of order, with Log.Prefix exposing the gap-free
+// committed prefix. The sim package assembles a whole in-memory
+// deployment as sim.SMRCluster.
 package smr
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/consensus"
@@ -21,19 +34,30 @@ type SlotMsg struct {
 	Payload transport.Message
 }
 
-// mux demultiplexes a real port into per-slot virtual ports.
+// mux demultiplexes a real port into per-slot virtual ports. Slots can
+// be retired (see retire): messages for a retired slot are dropped
+// instead of re-materializing its channel, and the retired-slot record
+// is a watermark plus a sparse overflow set, so a long-lived host's
+// memory tracks the slots in flight, not the slots ever decided.
 type mux struct {
 	real transport.Port
 
-	mu     sync.Mutex
-	slots  map[int]chan transport.Envelope
-	onNew  func(slot int) // called (unlocked) when a new slot appears
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	slots   map[int]chan transport.Envelope
+	onNew   func(slot int) // called (unlocked) when a new slot appears
+	floor   int            // every slot < floor is retired
+	retired map[int]bool   // retired slots ≥ floor (out-of-order window)
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 func newMux(real transport.Port, onNew func(int)) *mux {
-	m := &mux{real: real, slots: make(map[int]chan transport.Envelope), onNew: onNew}
+	m := &mux{
+		real:    real,
+		slots:   make(map[int]chan transport.Envelope),
+		retired: make(map[int]bool),
+		onNew:   onNew,
+	}
 	m.wg.Add(1)
 	go m.run()
 	return m
@@ -46,7 +70,10 @@ func (m *mux) run() {
 		if !ok {
 			continue
 		}
-		ch, fresh := m.slotChan(sm.Slot)
+		ch, fresh, gone := m.slotChan(sm.Slot)
+		if gone {
+			continue
+		}
 		if ch == nil {
 			return
 		}
@@ -63,62 +90,109 @@ func (m *mux) run() {
 	}
 }
 
-func (m *mux) slotChan(slot int) (ch chan transport.Envelope, fresh bool) {
+func (m *mux) slotChan(slot int) (ch chan transport.Envelope, fresh, gone bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if slot < m.floor || m.retired[slot] {
+		return nil, false, true
+	}
 	if m.closed {
-		return nil, false
+		return nil, false, false
 	}
 	ch, ok := m.slots[slot]
 	if !ok {
-		ch = make(chan transport.Envelope, 1024)
+		ch = make(chan transport.Envelope, slotChanBuf)
 		m.slots[slot] = ch
 		fresh = true
 	}
-	return ch, fresh
+	return ch, fresh, false
 }
+
+// retire drops a slot: its channel is released (never closed — the run
+// goroutine may still hold a reference mid-send; buffered sends land
+// harmlessly and the channel is collected) and later messages for it
+// are discarded. The caller must have stopped the slot's consumer
+// first. Contiguous retirements collapse into the floor watermark.
+func (m *mux) retire(slot int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.slots, slot)
+	if slot < m.floor || m.retired[slot] {
+		return
+	}
+	if slot == m.floor {
+		m.floor++
+		for m.retired[m.floor] {
+			delete(m.retired, m.floor)
+			m.floor++
+		}
+		return
+	}
+	m.retired[slot] = true
+}
+
+// slotChanBuf sizes a slot's virtual inbox. One consensus instance
+// exchanges a few dozen messages end to end and its goroutine consumes
+// them continuously, so a small burst buffer suffices; the previous
+// 1024-envelope buffer cost ~40KB of zeroed memory per slot per role
+// host and dominated pipelined per-decision cost (8 hosts × 40KB ≈
+// 320KB per decision on the Example 7 deployment).
+const slotChanBuf = 64
 
 // port returns the virtual port of a slot.
 func (m *mux) port(slot int) transport.Port {
-	ch, _ := m.slotChan(slot)
-	return &slotPort{mux: m, slot: slot, inbox: ch}
+	ch, _, _ := m.slotChan(slot)
+	return &slotPort{real: m.real, slot: slot, inbox: ch}
 }
 
 // wait blocks until the mux goroutine exits (after the real port closes).
 func (m *mux) wait() { m.wg.Wait() }
 
+// slotPort is one slot's virtual port: sends wrap payloads in SlotMsg
+// on the shared real port; the inbox (nil for synchronously driven
+// instances, which never read it) is fed by the owner's demultiplexer.
 type slotPort struct {
-	mux   *mux
+	real  transport.Port
 	slot  int
 	inbox chan transport.Envelope
 }
 
 var _ transport.Port = (*slotPort)(nil)
 
-func (p *slotPort) ID() core.ProcessID { return p.mux.real.ID() }
+func (p *slotPort) ID() core.ProcessID { return p.real.ID() }
 
 func (p *slotPort) Send(to core.ProcessID, payload transport.Message) {
-	p.mux.real.Send(to, SlotMsg{Slot: p.slot, Payload: payload})
+	p.real.Send(to, SlotMsg{Slot: p.slot, Payload: payload})
 }
 
 func (p *slotPort) SendHop(to core.ProcessID, payload transport.Message, hop int) {
-	p.mux.real.SendHop(to, SlotMsg{Slot: p.slot, Payload: payload}, hop)
+	p.real.SendHop(to, SlotMsg{Slot: p.slot, Payload: payload}, hop)
 }
 
 func (p *slotPort) Inbox() <-chan transport.Envelope { return p.inbox }
 
-// Replica hosts the acceptor role for every slot: consensus acceptors are
-// created lazily when a slot's first message arrives.
+// Replica hosts the acceptor role for every slot: consensus acceptors
+// are created lazily when a slot's first message arrives.
+//
+// With the Election module disabled (the common pipelined deployment),
+// every slot's acceptor is a pure message-driven state machine, so the
+// replica drives them all synchronously from its one demultiplexing
+// goroutine — no per-slot goroutine, channel, or wakeup per message.
+// With elections enabled, acceptors need their internal timer loop and
+// each slot gets its own goroutine behind a mux.
 type Replica struct {
 	rqs    *core.RQS
 	topo   consensus.Topology
 	ring   *consensus.Keyring
 	signer *consensus.Signer
 	elect  consensus.ElectionConfig
-	mux    *mux
+
+	mux        *mux           // election mode; nil when inline
+	port       transport.Port // inline mode
+	inlineDone chan struct{}
 
 	mu        sync.Mutex
-	acceptors map[int]*consensus.Acceptor
+	acceptors map[int]*consensus.Acceptor // election mode only
 }
 
 // NewReplica starts the acceptor host on the given port.
@@ -126,10 +200,57 @@ func NewReplica(rqs *core.RQS, topo consensus.Topology, port transport.Port,
 	ring *consensus.Keyring, signer *consensus.Signer, elect consensus.ElectionConfig) *Replica {
 	r := &Replica{
 		rqs: rqs, topo: topo, ring: ring, signer: signer, elect: elect,
-		acceptors: make(map[int]*consensus.Acceptor),
 	}
-	r.mux = newMux(port, r.ensureSlot)
+	if elect.Enabled {
+		r.acceptors = make(map[int]*consensus.Acceptor)
+		r.mux = newMux(port, r.ensureSlot)
+		return r
+	}
+	r.port = port
+	r.inlineDone = make(chan struct{})
+	go r.runInline()
 	return r
+}
+
+// runInline demultiplexes and executes every slot's acceptor on this
+// one goroutine (timer-free acceptors only; see Replica). The slot
+// maps need no lock — nothing else touches them.
+//
+// Decided slots are retired: the acceptor's whole protocol state is
+// replaced by its decided value, which is all a decided acceptor ever
+// uses again (answering decision pulls). Retiring keeps a long-lived
+// deployment's live heap proportional to the slots in flight, not the
+// slots ever decided. An acceptor that adopted a decision early stops
+// forwarding update steps, but by then a full quorum has already
+// broadcast every step and its decision, so lagging acceptors and
+// learners still converge through decision messages.
+func (r *Replica) runInline() {
+	defer close(r.inlineDone)
+	acceptors := make(map[int]*consensus.Acceptor)
+	decided := make(map[int]consensus.Value)
+	for env := range r.port.Inbox() {
+		sm, ok := env.Payload.(SlotMsg)
+		if !ok {
+			continue
+		}
+		if v, ok := decided[sm.Slot]; ok {
+			if _, isPull := sm.Payload.(consensus.DecisionPullMsg); isPull {
+				r.port.Send(env.From, SlotMsg{Slot: sm.Slot, Payload: consensus.DecisionMsg{V: v}})
+			}
+			continue
+		}
+		a, ok := acceptors[sm.Slot]
+		if !ok {
+			a = consensus.NewAcceptor(r.rqs, r.topo,
+				&slotPort{real: r.port, slot: sm.Slot}, r.ring, r.signer, r.elect)
+			acceptors[sm.Slot] = a
+		}
+		a.HandleEnvelope(transport.Envelope{From: env.From, To: env.To, Hop: env.Hop, Payload: sm.Payload})
+		if v, ok := a.Decided(); ok {
+			decided[sm.Slot] = v
+			delete(acceptors, sm.Slot)
+		}
+	}
 }
 
 func (r *Replica) ensureSlot(slot int) {
@@ -145,6 +266,10 @@ func (r *Replica) ensureSlot(slot int) {
 
 // Stop shuts every slot's acceptor down. Call after the network closes.
 func (r *Replica) Stop() {
+	if r.mux == nil {
+		<-r.inlineDone // inline acceptors have no goroutines to stop
+		return
+	}
 	r.mux.wait()
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -154,20 +279,48 @@ func (r *Replica) Stop() {
 }
 
 // Proposer hosts the proposer role across slots.
+//
+// With elections disabled, a slot's proposer has exactly one duty —
+// the initial-view prepare broadcast — so Propose performs it through
+// a transient consensus.Proposer (ProposeOnce) and retains nothing:
+// no per-slot goroutine, state, or mux channel ever accumulates. With
+// elections enabled, per-slot proposers must stay alive to run later
+// views, and each gets a goroutine behind a mux.
 type Proposer struct {
 	rqs  *core.RQS
 	topo consensus.Topology
 	ring *consensus.Keyring
-	mux  *mux
+	next atomic.Int64 // next slot Append hands out
+
+	mux        *mux           // election mode; nil when inline
+	port       transport.Port // inline mode
+	inlineDone chan struct{}
 
 	mu        sync.Mutex
-	proposers map[int]*consensus.Proposer
+	proposers map[int]*consensus.Proposer // election mode only
 }
 
-// NewProposer starts the proposer host on the given port.
-func NewProposer(rqs *core.RQS, topo consensus.Topology, port transport.Port, ring *consensus.Keyring) *Proposer {
-	p := &Proposer{rqs: rqs, topo: topo, ring: ring, proposers: make(map[int]*consensus.Proposer)}
-	p.mux = newMux(port, func(slot int) { p.ensureSlot(slot) })
+// NewProposer starts the proposer host on the given port. elect must
+// match the acceptors' election configuration: it decides whether
+// per-slot proposers are retained for view changes.
+func NewProposer(rqs *core.RQS, topo consensus.Topology, port transport.Port,
+	ring *consensus.Keyring, elect consensus.ElectionConfig) *Proposer {
+	p := &Proposer{rqs: rqs, topo: topo, ring: ring}
+	if elect.Enabled {
+		p.proposers = make(map[int]*consensus.Proposer)
+		p.mux = newMux(port, func(slot int) { p.ensureSlot(slot) })
+		return p
+	}
+	p.port = port
+	p.inlineDone = make(chan struct{})
+	// Nothing addresses the proposer host when elections are off
+	// (view-change traffic is the only proposer-bound kind), but the
+	// inbox must still drain so unexpected senders cannot wedge.
+	go func() {
+		defer close(p.inlineDone)
+		for range port.Inbox() {
+		}
+	}()
 	return p
 }
 
@@ -185,11 +338,31 @@ func (p *Proposer) ensureSlot(slot int) *consensus.Proposer {
 
 // Propose submits a command for a log slot.
 func (p *Proposer) Propose(slot int, cmd consensus.Value) {
+	if p.mux == nil {
+		consensus.NewProposer(p.rqs, p.topo,
+			&slotPort{real: p.port, slot: slot}, p.ring).ProposeOnce(cmd)
+		return
+	}
 	p.ensureSlot(slot).Propose(cmd)
+}
+
+// Append allocates the next free log slot, proposes cmd into it, and
+// returns the slot. Safe for concurrent use; slots commit independently
+// and possibly out of order. Callers mixing Append with explicit
+// Propose own the collision risk — Append only counts its own
+// allocations.
+func (p *Proposer) Append(cmd consensus.Value) int {
+	slot := int(p.next.Add(1) - 1)
+	p.Propose(slot, cmd)
+	return slot
 }
 
 // Stop shuts the proposer host down. Call after the network closes.
 func (p *Proposer) Stop() {
+	if p.mux == nil {
+		<-p.inlineDone
+		return
+	}
 	p.mux.wait()
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -244,10 +417,20 @@ func (l *Log) ensureSlot(slot int) {
 		l.entries[slot] = res.V
 		ws := l.watchers[slot]
 		delete(l.watchers, slot)
+		delete(l.learners, slot)
 		l.mu.Unlock()
 		for _, w := range ws {
 			w <- res.V
 		}
+		// Retire the slot: the learner goroutine, its virtual inbox and
+		// any further messages for the slot are all dead weight once the
+		// entry is recorded. Retire FIRST so the demultiplexer stops
+		// feeding the slot before its consumer goes away — otherwise a
+		// straggler burst bigger than the inbox buffer could block
+		// mux.run on a dead channel; after retire, at most one in-flight
+		// send lands in the buffer.
+		l.mux.retire(slot)
+		lr.Stop()
 	}()
 }
 

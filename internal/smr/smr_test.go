@@ -37,7 +37,7 @@ func deploy(t *testing.T, rqs *core.RQS) *deployment {
 		d.replicas = append(d.replicas, NewReplica(
 			rqs, topo, net.Port(id), ring, signers[id], consensus.ElectionConfig{}))
 	}
-	d.prop = NewProposer(rqs, topo, net.Port(nA), ring)
+	d.prop = NewProposer(rqs, topo, net.Port(nA), ring, consensus.ElectionConfig{})
 	d.log = NewLog(rqs, topo, net.Port(nA+1), 20*time.Millisecond)
 	return d
 }
@@ -115,6 +115,47 @@ func TestManySlotsConcurrently(t *testing.T) {
 		if want := fmt.Sprintf("cmd-%d", s); got != want {
 			t.Errorf("slot %d = %q, want %q", s, got, want)
 		}
+	}
+}
+
+// TestLogRetiresLearnedSlots pins the log host's slot retirement: once
+// a slot's entry is recorded, its learner is removed (memory tracks
+// slots in flight, not slots ever decided) while Get/Wait/Prefix keep
+// serving the entry.
+func TestLogRetiresLearnedSlots(t *testing.T) {
+	d := deploy(t, core.Example7RQS())
+	defer d.stop()
+	const slots = 6
+	for s := 0; s < slots; s++ {
+		d.prop.Propose(s, fmt.Sprintf("cmd-%d", s))
+	}
+	for s := 0; s < slots; s++ {
+		if _, ok := d.log.Wait(s, 10*time.Second); !ok {
+			t.Fatalf("slot %d did not commit", s)
+		}
+	}
+	// Retirement runs on the watcher goroutine right after Wait is
+	// released; give it a moment, then the learner map must be empty.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d.log.mu.Lock()
+		live := len(d.log.learners)
+		d.log.mu.Unlock()
+		if live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d learners still live after all %d slots committed", live, slots)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for s := 0; s < slots; s++ {
+		if v, ok := d.log.Get(s); !ok || v != fmt.Sprintf("cmd-%d", s) {
+			t.Fatalf("Get(%d) = %q, %v after retirement", s, v, ok)
+		}
+	}
+	if got := len(d.log.Prefix()); got != slots {
+		t.Fatalf("prefix length = %d, want %d", got, slots)
 	}
 }
 

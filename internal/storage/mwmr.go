@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// This file is the MWMR (multi-writer multi-reader) variant of the
+// storage: an ABD-style emulation over the refined quorum system's
+// class-3 quorums, with writes ordered by 〈timestamp, writer-id〉 tags
+// compared lexicographically. Unlike the SWMR protocol of Figures 5-7,
+// which exploits synchrony (the 2Δ timer) and quorum classes 1 and 2
+// for sub-3-round operations under Byzantine servers, the MWMR variant
+// is fully asynchronous and crash-tolerant:
+//
+//   - a write is two phases: a read phase that discovers the maximum
+//     tag at some quorum, then a write phase that stores the value
+//     under 〈maxTS+1, writerID〉 at some quorum;
+//   - a read is one phase plus a writeback, with a fast path: when
+//     every member of some contained class-3 quorum reports the same
+//     maximum tag, the value provably already resides at a quorum and
+//     the writeback is skipped — the multi-writer analogue of the
+//     paper's best-case fast reads.
+//
+// The fast path is safe in the crash model because server tags are
+// monotone: if a full quorum Q reports tag t, every later phase-1
+// quorum intersects Q (Property 1) in a server whose tag is still
+// ≥ t, so no later operation selects an older tag. Tolerating
+// Byzantine servers in the MWMR setting requires authenticated tags
+// (writers would need to sign 〈tag, value〉); that extension is left on
+// the ROADMAP.
+//
+// Every writer must use a distinct WriterID; NewMWWriter derives it
+// from the port's process ID, which deployments already keep unique.
+
+// Tag orders MWMR writes: lexicographic on (TS, Writer). The zero Tag
+// is the initial tag of the register (before any write).
+type Tag struct {
+	TS     int64
+	Writer core.ProcessID
+}
+
+// Less reports whether t orders strictly before u.
+func (t Tag) Less(u Tag) bool {
+	if t.TS != u.TS {
+		return t.TS < u.TS
+	}
+	return t.Writer < u.Writer
+}
+
+// IsZero reports whether t is the initial tag.
+func (t Tag) IsZero() bool { return t == Tag{} }
+
+// Packed folds the tag into one int64 that preserves the lexicographic
+// order: TS in the high bits, writer ID in the low 16. It lets the
+// histcheck package — which orders operations by a single int64
+// timestamp — check MWMR histories unchanged. Writer IDs are process
+// IDs, far below 2^16 (core.MaxProcesses = 64).
+func (t Tag) Packed() int64 { return t.TS<<16 | int64(t.Writer) }
+
+// MWMR protocol messages. Seq is the issuing client's operation
+// sequence number; replies travel point-to-point back to that client,
+// so (client, Seq) pairs never collide and stale acks are filtered by
+// Seq alone.
+
+// MWReadReq queries a server's current 〈tag, value〉 (the read phase of
+// both mw-reads and mw-writes).
+type MWReadReq struct {
+	Seq int64
+}
+
+// MWReadAck carries the server's current pair back.
+type MWReadAck struct {
+	Seq int64
+	Tag Tag
+	Val string
+}
+
+// MWWriteReq asks a server to store 〈tag, val〉 if tag is newer than
+// what it holds (the write phase of mw-writes and read writebacks).
+type MWWriteReq struct {
+	Seq int64
+	Tag Tag
+	Val string
+}
+
+// MWWriteAck acknowledges an MWWriteReq.
+type MWWriteAck struct {
+	Seq int64
+}
+
+// MWResult reports how an MWMR operation completed.
+type MWResult struct {
+	Val    string
+	Tag    Tag // tag written (writes) or returned (reads)
+	Rounds int // communication round-trips used
+}
+
+// mwClient is the phase machinery shared by MWWriter and MWReader: a
+// client port, a reused quorum tracker, and the per-operation sequence
+// counter. Like the SWMR clients, an mwClient runs one operation at a
+// time; concurrency comes from deploying many clients. There is no
+// timeout knob: the phases are pure quorum waits (the protocol is
+// asynchronous), wait-free while a correct quorum is reachable.
+type mwClient struct {
+	rqs  *core.RQS
+	port transport.Port
+	seq  int64
+	tr   *core.QuorumTracker
+
+	// Read-phase scratch, reset per phase: the maximum tag seen and
+	// the exact set of servers that reported it.
+	maxTag  Tag
+	maxVal  string
+	withMax core.Set
+	closed  bool // the port's inbox closed mid-operation
+}
+
+func newMWClient(rqs *core.RQS, port transport.Port) mwClient {
+	return mwClient{rqs: rqs, port: port, tr: rqs.NewTracker()}
+}
+
+// readPhase broadcasts MWReadReq and collects acks until some class-3
+// quorum responded, tracking the maximum tag and who reported it.
+func (c *mwClient) readPhase() {
+	c.seq++
+	drainPort(c.port)
+	transport.Broadcast(c.port, c.rqs.Universe(), MWReadReq{Seq: c.seq})
+
+	c.tr.Reset()
+	c.maxTag, c.maxVal, c.withMax = Tag{}, NoValue, core.EmptySet
+	for {
+		env, ok := <-c.port.Inbox()
+		if !ok {
+			c.closed = true
+			return
+		}
+		ack, isAck := env.Payload.(MWReadAck)
+		if !isAck || ack.Seq != c.seq {
+			continue
+		}
+		if c.maxTag.Less(ack.Tag) {
+			c.maxTag, c.maxVal, c.withMax = ack.Tag, ack.Val, core.NewSet(env.From)
+		} else if ack.Tag == c.maxTag {
+			c.withMax = c.withMax.Add(env.From)
+		}
+		if c.tr.Add(env.From) {
+			if _, ok := c.tr.Contained(core.Class3); ok {
+				return
+			}
+		}
+	}
+}
+
+// writePhase broadcasts MWWriteReq〈tag, val〉 and waits for acks from
+// some class-3 quorum.
+func (c *mwClient) writePhase(tag Tag, val string) {
+	c.seq++
+	transport.Broadcast(c.port, c.rqs.Universe(), MWWriteReq{Seq: c.seq, Tag: tag, Val: val})
+
+	c.tr.Reset()
+	for {
+		env, ok := <-c.port.Inbox()
+		if !ok {
+			c.closed = true
+			return
+		}
+		if ack, isAck := env.Payload.(MWWriteAck); isAck && ack.Seq == c.seq {
+			if c.tr.Add(env.From) {
+				if _, ok := c.tr.Contained(core.Class3); ok {
+					return
+				}
+			}
+		}
+	}
+}
+
+// MWWriter is one of arbitrarily many writers of the MWMR register.
+// Each writer instance needs its own port; its writer ID is the port's
+// process ID. Not safe for concurrent use by multiple goroutines — the
+// model forbids a client from invoking a new operation before the
+// previous one completes.
+type MWWriter struct {
+	c  mwClient
+	id core.ProcessID
+}
+
+// NewMWWriter creates a multi-writer client. Unlike the SWMR
+// constructors there is no 2Δ timeout: the MWMR protocol is
+// asynchronous and its phases are unbounded quorum waits.
+func NewMWWriter(rqs *core.RQS, port transport.Port) *MWWriter {
+	return &MWWriter{c: newMWClient(rqs, port), id: port.ID()}
+}
+
+// WriterID returns the ID embedded in this writer's tags.
+func (w *MWWriter) WriterID() core.ProcessID { return w.id }
+
+// Write stores v under a tag strictly greater than any tag a preceding
+// complete operation observed: a read phase discovers the maximum tag
+// at a quorum, the write phase stores 〈〈maxTS+1, writerID〉, v〉 at a
+// quorum. Always two round-trips.
+func (w *MWWriter) Write(v string) MWResult {
+	w.c.readPhase()
+	if w.c.closed {
+		return MWResult{Val: v, Rounds: 1}
+	}
+	tag := Tag{TS: w.c.maxTag.TS + 1, Writer: w.id}
+	w.c.writePhase(tag, v)
+	return MWResult{Val: v, Tag: tag, Rounds: 2}
+}
+
+// MWReader is a reader of the MWMR register. Like MWWriter, one
+// operation at a time per instance.
+type MWReader struct {
+	c mwClient
+}
+
+// NewMWReader creates a multi-reader client (asynchronous — no
+// timeout, like NewMWWriter).
+func NewMWReader(rqs *core.RQS, port transport.Port) *MWReader {
+	return &MWReader{c: newMWClient(rqs, port)}
+}
+
+// Read returns the register's current value: a read phase selects the
+// maximum tag at a quorum, then a writeback installs it at a quorum
+// before returning — unless the servers that reported the maximum
+// already contain a class-3 quorum, in which case the value provably
+// resides at a quorum and the read completes in a single round-trip
+// (the uncontended fast path).
+func (r *MWReader) Read() MWResult {
+	r.c.readPhase()
+	if r.c.closed {
+		return MWResult{Val: NoValue, Rounds: 1}
+	}
+	tag, val := r.c.maxTag, r.c.maxVal
+	if _, ok := r.c.rqs.ContainedQuorum(r.c.withMax, core.Class3); ok {
+		return MWResult{Val: val, Tag: tag, Rounds: 1}
+	}
+	r.c.writePhase(tag, val)
+	return MWResult{Val: val, Tag: tag, Rounds: 2}
+}
+
+// drainPort discards leftover replies from previous operations.
+// Server registers are monotone, so dropped stale acks lose no
+// information — draining only keeps per-operation accounting exact.
+func drainPort(port transport.Port) {
+	for {
+		select {
+		case _, ok := <-port.Inbox():
+			if !ok {
+				return
+			}
+		default:
+			return
+		}
+	}
+}

@@ -207,15 +207,4 @@ func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool) c
 	}
 }
 
-func (r *Reader) drainStale() {
-	for {
-		select {
-		case _, ok := <-r.port.Inbox():
-			if !ok {
-				return
-			}
-		default:
-			return
-		}
-	}
-}
+func (r *Reader) drainStale() { drainPort(r.port) }

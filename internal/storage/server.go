@@ -23,7 +23,9 @@ type Hooks struct {
 	DropRead func(from core.ProcessID, req ReadReq) bool
 }
 
-// Server is one storage server (Figure 6). Run processes its inbox until
+// Server is one storage server. It hosts both registers of the
+// package over a single port: the SWMR history of Figure 6 and the
+// tag-ordered MWMR register (mwmr.go). Run processes its inbox until
 // the port's inbox closes; Stop aborts earlier.
 type Server struct {
 	id    core.ProcessID
@@ -32,6 +34,8 @@ type Server struct {
 
 	mu      sync.Mutex
 	history History
+	mwTag   Tag    // MWMR register: current tag ...
+	mwVal   string // ... and value, monotone in tag order
 
 	stop chan struct{}
 	done chan struct{}
@@ -72,6 +76,14 @@ func (s *Server) HistorySnapshot() History {
 	return s.history.Clone()
 }
 
+// MWSnapshot returns the MWMR register's current tag and value, for
+// assertions on server state.
+func (s *Server) MWSnapshot() (Tag, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mwTag, s.mwVal
+}
+
 // SetHistory overwrites the server's state (used by fault injection to
 // forge state transitions that a Byzantine process may perform).
 func (s *Server) SetHistory(h History) {
@@ -109,6 +121,18 @@ func (s *Server) handle(env transport.Envelope) {
 		}
 		h := s.replyHistory()
 		s.port.SendHop(env.From, ReadAck{ReadNo: req.ReadNo, Round: req.Round, History: h}, env.Hop+1)
+	case MWWriteReq:
+		s.mu.Lock()
+		if s.mwTag.Less(req.Tag) {
+			s.mwTag, s.mwVal = req.Tag, req.Val
+		}
+		s.mu.Unlock()
+		s.port.SendHop(env.From, MWWriteAck{Seq: req.Seq}, env.Hop+1)
+	case MWReadReq:
+		s.mu.Lock()
+		tag, val := s.mwTag, s.mwVal
+		s.mu.Unlock()
+		s.port.SendHop(env.From, MWReadAck{Seq: req.Seq, Tag: tag, Val: val}, env.Hop+1)
 	}
 }
 

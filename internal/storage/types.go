@@ -1,14 +1,23 @@
 // Package storage implements the paper's Byzantine-resilient SWMR atomic
-// storage (Section 3): a writer (Figure 5), servers (Figure 6) and readers
-// (Figure 7) built over a refined quorum system.
+// storage (Section 3) — a writer (Figure 5), servers (Figure 6) and
+// readers (Figure 7) built over a refined quorum system — plus an MWMR
+// (multi-writer multi-reader) variant layered on the same servers and
+// quorum engine (mwmr.go).
 //
-// The algorithm is (m, QCm)-fast for m ∈ {1,2,3}: a synchronous,
+// The SWMR algorithm is (m, QCm)-fast for m ∈ {1,2,3}: a synchronous,
 // uncontended operation completes in one round if a class-1 quorum of
 // correct servers responds, two rounds for class 2, three rounds
 // otherwise. No data authentication is used.
 //
+// The MWMR variant is an asynchronous, crash-tolerant ABD-style
+// emulation over the system's class-3 quorums: writes are ordered by
+// 〈timestamp, writer-id〉 tags, every write runs a read phase to
+// discover the maximum tag before storing, and reads complete in a
+// single round-trip when a full quorum reports the same tag.
+//
 // Conventions: servers occupy process IDs 0..n-1 (matching the RQS
-// universe); clients use IDs ≥ n.
+// universe); clients use IDs ≥ n. One storage.Server hosts both
+// registers over a single port.
 package storage
 
 import (

@@ -119,15 +119,4 @@ func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool) core.
 // drainStale discards any leftover replies from previous operations.
 // Server state is monotone, so dropping stale acks never loses
 // information — it only keeps per-operation accounting exact.
-func (w *Writer) drainStale() {
-	for {
-		select {
-		case _, ok := <-w.port.Inbox():
-			if !ok {
-				return
-			}
-		default:
-			return
-		}
-	}
-}
+func (w *Writer) drainStale() { drainPort(w.port) }

@@ -29,6 +29,39 @@ import (
 // Only the writer trims the queue, which is what makes returning acked
 // frame buffers to the pool safe while a retransmission may still be
 // in flight.
+//
+// # Retransmission and ack invariants
+//
+// The reliable-channel semantics of the model (§3.1) rest on these,
+// which transport.Conformance and the restart tests pin:
+//
+//  1. Sequencing: every data frame on a link carries a seq assigned
+//     under the link lock, contiguous and ascending within a link
+//     incarnation (nonce). queue[head:] always holds the unacked
+//     frames in ascending seq order.
+//  2. Retention: a frame leaves the queue only when the peer's
+//     cumulative ack covers its seq (acked ≥ seq) or the node closes.
+//     Redials re-send every retained frame on the new conn — delivery
+//     is at-least-once across arbitrary conn churn.
+//  3. Cumulative acks: the receiver acks the highest contiguously
+//     delivered seq per (sender, nonce); acks are coalesced (one per
+//     ackEvery frames under load, or after the quiet window) and never
+//     go backwards. An ack covering seq s implies every frame ≤ s was
+//     handed to the inbox exactly once.
+//  4. Dedup: the receiver tracks the last delivered seq per
+//     (sender, nonce); retransmitted frames at or below it are acked
+//     but not redelivered. A restarted sender presents a fresh nonce
+//     and starts a new stream (exactly-once within an incarnation,
+//     at-least-once across receiver restarts — the protocols tolerate
+//     duplicates by design).
+//  5. Liveness: ack silence for retransmitTimeout with frames
+//     outstanding declares the conn dead and redials; a sender blocked
+//     on a full queue for sendStallTimeout drops the send and counts
+//     it in Stats (crash-stop peers must not wedge quorum protocols).
+//  6. Progress accounting: maxSent ≥ acked always; sentIdx marks the
+//     first queued frame not yet written to the current conn, so a
+//     reconnect resumes from the oldest unacked frame, never skipping
+//     or reordering.
 
 const (
 	// maxUnacked bounds the retransmission queue; a sender hitting the

@@ -144,6 +144,14 @@ type (
 	ReadResult = storage.ReadResult
 	// ServerHooks injects Byzantine behaviour into a storage server.
 	ServerHooks = storage.Hooks
+	// Tag orders MWMR writes: lexicographic on (TS, Writer).
+	Tag = storage.Tag
+	// MWWriter is one of arbitrarily many writers of the MWMR register.
+	MWWriter = storage.MWWriter
+	// MWReader is a reader of the MWMR register.
+	MWReader = storage.MWReader
+	// MWResult reports an MWMR operation's value, tag and round count.
+	MWResult = storage.MWResult
 )
 
 // NewStorage starts an atomic-storage cluster over the given system.
@@ -171,7 +179,7 @@ func NewConsensus(system *System, opts ConsensusOptions) (*ConsensusCluster, err
 
 // State-machine replication (the framework of Section 4's introduction):
 // a replicated command log where each slot is one consensus instance,
-// multiplexed over a single network.
+// pipelined over a single shared consensus deployment.
 type (
 	// LogReplica hosts the acceptor role for every log slot.
 	LogReplica = smr.Replica
@@ -179,7 +187,20 @@ type (
 	LogProposer = smr.Proposer
 	// Log assembles the committed command log at a learner.
 	Log = smr.Log
+	// SMRCluster is a running pipelined SMR deployment: one key
+	// generation and one network shared by every log slot.
+	SMRCluster = sim.SMRCluster
+	// SMROptions configures NewSMR.
+	SMROptions = sim.SMROptions
 )
+
+// NewSMR starts a pipelined SMR deployment over the given system:
+// every slot decided through it shares the cluster set up here, so
+// per-decision cost excludes key generation and cluster start-up
+// (compare BenchmarkSMRPipelined's pipelined and per-slot-setup cases).
+func NewSMR(system *System, opts SMROptions) (*SMRCluster, error) {
+	return sim.NewSMRCluster(system, opts)
+}
 
 // SMR constructors (see internal/smr for the deployment pattern).
 var (
@@ -238,11 +259,28 @@ func NewStorageReader(system *System, port Port, timeout time.Duration) *Reader 
 	return storage.NewReader(system, port, timeout)
 }
 
-// RegisterStorageMessages registers the storage message types with the
-// gob-encoded TCP transport.
+// NewMWMRWriter builds a multi-writer client on an arbitrary Port; the
+// port's process ID becomes the writer ID embedded in its tags, so
+// concurrent writers must sit on distinct ports.
+func NewMWMRWriter(system *System, port Port) *MWWriter {
+	return storage.NewMWWriter(system, port)
+}
+
+// NewMWMRReader builds a multi-reader client on an arbitrary Port.
+func NewMWMRReader(system *System, port Port) *MWReader {
+	return storage.NewMWReader(system, port)
+}
+
+// RegisterStorageMessages registers the storage message types — both
+// the SWMR protocol's and the MWMR variant's — with the framed TCP
+// transport codec.
 func RegisterStorageMessages() {
 	transport.Register(storage.WriteReq{})
 	transport.Register(storage.WriteAck{})
 	transport.Register(storage.ReadReq{})
 	transport.Register(storage.ReadAck{})
+	transport.Register(storage.MWReadReq{})
+	transport.Register(storage.MWReadAck{})
+	transport.Register(storage.MWWriteReq{})
+	transport.Register(storage.MWWriteAck{})
 }
