@@ -156,6 +156,71 @@ func BenchmarkE11ThroughputMWMRRead(b *testing.B) {
 	}
 }
 
+// The many-client load benchmarks run C closed-loop clients against
+// one deployment through sim.RunManyClients (the same harness behind
+// `rqs-bench -load` and the perf gate's load/* entries): ns/op
+// aggregates across clients, so ops/sec = 1e9 / ns_per_op. This is
+// the throughput number the single-client E11 benches cannot produce:
+// it includes the server-side contention that batching amortizes.
+
+// BenchmarkStorageManyClients is C concurrent SWMR readers (each on its
+// own client port) against one storage deployment — the read-mostly
+// many-user regime of the ROADMAP north star.
+func BenchmarkStorageManyClients(b *testing.B) {
+	for _, c := range sim.LoadConcurrencies {
+		b.Run(fmt.Sprintf("c%d", c), func(b *testing.B) {
+			cl := NewStorage(Example7RQS(), StorageOptions{Timeout: 500 * time.Microsecond, Clients: c + 1})
+			defer cl.Stop()
+			cl.Writer().Write("v")
+			sim.RunManyClients(b, c, func() func() error {
+				r := cl.Reader()
+				return func() error { r.Read(); return nil }
+			})
+		})
+	}
+}
+
+// BenchmarkMWMRManyWriters is C concurrent multi-writer clients
+// contending on the MWMR register (tags keep them ordered).
+func BenchmarkMWMRManyWriters(b *testing.B) {
+	for _, c := range sim.LoadConcurrencies {
+		b.Run(fmt.Sprintf("c%d", c), func(b *testing.B) {
+			cl := NewStorage(Example7RQS(), StorageOptions{Timeout: 500 * time.Microsecond, Clients: c})
+			defer cl.Stop()
+			sim.RunManyClients(b, c, func() func() error {
+				w := cl.MWWriter()
+				return func() error { w.Write("v"); return nil }
+			})
+		})
+	}
+}
+
+// BenchmarkSMRPipelinedManyClients is C concurrent clients deciding
+// commands through one shared pipelined SMR deployment (Append is safe
+// for concurrent use; slots commit independently).
+func BenchmarkSMRPipelinedManyClients(b *testing.B) {
+	for _, c := range sim.LoadConcurrencies {
+		b.Run(fmt.Sprintf("c%d", c), func(b *testing.B) {
+			cl, err := NewSMR(Example7RQS(), SMROptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Stop()
+			if _, _, ok := cl.Decide("warm", 10*time.Second); !ok {
+				b.Fatal("warm-up decision failed")
+			}
+			sim.RunManyClients(b, c, func() func() error {
+				return func() error {
+					if _, _, ok := cl.Decide("cmd", 10*time.Second); !ok {
+						return fmt.Errorf("decision did not commit")
+					}
+					return nil
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkSMRPipelined measures per-decision cost when many log slots
 // share one consensus deployment (one key generation, one cluster),
 // against the per-slot-setup baseline that stands a full cluster up

@@ -12,8 +12,10 @@ import (
 // tolerance relative to the committed baseline, turning the bench
 // smoke into an enforced perf trajectory (ROADMAP item).
 
-// compareBench returns one message per baseline entry that regressed
-// (fresh ns/op > base ns/op × (1+tolerance)) or disappeared from the
+// compareBench returns one message per baseline entry that regressed —
+// fresh ns/op > base ns/op × (1+tolerance), or fresh allocs/op beyond
+// the same proportional bound plus a two-alloc jitter slack (timers and
+// pools occasionally shift a count by one) — or disappeared from the
 // fresh run. New entries only present in fresh are fine — they become
 // the baseline when BENCH_RESULTS.json is regenerated.
 func compareBench(base, fresh []BenchResult, tolerance float64) []string {
@@ -35,6 +37,11 @@ func compareBench(base, fresh []BenchResult, tolerance float64) []string {
 			problems = append(problems,
 				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
 					b.Name, f.NsPerOp, b.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1), 100*tolerance))
+		}
+		if allowed := int64(float64(b.AllocsPerOp)*(1+tolerance)) + 2; f.AllocsPerOp > allowed {
+			problems = append(problems,
+				fmt.Sprintf("%s: %d allocs/op vs baseline %d allocs/op (allowed %d at tolerance %.0f%%)",
+					b.Name, f.AllocsPerOp, b.AllocsPerOp, allowed, 100*tolerance))
 		}
 	}
 	sort.Strings(problems)

@@ -37,6 +37,26 @@ func TestCompareBenchCleanRun(t *testing.T) {
 	}
 }
 
+func TestCompareBenchAllocs(t *testing.T) {
+	base := []BenchResult{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 40},
+		{Name: "b", NsPerOp: 100, AllocsPerOp: 40},
+		{Name: "c", NsPerOp: 100, AllocsPerOp: 0},
+	}
+	fresh := []BenchResult{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 80}, // +100%: regression
+		{Name: "b", NsPerOp: 100, AllocsPerOp: 51}, // within 25% + slack
+		{Name: "c", NsPerOp: 100, AllocsPerOp: 2},  // inside the jitter slack
+	}
+	problems := compareBench(base, fresh, 0.25)
+	if len(problems) != 1 {
+		t.Fatalf("got %d problems %v, want 1", len(problems), problems)
+	}
+	if !strings.HasPrefix(problems[0], "a:") || !strings.Contains(problems[0], "allocs/op") {
+		t.Errorf("unexpected alloc regression line %q", problems[0])
+	}
+}
+
 func TestCompareBenchZeroBaseline(t *testing.T) {
 	// A zero/corrupt baseline entry must not divide-by-zero or flag.
 	base := []BenchResult{{Name: "a", NsPerOp: 0}}

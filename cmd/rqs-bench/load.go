@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// rqs-bench -load: the closed-loop many-client load harness. It runs
+// C ∈ {1, 8, 64} concurrent clients against one deployment on both
+// transports and reports ops/sec and allocs/op — the throughput axis
+// the single-client experiment tables cannot show. The in-memory
+// mid/high-concurrency points also run inside the perf suite
+// (`-json` / `-check`) as load/* entries, so regressions against the
+// committed BENCH_RESULTS.json fail CI like latency regressions do.
+
+// memStorageLoad is a many-client workload over the in-memory
+// transport: read selects C SWMR readers (after one seed write),
+// otherwise C MWMR writers.
+func memStorageLoad(r *core.RQS, c int, read bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		cl := sim.NewStorageCluster(r, sim.StorageOptions{Timeout: 500 * time.Microsecond, Clients: c + 1})
+		defer cl.Stop()
+		if read {
+			cl.Writer().Write("v")
+		}
+		sim.RunManyClients(b, c, func() func() error {
+			if read {
+				rd := cl.Reader()
+				return func() error { rd.Read(); return nil }
+			}
+			w := cl.MWWriter()
+			return func() error { w.Write("v"); return nil }
+		})
+	}
+}
+
+// smrLoad is C concurrent clients deciding commands through one shared
+// pipelined SMR deployment.
+func smrLoad(r *core.RQS, c int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cl, err := sim.NewSMRCluster(r, sim.SMROptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Stop()
+		if _, _, ok := cl.Decide("warm", 10*time.Second); !ok {
+			b.Fatal("warm-up decision failed")
+		}
+		sim.RunManyClients(b, c, func() func() error {
+			return func() error {
+				if _, _, ok := cl.Decide("cmd", 10*time.Second); !ok {
+					return fmt.Errorf("decision did not commit")
+				}
+				return nil
+			}
+		})
+	}
+}
+
+// tcpStorageDeployment stands up the RQS servers and c client nodes on
+// loopback TCP, returning a per-client port factory and a teardown.
+func tcpStorageDeployment(r *core.RQS, c int) (ports []transport.Port, teardown func(), err error) {
+	registerStorageMessages()
+	n := r.N()
+	addrs := make(map[core.ProcessID]string, n+c)
+	for i := 0; i < n+c; i++ {
+		addrs[i] = "127.0.0.1:0"
+	}
+	var nodes []*transport.TCPNode
+	var servers []*storage.Server
+	teardown = func() {
+		for _, node := range nodes {
+			node.Close()
+		}
+		for _, srv := range servers {
+			srv.Stop()
+		}
+	}
+	for i := 0; i < n+c; i++ {
+		node, nerr := transport.NewTCPNode(i, addrs)
+		if nerr != nil {
+			teardown()
+			return nil, nil, nerr
+		}
+		nodes = append(nodes, node)
+		addrs[i] = node.Addr()
+		if i < n {
+			srv := storage.NewServer(node, storage.Hooks{})
+			srv.Start()
+			servers = append(servers, srv)
+		} else {
+			ports = append(ports, node)
+		}
+	}
+	return ports, teardown, nil
+}
+
+// tcpStorageLoad is memStorageLoad over real TCP sockets.
+func tcpStorageLoad(r *core.RQS, c int, read bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ports, teardown, err := tcpStorageDeployment(r, c+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer teardown()
+		if read {
+			w := storage.NewWriter(r, ports[c], 5*time.Millisecond)
+			w.Write("v")
+		}
+		next := 0
+		sim.RunManyClients(b, c, func() func() error {
+			port := ports[next]
+			next++
+			if read {
+				rd := storage.NewReader(r, port, 5*time.Millisecond)
+				return func() error { rd.Read(); return nil }
+			}
+			w := storage.NewMWWriter(r, port)
+			return func() error { w.Write("v"); return nil }
+		})
+	}
+}
+
+func registerStorageMessages() {
+	transport.Register(storage.WriteReq{})
+	transport.Register(storage.WriteAck{})
+	transport.Register(storage.ReadReq{})
+	transport.Register(storage.ReadAck{})
+	transport.Register(storage.MWReadReq{})
+	transport.Register(storage.MWReadAck{})
+	transport.Register(storage.MWWriteReq{})
+	transport.Register(storage.MWWriteAck{})
+}
+
+// runLoadMatrix executes the full load matrix and prints one row per
+// (transport, workload, C) point.
+func runLoadMatrix() error {
+	example7 := core.Example7RQS()
+	type point struct {
+		transport, workload string
+		c                   int
+		fn                  func(b *testing.B)
+	}
+	var points []point
+	for _, c := range sim.LoadConcurrencies {
+		points = append(points,
+			point{"memory", "storage-read", c, memStorageLoad(example7, c, true)},
+			point{"memory", "mwmr-write", c, memStorageLoad(example7, c, false)},
+			point{"memory", "smr-decide", c, smrLoad(example7, c)},
+			point{"tcp", "storage-read", c, tcpStorageLoad(example7, c, true)},
+			point{"tcp", "mwmr-write", c, tcpStorageLoad(example7, c, false)},
+		)
+	}
+	fmt.Printf("%-8s %-14s %4s %12s %12s %10s\n", "transport", "workload", "C", "ops/sec", "ns/op", "allocs/op")
+	for _, p := range points {
+		r := testing.Benchmark(p.fn)
+		if r.N == 0 {
+			return fmt.Errorf("load point %s/%s/c%d failed", p.transport, p.workload, p.c)
+		}
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		fmt.Printf("%-8s %-14s %4d %12.0f %12.0f %10d\n",
+			p.transport, p.workload, p.c, 1e9/nsPerOp, nsPerOp, r.AllocsPerOp())
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	rqs-bench -list                     # list available experiments
 //	rqs-bench -json BENCH_RESULTS.json  # machine-readable perf suite
 //	rqs-bench -check BENCH_RESULTS.json # fail on >25% hot-path regressions
+//	rqs-bench -load                     # many-client load matrix, both transports
 package main
 
 import (
@@ -36,6 +37,7 @@ func run(args []string) error {
 		jsonPath  = fs.String("json", "", "run the perf suite and write BENCH_RESULTS-style JSON to this path ('-' for stdout)")
 		checkPath = fs.String("check", "", "run the perf suite and fail on regressions against this baseline JSON (the committed BENCH_RESULTS.json)")
 		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op regression fraction for -check (0.25 = 25%)")
+		load      = fs.Bool("load", false, "run the many-client closed-loop load matrix (C ∈ {1,8,64}, both transports) and print ops/sec")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,6 +47,9 @@ func run(args []string) error {
 	}
 	if *checkPath != "" {
 		return checkBench(*checkPath, *tolerance)
+	}
+	if *load {
+		return runLoadMatrix()
 	}
 
 	runners := map[string]func() *expt.Table{

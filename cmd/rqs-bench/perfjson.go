@@ -189,6 +189,15 @@ func perfSuite() ([]BenchResult, error) {
 		{"storage/mwmr-read/example7", mwmrOp(example7, true)},
 		{"smr/pipelined-decision-w16/example7", smrPipelined(example7, 16)},
 		{"smr/per-slot-setup-decision/example7", perSlotSetup(example7)},
+		// Closed-loop throughput entries (the -load matrix's in-memory
+		// mid/high-concurrency points): ns/op aggregates over all
+		// clients, so these gate ops/sec under contention the same way
+		// the entries above gate single-client latency.
+		{"load/storage-read-c8/example7", memStorageLoad(example7, 8, true)},
+		{"load/storage-read-c64/example7", memStorageLoad(example7, 64, true)},
+		{"load/mwmr-write-c8/example7", memStorageLoad(example7, 8, false)},
+		{"load/mwmr-write-c64/example7", memStorageLoad(example7, 64, false)},
+		{"load/smr-decide-c8/example7", smrLoad(example7, 8)},
 		{"transport/broadcast-7", broadcast},
 		{"transport/tcp-roundtrip", tcpRoundTrip},
 		{"transport/tcp-roundtrip-gob-baseline", gobRoundTrip},

@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -60,8 +61,9 @@ type Acceptor struct {
 	timerStopped   bool // permanently stopped after a decided quorum
 	decisionFrom   map[Value]core.Set
 
-	stop chan struct{}
-	done chan struct{}
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // NewAcceptor builds an acceptor. signer must hold this acceptor's key.
@@ -116,11 +118,7 @@ func (a *Acceptor) HandleEnvelope(env transport.Envelope) { a.handle(env) }
 
 // Stop terminates the loop and waits for exit.
 func (a *Acceptor) Stop() {
-	select {
-	case <-a.stop:
-	default:
-		close(a.stop)
-	}
+	a.stopOnce.Do(func() { close(a.stop) })
 	<-a.done
 }
 

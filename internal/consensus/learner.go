@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -28,9 +29,10 @@ type Learner struct {
 	decisionFrom map[Value]core.Set
 	pullEvery    time.Duration
 
-	learned chan Learn
-	stop    chan struct{}
-	done    chan struct{}
+	learned  chan Learn
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // NewLearner builds a learner. pullEvery is the "preset time" after which
@@ -55,11 +57,7 @@ func (l *Learner) Start() { go l.run() }
 
 // Stop terminates the loop and waits for exit.
 func (l *Learner) Stop() {
-	select {
-	case <-l.stop:
-	default:
-		close(l.stop)
-	}
+	l.stopOnce.Do(func() { close(l.stop) })
 	<-l.done
 }
 

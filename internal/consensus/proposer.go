@@ -3,6 +3,7 @@ package consensus
 import (
 	"repro/internal/core"
 	"repro/internal/transport"
+	"sync"
 )
 
 // Proposer drives the Locking module's proposer side (Figure 15 lines
@@ -31,6 +32,7 @@ type Proposer struct {
 	vcs map[int]map[core.ProcessID]SignedViewChange
 
 	proposeCh chan Value
+	stopOnce  sync.Once
 	stop      chan struct{}
 	done      chan struct{}
 }
@@ -58,11 +60,7 @@ func (p *Proposer) Start() { go p.run() }
 
 // Stop terminates the loop and waits for exit.
 func (p *Proposer) Stop() {
-	select {
-	case <-p.stop:
-	default:
-		close(p.stop)
-	}
+	p.stopOnce.Do(func() { close(p.stop) })
 	<-p.done
 }
 

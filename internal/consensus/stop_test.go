@@ -1,0 +1,48 @@
+package consensus_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// TestRoleStopConcurrent pins the Stop contract of every consensus
+// role host: concurrent Stop calls must close the stop channel exactly
+// once (the old select/default guard admitted a double close).
+func TestRoleStopConcurrent(t *testing.T) {
+	system := core.Example7RQS()
+	n := system.N()
+	topo := consensus.Topology{
+		Acceptors: system.Universe(),
+		Proposers: []core.ProcessID{n},
+		Learners:  core.NewSet(n + 1),
+	}
+	ring, signers, err := consensus.GenKeys(system.Universe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewNetwork(n + 2)
+	defer net.Close()
+
+	a := consensus.NewAcceptor(system, topo, net.Port(0), ring, signers[0], consensus.ElectionConfig{})
+	a.Start()
+	p := consensus.NewProposer(system, topo, net.Port(n), ring)
+	p.Start()
+	l := consensus.NewLearner(system, topo, net.Port(n+1), 0)
+	l.Start()
+
+	var wg sync.WaitGroup
+	for _, stop := range []func(){a.Stop, p.Stop, l.Stop} {
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(stop func()) {
+				defer wg.Done()
+				stop()
+			}(stop)
+		}
+	}
+	wg.Wait()
+}

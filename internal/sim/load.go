@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// This file is the closed-loop many-client load harness shared by the
+// root package's load benchmarks (BenchmarkStorageManyClients and
+// friends) and the `rqs-bench -load` matrix, so the CI perf gate and
+// the go-test benches measure exactly the same loop.
+
+// LoadConcurrencies is the client-count axis of the load matrix:
+// single client (the latency regime), a moderate burst, and heavy
+// contention.
+var LoadConcurrencies = []int{1, 8, 64}
+
+// RunManyClients drives c closed-loop clients against one deployment:
+// every client loops its operation back to back, so ns/op aggregates
+// across clients and ops/sec = 1e9 / ns_per_op. An op returning an
+// error stops its client; the first error fails the benchmark from
+// the benchmark goroutine after all workers finish (testing.B.Fatal
+// must not be called from worker goroutines).
+func RunManyClients(b *testing.B, c int, mkOp func() func() error) {
+	b.Helper()
+	ops := make([]func() error, c)
+	for i := range ops {
+		ops[i] = mkOp()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < c; i++ {
+		n := b.N / c
+		if i < b.N%c {
+			n++
+		}
+		wg.Add(1)
+		go func(op func() error, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				if err := op(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(ops[i], n)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		b.Fatal(firstErr)
+	}
+}

@@ -169,6 +169,22 @@ func (p *slotPort) SendHop(to core.ProcessID, payload transport.Message, hop int
 	p.real.SendHop(to, SlotMsg{Slot: p.slot, Payload: payload}, hop)
 }
 
+func (p *slotPort) SendBatch(to core.ProcessID, payloads []transport.Message, hop int) {
+	wrapped := make([]transport.Message, len(payloads))
+	for i, pl := range payloads {
+		wrapped[i] = SlotMsg{Slot: p.slot, Payload: pl}
+	}
+	p.real.SendBatch(to, wrapped, hop)
+}
+
+// Broadcast wraps the payload once and fans it out through the real
+// port's batched broadcast, so a consensus instance's per-quorum
+// fan-out costs one transport acceptance per burst even when
+// multiplexed by slot.
+func (p *slotPort) Broadcast(dst core.Set, payload transport.Message, hop int) {
+	p.real.Broadcast(dst, SlotMsg{Slot: p.slot, Payload: payload}, hop)
+}
+
 func (p *slotPort) Inbox() <-chan transport.Envelope { return p.inbox }
 
 // Replica hosts the acceptor role for every slot: consensus acceptors

@@ -23,6 +23,14 @@ type readState struct {
 	qc2prime    []core.Set          // class-2 quorums that responded in round 1
 	highestTS   int64
 	portClosed  bool // the transport shut down mid-read
+
+	// pairs memoizes observedPairs for the current round: the histories
+	// only change in queryRound, which invalidates it, and the
+	// candidate-selection predicates re-enumerate the pairs many times
+	// per round (highCand calls it once per candidate). The slice's
+	// backing array is reused across rounds and reads.
+	pairs      []Pair
+	pairsValid bool
 }
 
 // slot returns the reader's local copy of server i's slot for (ts, rnd);
@@ -126,23 +134,38 @@ func (st *readState) highCand(c Pair) bool {
 }
 
 // observedPairs collects every distinct pair appearing in slot 1 or 2 of
-// any received history, plus the initial pair ⊥.
+// any received history, plus the initial pair ⊥. The result is memoized
+// until the next query round refreshes the histories. Dedup is a linear
+// scan: honest executions observe a handful of distinct pairs, and even
+// forged histories stay small in the experiments.
 func (st *readState) observedPairs() []Pair {
-	seen := map[Pair]bool{Bottom: true}
-	out := []Pair{Bottom}
+	if st.pairsValid {
+		return st.pairs
+	}
+	out := append(st.pairs[:0], Bottom)
 	for _, h := range st.hist {
 		for ts, row := range h {
 			for rnd := 1; rnd <= 2; rnd++ {
 				p := row[rnd-1].Pair
-				if p.TS == ts && !p.IsBottom() && !seen[p] {
-					seen[p] = true
+				if p.TS == ts && !p.IsBottom() && !containsPair(out, p) {
 					out = append(out, p)
 				}
 			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].TS > out[j].TS })
+	st.pairs = out
+	st.pairsValid = true
 	return out
+}
+
+func containsPair(pairs []Pair, p Pair) bool {
+	for _, q := range pairs {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 // computeHighestTS is line 29: the highest timestamp of any pair read.

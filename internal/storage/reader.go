@@ -29,6 +29,11 @@ type Reader struct {
 	trRound *core.QuorumTracker // acks of the current query round
 	trResp  *core.QuorumTracker // servers heard from at all this read
 	trWB    *core.QuorumTracker // writeback acks
+
+	// st is the per-operation read state, reused across operations (one
+	// operation at a time): the history map and pair scratch keep their
+	// allocations.
+	st readState
 }
 
 // NewReader creates a reader. timeout is the paper's 2Δ; zero selects
@@ -57,14 +62,22 @@ func (r *Reader) Read() ReadResult {
 	r.readNo++
 	r.drainStale()
 	r.trResp.Reset()
-	st := &readState{
-		rqs:   r.rqs,
-		adv:   r.rqs.Adversary(),
-		elem:  r.advElem,
-		hist:  make(map[core.ProcessID]History),
-		resp:  r.trResp,
-		round: r.trRound,
+	st := &r.st
+	if st.hist == nil {
+		st.rqs = r.rqs
+		st.adv = r.rqs.Adversary()
+		st.elem = r.advElem
+		st.hist = make(map[core.ProcessID]History)
+		st.resp = r.trResp
+		st.round = r.trRound
+	} else {
+		clear(st.hist)
 	}
+	st.respQuorums = nil
+	st.qc2prime = nil
+	st.highestTS = 0
+	st.portClosed = false
+	st.pairsValid = false
 
 	rounds := 0
 	var csel Pair
@@ -140,6 +153,7 @@ func (r *Reader) Read() ReadResult {
 func (r *Reader) queryRound(st *readState, rnd int) {
 	transport.Broadcast(r.port, r.rqs.Universe(), ReadReq{ReadNo: r.readNo, Round: rnd})
 
+	st.pairsValid = false // fresh acks will refresh the histories
 	st.round.Reset()
 	timer := time.NewTimer(r.timeout)
 	defer timer.Stop()
@@ -150,25 +164,25 @@ func (r *Reader) queryRound(st *readState, rnd int) {
 		if quorumOK && (timerDone || st.round.Complete()) {
 			return
 		}
-		select {
-		case env, ok := <-r.port.Inbox():
-			if !ok {
-				st.portClosed = true
-				return
-			}
-			if ack, isAck := env.Payload.(ReadAck); isAck && ack.ReadNo == r.readNo {
-				// Lines 50-53: any ack refreshes the local copy of the
-				// server's history and the Responded bookkeeping; only
-				// current-round acks advance the round. Quorum checks
-				// rerun only when the ack set actually grew.
-				st.hist[env.From] = ack.History
-				st.resp.Add(env.From)
-				if ack.Round == rnd && st.round.Add(env.From) && !quorumOK {
-					_, quorumOK = st.round.Contained(core.Class3)
-				}
-			}
-		case <-timer.C:
+		env, ok, timedOut := recvOrTimer(r.port, timer)
+		if timedOut {
 			timerDone = true
+			continue
+		}
+		if !ok {
+			st.portClosed = true
+			return
+		}
+		if ack, isAck := env.Payload.(ReadAck); isAck && ack.ReadNo == r.readNo {
+			// Lines 50-53: any ack refreshes the local copy of the
+			// server's history and the Responded bookkeeping; only
+			// current-round acks advance the round. Quorum checks
+			// rerun only when the ack set actually grew.
+			st.hist[env.From] = ack.History
+			st.resp.Add(env.From)
+			if ack.Round == rnd && st.round.Add(env.From) && !quorumOK {
+				_, quorumOK = st.round.Contained(core.Class3)
+			}
 		}
 	}
 }
@@ -191,18 +205,18 @@ func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool) c
 		if quorumOK && (timerDone || r.trWB.Complete()) {
 			return r.trWB.Responded()
 		}
-		select {
-		case env, ok := <-r.port.Inbox():
-			if !ok {
-				return r.trWB.Responded()
-			}
-			if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == c.TS && ack.Round == round {
-				if r.trWB.Add(env.From) && !quorumOK {
-					_, quorumOK = r.trWB.Contained(core.Class3)
-				}
-			}
-		case <-timer.C:
+		env, ok, timedOut := recvOrTimer(r.port, timer)
+		if timedOut {
 			timerDone = true
+			continue
+		}
+		if !ok {
+			return r.trWB.Responded()
+		}
+		if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == c.TS && ack.Round == round {
+			if r.trWB.Add(env.From) && !quorumOK {
+				_, quorumOK = r.trWB.Contained(core.Class3)
+			}
 		}
 	}
 }

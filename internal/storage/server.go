@@ -9,7 +9,8 @@ import (
 
 // Hooks let the fault-injection layer turn a server Byzantine. All hooks
 // are optional; a zero Hooks value is an honest server. Hooks run on the
-// server's goroutine.
+// server's goroutine, outside the server's state lock (a hook may call
+// back into accessors like HistorySnapshot).
 type Hooks struct {
 	// ForgeHistory, if non-nil, replaces the history sent in read acks
 	// (state forging, as the Byzantine servers of the Theorem 3 proof do
@@ -23,10 +24,29 @@ type Hooks struct {
 	DropRead func(from core.ProcessID, req ReadReq) bool
 }
 
+// serverBurst bounds how many inbox envelopes the server drains per
+// wakeup. One burst takes the state lock once and batches
+// same-destination acks into one transport submission, which is what
+// amortizes per-message locking when many clients hit one server. The
+// bound keeps a flooded server from starving Stop.
+const serverBurst = 64
+
+// ackBucket accumulates one burst's replies to a single destination at
+// a single hop depth, flushed through Port.SendBatch.
+type ackBucket struct {
+	to   core.ProcessID
+	hop  int
+	msgs []transport.Message
+}
+
 // Server is one storage server. It hosts both registers of the
 // package over a single port: the SWMR history of Figure 6 and the
 // tag-ordered MWMR register (mwmr.go). Run processes its inbox until
 // the port's inbox closes; Stop aborts earlier.
+//
+// The inbox is drained in bursts (up to serverBurst envelopes per
+// wakeup): the whole burst executes under one state-lock acquisition
+// and its acks are grouped per destination into batched sends.
 type Server struct {
 	id    core.ProcessID
 	port  transport.Port
@@ -34,11 +54,23 @@ type Server struct {
 
 	mu      sync.Mutex
 	history History
-	mwTag   Tag    // MWMR register: current tag ...
-	mwVal   string // ... and value, monotone in tag order
+	// histShared marks the history map as referenced by previously
+	// handed-out read acks: the next write copies it instead of
+	// mutating in place (copy-on-write), so read acks share one
+	// snapshot between writes instead of deep-cloning per read.
+	histShared bool
+	mwTag      Tag    // MWMR register: current tag ...
+	mwVal      string // ... and value, monotone in tag order
 
-	stop chan struct{}
-	done chan struct{}
+	// acks is the per-burst reply accumulator; buckets and their msgs
+	// slices are reused across bursts (the transports do not retain
+	// the payload slice past the SendBatch call).
+	acks     []ackBucket
+	acksUsed int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // NewServer creates a server bound to the given port.
@@ -58,13 +90,10 @@ func (s *Server) Start() {
 	go s.run()
 }
 
-// Stop terminates the server loop and waits for it to exit.
+// Stop terminates the server loop and waits for it to exit. Safe for
+// concurrent use: the stop channel closes exactly once.
 func (s *Server) Stop() {
-	select {
-	case <-s.stop:
-	default:
-		close(s.stop)
-	}
+	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
 }
 
@@ -90,10 +119,12 @@ func (s *Server) SetHistory(h History) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.history = h.Clone()
+	s.histShared = false
 }
 
 func (s *Server) run() {
 	defer close(s.done)
+	var burst []transport.Envelope
 	for {
 		select {
 		case <-s.stop:
@@ -102,50 +133,131 @@ func (s *Server) run() {
 			if !ok {
 				return
 			}
-			s.handle(env)
+			burst = append(burst[:0], env)
+			// Opportunistically drain what else is already queued, so a
+			// contended server pays one lock round and one ack batch per
+			// burst instead of per message.
+		fill:
+			for len(burst) < serverBurst {
+				select {
+				case env, ok := <-s.port.Inbox():
+					if !ok {
+						break fill
+					}
+					burst = append(burst, env)
+				default:
+					break fill
+				}
+			}
+			s.handleBurst(burst)
 		}
 	}
 }
 
-func (s *Server) handle(env transport.Envelope) {
-	switch req := env.Payload.(type) {
-	case WriteReq:
-		if s.hooks.DropWrite != nil && s.hooks.DropWrite(env.From, req) {
-			return
+// handleBurst executes one drained burst: hooks run first (unlocked —
+// they may call back into the server), then every surviving request is
+// applied under a single state-lock acquisition, then the accumulated
+// acks flush as per-destination batches.
+func (s *Server) handleBurst(burst []transport.Envelope) {
+	// Phase 1: fault-injection hooks, outside the lock. Dropped
+	// requests are nilled out; forged read acks are precomputed, one
+	// hook call per surviving read, exactly as unbatched serving did.
+	var forged []History
+	hasForge := s.hooks.ForgeHistory != nil
+	for i := range burst {
+		switch req := burst[i].Payload.(type) {
+		case WriteReq:
+			if s.hooks.DropWrite != nil && s.hooks.DropWrite(burst[i].From, req) {
+				burst[i].Payload = nil
+			}
+		case ReadReq:
+			if s.hooks.DropRead != nil && s.hooks.DropRead(burst[i].From, req) {
+				burst[i].Payload = nil
+			} else if hasForge {
+				if forged == nil {
+					forged = make([]History, len(burst))
+				}
+				forged[i] = s.hooks.ForgeHistory()
+			}
 		}
-		s.applyWrite(req)
-		s.port.SendHop(env.From, WriteAck{TS: req.TS, Round: req.Round}, env.Hop+1)
-	case ReadReq:
-		if s.hooks.DropRead != nil && s.hooks.DropRead(env.From, req) {
-			return
-		}
-		h := s.replyHistory()
-		s.port.SendHop(env.From, ReadAck{ReadNo: req.ReadNo, Round: req.Round, History: h}, env.Hop+1)
-	case MWWriteReq:
-		s.mu.Lock()
-		if s.mwTag.Less(req.Tag) {
-			s.mwTag, s.mwVal = req.Tag, req.Val
-		}
-		s.mu.Unlock()
-		s.port.SendHop(env.From, MWWriteAck{Seq: req.Seq}, env.Hop+1)
-	case MWReadReq:
-		s.mu.Lock()
-		tag, val := s.mwTag, s.mwVal
-		s.mu.Unlock()
-		s.port.SendHop(env.From, MWReadAck{Seq: req.Seq, Tag: tag, Val: val}, env.Hop+1)
 	}
+
+	// Phase 2: apply the burst under one lock acquisition.
+	s.mu.Lock()
+	for i := range burst {
+		env := &burst[i]
+		switch req := env.Payload.(type) {
+		case WriteReq:
+			s.applyWrite(req)
+			s.ack(env.From, env.Hop+1, WriteAck{TS: req.TS, Round: req.Round})
+		case ReadReq:
+			var h History
+			if hasForge {
+				h = forged[i]
+			} else {
+				// Share the live map as an immutable snapshot; the
+				// next write copies before mutating.
+				s.histShared = true
+				h = s.history
+			}
+			s.ack(env.From, env.Hop+1, ReadAck{ReadNo: req.ReadNo, Round: req.Round, History: h})
+		case MWWriteReq:
+			if s.mwTag.Less(req.Tag) {
+				s.mwTag, s.mwVal = req.Tag, req.Val
+			}
+			s.ack(env.From, env.Hop+1, MWWriteAck{Seq: req.Seq})
+		case MWReadReq:
+			s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: s.mwTag, Val: s.mwVal})
+		}
+	}
+	s.mu.Unlock()
+
+	// Phase 3: flush acks, one batched send per (destination, hop).
+	for i := 0; i < s.acksUsed; i++ {
+		b := &s.acks[i]
+		if len(b.msgs) == 1 {
+			s.port.SendHop(b.to, b.msgs[0], b.hop)
+		} else {
+			s.port.SendBatch(b.to, b.msgs, b.hop)
+		}
+		b.msgs = b.msgs[:0]
+	}
+	s.acksUsed = 0
+}
+
+// ack queues one reply for the burst's flush phase, grouping by
+// destination and hop depth.
+func (s *Server) ack(to core.ProcessID, hop int, msg transport.Message) {
+	for i := 0; i < s.acksUsed; i++ {
+		if s.acks[i].to == to && s.acks[i].hop == hop {
+			s.acks[i].msgs = append(s.acks[i].msgs, msg)
+			return
+		}
+	}
+	if s.acksUsed < len(s.acks) {
+		b := &s.acks[s.acksUsed]
+		b.to, b.hop = to, hop
+		b.msgs = append(b.msgs[:0], msg)
+	} else {
+		s.acks = append(s.acks, ackBucket{to: to, hop: hop, msgs: []transport.Message{msg}})
+	}
+	s.acksUsed++
 }
 
 // applyWrite implements lines 2-7 of Figure 6: for every round m ≤ rnd,
 // store the pair unless a *different* pair already occupies the slot, and
-// merge the class-2 quorum ids into the final round's slot.
+// merge the class-2 quorum ids into the final round's slot. Callers hold
+// s.mu; if the current history map is shared with outstanding read acks
+// it is copied first (the acks keep the old, now-immutable snapshot).
 func (s *Server) applyWrite(req WriteReq) {
 	if req.Round < 1 || req.Round > 3 {
 		return
 	}
+	if s.histShared {
+		s.history = s.history.Clone()
+		s.histShared = false
+	}
 	pair := Pair{TS: req.TS, Val: req.Val}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	row := s.history[req.TS]
 	for m := 1; m <= req.Round; m++ {
 		slot := row[m-1]
@@ -158,13 +270,4 @@ func (s *Server) applyWrite(req WriteReq) {
 		}
 	}
 	s.history[req.TS] = row
-}
-
-func (s *Server) replyHistory() History {
-	if s.hooks.ForgeHistory != nil {
-		return s.hooks.ForgeHistory()
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.history.Clone()
 }

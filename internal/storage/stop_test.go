@@ -1,0 +1,46 @@
+package storage_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// TestServerStopConcurrent pins the Stop contract: any number of
+// concurrent Stop calls close the stop channel exactly once (the old
+// select/default pattern let two callers both pass the guard and
+// double-close, panicking).
+func TestServerStopConcurrent(t *testing.T) {
+	net := transport.NewNetwork(1)
+	defer net.Close()
+	srv := storage.NewServer(net.Port(0), storage.Hooks{})
+	srv.Start()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv.Stop()
+		}()
+	}
+	wg.Wait()
+}
+
+// TestClusterStopConcurrent drives the same race through the sim
+// facade: concurrent cluster shutdowns must not panic the servers.
+func TestClusterStopConcurrent(t *testing.T) {
+	c := sim.NewStorageCluster(core.Example7RQS(), sim.StorageOptions{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Stop()
+		}()
+	}
+	wg.Wait()
+}

@@ -98,21 +98,41 @@ func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool) core.
 		if quorumOK && (timerDone || w.tr.Complete()) {
 			return w.tr.Responded()
 		}
-		select {
-		case env, ok := <-w.port.Inbox():
-			if !ok {
-				return w.tr.Responded()
-			}
-			// Re-check quorum containment only when the ack changed the
-			// tracker state; duplicates and stale messages are free.
-			if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == w.ts && ack.Round == rnd {
-				if w.tr.Add(env.From) && !quorumOK {
-					_, quorumOK = w.tr.Contained(core.Class3)
-				}
-			}
-		case <-timer.C:
+		env, ok, timedOut := recvOrTimer(w.port, timer)
+		if timedOut {
 			timerDone = true
+			continue
 		}
+		if !ok {
+			return w.tr.Responded()
+		}
+		// Re-check quorum containment only when the ack changed the
+		// tracker state; duplicates and stale messages are free.
+		if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == w.ts && ack.Round == rnd {
+			if w.tr.Add(env.From) && !quorumOK {
+				_, quorumOK = w.tr.Contained(core.Class3)
+			}
+		}
+	}
+}
+
+// recvOrTimer receives the next envelope for a timed protocol wait,
+// draining already-buffered messages before touching the select/timer
+// machinery (under load a whole quorum's acks land as one burst, and
+// the bare receive is markedly cheaper than a two-case select).
+// timedOut reports that the round timer fired instead; ok is false
+// when the inbox closed.
+func recvOrTimer(port transport.Port, timer *time.Timer) (env transport.Envelope, ok, timedOut bool) {
+	select {
+	case env, ok = <-port.Inbox():
+		return env, ok, false
+	default:
+	}
+	select {
+	case env, ok = <-port.Inbox():
+		return env, ok, false
+	case <-timer.C:
+		return transport.Envelope{}, false, true
 	}
 }
 

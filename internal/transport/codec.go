@@ -35,9 +35,10 @@ import (
 
 // Frame kinds of the link protocol (see link.go).
 const (
-	frameHello byte = 1 // sender identity + first seq on this conn
-	frameData  byte = 2 // one sequenced envelope
-	frameAck   byte = 3 // cumulative delivery acknowledgement
+	frameHello   byte = 1 // sender identity + first seq on this conn
+	frameData    byte = 2 // one sequenced envelope
+	frameAck     byte = 3 // cumulative delivery acknowledgement
+	frameDataAck byte = 4 // data frame carrying a piggybacked cumulative ack
 )
 
 // dataSeqOff is the data frame's seq slot offset (past the length
@@ -45,6 +46,22 @@ const (
 // the envelope into the frame buffer first and assign the seq under
 // the link lock afterwards, without re-copying the payload.
 const dataSeqOff = 5
+
+// A dataAck frame extends the data layout with two fixed-width slots
+// between the seq and the envelope:
+//
+//	dataAck := u64le seq | u64le ackNonce | u64le ack | envelope
+//
+// ackNonce identifies the reverse-direction stream being acked (the
+// receiver's link incarnation nonce); ack is this node's cumulative
+// delivered seq for that stream. Both are patched at write time, so a
+// retransmitted frame always carries the current ack — piggybacking
+// makes standalone ack frames unnecessary while data flows both ways.
+const (
+	dataAckNonceOff = dataSeqOff + 8
+	dataAckOff      = dataAckNonceOff + 8
+	dataAckEnvOff   = dataAckOff + 8 // envelope offset within the whole frame
+)
 
 // maxFrame bounds a frame body; a longer length prefix means a corrupt
 // or hostile stream and kills the connection.
@@ -405,17 +422,24 @@ func appendEnvelope(b []byte, env *Envelope) ([]byte, error) {
 	b = binary.AppendVarint(b, int64(env.From))
 	b = binary.AppendVarint(b, int64(env.To))
 	b = binary.AppendVarint(b, int64(env.Hop))
-	if env.Payload == nil {
+	return appendTaggedPayload(b, env.Payload)
+}
+
+// appendTaggedPayload appends the type tag and payload encoding — the
+// envelope minus its routing header. Broadcast encodes this once and
+// reuses it across every destination's frame.
+func appendTaggedPayload(b []byte, payload Message) ([]byte, error) {
+	if payload == nil {
 		return binary.LittleEndian.AppendUint32(b, 0), nil
 	}
 	registry.RLock()
-	tc := registry.byType[reflect.TypeOf(env.Payload)]
+	tc := registry.byType[reflect.TypeOf(payload)]
 	registry.RUnlock()
 	if tc == nil {
-		return nil, fmt.Errorf("transport: payload type %T not registered", env.Payload)
+		return nil, fmt.Errorf("transport: payload type %T not registered", payload)
 	}
 	b = binary.LittleEndian.AppendUint32(b, tc.tag)
-	return tc.enc(b, reflect.ValueOf(env.Payload)), nil
+	return tc.enc(b, reflect.ValueOf(payload)), nil
 }
 
 // decodeEnvelope parses one envelope; strings and aggregates are copied

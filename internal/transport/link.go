@@ -100,6 +100,14 @@ type peerLink struct {
 	addr  string
 	nonce uint64 // link incarnation: a restarted sender is a new stream
 
+	// rcvSt is this node's receive-side dedup state for the same peer —
+	// the source of piggybacked acks: data frames to the peer carry the
+	// cumulative delivered seq of the peer's reverse-direction stream
+	// (stamped at write time), so bidirectional traffic acknowledges
+	// itself without standalone ack frames. The pointer is stable for
+	// the node's lifetime.
+	rcvSt *rcvState
+
 	mu         sync.Mutex
 	space      chan struct{} // closed+replaced when the queue drains or the node closes
 	queue      []sendFrame   // queue[head:] = unacked frames, ascending seq
@@ -118,12 +126,17 @@ type peerLink struct {
 	notify chan struct{} // buffered(1): new frames or ack progress
 }
 
-func newPeerLink(n *TCPNode, to core.ProcessID, addr string) *peerLink {
+func newPeerLink(n *TCPNode, to core.ProcessID, addr string, rcvSt *rcvState) *peerLink {
+	nonce := rand.Uint64()
+	for nonce == 0 {
+		nonce = rand.Uint64() // 0 means "no ack" in dataAck frames
+	}
 	return &peerLink{
 		n:       n,
 		to:      to,
 		addr:    addr,
-		nonce:   rand.Uint64(),
+		rcvSt:   rcvSt,
+		nonce:   nonce,
 		nextSeq: 1,
 		notify:  make(chan struct{}, 1),
 		space:   make(chan struct{}),
@@ -140,6 +153,67 @@ func (l *peerLink) broadcastSpace() {
 // unacked reports the live queue length; callers hold l.mu.
 func (l *peerLink) unacked() int { return len(l.queue) - l.head }
 
+// beginDataFrame starts a framed data frame for this link: header
+// placeholder, a fixed-width seq slot (filled under the link lock at
+// enqueue time) and — once the peer has ever presented itself as a
+// sender — the dataAck ack slots (stamped at write time). The caller
+// appends the envelope body and passes the result to finishDataFrame.
+func (l *peerLink) beginDataFrame() []byte {
+	buf := getFrameBuf()
+	if l.rcvSt.hasPeer.Load() {
+		buf = beginFrame(buf, frameDataAck)
+		buf = append(buf,
+			0, 0, 0, 0, 0, 0, 0, 0, // seq slot
+			0, 0, 0, 0, 0, 0, 0, 0, // ackNonce slot
+			0, 0, 0, 0, 0, 0, 0, 0) // ack slot
+	} else {
+		buf = beginFrame(buf, frameData)
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // seq slot
+	}
+	return buf
+}
+
+// finishDataFrame completes a frame begun by beginDataFrame, returning
+// nil for unencodable or oversized payloads: the receiver would kill
+// the conn on such a frame and the link would retransmit it forever,
+// so it is rejected here as a counted drop (the buffer goes back to
+// the pool).
+func finishDataFrame(buf []byte, err error) []byte {
+	if err != nil || len(buf)-4 > maxFrame {
+		putFrameBuf(buf)
+		return nil
+	}
+	return finishFrame(buf)
+}
+
+// encodeData builds a complete framed data frame for env.
+func (l *peerLink) encodeData(env *Envelope) []byte {
+	buf, err := appendEnvelope(l.beginDataFrame(), env)
+	return finishDataFrame(buf, err)
+}
+
+// encodeDataTagged is encodeData for a pre-encoded tag+payload body
+// (broadcast encodes the payload once and stamps each destination's
+// routing header around it).
+func (l *peerLink) encodeDataTagged(from, to core.ProcessID, hop int, tagged []byte) []byte {
+	buf := l.beginDataFrame()
+	buf = binary.AppendVarint(buf, int64(from))
+	buf = binary.AppendVarint(buf, int64(to))
+	buf = binary.AppendVarint(buf, int64(hop))
+	buf = append(buf, tagged...)
+	return finishDataFrame(buf, nil)
+}
+
+// stampAcks patches the piggyback slots of a dataAck frame with the
+// current (nonce, delivered) snapshot of the peer's reverse stream.
+// Callers own the frame (inline writer or the writer goroutine with
+// `writing` set), so patching in place is race-free; retransmissions
+// are re-stamped and therefore always carry a current ack.
+func stampAcks(buf []byte, nonce, ack uint64) {
+	binary.LittleEndian.PutUint64(buf[dataAckNonceOff:], nonce)
+	binary.LittleEndian.PutUint64(buf[dataAckOff:], ack)
+}
+
 // send encodes env as a data frame and enqueues it. A full
 // retransmission queue blocks the sender until the peer acks — the
 // same backpressure a full in-memory inbox applies; channels are
@@ -148,19 +222,18 @@ func (l *peerLink) unacked() int { return len(l.queue) - l.head }
 // sending protocol goroutine, so the send is then dropped and counted.
 // It also reports false for unencodable payloads and node shutdown.
 func (l *peerLink) send(env *Envelope) bool {
-	// Encode straight into the frame buffer: header placeholder, a
-	// fixed-width seq slot (filled under the lock), then the envelope.
-	buf := getFrameBuf()
-	buf = beginFrame(buf, frameData)
-	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // seq slot
-	buf, err := appendEnvelope(buf, env)
-	if err != nil || len(buf)-4 > maxFrame {
-		// Unencodable or oversized: the receiver would kill the conn
-		// on such a frame and the link would retransmit it forever, so
-		// reject it here as a counted drop.
-		putFrameBuf(buf)
+	buf := l.encodeData(env)
+	if buf == nil {
 		return false
 	}
+	return l.enqueue1(buf)
+}
+
+// enqueue1 appends one encoded frame to the retransmission queue,
+// blocking on a full queue up to sendStallTimeout, and either writes
+// it inline or wakes the writer goroutine. It owns buf: on failure the
+// buffer is returned to the pool.
+func (l *peerLink) enqueue1(buf []byte) bool {
 	now := time.Now().UnixNano()
 	l.mu.Lock()
 	if l.unacked() >= maxUnacked && !l.closed {
@@ -193,7 +266,6 @@ func (l *peerLink) send(env *Envelope) bool {
 	seq := l.nextSeq
 	l.nextSeq++
 	binary.LittleEndian.PutUint64(buf[dataSeqOff:], seq)
-	buf = finishFrame(buf)
 	l.queue = append(l.queue, sendFrame{seq: seq, buf: buf})
 	// Fast path for isolated sends: the conn is up, everything earlier
 	// is on the wire, nobody else is mid-write, and this is not a
@@ -206,9 +278,22 @@ func (l *peerLink) send(env *Envelope) bool {
 		l.sentIdx = len(l.queue)
 		l.maxSent = seq
 		l.mu.Unlock()
+		conveyed := uint64(0)
+		if buf[4] == frameDataAck {
+			var nonce uint64
+			nonce, conveyed = l.rcvSt.ackSnapshot()
+			stampAcks(buf, nonce, conveyed)
+			if nonce == 0 {
+				conveyed = 0
+			}
+		}
 		_, err := bw.Write(buf)
 		if err == nil {
 			err = bw.Flush()
+		}
+		if err == nil && conveyed > 0 {
+			l.rcvSt.noteConveyed(conveyed)
+			l.n.counters.acksPiggybacked.Add(1)
 		}
 		l.mu.Lock()
 		l.writing = false
@@ -230,6 +315,64 @@ func (l *peerLink) send(env *Envelope) bool {
 	l.mu.Unlock()
 	l.wake()
 	return true
+}
+
+// enqueueFrames appends a burst of encoded frames under one lock
+// acquisition, assigning contiguous seqs (FIFO within the batch), and
+// wakes the writer once so the burst coalesces into a single buffered
+// write. A full queue blocks mid-batch with the same stall bound as
+// enqueue1, reset whenever the batch makes progress. It owns the
+// frames: unaccepted ones are returned to the pool. Returns how many
+// frames were accepted.
+func (l *peerLink) enqueueFrames(frames [][]byte) int {
+	accepted := 0
+	l.mu.Lock()
+	for accepted < len(frames) {
+		if l.closed {
+			break
+		}
+		if l.unacked() >= maxUnacked {
+			stalled := false
+			deadline := time.Now().Add(sendStallTimeout)
+			for l.unacked() >= maxUnacked && !l.closed {
+				space := l.space
+				l.mu.Unlock()
+				remain := time.Until(deadline)
+				if remain <= 0 {
+					stalled = true
+					l.mu.Lock()
+					break
+				}
+				timer := time.NewTimer(remain)
+				select {
+				case <-space:
+				case <-timer.C:
+				case <-l.n.done:
+				}
+				timer.Stop()
+				l.mu.Lock()
+			}
+			if stalled {
+				break
+			}
+			continue
+		}
+		buf := frames[accepted]
+		seq := l.nextSeq
+		l.nextSeq++
+		binary.LittleEndian.PutUint64(buf[dataSeqOff:], seq)
+		l.queue = append(l.queue, sendFrame{seq: seq, buf: buf})
+		accepted++
+	}
+	l.lastSendNS = time.Now().UnixNano() // a later isolated send is a sprint
+	l.mu.Unlock()
+	for _, buf := range frames[accepted:] {
+		putFrameBuf(buf)
+	}
+	if accepted > 0 {
+		l.wake()
+	}
+	return accepted
 }
 
 func (l *peerLink) wake() {
@@ -272,6 +415,10 @@ func (l *peerLink) run() {
 		l.bw = nil // unpublish before the next conn resets sentIdx
 		l.readerErr = nil
 		l.mu.Unlock()
+		// Acks piggybacked onto this conn may have died with it; let
+		// the serve loop resume standalone acking until frames on the
+		// next conn re-convey.
+		l.rcvSt.resetConveyed()
 		select {
 		case <-l.n.done:
 			return
@@ -443,8 +590,19 @@ func (l *peerLink) runConn(conn net.Conn) {
 		if resent > 0 {
 			l.n.counters.resent.Add(uint64(resent))
 		}
+		// Stamp one ack snapshot across the whole batch's dataAck
+		// frames — piggybacking costs one snapshot per coalesced write,
+		// not per frame.
+		nonce, ack := l.rcvSt.ackSnapshot()
+		piggybacked := uint64(0)
 		err := error(nil)
 		for _, f := range batch {
+			if f.buf[4] == frameDataAck {
+				stampAcks(f.buf, nonce, ack)
+				if nonce != 0 && ack != 0 {
+					piggybacked++ // frames stamped with ack 0 convey nothing
+				}
+			}
 			if _, err = bw.Write(f.buf); err != nil {
 				break
 			}
@@ -452,12 +610,45 @@ func (l *peerLink) runConn(conn net.Conn) {
 		if err == nil {
 			err = bw.Flush()
 		}
+		if err == nil && piggybacked > 0 {
+			l.rcvSt.noteConveyed(ack)
+			l.n.counters.acksPiggybacked.Add(piggybacked)
+		}
 		l.mu.Lock()
 		l.writing = false
 		l.mu.Unlock()
 		if err != nil {
 			return
 		}
+	}
+}
+
+// applyAck applies a cumulative ack that arrived piggybacked on the
+// peer's reverse-direction data frames (read by serveConn, not by this
+// link's own ack reader). The nonce check discards acks for a previous
+// incarnation of this sender: after a restart the peer may briefly
+// stamp the old stream's counters, which must not ack the new stream's
+// seqs. l.nonce is immutable after construction.
+//
+// Unlike the rare standalone acks, piggybacked acks arrive on every
+// reverse data frame, so waking the writer per ack would cost a
+// goroutine switch per message. The writer is woken only once the
+// untrimmed backlog is worth a trim pass (well before senders block on
+// a full queue); otherwise progress is observed at the writer's next
+// natural wakeup, and the ack-silence check sees l.acked directly.
+func (l *peerLink) applyAck(nonce, ack uint64) {
+	if nonce != l.nonce {
+		return
+	}
+	l.mu.Lock()
+	progress := ack > l.acked
+	if progress {
+		l.acked = ack
+	}
+	mustWake := progress && l.unacked() >= maxUnacked/2
+	l.mu.Unlock()
+	if mustWake {
+		l.wake()
 	}
 }
 

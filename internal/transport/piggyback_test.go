@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTCPPiggybackedAcksBidirectional soaks a two-node deployment with
+// sustained request/response traffic and asserts the piggyback
+// contract: standalone ack frames drop to ~0 (the reverse-direction
+// data frames carry the acks instead), the retransmission queues drain
+// to zero (piggybacked acks really trim them), and no conn is ever
+// declared dead for ack silence.
+func TestTCPPiggybackedAcksBidirectional(t *testing.T) {
+	Register(int(0))
+	c := newTCPCluster(t, 2)
+	defer c.Close()
+
+	const msgs = 4000
+	// Node 1 echoes every payload back — the request/response shape of
+	// the quorum protocols, and the worst case for count-triggered
+	// acks: the piggybacked ack always trails delivery by one frame.
+	go func() {
+		for env := range c.nodes[1].Inbox() {
+			c.nodes[1].Send(env.From, env.Payload)
+		}
+	}()
+	for i := 0; i < msgs; i++ {
+		c.nodes[0].Send(1, i)
+		env := conformanceRecv(t, c.nodes[0])
+		if env.Payload != i {
+			t.Fatalf("echo %d = %v", i, env.Payload)
+		}
+	}
+
+	// Ack quiescence: both retransmission queues must drain — growth
+	// here would mean piggybacked acks are not trimming the queues.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s0, s1 := c.nodes[0].Stats(), c.nodes[1].Stats()
+		if s0.Queued == 0 && s1.Queued == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queues never drained: node0 %d, node1 %d queued", s0.Queued, s1.Queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for id, s := range []TCPStats{c.nodes[0].Stats(), c.nodes[1].Stats()} {
+		// Without piggybacking, count-triggered acks alone would emit
+		// ~msgs/64 ≈ 62 standalone frames per side; with it only the
+		// hello resume ack and the final quiet-window ack remain.
+		if s.AcksSent > 20 {
+			t.Errorf("node %d wrote %d standalone acks under two-way load, want ~0 (stats %+v)", id, s.AcksSent, s)
+		}
+		if s.AcksPiggybacked < msgs/2 {
+			t.Errorf("node %d piggybacked only %d acks over %d frames", id, s.AcksPiggybacked, msgs)
+		}
+		if s.AckTimeouts != 0 || s.Redials != 0 {
+			t.Errorf("node %d saw conn churn under piggybacked load: %+v", id, s)
+		}
+		if s.Drops != 0 {
+			t.Errorf("node %d dropped %d messages", id, s.Drops)
+		}
+	}
+}

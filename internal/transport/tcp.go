@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -41,11 +42,63 @@ type TCPNode struct {
 // rcvState is the per-sender dedup state: the highest seq delivered for
 // the sender's current link incarnation. A reconnect from the same
 // incarnation resumes it (retransmitted frames are dropped as dups); a
-// new incarnation (sender process restarted) resets it.
+// new incarnation (sender process restarted) resets it. The record is
+// also the piggyback rendezvous: the node's outgoing link to the same
+// peer stamps (nonce, delivered) into its data frames, and conveyed
+// tracks how much of that made it onto the wire so the serve loop can
+// suppress standalone acks the reverse traffic already carried.
 type rcvState struct {
 	mu        sync.Mutex
-	nonce     uint64
-	delivered uint64
+	nonce     uint64 // current sender incarnation (0 until the first hello)
+	delivered uint64 // highest contiguously delivered seq of that incarnation
+	conveyed  uint64 // highest delivered value piggybacked onto flushed reverse data
+
+	// hasPeer flips once a hello arrives; outgoing links then switch to
+	// dataAck frames (purely unidirectional traffic keeps the slimmer
+	// data frames).
+	hasPeer atomic.Bool
+}
+
+// ackSnapshot returns a consistent (incarnation, cumulative ack) pair
+// for stamping into outgoing dataAck frames.
+func (st *rcvState) ackSnapshot() (nonce, ack uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nonce, st.delivered
+}
+
+// noteConveyed records that a flushed reverse-direction write carried
+// the ack value, so standalone acks up to it are redundant.
+func (st *rcvState) noteConveyed(ack uint64) {
+	st.mu.Lock()
+	if ack > st.conveyed {
+		st.conveyed = ack
+	}
+	st.mu.Unlock()
+}
+
+// conveyedWithin reports whether piggybacked conveyance trails the
+// delivered seq d by at most lag frames. lag 0 is the exact "fully
+// conveyed" check used at traffic quiescence; the in-load count
+// trigger tolerates a small lag because request/response traffic
+// always has the latest delivery's ack still in flight on the next
+// reverse frame.
+func (st *rcvState) conveyedWithin(d, lag uint64) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.conveyed <= d && d-st.conveyed <= lag
+}
+
+// resetConveyed forgets piggyback conveyance when the carrier conn
+// dies: a flush into a dead socket "succeeds" locally but the peer may
+// never see the ack, and if the reverse queue has fully drained no
+// retransmission will re-stamp it — the serve loop must fall back to
+// standalone acks instead of suppressing against a value the peer
+// never received. Queued frames re-sent on the next conn re-bump it.
+func (st *rcvState) resetConveyed() {
+	st.mu.Lock()
+	st.conveyed = 0
+	st.mu.Unlock()
 }
 
 // tcpCounters are the node's atomic stat counters (see TCPStats).
@@ -53,22 +106,24 @@ type tcpCounters struct {
 	sent, delivered, dups, drops   atomic.Uint64
 	resent, redials, ackTimeouts   atomic.Uint64
 	acksSent, acksReceived, badEnv atomic.Uint64
+	acksPiggybacked                atomic.Uint64
 }
 
 // TCPStats is a snapshot of a node's transport counters, letting demos
 // and tests assert that no message was lost across peer restarts.
 type TCPStats struct {
-	Sent         uint64 // envelopes accepted into a link's queue
-	Delivered    uint64 // envelopes handed to this node's inbox
-	Dups         uint64 // retransmitted frames dropped by dedup
-	Drops        uint64 // envelopes dropped: unknown peer, closed node, full queue, encode error
-	Resent       uint64 // frames rewritten on a fresh conn after a failure
-	Redials      uint64 // conns re-established after an initial success
-	AckTimeouts  uint64 // conns declared dead for ack silence
-	AcksSent     uint64 // cumulative ack frames written
-	AcksReceived uint64 // cumulative ack frames read
-	BadEnvelopes uint64 // frames acked but not deliverable (unknown tag, decode error)
-	Queued       int    // frames currently awaiting acknowledgement across all links
+	Sent            uint64 // envelopes accepted into a link's queue
+	Delivered       uint64 // envelopes handed to this node's inbox
+	Dups            uint64 // retransmitted frames dropped by dedup
+	Drops           uint64 // envelopes dropped: unknown peer, closed node, full queue, encode error
+	Resent          uint64 // frames rewritten on a fresh conn after a failure
+	Redials         uint64 // conns re-established after an initial success
+	AckTimeouts     uint64 // conns declared dead for ack silence
+	AcksSent        uint64 // standalone cumulative ack frames written
+	AcksReceived    uint64 // standalone cumulative ack frames read
+	AcksPiggybacked uint64 // acks carried on outgoing data frames instead of standalone
+	BadEnvelopes    uint64 // frames acked but not deliverable (unknown tag, decode error)
+	Queued          int    // frames currently awaiting acknowledgement across all links
 }
 
 // Stats returns a snapshot of the node's transport counters.
@@ -82,17 +137,18 @@ func (n *TCPNode) Stats() TCPStats {
 	}
 	n.mu.Unlock()
 	return TCPStats{
-		Queued:       queued,
-		Sent:         n.counters.sent.Load(),
-		Delivered:    n.counters.delivered.Load(),
-		Dups:         n.counters.dups.Load(),
-		Drops:        n.counters.drops.Load(),
-		Resent:       n.counters.resent.Load(),
-		Redials:      n.counters.redials.Load(),
-		AckTimeouts:  n.counters.ackTimeouts.Load(),
-		AcksSent:     n.counters.acksSent.Load(),
-		AcksReceived: n.counters.acksReceived.Load(),
-		BadEnvelopes: n.counters.badEnv.Load(),
+		Queued:          queued,
+		Sent:            n.counters.sent.Load(),
+		Delivered:       n.counters.delivered.Load(),
+		Dups:            n.counters.dups.Load(),
+		Drops:           n.counters.drops.Load(),
+		Resent:          n.counters.resent.Load(),
+		Redials:         n.counters.redials.Load(),
+		AckTimeouts:     n.counters.ackTimeouts.Load(),
+		AcksSent:        n.counters.acksSent.Load(),
+		AcksReceived:    n.counters.acksReceived.Load(),
+		AcksPiggybacked: n.counters.acksPiggybacked.Load(),
+		BadEnvelopes:    n.counters.badEnv.Load(),
 	}
 }
 
@@ -155,6 +211,77 @@ func (n *TCPNode) SendHop(to core.ProcessID, payload Message, hop int) {
 	n.counters.sent.Add(1)
 }
 
+// SendBatch dispatches a burst of payloads to one peer as a single
+// queue append: the burst is encoded up front, appended under one link
+// lock with contiguous seqs, and coalesced by the writer goroutine
+// into one framed write on the wire.
+func (n *TCPNode) SendBatch(to core.ProcessID, payloads []Message, hop int) {
+	if len(payloads) == 0 {
+		return
+	}
+	if len(payloads) == 1 {
+		n.SendHop(to, payloads[0], hop)
+		return
+	}
+	l := n.linkTo(to)
+	if l == nil {
+		n.counters.drops.Add(uint64(len(payloads)))
+		return
+	}
+	frames := make([][]byte, 0, len(payloads))
+	dropped := 0
+	env := Envelope{From: n.id, To: to, Hop: hop}
+	for _, pl := range payloads {
+		env.Payload = pl
+		if buf := l.encodeData(&env); buf != nil {
+			frames = append(frames, buf)
+		} else {
+			dropped++
+		}
+	}
+	accepted := l.enqueueFrames(frames)
+	dropped += len(frames) - accepted
+	if accepted > 0 {
+		n.counters.sent.Add(uint64(accepted))
+	}
+	if dropped > 0 {
+		n.counters.drops.Add(uint64(dropped))
+	}
+}
+
+// Broadcast fans payload out to every member of dst. Destinations are
+// distinct conns, so there is no cross-peer write to coalesce; the win
+// is encoding the tagged payload body once and stamping each
+// destination's routing header around it.
+func (n *TCPNode) Broadcast(dst core.Set, payload Message, hop int) {
+	targets := bits.OnesCount64(uint64(dst))
+	if targets == 0 {
+		return
+	}
+	scratch := getFrameBuf()
+	tagged, err := appendTaggedPayload(scratch, payload)
+	if err != nil {
+		putFrameBuf(scratch)
+		n.counters.drops.Add(uint64(targets))
+		return
+	}
+	for v := uint64(dst); v != 0; v &= v - 1 {
+		to := bits.TrailingZeros64(v)
+		l := n.linkTo(to)
+		if l == nil {
+			n.counters.drops.Add(1)
+			continue
+		}
+		buf := l.encodeDataTagged(n.id, to, hop, tagged)
+		if buf == nil || !l.enqueue1(buf) {
+			n.counters.drops.Add(1)
+			continue
+		}
+		n.counters.sent.Add(1)
+	}
+	putFrameBuf(tagged)
+}
+
 // linkTo returns the managed link to a peer, creating it (and its
 // writer goroutine) on first use.
 func (n *TCPNode) linkTo(to core.ProcessID) *peerLink {
@@ -170,7 +297,7 @@ func (n *TCPNode) linkTo(to core.ProcessID) *peerLink {
 	if !ok {
 		return nil
 	}
-	l := newPeerLink(n, to, addr)
+	l := newPeerLink(n, to, addr, n.rcvPeerLocked(to))
 	n.links[to] = l
 	n.wg.Add(1)
 	go l.run()
@@ -227,15 +354,45 @@ func (n *TCPNode) acceptLoop() {
 	}
 }
 
-// stateFor resumes or resets the dedup state for a sender incarnation.
-func (n *TCPNode) stateFor(from core.ProcessID, nonce, firstSeq uint64) *rcvState {
+// rcvPeer returns the stable receive-state record for a peer, creating
+// it on first use. Records are never replaced, so links can hold the
+// pointer for the node's lifetime as their piggyback source.
+func (n *TCPNode) rcvPeer(from core.ProcessID) *rcvState {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.rcvPeerLocked(from)
+}
+
+// rcvPeerLocked is rcvPeer for callers already holding n.mu (linkTo
+// constructs links under it).
+func (n *TCPNode) rcvPeerLocked(from core.ProcessID) *rcvState {
 	st := n.rcv[from]
-	if st == nil || st.nonce != nonce {
-		st = &rcvState{nonce: nonce, delivered: firstSeq - 1}
+	if st == nil {
+		st = &rcvState{}
 		n.rcv[from] = st
 	}
+	return st
+}
+
+// peekLink returns the existing outgoing link to a peer, nil if this
+// node never sent to it (piggybacked acks then have nothing to trim).
+func (n *TCPNode) peekLink(to core.ProcessID) *peerLink {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.links[to]
+}
+
+// stateFor resumes or resets the dedup state for a sender incarnation.
+func (n *TCPNode) stateFor(from core.ProcessID, nonce, firstSeq uint64) *rcvState {
+	st := n.rcvPeer(from)
+	st.mu.Lock()
+	if st.nonce != nonce {
+		st.nonce = nonce
+		st.delivered = firstSeq - 1
+		st.conveyed = 0
+	}
+	st.mu.Unlock()
+	st.hasPeer.Store(true)
 	return st
 }
 
@@ -243,8 +400,10 @@ func (n *TCPNode) stateFor(from core.ProcessID, nonce, firstSeq uint64) *rcvStat
 // deliver data frames in seq order, acking cumulatively. Acks are
 // coalesced off the latency path: one ack per ackEvery frames under
 // load, or one after an ackDelay quiet window — both far inside the
-// sender's retransmitTimeout. Inbox delivery selects against the
-// node's done channel, so a full inbox can never wedge shutdown.
+// sender's retransmitTimeout — and suppressed entirely when this
+// node's reverse-direction data frames already piggybacked the ack
+// (rcvState.conveyed). Inbox delivery selects against the node's done
+// channel, so a full inbox can never wedge shutdown.
 func (n *TCPNode) serveConn(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -283,6 +442,11 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 	}
 	n.counters.acksSent.Add(1)
 
+	// revLink is this node's outgoing link to the same peer, the target
+	// of piggybacked acks read off the peer's dataAck frames. Resolved
+	// lazily: it may not exist yet (or ever, for one-way traffic).
+	var revLink *peerLink
+
 	pendingAck := false
 	sinceAck := 0
 	for {
@@ -300,7 +464,14 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 				}
 				st.mu.Lock()
 				d := st.delivered
+				conveyed := st.conveyed
 				st.mu.Unlock()
+				if conveyed >= d {
+					// The reverse traffic already carried this ack in
+					// full; nothing is owed.
+					pendingAck, sinceAck = false, 0
+					continue
+				}
 				if writeAck(bw, d) != nil {
 					return
 				}
@@ -313,14 +484,30 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		if kind != frameData {
+		envOff := 8
+		switch kind {
+		case frameData:
+			if len(body) < 8 {
+				return
+			}
+		case frameDataAck:
+			if len(body) < dataAckEnvOff-dataSeqOff {
+				return
+			}
+			if ackNonce := binary.LittleEndian.Uint64(body[8:]); ackNonce != 0 {
+				if revLink == nil {
+					revLink = n.peekLink(from)
+				}
+				if revLink != nil {
+					revLink.applyAck(ackNonce, binary.LittleEndian.Uint64(body[16:]))
+				}
+			}
+			envOff = dataAckEnvOff - dataSeqOff
+		default:
 			continue // tolerate unknown frame kinds
 		}
-		if len(body) < 8 {
-			return
-		}
 		seq := binary.LittleEndian.Uint64(body)
-		env, decErr := decodeEnvelope(body[8:])
+		env, decErr := decodeEnvelope(body[envOff:])
 		st.mu.Lock()
 		if seq > st.delivered {
 			if decErr == nil {
@@ -345,6 +532,13 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 		pendingAck = true
 		sinceAck++
 		if sinceAck >= ackEvery {
+			if st.conveyedWithin(d, ackEvery) {
+				// Piggybacked acks are keeping up (the sender's unacked
+				// window stays small); skip the standalone ack but keep
+				// the quiet-window one armed for the tail of the burst.
+				sinceAck = 0
+				continue
+			}
 			if writeAck(bw, d) != nil {
 				return
 			}

@@ -59,6 +59,18 @@ type Port interface {
 	Send(to core.ProcessID, payload Message)
 	// SendHop dispatches a payload with an explicit hop depth.
 	SendHop(to core.ProcessID, payload Message, hop int)
+	// SendBatch dispatches a burst of payloads to one destination, all
+	// with the same hop depth, preserving order. Semantically it equals
+	// len(payloads) SendHop calls; transports amortize per-message
+	// overhead across the burst (the in-memory network takes its accept
+	// gate and the destination's shard lock once, the TCP transport
+	// coalesces the burst into one framed write).
+	SendBatch(to core.ProcessID, payloads []Message, hop int)
+	// Broadcast dispatches payload to every process in dst with the
+	// given hop depth. Semantically it equals one SendHop per member;
+	// transports amortize the per-message acceptance overhead across
+	// the fan-out.
+	Broadcast(dst core.Set, payload Message, hop int)
 	// Inbox returns the channel of incoming envelopes. It is closed when
 	// the network shuts down.
 	Inbox() <-chan Envelope
@@ -291,6 +303,94 @@ func (net *Network) dispatch(env Envelope) {
 	net.sendMu.RUnlock()
 }
 
+// batchable reports whether the routing snapshot lets a whole burst
+// take the batched fast path: plain delivery only. Filters must see
+// envelopes one at a time, delays schedule per envelope, and crashes
+// need the per-envelope from/to check, so any of those falls back to
+// dispatch.
+func batchable(cfg *netConfig) bool {
+	return cfg.filter == nil && cfg.delay <= 0 && cfg.linkDly == nil && cfg.crashed == 0
+}
+
+// dispatchBatch routes a same-destination burst: one accept-gate
+// acquisition and one shard-lock acquisition for the whole burst. With
+// scripting state installed (filter, delays, crashes) it degrades to
+// per-envelope dispatch, preserving exact single-send semantics.
+func (net *Network) dispatchBatch(from, to core.ProcessID, payloads []Message, hop int) {
+	if to < 0 || to >= net.n || len(payloads) == 0 {
+		return
+	}
+	net.sendMu.RLock()
+	if net.closed.Load() {
+		net.sendMu.RUnlock()
+		return
+	}
+	cfg := net.cfg.Load()
+	if !batchable(cfg) {
+		net.sendMu.RUnlock()
+		for _, pl := range payloads {
+			net.dispatch(Envelope{From: from, To: to, Hop: hop, Payload: pl})
+		}
+		return
+	}
+	// Register the whole burst with inflight before releasing the
+	// accept gate, exactly as dispatch does per message.
+	net.inflight.Add(len(payloads))
+	net.sendMu.RUnlock()
+	s := &net.shards[to]
+	s.mu.Lock()
+	if !s.closed {
+		for _, pl := range payloads {
+			s.ch <- Envelope{From: from, To: to, Hop: hop, Payload: pl}
+		}
+	}
+	s.mu.Unlock()
+	net.inflight.Add(-len(payloads))
+}
+
+// dispatchBroadcast routes one payload to every member of dst under a
+// single accept-gate acquisition (the per-destination shard lock is
+// taken once each — every destination receives exactly one envelope).
+// Scripting state degrades to per-envelope dispatch.
+func (net *Network) dispatchBroadcast(from core.ProcessID, dst core.Set, payload Message, hop int) {
+	net.sendMu.RLock()
+	if net.closed.Load() {
+		net.sendMu.RUnlock()
+		return
+	}
+	cfg := net.cfg.Load()
+	if !batchable(cfg) {
+		net.sendMu.RUnlock()
+		for v := uint64(dst); v != 0; v &= v - 1 {
+			net.dispatch(Envelope{From: from, To: bits.TrailingZeros64(v), Hop: hop, Payload: payload})
+		}
+		return
+	}
+	// Mask off out-of-range destinations once, so the count and the
+	// delivery loop iterate exactly the same bits.
+	m := uint64(dst)
+	if net.n < 64 {
+		m &= 1<<uint(net.n) - 1
+	}
+	targets := bits.OnesCount64(m)
+	if targets == 0 {
+		net.sendMu.RUnlock()
+		return
+	}
+	net.inflight.Add(targets)
+	net.sendMu.RUnlock()
+	for v := m; v != 0; v &= v - 1 {
+		to := bits.TrailingZeros64(v)
+		s := &net.shards[to]
+		s.mu.Lock()
+		if !s.closed {
+			s.ch <- Envelope{From: from, To: to, Hop: hop, Payload: payload}
+		}
+		s.mu.Unlock()
+		net.inflight.Done()
+	}
+}
+
 // deliver hands the envelope to its destination inbox under the shard
 // lock. Delivery blocks if the inbox is full: channels are reliable in
 // the model (§3.1), never lossy. A shard that closed while the message
@@ -433,22 +533,26 @@ func (p *memPort) SendHop(to core.ProcessID, payload Message, hop int) {
 	p.net.dispatch(Envelope{From: p.id, To: to, Hop: hop, Payload: payload})
 }
 
+func (p *memPort) SendBatch(to core.ProcessID, payloads []Message, hop int) {
+	p.net.dispatchBatch(p.id, to, payloads, hop)
+}
+
+func (p *memPort) Broadcast(dst core.Set, payload Message, hop int) {
+	p.net.dispatchBroadcast(p.id, dst, payload, hop)
+}
+
 func (p *memPort) Inbox() <-chan Envelope {
 	return p.net.shards[p.id].ch
 }
 
-// Broadcast sends payload from port to each process in dst, iterating
-// the set's bitmask directly — no member-slice allocation per send.
+// Broadcast sends payload from port to each process in dst with hop
+// depth 0, through the transport's batched fan-out path.
 func Broadcast(p Port, dst core.Set, payload Message) {
-	for v := uint64(dst); v != 0; v &= v - 1 {
-		p.Send(bits.TrailingZeros64(v), payload)
-	}
+	p.Broadcast(dst, payload, 0)
 }
 
 // BroadcastHop sends payload with an explicit hop depth to each process
-// in dst.
+// in dst, through the transport's batched fan-out path.
 func BroadcastHop(p Port, dst core.Set, payload Message, hop int) {
-	for v := uint64(dst); v != 0; v &= v - 1 {
-		p.SendHop(bits.TrailingZeros64(v), payload, hop)
-	}
+	p.Broadcast(dst, payload, hop)
 }
