@@ -195,6 +195,28 @@ func BenchmarkMWMRManyWriters(b *testing.B) {
 	}
 }
 
+// BenchmarkTCPStorageManyClients is BenchmarkStorageManyClients over
+// real loopback TCP in shared-session mode: all C logical clients are
+// colocated on one client host, so the socket count per process pair
+// stays O(1) while throughput scales with C. This is the deployment
+// shape whose C=64 point the perf gate's load/tcp-* entries enforce.
+func BenchmarkTCPStorageManyClients(b *testing.B) {
+	for _, c := range sim.LoadConcurrencies {
+		b.Run(fmt.Sprintf("c%d", c), func(b *testing.B) {
+			cl, err := sim.NewTCPStorageCluster(Example7RQS(), sim.TCPStorageOptions{Clients: c + 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Stop()
+			cl.Writer().Write("v")
+			sim.RunManyClients(b, c, func() func() error {
+				r := cl.Reader()
+				return func() error { r.Read(); return nil }
+			})
+		})
+	}
+}
+
 // BenchmarkSMRPipelinedManyClients is C concurrent clients deciding
 // commands through one shared pipelined SMR deployment (Append is safe
 // for concurrent use; slots commit independently).

@@ -7,8 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
-	"repro/internal/storage"
-	"repro/internal/transport"
 )
 
 // rqs-bench -load: the closed-loop many-client load harness. It runs
@@ -63,79 +61,29 @@ func smrLoad(r *core.RQS, c int) func(b *testing.B) {
 	}
 }
 
-// tcpStorageDeployment stands up the RQS servers and c client nodes on
-// loopback TCP, returning a per-client port factory and a teardown.
-func tcpStorageDeployment(r *core.RQS, c int) (ports []transport.Port, teardown func(), err error) {
-	registerStorageMessages()
-	n := r.N()
-	addrs := make(map[core.ProcessID]string, n+c)
-	for i := 0; i < n+c; i++ {
-		addrs[i] = "127.0.0.1:0"
-	}
-	var nodes []*transport.TCPNode
-	var servers []*storage.Server
-	teardown = func() {
-		for _, node := range nodes {
-			node.Close()
-		}
-		for _, srv := range servers {
-			srv.Stop()
-		}
-	}
-	for i := 0; i < n+c; i++ {
-		node, nerr := transport.NewTCPNode(i, addrs)
-		if nerr != nil {
-			teardown()
-			return nil, nil, nerr
-		}
-		nodes = append(nodes, node)
-		addrs[i] = node.Addr()
-		if i < n {
-			srv := storage.NewServer(node, storage.Hooks{})
-			srv.Start()
-			servers = append(servers, srv)
-		} else {
-			ports = append(ports, node)
-		}
-	}
-	return ports, teardown, nil
-}
-
-// tcpStorageLoad is memStorageLoad over real TCP sockets.
+// tcpStorageLoad is memStorageLoad over real TCP sockets, in
+// shared-session mode: all C logical clients are colocated on ONE
+// client host (one socket per server, O(1) per process pair), the
+// deployment shape the session layer was built for.
 func tcpStorageLoad(r *core.RQS, c int, read bool) func(b *testing.B) {
 	return func(b *testing.B) {
-		ports, teardown, err := tcpStorageDeployment(r, c+1)
+		cl, err := sim.NewTCPStorageCluster(r, sim.TCPStorageOptions{Clients: c + 1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		defer teardown()
+		defer cl.Stop()
 		if read {
-			w := storage.NewWriter(r, ports[c], 5*time.Millisecond)
-			w.Write("v")
+			cl.Writer().Write("v")
 		}
-		next := 0
 		sim.RunManyClients(b, c, func() func() error {
-			port := ports[next]
-			next++
 			if read {
-				rd := storage.NewReader(r, port, 5*time.Millisecond)
+				rd := cl.Reader()
 				return func() error { rd.Read(); return nil }
 			}
-			w := storage.NewMWWriter(r, port)
+			w := cl.MWWriter()
 			return func() error { w.Write("v"); return nil }
 		})
 	}
-}
-
-func registerStorageMessages() {
-	transport.Register(storage.WriteReq{})
-	transport.Register(storage.WriteAck{})
-	transport.Register(storage.ReadReq{})
-	transport.Register(storage.ReadAck{})
-	transport.Register(storage.MWReadReq{})
-	transport.Register(storage.MWReadAck{})
-	transport.Register(storage.MWWriteReq{})
-	transport.Register(storage.MWWriteAck{})
 }
 
 // runLoadMatrix executes the full load matrix and prints one row per

@@ -10,12 +10,18 @@
 //	rqs-bench -json BENCH_RESULTS.json  # machine-readable perf suite
 //	rqs-bench -check BENCH_RESULTS.json # fail on >25% hot-path regressions
 //	rqs-bench -load                     # many-client load matrix, both transports
+//
+// Any mode accepts -cpuprofile/-memprofile to write pprof profiles, so
+// a perf-gate regression in CI can be diagnosed from artifacts instead
+// of reproduced locally.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -38,9 +44,36 @@ func run(args []string) error {
 		checkPath = fs.String("check", "", "run the perf suite and fail on regressions against this baseline JSON (the committed BENCH_RESULTS.json)")
 		tolerance = fs.Float64("tolerance", 0.25, "allowed ns/op regression fraction for -check (0.25 = 25%)")
 		load      = fs.Bool("load", false, "run the many-client closed-loop load matrix (C ∈ {1,8,64}, both transports) and print ops/sec")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU pprof profile of the run to this path")
+		memProf   = fs.String("memprofile", "", "write a heap pprof profile at the end of the run to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rqs-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recently-freed objects out of the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rqs-bench: memprofile:", err)
+			}
+		}()
 	}
 	if *jsonPath != "" {
 		return writeBenchJSON(*jsonPath)

@@ -198,6 +198,14 @@ func perfSuite() ([]BenchResult, error) {
 		{"load/mwmr-write-c8/example7", memStorageLoad(example7, 8, false)},
 		{"load/mwmr-write-c64/example7", memStorageLoad(example7, 64, false)},
 		{"load/smr-decide-c8/example7", smrLoad(example7, 8)},
+		// TCP points of the load matrix, in shared-session mode (all C
+		// clients colocated on one host). Gating these makes the C=64
+		// session-multiplexing win an enforced floor exactly like the
+		// in-memory throughput numbers.
+		{"load/tcp-storage-read-c1/example7", tcpStorageLoad(example7, 1, true)},
+		{"load/tcp-storage-read-c8/example7", tcpStorageLoad(example7, 8, true)},
+		{"load/tcp-storage-read-c64/example7", tcpStorageLoad(example7, 64, true)},
+		{"load/tcp-mwmr-write-c64/example7", tcpStorageLoad(example7, 64, false)},
 		{"transport/broadcast-7", broadcast},
 		{"transport/tcp-roundtrip", tcpRoundTrip},
 		{"transport/tcp-roundtrip-gob-baseline", gobRoundTrip},

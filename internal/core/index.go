@@ -109,6 +109,45 @@ func usePostings(universe Set, quorums []Set) bool {
 	return 2*sumQ < universe.Count()*len(quorums)
 }
 
+// detectBlocks recognizes block structure in a user-supplied quorum
+// list: the list partitions into contiguous runs where each run is the
+// COMPLETE lexicographic enumeration (Set.Subsets order) of all
+// same-size subsets of the universe with one uniform declared class,
+// and run sizes strictly increase in list order. Those are exactly the
+// invariants thresholdContained relies on — the first eligible block
+// decides, and its first contained member is the response set's
+// lowest-k members — so a config that rebuilds a threshold layout
+// explicitly (instead of via NewThresholdRQS) gets the same O(1)
+// verdicts. Returns nil when the list is not block-structured. Cost is
+// O(|quorums|): the enumeration replay bails at the first mismatch.
+func detectBlocks(universe Set, quorums []Set, class []QuorumClass) []quorumBlock {
+	var blocks []quorumBlock
+	n := universe.Count()
+	prevSize := -1
+	for i := 0; i < len(quorums); {
+		size := quorums[i].Count()
+		if size <= prevSize || size > n {
+			return nil
+		}
+		cls := class[i]
+		j := i
+		complete := universe.Subsets(size, func(s Set) bool {
+			if j >= len(quorums) || quorums[j] != s || class[j] != cls {
+				return false
+			}
+			j++
+			return true
+		})
+		if !complete {
+			return nil
+		}
+		blocks = append(blocks, quorumBlock{size: size, class: cls})
+		prevSize = size
+		i = j
+	}
+	return blocks
+}
+
 // buildIndex constructs the index; called once per RQS via RQS.Index.
 func buildIndex(r *RQS) *QuorumIndex {
 	idx := &QuorumIndex{
@@ -122,6 +161,12 @@ func buildIndex(r *RQS) *QuorumIndex {
 		if _, ok := idx.classOf[q]; !ok {
 			idx.classOf[q] = r.class[i]
 		}
+	}
+	if idx.blocks == nil {
+		// NewThresholdRQS records its block structure at construction;
+		// user-supplied configs earn the same O(1) fast path when their
+		// quorum list is recognizably block-structured.
+		idx.blocks = detectBlocks(r.universe, r.quorums, r.class)
 	}
 	if idx.blocks != nil {
 		idx.mode = modeThreshold

@@ -1,0 +1,127 @@
+package core
+
+import "testing"
+
+// These tests pin block detection for user-supplied configs: an
+// explicit Config whose quorum list is a threshold-style layout must
+// get the O(1) engine, structurally perturbed lists must not, and the
+// detected fast path must agree bit for bit with the reference scan.
+
+// explicitThresholdConfig rebuilds the quorum list of a threshold
+// system as a plain Config (no NewThresholdRQS, no recorded blocks).
+func explicitThresholdConfig(t *testing.T, p ThresholdParams) *RQS {
+	t.Helper()
+	th, err := NewThresholdRQS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var class2, class1 []int
+	for i, q := range th.Quorums() {
+		c, ok := th.ClassOfListed(q)
+		if !ok {
+			t.Fatalf("quorum %d not listed", i)
+		}
+		switch c {
+		case Class1:
+			class1 = append(class1, i)
+			class2 = append(class2, i)
+		case Class2:
+			class2 = append(class2, i)
+		}
+	}
+	r, err := New(Config{
+		Universe:  th.Universe(),
+		Adversary: th.Adversary(),
+		Quorums:   th.Quorums(),
+		Class2:    class2,
+		Class1:    class1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBlockDetectionUserConfig(t *testing.T) {
+	params := []ThresholdParams{
+		{N: 8, T: 3, R: 2, Q: 1, K: 1},
+		{N: 7, T: 2, R: 2, Q: 1, K: 1}, // degenerate r == t
+		{N: 7, T: 2, R: 1, Q: 1, K: 1}, // degenerate q == r < t
+	}
+	for _, p := range params {
+		r := explicitThresholdConfig(t, p)
+		if got := r.Index().EngineMode(); got != "threshold" {
+			t.Errorf("explicit threshold config %+v: EngineMode = %q, want threshold", p, got)
+		}
+	}
+}
+
+func TestBlockDetectionRejectsPerturbations(t *testing.T) {
+	th, err := NewThresholdRQS(ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := th.Quorums()
+
+	mode := func(quorums []Set, class2 []int) string {
+		r, err := New(Config{Universe: th.Universe(), Adversary: th.Adversary(), Quorums: quorums, Class2: class2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Index().EngineMode()
+	}
+
+	// Swap two quorums inside the first block: no longer lex order.
+	perm := append([]Set(nil), base...)
+	perm[0], perm[1] = perm[1], perm[0]
+	if got := mode(perm, nil); got == "threshold" {
+		t.Errorf("permuted list detected as threshold")
+	}
+
+	// Drop one quorum: the block is no longer a complete enumeration.
+	trunc := append([]Set(nil), base[1:]...)
+	if got := mode(trunc, nil); got == "threshold" {
+		t.Errorf("incomplete block detected as threshold")
+	}
+
+	// Mark a single mid-block quorum class 2: classes not uniform per
+	// run.
+	if got := mode(base, []int{3}); got == "threshold" {
+		t.Errorf("mixed-class block detected as threshold")
+	}
+}
+
+// TestBlockDetectionDifferential pins the detected fast path against
+// the reference scan on every response set shape that matters: per
+// class, growing response sets, including sub-quorum ones.
+func TestBlockDetectionDifferential(t *testing.T) {
+	r := explicitThresholdConfig(t, ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
+	if got := r.Index().EngineMode(); got != "threshold" {
+		t.Fatalf("EngineMode = %q, want threshold", got)
+	}
+	tr := r.NewTracker()
+	for _, c := range []QuorumClass{Class1, Class2, Class3} {
+		tr.Reset()
+		responded := Set(0)
+		for p := 0; p < r.N(); p++ {
+			tr.Add(p)
+			responded = responded.Add(p)
+			gotQ, gotOK := tr.Contained(c)
+			wantQ, wantOK := r.ContainedQuorum(responded, c)
+			if gotOK != wantOK || gotQ != wantQ {
+				t.Fatalf("class %v responded %v: tracker (%v,%v) != scan (%v,%v)",
+					c, responded, gotQ, gotOK, wantQ, wantOK)
+			}
+			gotAll := tr.ContainedAll(c)
+			wantAll := r.ContainedQuorums(responded, c)
+			if len(gotAll) != len(wantAll) {
+				t.Fatalf("class %v responded %v: ContainedAll %d quorums, scan %d", c, responded, len(gotAll), len(wantAll))
+			}
+			for i := range gotAll {
+				if gotAll[i] != wantAll[i] {
+					t.Fatalf("class %v responded %v: ContainedAll[%d] = %v, scan %v", c, responded, i, gotAll[i], wantAll[i])
+				}
+			}
+		}
+	}
+}

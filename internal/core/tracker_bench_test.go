@@ -120,7 +120,10 @@ func TestEngineModeChoice(t *testing.T) {
 	}{
 		{"threshold8", th, "threshold"},
 		{"example7", Example7RQS(), "scan"},
-		{"biglist175", biglist, "scan"},
+		// biglist175 rebuilds a threshold quorum list as an explicit
+		// user config: block detection at Index() time must recognize
+		// it and grant the O(1) path even without NewThresholdRQS.
+		{"biglist175", biglist, "threshold"},
 		{"sparsegrid", sparseGridRQS(), "postings"},
 		{"sparse448", sparseBigRQS(), "postings"},
 	}

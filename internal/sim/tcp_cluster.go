@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// TCPStorageCluster is a storage deployment over real loopback TCP in
+// the shape a production colocation actually has: every server is its
+// own OS process (one TCPHost each), and ALL client nodes share one
+// client process (one TCPHost hosting C logical nodes). The session
+// layer then keeps the socket count per process pair O(1): the client
+// process holds exactly n outgoing sessions no matter how many
+// thousands of logical clients it hosts, instead of the pre-session
+// n×C socket mesh that collapsed the C=64 load numbers.
+type TCPStorageCluster struct {
+	RQS     *core.RQS
+	Servers []*storage.Server
+	Timeout time.Duration
+
+	ServerHosts []*transport.TCPHost
+	ClientHost  *transport.TCPHost
+
+	clientMu   sync.Mutex
+	ports      []transport.Port
+	nextClient int
+}
+
+// TCPStorageOptions configures NewTCPStorageCluster.
+type TCPStorageOptions struct {
+	// Clients is the number of colocated client nodes (default 4).
+	Clients int
+	// Timeout is the protocol's 2Δ timer (default 5ms — loopback TCP).
+	Timeout time.Duration
+}
+
+var registerTCPStorageOnce sync.Once
+
+// RegisterTCPStorageMessages registers the storage payload types with
+// the framed TCP codec (idempotent).
+func RegisterTCPStorageMessages() {
+	registerTCPStorageOnce.Do(func() {
+		transport.Register(storage.WriteReq{})
+		transport.Register(storage.WriteAck{})
+		transport.Register(storage.ReadReq{})
+		transport.Register(storage.ReadAck{})
+		transport.Register(storage.MWReadReq{})
+		transport.Register(storage.MWReadAck{})
+		transport.Register(storage.MWWriteReq{})
+		transport.Register(storage.MWWriteAck{})
+	})
+}
+
+// NewTCPStorageCluster starts the RQS's servers on one loopback host
+// each and a single shared client host carrying opts.Clients logical
+// client nodes.
+func NewTCPStorageCluster(r *core.RQS, opts TCPStorageOptions) (*TCPStorageCluster, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Millisecond
+	}
+	RegisterTCPStorageMessages()
+	n := r.N()
+	c := &TCPStorageCluster{RQS: r, Timeout: opts.Timeout}
+	addrs := make(map[core.ProcessID]string, n+opts.Clients)
+	fail := func(err error) (*TCPStorageCluster, error) {
+		c.Stop()
+		return nil, err
+	}
+	// Phase 1: bind every listener so the shared addrs map is COMPLETE
+	// before any protocol goroutine starts. Servers resolve client
+	// addresses lazily when they first reply; starting them only after
+	// the map is fully populated gives those reads a happens-before
+	// edge (the Start goroutine spawn) instead of racing the setup
+	// writes.
+	for id := 0; id < n; id++ {
+		host, err := transport.NewTCPHost("127.0.0.1:0", addrs)
+		if err != nil {
+			return fail(err)
+		}
+		c.ServerHosts = append(c.ServerHosts, host)
+		addrs[id] = host.Addr()
+	}
+	clientHost, err := transport.NewTCPHost("127.0.0.1:0", addrs)
+	if err != nil {
+		return fail(err)
+	}
+	c.ClientHost = clientHost
+	for i := 0; i < opts.Clients; i++ {
+		addrs[n+i] = clientHost.Addr()
+	}
+	// Phase 2: attach logical nodes and start the protocol goroutines.
+	for id := 0; id < n; id++ {
+		node, err := c.ServerHosts[id].Node(id)
+		if err != nil {
+			return fail(err)
+		}
+		srv := storage.NewServer(node, storage.Hooks{})
+		srv.Start()
+		c.Servers = append(c.Servers, srv)
+	}
+	for i := 0; i < opts.Clients; i++ {
+		node, err := clientHost.Node(n + i)
+		if err != nil {
+			return fail(err)
+		}
+		c.ports = append(c.ports, node)
+	}
+	return c, nil
+}
+
+// Reader returns a reader on a fresh colocated client node.
+func (c *TCPStorageCluster) Reader() *storage.Reader {
+	return storage.NewReader(c.RQS, c.clientPort(), c.Timeout)
+}
+
+// Writer returns a writer on a fresh colocated client node.
+func (c *TCPStorageCluster) Writer() *storage.Writer {
+	return storage.NewWriter(c.RQS, c.clientPort(), c.Timeout)
+}
+
+// MWWriter returns a multi-writer client on a fresh colocated client
+// node.
+func (c *TCPStorageCluster) MWWriter() *storage.MWWriter {
+	return storage.NewMWWriter(c.RQS, c.clientPort())
+}
+
+// MWReader returns a multi-reader client on a fresh colocated client
+// node.
+func (c *TCPStorageCluster) MWReader() *storage.MWReader {
+	return storage.NewMWReader(c.RQS, c.clientPort())
+}
+
+func (c *TCPStorageCluster) clientPort() transport.Port {
+	c.clientMu.Lock()
+	defer c.clientMu.Unlock()
+	if c.nextClient >= len(c.ports) {
+		panic("sim: client slots exhausted; raise TCPStorageOptions.Clients")
+	}
+	p := c.ports[c.nextClient]
+	c.nextClient++
+	return p
+}
+
+// Stop tears the deployment down.
+func (c *TCPStorageCluster) Stop() {
+	if c.ClientHost != nil {
+		c.ClientHost.Close()
+	}
+	for _, h := range c.ServerHosts {
+		h.Close()
+	}
+	for _, s := range c.Servers {
+		s.Stop()
+	}
+}

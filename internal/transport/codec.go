@@ -10,8 +10,6 @@ import (
 	"math"
 	"reflect"
 	"sync"
-
-	"repro/internal/core"
 )
 
 // This file is the TCP wire format: a length-prefixed frame layer and a
@@ -20,10 +18,17 @@ import (
 //
 //	frame    := u32le bodyLen | body                 (bodyLen ≤ maxFrame)
 //	body     := kind byte | rest
-//	hello    := uvarint senderID | uvarint nonce | uvarint firstSeq
+//	hello    := uvarint nonce | uvarint firstSeq | uvarint addrLen | addr
 //	data     := u64le seq | envelope
 //	ack      := uvarint cumulativeSeq
+//	ping     := (empty)                              keepalive probe
+//	pong     := (empty)                              keepalive reply
 //	envelope := varint from | varint to | varint hop | u32le typeTag | payload
+//
+// The hello identifies the dialing *process* (its listen address and
+// session incarnation nonce), not a logical node: one session carries
+// every logical (from, to) pair between two processes, and the
+// envelope's own routing header does the demultiplexing.
 //
 // Payload encodings are compiled once per registered type from its
 // reflection structure: varints for integers, length-prefixed bytes for
@@ -35,10 +40,12 @@ import (
 
 // Frame kinds of the link protocol (see link.go).
 const (
-	frameHello   byte = 1 // sender identity + first seq on this conn
+	frameHello   byte = 1 // sender session identity + first seq on this conn
 	frameData    byte = 2 // one sequenced envelope
 	frameAck     byte = 3 // cumulative delivery acknowledgement
 	frameDataAck byte = 4 // data frame carrying a piggybacked cumulative ack
+	framePing    byte = 5 // keepalive probe on an idle session
+	framePong    byte = 6 // keepalive reply
 )
 
 // dataSeqOff is the data frame's seq slot offset (past the length
@@ -486,6 +493,32 @@ func getFrameBuf() []byte {
 	return (*(framePool.Get().(*[]byte)))[:0]
 }
 
+// frameSlicePool recycles the [][]byte scratch used to stage a batch
+// of encoded frames between encode and queue append, so burst sends
+// allocate no per-batch slice header once warm.
+var frameSlicePool = sync.Pool{
+	New: func() any { s := make([][]byte, 0, 64); return &s },
+}
+
+func getFrameSlice() [][]byte {
+	return (*(frameSlicePool.Get().(*[][]byte)))[:0]
+}
+
+func putFrameSlice(s [][]byte) {
+	if cap(s) > 4096 {
+		return
+	}
+	// Nil the full capacity, not just the length: callers may have
+	// resliced to zero after handing frames off (broadcast's flushRun),
+	// and stale pointers in the pooled backing array would retain
+	// buffers the links already own or returned.
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = nil
+	}
+	frameSlicePool.Put(&s)
+}
+
 func putFrameBuf(b []byte) {
 	if cap(b) > maxFrame/64 {
 		return // don't keep giants alive
@@ -539,27 +572,45 @@ func writeAck(bw *bufio.Writer, seq uint64) error {
 	return bw.Flush()
 }
 
-// appendHello builds the hello frame announcing the dialer's identity,
-// link incarnation nonce, and the first data seq this conn will carry.
-func appendHello(b []byte, id core.ProcessID, nonce, firstSeq uint64) []byte {
+// appendHello builds the hello frame announcing the dialing process's
+// listen address, session incarnation nonce, and the first data seq
+// this conn will carry.
+func appendHello(b []byte, addr string, nonce, firstSeq uint64) []byte {
 	b = beginFrame(b, frameHello)
-	b = binary.AppendUvarint(b, uint64(id))
 	b = binary.AppendUvarint(b, nonce)
 	b = binary.AppendUvarint(b, firstSeq)
+	b = binary.AppendUvarint(b, uint64(len(addr)))
+	b = append(b, addr...)
 	return finishFrame(b)
 }
 
-func parseHello(body []byte) (id core.ProcessID, nonce, firstSeq uint64, err error) {
-	var raw uint64
-	if raw, body, err = decUvarint(body); err != nil {
-		return 0, 0, 0, err
-	}
-	id = core.ProcessID(raw)
+func parseHello(body []byte) (addr string, nonce, firstSeq uint64, err error) {
 	if nonce, body, err = decUvarint(body); err != nil {
-		return 0, 0, 0, err
+		return "", 0, 0, err
 	}
-	if firstSeq, _, err = decUvarint(body); err != nil {
-		return 0, 0, 0, err
+	if firstSeq, body, err = decUvarint(body); err != nil {
+		return "", 0, 0, err
 	}
-	return id, nonce, firstSeq, nil
+	var n uint64
+	if n, body, err = decUvarint(body); err != nil || n > uint64(len(body)) {
+		return "", 0, 0, errShortFrame
+	}
+	return string(body[:n]), nonce, firstSeq, nil
+}
+
+// writeEmptyFrame appends and flushes a bodyless frame (keepalive
+// ping/pong); shared so the two sides' probe plumbing cannot drift.
+func writeEmptyFrame(bw *bufio.Writer, kind byte) error {
+	buf := finishFrame(beginFrame(getFrameBuf(), kind))
+	_, err := bw.Write(buf)
+	putFrameBuf(buf)
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writePong appends and flushes a keepalive reply frame.
+func writePong(bw *bufio.Writer) error {
+	return writeEmptyFrame(bw, framePong)
 }

@@ -82,6 +82,91 @@ func TestConformanceTCP(t *testing.T) {
 	})
 }
 
+// tcpSharedCluster runs the conformance suite in shared-session mode:
+// process 1 is its own host, and ALL other logical processes are
+// colocated on one host — so every suite case that talks to process 1
+// multiplexes the traffic of n-1 logical nodes over a single TCP
+// session, and traffic among the colocated processes takes the
+// in-process path. Stop/Start model a restart of process 1's host
+// (the only process the suite restarts).
+type tcpSharedCluster struct {
+	t      *testing.T
+	addrs  map[core.ProcessID]string
+	shared *TCPHost
+	solo   *TCPNode // process 1, restartable
+	nodes  map[core.ProcessID]*TCPNode
+}
+
+func newTCPSharedCluster(t *testing.T, n int) *tcpSharedCluster {
+	t.Helper()
+	c := &tcpSharedCluster{
+		t:     t,
+		addrs: make(map[core.ProcessID]string, n),
+		nodes: make(map[core.ProcessID]*TCPNode, n),
+	}
+	shared, err := NewTCPHost("127.0.0.1:0", c.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.shared = shared
+	for id := 0; id < n; id++ {
+		if id == 1 {
+			continue
+		}
+		c.addrs[id] = shared.Addr()
+		node, err := shared.Node(id)
+		if err != nil {
+			c.Close()
+			t.Fatalf("node %d: %v", id, err)
+		}
+		c.nodes[id] = node
+	}
+	if n > 1 {
+		c.addrs[1] = "127.0.0.1:0"
+		solo, err := NewTCPNode(1, c.addrs)
+		if err != nil {
+			c.Close()
+			t.Fatalf("node 1: %v", err)
+		}
+		c.solo = solo
+		c.nodes[1] = solo
+		c.addrs[1] = solo.Addr()
+	}
+	return c
+}
+
+func (c *tcpSharedCluster) Port(id core.ProcessID) Port { return c.nodes[id] }
+
+func (c *tcpSharedCluster) Stop(id core.ProcessID) bool {
+	if id != 1 || c.solo == nil {
+		return false // only the solo host models a restart here
+	}
+	c.solo.Close()
+	return true
+}
+
+func (c *tcpSharedCluster) Start(id core.ProcessID) {
+	solo, err := NewTCPNode(1, c.addrs) // addrs[1] is the concrete old address
+	if err != nil {
+		c.t.Fatalf("restart node 1: %v", err)
+	}
+	c.solo = solo
+	c.nodes[1] = solo
+}
+
+func (c *tcpSharedCluster) Close() {
+	c.shared.Close()
+	if c.solo != nil {
+		c.solo.Close()
+	}
+}
+
+func TestConformanceTCPSharedSessions(t *testing.T) {
+	Conformance(t, func(t *testing.T, n int) ConformanceCluster {
+		return newTCPSharedCluster(t, n)
+	})
+}
+
 // TestTCPCloseWithFullInbox pins the readLoop shutdown race of the
 // seed: a full inbox used to block the read goroutine on `inbox <-`
 // forever, deadlocking Close's wg.Wait. Delivery now selects against

@@ -11,53 +11,69 @@ import (
 	"repro/internal/core"
 )
 
-// A peerLink is one node's managed outgoing connection to a peer. It
-// replaces the seed's cache-forever tcpConn: frames are sequenced and
-// kept in a bounded retransmission queue until the peer acknowledges
-// them, so a message written into a dying socket (the ROADMAP ack-loss
-// hang) is re-sent on the next connection. The link redials with
-// backoff on write errors, on the peer closing the conn, and on ack
-// silence (retransmitTimeout with no cumulative-ack progress), which
-// covers the case where writes into a dead socket still "succeed"
-// locally because the peer vanished without a FIN.
+// A peerLink is one host's managed session to a remote process: ONE
+// physical TCP connection carrying the traffic of every logical (from,
+// to) pair between the two processes. It replaces both the seed's
+// cache-forever tcpConn and the pre-session design's link-per-node
+// scheme: frames are sequenced and kept in a bounded retransmission
+// queue until the peer acknowledges them, so a message written into a
+// dying socket (the ROADMAP ack-loss hang) is re-sent on the next
+// connection — and the queue, acks, redial and keepalive machinery are
+// paid once per process pair, not once per logical node pair. The link
+// redials with backoff on write errors, on the peer closing the conn,
+// and on ack silence (retransmitTimeout with no cumulative-ack
+// progress), which covers the case where writes into a dead socket
+// still "succeed" locally because the peer vanished without a FIN.
+// Idle sessions probe the peer with ping frames (heartbeatInterval) so
+// a partitioned peer is detected — and counted in Stats().DeadPeers —
+// even when no data is outstanding to trip the ack-silence check;
+// kernel TCP keepalives (keepAlivePeriod) back this up for long-idle
+// conns.
 //
-// One writer goroutine per link owns the conn lifecycle and coalesces
-// all pending frames into a single buffered write per wakeup; a
-// per-conn reader feeds cumulative acks back. Isolated sends take an
-// inline fast path instead (one write from the sender's goroutine);
-// back-to-back sends are routed through the writer so they coalesce.
-// Only the writer trims the queue, which is what makes returning acked
-// frame buffers to the pool safe while a retransmission may still be
-// in flight.
+// One writer goroutine per session owns the conn lifecycle and
+// coalesces all pending frames into a single buffered write per
+// wakeup; a per-conn reader feeds cumulative acks back. Isolated sends
+// take an inline fast path instead (one write from the sender's
+// goroutine); back-to-back sends are routed through the writer so they
+// coalesce. Only the writer trims the queue, which is what makes
+// returning acked frame buffers to the pool safe while a
+// retransmission may still be in flight.
 //
 // # Retransmission and ack invariants
 //
 // The reliable-channel semantics of the model (§3.1) rest on these,
-// which transport.Conformance and the restart tests pin:
+// which transport.Conformance and the restart tests pin. They are per
+// session, and logical links inherit them: every (from, to) pair
+// between two processes rides one session, so per-logical-link FIFO
+// follows from session FIFO plus seq assignment under the session
+// lock.
 //
-//  1. Sequencing: every data frame on a link carries a seq assigned
-//     under the link lock, contiguous and ascending within a link
-//     incarnation (nonce). queue[head:] always holds the unacked
-//     frames in ascending seq order.
+//  1. Sequencing: every data frame on a session carries a seq assigned
+//     under the session lock, contiguous and ascending within a
+//     session incarnation (nonce). queue[head:] always holds the
+//     unacked frames in ascending seq order.
 //  2. Retention: a frame leaves the queue only when the peer's
-//     cumulative ack covers its seq (acked ≥ seq) or the node closes.
+//     cumulative ack covers its seq (acked ≥ seq) or the host closes.
 //     Redials re-send every retained frame on the new conn — delivery
-//     is at-least-once across arbitrary conn churn.
+//     is at-least-once across arbitrary conn churn, for every logical
+//     link multiplexed on the session.
 //  3. Cumulative acks: the receiver acks the highest contiguously
-//     delivered seq per (sender, nonce); acks are coalesced (one per
+//     delivered seq per (process, nonce); acks are coalesced (one per
 //     ackEvery frames under load, or after the quiet window) and never
 //     go backwards. An ack covering seq s implies every frame ≤ s was
-//     handed to the inbox exactly once.
+//     handed to its destination inbox exactly once.
 //  4. Dedup: the receiver tracks the last delivered seq per
-//     (sender, nonce); retransmitted frames at or below it are acked
-//     but not redelivered. A restarted sender presents a fresh nonce
-//     and starts a new stream (exactly-once within an incarnation,
-//     at-least-once across receiver restarts — the protocols tolerate
-//     duplicates by design).
+//     (process, nonce); retransmitted frames at or below it are acked
+//     but not redelivered. A restarted sender process presents a fresh
+//     nonce and starts a new stream (exactly-once within an
+//     incarnation, at-least-once across receiver restarts — the
+//     protocols tolerate duplicates by design).
 //  5. Liveness: ack silence for retransmitTimeout with frames
-//     outstanding declares the conn dead and redials; a sender blocked
-//     on a full queue for sendStallTimeout drops the send and counts
-//     it in Stats (crash-stop peers must not wedge quorum protocols).
+//     outstanding declares the conn dead and redials; an idle conn
+//     whose peer stops answering keepalive pings is declared dead
+//     after heartbeatMiss probes; a sender blocked on a full queue for
+//     sendStallTimeout drops the send and counts it in Stats
+//     (crash-stop peers must not wedge quorum protocols).
 //  6. Progress accounting: maxSent ≥ acked always; sentIdx marks the
 //     first queued frame not yet written to the current conn, so a
 //     reconnect resumes from the oldest unacked frame, never skipping
@@ -89,51 +105,80 @@ const (
 	compactAt = 1024
 )
 
+// Keepalive knobs. Variables, not constants, so the partition tests
+// can shrink the probe cadence; production code should treat them as
+// fixed.
+var (
+	// keepAlivePeriod is the kernel TCP keepalive interval set on every
+	// dialed and accepted conn — the backstop that eventually surfaces
+	// a vanished peer as a read error even if the transport itself went
+	// quiet.
+	keepAlivePeriod = 15 * time.Second
+	// heartbeatInterval is the application-level probe cadence on idle
+	// established sessions: every interval with no traffic and nothing
+	// queued, the writer sends a ping frame the peer answers with a
+	// pong. Unlike ack silence this needs no outstanding data, so a
+	// silently partitioned peer is detected from a fully idle session.
+	heartbeatInterval = 1 * time.Second
+	// heartbeatMiss is how many consecutive unanswered pings declare
+	// the conn dead (counted in Stats().DeadPeers, conn closed; the
+	// next send redials).
+	heartbeatMiss = 3
+)
+
+// setKeepAlive arms the kernel TCP keepalive on a conn; one helper so
+// dialed (link.go) and accepted (tcp.go) conns cannot diverge.
+func setKeepAlive(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetKeepAlive(true)
+		_ = tc.SetKeepAlivePeriod(keepAlivePeriod)
+	}
+}
+
 type sendFrame struct {
 	seq uint64
 	buf []byte // complete wire frame: length prefix, kind, seq, envelope
 }
 
 type peerLink struct {
-	n     *TCPNode
-	to    core.ProcessID
-	addr  string
-	nonce uint64 // link incarnation: a restarted sender is a new stream
+	h     *TCPHost
+	addr  string // remote process's listen address (the session key)
+	nonce uint64 // session incarnation: a restarted sender is a new stream
 
-	// rcvSt is this node's receive-side dedup state for the same peer —
-	// the source of piggybacked acks: data frames to the peer carry the
-	// cumulative delivered seq of the peer's reverse-direction stream
-	// (stamped at write time), so bidirectional traffic acknowledges
-	// itself without standalone ack frames. The pointer is stable for
-	// the node's lifetime.
+	// rcvSt is this host's receive-side dedup state for the same remote
+	// process — the source of piggybacked acks: data frames to the peer
+	// carry the cumulative delivered seq of the peer's reverse-direction
+	// stream (stamped at write time), so bidirectional traffic
+	// acknowledges itself without standalone ack frames. The pointer is
+	// stable for the host's lifetime.
 	rcvSt *rcvState
 
 	mu         sync.Mutex
-	space      chan struct{} // closed+replaced when the queue drains or the node closes
+	space      chan struct{} // closed+replaced when the queue drains or the host closes
 	queue      []sendFrame   // queue[head:] = unacked frames, ascending seq
 	head       int           // trimmed prefix length (acked, not yet compacted)
 	nextSeq    uint64        // seq assigned to the next enqueued frame
 	acked      uint64        // highest cumulative ack from the peer
 	maxSent    uint64        // highest seq ever written to any conn
 	sentIdx    int           // queue index of the first frame not yet written on the current conn
-	conn       net.Conn      // current conn; Close()d by node shutdown to unblock I/O
+	conn       net.Conn      // current conn; Close()d by host shutdown to unblock I/O
 	bw         *bufio.Writer // current conn's writer, published after the hello
 	writing    bool          // someone is writing to bw outside mu
 	readerErr  error         // set by the current conn's ack reader
-	closed     bool          // node shutting down: stop blocking senders
+	closed     bool          // host shutting down: stop blocking senders
 	lastSendNS int64         // when the previous send ran (sprint detection)
+	pings      int           // consecutive unanswered keepalive probes on the current conn
 
 	notify chan struct{} // buffered(1): new frames or ack progress
 }
 
-func newPeerLink(n *TCPNode, to core.ProcessID, addr string, rcvSt *rcvState) *peerLink {
+func newPeerLink(h *TCPHost, addr string, rcvSt *rcvState) *peerLink {
 	nonce := rand.Uint64()
 	for nonce == 0 {
 		nonce = rand.Uint64() // 0 means "no ack" in dataAck frames
 	}
 	return &peerLink{
-		n:       n,
-		to:      to,
+		h:       h,
 		addr:    addr,
 		rcvSt:   rcvSt,
 		nonce:   nonce,
@@ -153,11 +198,12 @@ func (l *peerLink) broadcastSpace() {
 // unacked reports the live queue length; callers hold l.mu.
 func (l *peerLink) unacked() int { return len(l.queue) - l.head }
 
-// beginDataFrame starts a framed data frame for this link: header
-// placeholder, a fixed-width seq slot (filled under the link lock at
-// enqueue time) and — once the peer has ever presented itself as a
-// sender — the dataAck ack slots (stamped at write time). The caller
-// appends the envelope body and passes the result to finishDataFrame.
+// beginDataFrame starts a framed data frame for this session: header
+// placeholder, a fixed-width seq slot (filled under the session lock at
+// enqueue time) and — once the peer process has ever presented itself
+// as a sender — the dataAck ack slots (stamped at write time). The
+// caller appends the envelope body and passes the result to
+// finishDataFrame.
 func (l *peerLink) beginDataFrame() []byte {
 	buf := getFrameBuf()
 	if l.rcvSt.hasPeer.Load() {
@@ -220,7 +266,7 @@ func stampAcks(buf []byte, nonce, ack uint64) {
 // reliable in the model (§3.1), never lossy — but only up to
 // sendStallTimeout: a peer that is gone for good must not wedge the
 // sending protocol goroutine, so the send is then dropped and counted.
-// It also reports false for unencodable payloads and node shutdown.
+// It also reports false for unencodable payloads and host shutdown.
 func (l *peerLink) send(env *Envelope) bool {
 	buf := l.encodeData(env)
 	if buf == nil {
@@ -250,7 +296,7 @@ func (l *peerLink) enqueue1(buf []byte) bool {
 			select {
 			case <-space:
 			case <-timer.C:
-			case <-l.n.done:
+			case <-l.h.done:
 			}
 			timer.Stop()
 			l.mu.Lock()
@@ -293,7 +339,7 @@ func (l *peerLink) enqueue1(buf []byte) bool {
 		}
 		if err == nil && conveyed > 0 {
 			l.rcvSt.noteConveyed(conveyed)
-			l.n.counters.acksPiggybacked.Add(1)
+			l.h.counters.acksPiggybacked.Add(1)
 		}
 		l.mu.Lock()
 		l.writing = false
@@ -347,7 +393,7 @@ func (l *peerLink) enqueueFrames(frames [][]byte) int {
 				select {
 				case <-space:
 				case <-timer.C:
-				case <-l.n.done:
+				case <-l.h.done:
 				}
 				timer.Stop()
 				l.mu.Lock()
@@ -382,10 +428,10 @@ func (l *peerLink) wake() {
 	}
 }
 
-// run is the link's writer goroutine: wait for work, keep a conn up,
-// stream the queue, redial and re-send on failure.
+// run is the session's writer goroutine: wait for work, keep a conn
+// up, stream the queue, redial and re-send on failure.
 func (l *peerLink) run() {
-	defer l.n.wg.Done()
+	defer l.h.wg.Done()
 	established := false
 	for {
 		// Don't (re)dial until there is something to send.
@@ -395,17 +441,17 @@ func (l *peerLink) run() {
 		if empty {
 			select {
 			case <-l.notify:
-			case <-l.n.done:
+			case <-l.h.done:
 				return
 			}
 			continue
 		}
 		conn := l.dial()
 		if conn == nil {
-			return // node closing
+			return // host closing
 		}
 		if established {
-			l.n.counters.redials.Add(1)
+			l.h.counters.redials.Add(1)
 		}
 		established = true
 		l.runConn(conn)
@@ -420,7 +466,7 @@ func (l *peerLink) run() {
 		// next conn re-convey.
 		l.rcvSt.resetConveyed()
 		select {
-		case <-l.n.done:
+		case <-l.h.done:
 			return
 		default:
 		}
@@ -428,17 +474,20 @@ func (l *peerLink) run() {
 }
 
 // dial connects to the peer with exponential backoff, returning nil
-// only when the node is shutting down.
+// only when the host is shutting down. Dialed conns get kernel TCP
+// keepalives so a silently vanished peer eventually surfaces as a read
+// error even without transport traffic.
 func (l *peerLink) dial() net.Conn {
 	backoff := dialBackoffMin
 	for {
 		select {
-		case <-l.n.done:
+		case <-l.h.done:
 			return nil
 		default:
 		}
 		conn, err := net.DialTimeout("tcp", l.addr, dialTimeout)
 		if err == nil {
+			setKeepAlive(conn)
 			l.mu.Lock()
 			l.conn = conn
 			l.readerErr = nil
@@ -446,7 +495,7 @@ func (l *peerLink) dial() net.Conn {
 			// Re-check shutdown: Close may have swept links before we
 			// registered the conn; done is closed before that sweep.
 			select {
-			case <-l.n.done:
+			case <-l.h.done:
 				_ = conn.Close()
 				return nil
 			default:
@@ -454,7 +503,7 @@ func (l *peerLink) dial() net.Conn {
 			return conn
 		}
 		select {
-		case <-l.n.done:
+		case <-l.h.done:
 			return nil
 		case <-time.After(backoff):
 		}
@@ -464,30 +513,47 @@ func (l *peerLink) dial() net.Conn {
 	}
 }
 
-// runConn drives one connection until it fails or the node closes:
+// runConn drives one connection until it fails or the host closes:
 // hello, then batches of pending frames, trimming the queue as acks
-// arrive and treating ack silence as a dead conn.
+// arrive, treating ack silence as a dead conn, and probing an idle
+// peer with keepalive pings.
 func (l *peerLink) runConn(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	l.mu.Lock()
 	l.sentIdx = l.head // everything unacked is re-sent on this conn
+	l.pings = 0
 	firstSeq := l.nextSeq
 	if l.unacked() > 0 {
 		firstSeq = l.queue[l.head].seq
 	}
 	l.mu.Unlock()
 
-	hello := appendHello(getFrameBuf(), l.n.id, l.nonce, firstSeq)
+	hello := appendHello(getFrameBuf(), l.h.addr, l.nonce, firstSeq)
 	_, err := bw.Write(hello)
 	putFrameBuf(hello)
 	if err != nil || bw.Flush() != nil {
 		return
 	}
-	l.n.wg.Add(1)
+	l.h.wg.Add(1)
 	go l.readAcks(conn)
 	l.mu.Lock()
 	l.bw = bw // publish for the inline send fast path
 	l.mu.Unlock()
+
+	// One reusable timer serves every wait in the loop below (writer
+	// waits are strictly sequential); allocating a fresh timer per wait
+	// used to be ~20% of the transport's allocation volume.
+	wait := time.NewTimer(time.Hour)
+	defer wait.Stop()
+	rearm := func(d time.Duration) {
+		if !wait.Stop() {
+			select {
+			case <-wait.C:
+			default:
+			}
+		}
+		wait.Reset(d)
+	}
 
 	var batch []sendFrame
 	for {
@@ -499,15 +565,13 @@ func (l *peerLink) runConn(conn net.Conn) {
 			// can succeed without waking us, and unacked frames must
 			// still hit the ack-silence check below eventually.
 			l.mu.Unlock()
-			timer := time.NewTimer(retransmitTimeout)
+			rearm(retransmitTimeout)
 			select {
 			case <-l.notify:
-			case <-timer.C:
-			case <-l.n.done:
-				timer.Stop()
+			case <-wait.C:
+			case <-l.h.done:
 				return
 			}
-			timer.Stop()
 			continue
 		}
 		// Trim acked frames by advancing the head index (O(popped));
@@ -543,10 +607,34 @@ func (l *peerLink) runConn(conn net.Conn) {
 		if len(pending) == 0 {
 			if l.unacked() == 0 {
 				l.mu.Unlock()
+				// Idle: wait for work, but probe the peer at the
+				// heartbeat cadence so a silent partition is detected
+				// without any data in flight. The death verdict is
+				// checked when the NEXT interval fires, so every probe
+				// — including the heartbeatMiss-th — gets a full
+				// interval for its pong before it counts as missed.
+				rearm(heartbeatInterval)
 				select {
 				case <-l.notify:
 					continue
-				case <-l.n.done:
+				case <-wait.C:
+					l.mu.Lock()
+					missed := l.pings >= heartbeatMiss
+					l.mu.Unlock()
+					if missed {
+						// heartbeatMiss consecutive probes went a full
+						// interval each without a pong (and no data
+						// acks were owed): the conn is dead even
+						// though nothing is queued. Close it; the next
+						// send redials.
+						l.h.counters.deadPeers.Add(1)
+						return
+					}
+					if !l.sendPing(bw) {
+						return
+					}
+					continue
+				case <-l.h.done:
 					return
 				}
 			}
@@ -555,22 +643,20 @@ func (l *peerLink) runConn(conn net.Conn) {
 			// kept succeeding (peer gone without a FIN).
 			ackedBefore := l.acked
 			l.mu.Unlock()
-			timer := time.NewTimer(retransmitTimeout)
+			rearm(retransmitTimeout)
 			select {
 			case <-l.notify:
-				timer.Stop()
 				continue
-			case <-timer.C:
+			case <-wait.C:
 				l.mu.Lock()
 				progress := l.acked > ackedBefore
 				l.mu.Unlock()
 				if !progress {
-					l.n.counters.ackTimeouts.Add(1)
+					l.h.counters.ackTimeouts.Add(1)
 					return
 				}
 				continue
-			case <-l.n.done:
-				timer.Stop()
+			case <-l.h.done:
 				return
 			}
 		}
@@ -588,7 +674,7 @@ func (l *peerLink) runConn(conn net.Conn) {
 		l.writing = true
 		l.mu.Unlock()
 		if resent > 0 {
-			l.n.counters.resent.Add(uint64(resent))
+			l.h.counters.resent.Add(uint64(resent))
 		}
 		// Stamp one ack snapshot across the whole batch's dataAck
 		// frames — piggybacking costs one snapshot per coalesced write,
@@ -612,7 +698,7 @@ func (l *peerLink) runConn(conn net.Conn) {
 		}
 		if err == nil && piggybacked > 0 {
 			l.rcvSt.noteConveyed(ack)
-			l.n.counters.acksPiggybacked.Add(piggybacked)
+			l.h.counters.acksPiggybacked.Add(piggybacked)
 		}
 		l.mu.Lock()
 		l.writing = false
@@ -623,12 +709,41 @@ func (l *peerLink) runConn(conn net.Conn) {
 	}
 }
 
+// sendPing writes one keepalive probe on an idle conn, claiming the
+// writer slot so it cannot interleave with an inline sender's frame.
+// Reports false when the conn should be abandoned.
+func (l *peerLink) sendPing(bw *bufio.Writer) bool {
+	l.mu.Lock()
+	if l.writing || l.readerErr != nil || l.unacked() > 0 {
+		// New traffic or a dead conn beat the probe; the main loop
+		// handles either.
+		ok := l.readerErr == nil
+		l.mu.Unlock()
+		return ok
+	}
+	l.pings++
+	l.writing = true
+	l.mu.Unlock()
+	err := writeEmptyFrame(bw, framePing)
+	l.mu.Lock()
+	l.writing = false
+	if err != nil && l.readerErr == nil {
+		l.readerErr = err
+	}
+	l.mu.Unlock()
+	if err != nil {
+		return false
+	}
+	l.h.counters.pings.Add(1)
+	return true
+}
+
 // applyAck applies a cumulative ack that arrived piggybacked on the
 // peer's reverse-direction data frames (read by serveConn, not by this
-// link's own ack reader). The nonce check discards acks for a previous
-// incarnation of this sender: after a restart the peer may briefly
-// stamp the old stream's counters, which must not ack the new stream's
-// seqs. l.nonce is immutable after construction.
+// session's own ack reader). The nonce check discards acks for a
+// previous incarnation of this sender: after a restart the peer may
+// briefly stamp the old stream's counters, which must not ack the new
+// stream's seqs. l.nonce is immutable after construction.
 //
 // Unlike the rare standalone acks, piggybacked acks arrive on every
 // reverse data frame, so waking the writer per ack would cost a
@@ -644,6 +759,7 @@ func (l *peerLink) applyAck(nonce, ack uint64) {
 	progress := ack > l.acked
 	if progress {
 		l.acked = ack
+		l.pings = 0 // the peer is alive; reset the probe budget
 	}
 	mustWake := progress && l.unacked() >= maxUnacked/2
 	l.mu.Unlock()
@@ -652,11 +768,11 @@ func (l *peerLink) applyAck(nonce, ack uint64) {
 	}
 }
 
-// readAcks consumes cumulative acks from one conn; any read error
-// closes that conn and, if it is still the link's current one, flags
-// the writer to redial.
+// readAcks consumes cumulative acks and keepalive pongs from one conn;
+// any read error closes that conn and, if it is still the session's
+// current one, flags the writer to redial.
 func (l *peerLink) readAcks(conn net.Conn) {
-	defer l.n.wg.Done()
+	defer l.h.wg.Done()
 	br := bufio.NewReader(conn)
 	scratch := getFrameBuf()
 	defer func() { putFrameBuf(scratch) }() // scratch may be regrown by readFrame
@@ -669,11 +785,19 @@ func (l *peerLink) readAcks(conn net.Conn) {
 				if a > l.acked {
 					l.acked = a
 				}
+				l.pings = 0
 				l.mu.Unlock()
-				l.n.counters.acksReceived.Add(1)
+				l.h.counters.acksReceived.Add(1)
 				l.wake()
 				continue
 			}
+		}
+		if err == nil && kind == framePong {
+			l.mu.Lock()
+			l.pings = 0
+			l.mu.Unlock()
+			l.h.counters.pongs.Add(1)
+			continue
 		}
 		if err == nil {
 			continue // tolerate unknown frame kinds from newer peers
@@ -689,8 +813,8 @@ func (l *peerLink) readAcks(conn net.Conn) {
 	}
 }
 
-// shutdown force-closes the link's current conn and releases any
-// sender blocked on a full queue (node shutdown).
+// shutdown force-closes the session's current conn and releases any
+// sender blocked on a full queue (host shutdown).
 func (l *peerLink) shutdown() {
 	l.mu.Lock()
 	l.closed = true

@@ -14,24 +14,49 @@ import (
 	"repro/internal/core"
 )
 
-// TCPNode is a Port backed by real TCP connections, used by the demo
-// binaries to run the protocols across processes. Envelopes travel as
-// length-prefixed binary frames (codec.go); payload types must be
-// registered with Register. Outgoing messages go through managed peer
-// links (link.go) that redial and retransmit until the peer
-// acknowledges delivery, giving the TCP path the reliable-channel
-// semantics the paper's model assumes (§3.1) — a peer process may
-// crash and restart at the same address without losing messages.
-type TCPNode struct {
-	id    core.ProcessID
-	addrs map[core.ProcessID]string
+// The TCP data plane is structured in two layers:
+//
+//   - TCPHost is one OS process's attachment to the fabric: one
+//     listener plus ONE physical TCP session per remote process
+//     (peerLink, keyed by the remote process's listen address). All
+//     logical nodes hosted in the process share those sessions — the
+//     retransmission queue, cumulative acks, piggybacking, keepalives
+//     and redial machinery run once per process pair, and the logical
+//     (from, to) pair already present in every envelope header does
+//     the demultiplexing on the receive side.
+//   - TCPNode is a light routing facade over its host: one logical
+//     process with its own inbox. Creating many nodes on one host is
+//     how a deployment colocates many logical clients per OS process
+//     without opening O(clients × servers) sockets; socket count per
+//     process pair stays O(1) no matter how many nodes either side
+//     hosts.
+//
+// Envelopes travel as length-prefixed binary frames (codec.go);
+// payload types must be registered with Register. Outgoing messages go
+// through managed peer links (link.go) that redial and retransmit
+// until the peer acknowledges delivery, giving the TCP path the
+// reliable-channel semantics the paper's model assumes (§3.1) per
+// *logical* link — a peer process may crash and restart at the same
+// address without losing messages, and FIFO holds per (from, to) pair
+// because each session is FIFO and assigns seqs under one lock.
+
+// TCPHost is one process's shared TCP session layer: a listener, the
+// per-remote-process links, and the logical nodes it hosts.
+type TCPHost struct {
+	addr  string // concrete listen address, announced in hellos
 	ln    net.Listener
-	inbox chan Envelope
-	done  chan struct{} // closed on Close; gates inbox delivery
+	addrs map[core.ProcessID]string // logical node → hosting process's address
+	done  chan struct{}             // closed on Close; gates inbox delivery
+
+	// nodes and routes are copy-on-write maps read lock-free on every
+	// send: nodes resolves a local destination to its inbox, routes
+	// memoizes the logical-destination → session resolution.
+	nodes  atomic.Pointer[map[core.ProcessID]*TCPNode]
+	routes atomic.Pointer[map[core.ProcessID]*peerLink]
 
 	mu       sync.Mutex
-	links    map[core.ProcessID]*peerLink
-	rcv      map[core.ProcessID]*rcvState
+	links    map[string]*peerLink // one session per remote process address (canonical ip:port)
+	rcv      map[string]*rcvState // per-remote-process receive/dedup state
 	accepted map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
@@ -39,17 +64,75 @@ type TCPNode struct {
 	counters tcpCounters
 }
 
-// rcvState is the per-sender dedup state: the highest seq delivered for
-// the sender's current link incarnation. A reconnect from the same
-// incarnation resumes it (retransmitted frames are dropped as dups); a
-// new incarnation (sender process restarted) resets it. The record is
-// also the piggyback rendezvous: the node's outgoing link to the same
-// peer stamps (nonce, delivered) into its data frames, and conveyed
-// tracks how much of that made it onto the wire so the serve loop can
-// suppress standalone acks the reverse traffic already carried.
+// TCPNode is a Port hosted on a TCPHost: one logical process. All
+// nodes of one host share the host's physical sessions; a node's
+// only private state is its inbox.
+type TCPNode struct {
+	h     *TCPHost
+	id    core.ProcessID
+	inbox chan Envelope
+
+	// closedMu guards inbox close against local-delivery senders (which
+	// are not tracked by the host's WaitGroup, unlike serve loops).
+	closedMu sync.Mutex
+	closed   bool
+
+	// stalledAtNS is when a delivery to this node last timed out on a
+	// full inbox (0 = never). While a stall is fresh (within
+	// sendStallTimeout), further deliveries drop immediately instead of
+	// each re-paying the bounded wait — one crashed consumer costs one
+	// stall per window, not one per frame.
+	stalledAtNS atomic.Int64
+}
+
+// stalledRecently reports whether a delivery stall on this node is
+// fresh enough that retrying the bounded wait would just re-pay it.
+func (n *TCPNode) stalledRecently() bool {
+	last := n.stalledAtNS.Load()
+	return last != 0 && time.Now().UnixNano()-last < int64(sendStallTimeout)
+}
+
+// noteDelivered clears a recorded stall once any delivery succeeds, so
+// a consumer that recovered mid-window stops shedding frames
+// immediately (the load is a no-op nanosecond check on the fast path).
+func (n *TCPNode) noteDelivered() {
+	if n.stalledAtNS.Load() != 0 {
+		n.stalledAtNS.Store(0)
+	}
+}
+
+// awaitInbox is the bounded blocking delivery used once the fast
+// non-blocking send failed: wait up to sendStallTimeout for space. A
+// healthy consumer drains in microseconds, so hitting the bound means
+// the node's consumer is gone (crash-stop) — the stall is recorded so
+// subsequent deliveries short-circuit for a window.
+func (n *TCPNode) awaitInbox(env Envelope, done <-chan struct{}) deliverVerdict {
+	timer := time.NewTimer(sendStallTimeout)
+	defer timer.Stop()
+	select {
+	case n.inbox <- env:
+		n.stalledAtNS.Store(0)
+		return deliverOK
+	case <-done:
+		return deliverClosed
+	case <-timer.C:
+		n.stalledAtNS.Store(time.Now().UnixNano())
+		return deliverStalled
+	}
+}
+
+// rcvState is the per-remote-process dedup state: the highest seq
+// delivered for the peer process's current session incarnation. A
+// reconnect from the same incarnation resumes it (retransmitted frames
+// are dropped as dups); a new incarnation (peer process restarted)
+// resets it. The record is also the piggyback rendezvous: the host's
+// outgoing session to the same process stamps (nonce, delivered) into
+// its data frames, and conveyed tracks how much of that made it onto
+// the wire so the serve loop can suppress standalone acks the reverse
+// traffic already carried.
 type rcvState struct {
 	mu        sync.Mutex
-	nonce     uint64 // current sender incarnation (0 until the first hello)
+	nonce     uint64 // current peer incarnation (0 until the first hello)
 	delivered uint64 // highest contiguously delivered seq of that incarnation
 	conveyed  uint64 // highest delivered value piggybacked onto flushed reverse data
 
@@ -101,136 +184,314 @@ func (st *rcvState) resetConveyed() {
 	st.mu.Unlock()
 }
 
-// tcpCounters are the node's atomic stat counters (see TCPStats).
+// tcpCounters are the host's atomic stat counters (see TCPStats).
 type tcpCounters struct {
 	sent, delivered, dups, drops   atomic.Uint64
 	resent, redials, ackTimeouts   atomic.Uint64
 	acksSent, acksReceived, badEnv atomic.Uint64
 	acksPiggybacked                atomic.Uint64
+	pings, pongs, deadPeers        atomic.Uint64
 }
 
-// TCPStats is a snapshot of a node's transport counters, letting demos
-// and tests assert that no message was lost across peer restarts.
+// TCPStats is a snapshot of a host's transport counters, letting demos
+// and tests assert that no message was lost across peer restarts and
+// that the session layer multiplexes rather than multiplying sockets.
 type TCPStats struct {
-	Sent            uint64 // envelopes accepted into a link's queue
-	Delivered       uint64 // envelopes handed to this node's inbox
+	Sent            uint64 // envelopes accepted into a session's queue or delivered locally
+	Delivered       uint64 // envelopes handed to this host's inboxes
 	Dups            uint64 // retransmitted frames dropped by dedup
-	Drops           uint64 // envelopes dropped: unknown peer, closed node, full queue, encode error
+	Drops           uint64 // envelopes dropped: unknown peer, closed host, full queue, encode error
 	Resent          uint64 // frames rewritten on a fresh conn after a failure
 	Redials         uint64 // conns re-established after an initial success
 	AckTimeouts     uint64 // conns declared dead for ack silence
 	AcksSent        uint64 // standalone cumulative ack frames written
 	AcksReceived    uint64 // standalone cumulative ack frames read
 	AcksPiggybacked uint64 // acks carried on outgoing data frames instead of standalone
-	BadEnvelopes    uint64 // frames acked but not deliverable (unknown tag, decode error)
-	Queued          int    // frames currently awaiting acknowledgement across all links
+	BadEnvelopes    uint64 // frames acked but not deliverable (unknown tag, decode error, unknown node)
+	Pings           uint64 // keepalive probes written on idle sessions
+	Pongs           uint64 // keepalive replies received
+	DeadPeers       uint64 // idle conns declared dead by keepalive probing (no pong)
+	Queued          int    // frames currently awaiting acknowledgement across all sessions
+	Sessions        int    // live outgoing sessions (one per remote process dialed)
+	AcceptedConns   int    // live accepted conns (one per remote process dialing in)
 }
 
-// Stats returns a snapshot of the node's transport counters.
-func (n *TCPNode) Stats() TCPStats {
+// Stats returns a snapshot of the host's transport counters.
+func (h *TCPHost) Stats() TCPStats {
 	queued := 0
-	n.mu.Lock()
-	for _, l := range n.links {
+	h.mu.Lock()
+	sessions := len(h.links)
+	acceptedConns := len(h.accepted)
+	for _, l := range h.links {
 		l.mu.Lock()
 		queued += l.unacked()
 		l.mu.Unlock()
 	}
-	n.mu.Unlock()
+	h.mu.Unlock()
 	return TCPStats{
 		Queued:          queued,
-		Sent:            n.counters.sent.Load(),
-		Delivered:       n.counters.delivered.Load(),
-		Dups:            n.counters.dups.Load(),
-		Drops:           n.counters.drops.Load(),
-		Resent:          n.counters.resent.Load(),
-		Redials:         n.counters.redials.Load(),
-		AckTimeouts:     n.counters.ackTimeouts.Load(),
-		AcksSent:        n.counters.acksSent.Load(),
-		AcksReceived:    n.counters.acksReceived.Load(),
-		AcksPiggybacked: n.counters.acksPiggybacked.Load(),
-		BadEnvelopes:    n.counters.badEnv.Load(),
+		Sessions:        sessions,
+		AcceptedConns:   acceptedConns,
+		Sent:            h.counters.sent.Load(),
+		Delivered:       h.counters.delivered.Load(),
+		Dups:            h.counters.dups.Load(),
+		Drops:           h.counters.drops.Load(),
+		Resent:          h.counters.resent.Load(),
+		Redials:         h.counters.redials.Load(),
+		AckTimeouts:     h.counters.ackTimeouts.Load(),
+		AcksSent:        h.counters.acksSent.Load(),
+		AcksReceived:    h.counters.acksReceived.Load(),
+		AcksPiggybacked: h.counters.acksPiggybacked.Load(),
+		BadEnvelopes:    h.counters.badEnv.Load(),
+		Pings:           h.counters.pings.Load(),
+		Pongs:           h.counters.pongs.Load(),
+		DeadPeers:       h.counters.deadPeers.Load(),
 	}
 }
 
 var _ Port = (*TCPNode)(nil)
 
-// NewTCPNode starts a node listening on addrs[id] and able to dial every
-// other address in addrs.
+// NewTCPHost starts a host listening on listenAddr. addrs maps every
+// logical node of the deployment to its hosting process's address;
+// many nodes may share one address (they are colocated). The host
+// reads the map without copying it, so the deployment's SETUP phase
+// owns it: finish every write (e.g. filling in ":0" binds) before any
+// goroutine sends — a write racing any send's read is a plain map data
+// race, not merely a missed route. Attach logical nodes with Node,
+// likewise before peers start sending to them (see Node).
+func NewTCPHost(listenAddr string, addrs map[core.ProcessID]string) (*TCPHost, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", listenAddr, err)
+	}
+	h := &TCPHost{
+		addr:     ln.Addr().String(),
+		ln:       ln,
+		addrs:    addrs,
+		done:     make(chan struct{}),
+		links:    make(map[string]*peerLink),
+		rcv:      make(map[string]*rcvState),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	empty := make(map[core.ProcessID]*TCPNode)
+	h.nodes.Store(&empty)
+	noRoutes := make(map[core.ProcessID]*peerLink)
+	h.routes.Store(&noRoutes)
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Node attaches logical process id to the host and returns its port.
+// Attach every node before remote peers can address it: an inbound
+// frame for an unattached node is acknowledged and dropped (counted in
+// Stats().BadEnvelopes) — it must not wedge the session's cumulative
+// ack stream — so the sender will not retransmit it after the node
+// appears.
+func (h *TCPHost) Node(id core.ProcessID) (*TCPNode, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, errors.New("tcp: host closed")
+	}
+	old := *h.nodes.Load()
+	if _, ok := old[id]; ok {
+		return nil, fmt.Errorf("tcp: node %d already attached", id)
+	}
+	n := &TCPNode{h: h, id: id, inbox: make(chan Envelope, inboxCap)}
+	next := make(map[core.ProcessID]*TCPNode, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = n
+	h.nodes.Store(&next)
+	return n, nil
+}
+
+// NewTCPNode starts a single-node host: one logical process per OS
+// process, the pre-session-layer deployment shape. addrs must contain
+// the node's own listen address. Closing the node closes its host.
 func NewTCPNode(id core.ProcessID, addrs map[core.ProcessID]string) (*TCPNode, error) {
 	addr, ok := addrs[id]
 	if !ok {
 		return nil, fmt.Errorf("tcp: no address for process %d", id)
 	}
-	ln, err := net.Listen("tcp", addr)
+	h, err := NewTCPHost(addr, addrs)
 	if err != nil {
-		return nil, fmt.Errorf("tcp: listen %s: %w", addr, err)
+		return nil, err
 	}
-	n := &TCPNode{
-		id:       id,
-		addrs:    addrs,
-		ln:       ln,
-		inbox:    make(chan Envelope, inboxCap),
-		done:     make(chan struct{}),
-		links:    make(map[core.ProcessID]*peerLink),
-		rcv:      make(map[core.ProcessID]*rcvState),
-		accepted: make(map[net.Conn]struct{}),
+	n, err := h.Node(id)
+	if err != nil {
+		h.Close()
+		return nil, err
 	}
-	n.wg.Add(1)
-	go n.acceptLoop()
 	return n, nil
 }
 
-// Addr returns the node's bound listen address (useful with ":0").
-func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+// Addr returns the host's bound listen address (useful with ":0").
+func (h *TCPHost) Addr() string { return h.addr }
+
+// Addr returns the hosting process's listen address.
+func (n *TCPNode) Addr() string { return n.h.addr }
+
+// Host returns the session layer this node is attached to.
+func (n *TCPNode) Host() *TCPHost { return n.h }
 
 // ID returns the node's process ID.
 func (n *TCPNode) ID() core.ProcessID { return n.id }
 
-// Inbox returns incoming envelopes; closed on Close.
+// Inbox returns incoming envelopes; closed when the host closes.
 func (n *TCPNode) Inbox() <-chan Envelope { return n.inbox }
 
+// Stats returns the hosting process's transport counters.
+func (n *TCPNode) Stats() TCPStats { return n.h.Stats() }
+
+// Close tears down the node's whole host: a logical node cannot
+// outlive its process.
+func (n *TCPNode) Close() { n.h.Close() }
+
 // Send dispatches a payload with hop 0. Delivery is reliable as long as
-// the peer (or a restarted process at its address) eventually comes
-// back: the link retransmits until acknowledged, and a full
-// retransmission queue applies backpressure (bounded by the link's
+// the peer process (or a restarted process at its address) eventually
+// comes back: the session retransmits until acknowledged, and a full
+// retransmission queue applies backpressure (bounded by the session's
 // stall timeout) rather than dropping. Messages are dropped — and
 // counted in Stats — only for unknown peers, unregistered payload
-// types, a closed node, or a peer gone past the stall timeout.
+// types, a closed host, or a peer gone past the stall timeout.
 func (n *TCPNode) Send(to core.ProcessID, payload Message) {
-	n.SendHop(to, payload, 0)
+	n.h.sendHop(n.id, to, payload, 0)
 }
 
 // SendHop dispatches a payload with an explicit hop depth.
 func (n *TCPNode) SendHop(to core.ProcessID, payload Message, hop int) {
-	env := Envelope{From: n.id, To: to, Hop: hop, Payload: payload}
-	l := n.linkTo(to)
-	if l == nil || !l.send(&env) {
-		n.counters.drops.Add(1)
-		return
-	}
-	n.counters.sent.Add(1)
+	n.h.sendHop(n.id, to, payload, hop)
 }
 
-// SendBatch dispatches a burst of payloads to one peer as a single
-// queue append: the burst is encoded up front, appended under one link
-// lock with contiguous seqs, and coalesced by the writer goroutine
-// into one framed write on the wire.
+// SendBatch dispatches a burst of payloads to one logical destination
+// as a single queue append on the shared session: the burst is encoded
+// up front, appended under one session lock with contiguous seqs, and
+// coalesced by the writer goroutine into one framed write on the wire.
+// A colocated destination receives the burst under one inbox lock.
 func (n *TCPNode) SendBatch(to core.ProcessID, payloads []Message, hop int) {
+	n.h.sendBatch(n.id, to, payloads, hop)
+}
+
+// Broadcast fans payload out to every member of dst, encoding the
+// tagged payload body once. Destinations colocated on one remote
+// process share a session, and each run of them that is contiguous in
+// the set's bit order coalesces into one queue append and one framed
+// write (colocated IDs are contiguous in every deployment this repo
+// builds; interleaved IDs still work, paying one append per run).
+func (n *TCPNode) Broadcast(dst core.Set, payload Message, hop int) {
+	n.h.broadcast(n.id, dst, payload, hop)
+}
+
+// localNode resolves a destination hosted on this process, nil if the
+// destination is remote (or unknown).
+func (h *TCPHost) localNode(to core.ProcessID) *TCPNode {
+	return (*h.nodes.Load())[to]
+}
+
+// deliverLocal hands an envelope between two nodes of the same host —
+// no socket, no codec, no session. A full inbox applies backpressure
+// only up to the same bounded stall the remote paths use (Send's
+// contract: a consumer gone for good gets a counted drop, it does not
+// wedge the sending protocol goroutine). Reports whether the envelope
+// was delivered.
+func (n *TCPNode) deliverLocal(env Envelope) bool {
+	n.closedMu.Lock()
+	defer n.closedMu.Unlock()
+	if n.closed {
+		return false
+	}
+	select {
+	case n.inbox <- env:
+		n.noteDelivered()
+		return true
+	case <-n.h.done:
+		return false
+	default:
+	}
+	if n.stalledRecently() {
+		return false
+	}
+	return n.awaitInbox(env, n.h.done) == deliverOK
+}
+
+func (h *TCPHost) sendHop(from, to core.ProcessID, payload Message, hop int) {
+	env := Envelope{From: from, To: to, Hop: hop, Payload: payload}
+	if ln := h.localNode(to); ln != nil {
+		if ln.deliverLocal(env) {
+			h.counters.sent.Add(1)
+			h.counters.delivered.Add(1)
+		} else {
+			h.counters.drops.Add(1)
+		}
+		return
+	}
+	l := h.linkTo(to)
+	if l == nil || !l.send(&env) {
+		h.counters.drops.Add(1)
+		return
+	}
+	h.counters.sent.Add(1)
+}
+
+func (h *TCPHost) sendBatch(from, to core.ProcessID, payloads []Message, hop int) {
 	if len(payloads) == 0 {
 		return
 	}
+	if ln := h.localNode(to); ln != nil {
+		// One inbox-lock acquisition for the whole burst, mirroring the
+		// in-memory shard path. Close takes closedMu first, so the
+		// closed flag cannot flip mid-burst: check it once.
+		delivered, dropped := 0, 0
+		ln.closedMu.Lock()
+		if ln.closed {
+			dropped = len(payloads)
+		} else {
+			for _, pl := range payloads {
+				env := Envelope{From: from, To: to, Hop: hop, Payload: pl}
+				select {
+				case ln.inbox <- env:
+					ln.noteDelivered()
+					delivered++
+					continue
+				case <-h.done:
+					dropped++
+					continue
+				default:
+				}
+				// Full inbox: same bounded, once-per-window stall as
+				// every other delivery path.
+				if !ln.stalledRecently() && ln.awaitInbox(env, h.done) == deliverOK {
+					delivered++
+				} else {
+					dropped++
+				}
+			}
+		}
+		ln.closedMu.Unlock()
+		if delivered > 0 {
+			h.counters.sent.Add(uint64(delivered))
+			h.counters.delivered.Add(uint64(delivered))
+		}
+		if dropped > 0 {
+			h.counters.drops.Add(uint64(dropped))
+		}
+		return
+	}
 	if len(payloads) == 1 {
-		n.SendHop(to, payloads[0], hop)
+		h.sendHop(from, to, payloads[0], hop)
 		return
 	}
-	l := n.linkTo(to)
+	l := h.linkTo(to)
 	if l == nil {
-		n.counters.drops.Add(uint64(len(payloads)))
+		h.counters.drops.Add(uint64(len(payloads)))
 		return
 	}
-	frames := make([][]byte, 0, len(payloads))
+	frames := getFrameSlice()
 	dropped := 0
-	env := Envelope{From: n.id, To: to, Hop: hop}
+	env := Envelope{From: from, To: to, Hop: hop}
 	for _, pl := range payloads {
 		env.Payload = pl
 		if buf := l.encodeData(&env); buf != nil {
@@ -241,150 +502,274 @@ func (n *TCPNode) SendBatch(to core.ProcessID, payloads []Message, hop int) {
 	}
 	accepted := l.enqueueFrames(frames)
 	dropped += len(frames) - accepted
+	putFrameSlice(frames)
 	if accepted > 0 {
-		n.counters.sent.Add(uint64(accepted))
+		h.counters.sent.Add(uint64(accepted))
 	}
 	if dropped > 0 {
-		n.counters.drops.Add(uint64(dropped))
+		h.counters.drops.Add(uint64(dropped))
 	}
 }
 
-// Broadcast fans payload out to every member of dst. Destinations are
-// distinct conns, so there is no cross-peer write to coalesce; the win
-// is encoding the tagged payload body once and stamping each
-// destination's routing header around it.
-func (n *TCPNode) Broadcast(dst core.Set, payload Message, hop int) {
-	targets := bits.OnesCount64(uint64(dst))
-	if targets == 0 {
+func (h *TCPHost) broadcast(from core.ProcessID, dst core.Set, payload Message, hop int) {
+	if dst == 0 {
 		return
 	}
-	scratch := getFrameBuf()
-	tagged, err := appendTaggedPayload(scratch, payload)
-	if err != nil {
-		putFrameBuf(scratch)
-		n.counters.drops.Add(uint64(targets))
-		return
+	// Local destinations take the in-process path; remote destinations
+	// sharing a session coalesce: the tagged payload body is encoded
+	// exactly once, and each contiguous run of destinations on the same
+	// session becomes one queue append handed to the writer goroutine
+	// (see flushRun for why even single-frame runs skip the inline
+	// write).
+	var tagged []byte
+	var runFrames [][]byte // lazily a pooled getFrameSlice
+	var cur *peerLink
+	encodeBroken := false
+	sent, dropped, local := 0, 0, 0
+	flushRun := func() {
+		if cur == nil || len(runFrames) == 0 {
+			return
+		}
+		// Even a single-frame run goes through the writer goroutine
+		// (enqueueFrames) rather than the inline-write path: a
+		// broadcast is never an isolated send — its sibling frames and
+		// the replies they trigger are microseconds away — and routing
+		// it through the writer lets concurrent clients' frames to the
+		// same process coalesce into one syscall.
+		accepted := cur.enqueueFrames(runFrames)
+		sent += accepted
+		dropped += len(runFrames) - accepted
+		runFrames = runFrames[:0]
 	}
 	for v := uint64(dst); v != 0; v &= v - 1 {
 		to := bits.TrailingZeros64(v)
-		l := n.linkTo(to)
+		if ln := h.localNode(to); ln != nil {
+			if ln.deliverLocal(Envelope{From: from, To: to, Hop: hop, Payload: payload}) {
+				local++
+			} else {
+				dropped++
+			}
+			continue
+		}
+		l := h.linkTo(to)
 		if l == nil {
-			n.counters.drops.Add(1)
+			dropped++
 			continue
 		}
-		buf := l.encodeDataTagged(n.id, to, hop, tagged)
-		if buf == nil || !l.enqueue1(buf) {
-			n.counters.drops.Add(1)
+		if encodeBroken {
+			// Encoding fails identically for every remote destination;
+			// drop them one by one so later LOCAL destinations still
+			// get their encoding-free delivery above.
+			dropped++
 			continue
 		}
-		n.counters.sent.Add(1)
+		if tagged == nil {
+			scratch := getFrameBuf()
+			var err error
+			tagged, err = appendTaggedPayload(scratch, payload)
+			if err != nil {
+				putFrameBuf(scratch) // the failed append returns nil
+				tagged = nil
+				encodeBroken = true
+				dropped++
+				continue
+			}
+		}
+		buf := l.encodeDataTagged(from, to, hop, tagged)
+		if buf == nil {
+			dropped++
+			continue
+		}
+		if l != cur {
+			flushRun()
+			cur = l
+		}
+		if runFrames == nil {
+			runFrames = getFrameSlice()
+		}
+		runFrames = append(runFrames, buf)
 	}
-	putFrameBuf(tagged)
+	flushRun()
+	if runFrames != nil {
+		putFrameSlice(runFrames)
+	}
+	if tagged != nil {
+		putFrameBuf(tagged)
+	}
+	if local > 0 {
+		h.counters.delivered.Add(uint64(local))
+	}
+	if sent+local > 0 {
+		h.counters.sent.Add(uint64(sent + local))
+	}
+	if dropped > 0 {
+		h.counters.drops.Add(uint64(dropped))
+	}
 }
 
-// linkTo returns the managed link to a peer, creating it (and its
-// writer goroutine) on first use.
-func (n *TCPNode) linkTo(to core.ProcessID) *peerLink {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
-		return nil
-	}
-	if l, ok := n.links[to]; ok {
+// linkTo returns the shared session carrying traffic to the process
+// hosting logical node `to`, creating it (and its writer goroutine) on
+// first use. The resolution is memoized in the lock-free routes map,
+// so the canonicalization (which may hit the resolver) runs once per
+// logical destination — and outside h.mu, so a slow resolver never
+// stalls the accept loop, Stats, or sends to other peers.
+func (h *TCPHost) linkTo(to core.ProcessID) *peerLink {
+	if l := (*h.routes.Load())[to]; l != nil {
 		return l
 	}
-	addr, ok := n.addrs[to]
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	addr, ok := h.addrs[to]
+	h.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	l := newPeerLink(n, to, addr, n.rcvPeerLocked(to))
-	n.links[to] = l
-	n.wg.Add(1)
-	go l.run()
+	key := canonicalAddr(addr)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	l, ok := h.links[key]
+	if !ok {
+		// The session is keyed by the canonical form but keeps dialing
+		// the configured string, so every redial re-resolves it — a
+		// peer restarting behind a DNS failover to a new IP stays
+		// reachable.
+		l = newPeerLink(h, addr, h.rcvPeerLocked(key))
+		h.links[key] = l
+		h.wg.Add(1)
+		go l.run()
+	}
+	old := *h.routes.Load()
+	next := make(map[core.ProcessID]*peerLink, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[to] = l
+	h.routes.Store(&next)
 	return l
 }
 
-// Close stops the listener, tears down links and accepted conns, and
-// closes the inbox once every goroutine has drained.
-func (n *TCPNode) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
+// Close stops the listener, tears down sessions and accepted conns,
+// and closes every node inbox once all I/O goroutines have drained.
+func (h *TCPHost) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
 		return
 	}
-	n.closed = true
-	links := make([]*peerLink, 0, len(n.links))
-	for _, l := range n.links {
+	h.closed = true
+	links := make([]*peerLink, 0, len(h.links))
+	for _, l := range h.links {
 		links = append(links, l)
 	}
-	accepted := make([]net.Conn, 0, len(n.accepted))
-	for c := range n.accepted {
+	accepted := make([]net.Conn, 0, len(h.accepted))
+	for c := range h.accepted {
 		accepted = append(accepted, c)
 	}
-	n.mu.Unlock()
-	close(n.done) // before closing conns: links re-check it after dial
-	_ = n.ln.Close()
+	h.mu.Unlock()
+	close(h.done) // before closing conns: links re-check it after dial
+	_ = h.ln.Close()
 	for _, l := range links {
 		l.shutdown()
 	}
 	for _, c := range accepted {
 		_ = c.Close()
 	}
-	n.wg.Wait()
-	close(n.inbox)
-}
-
-func (n *TCPNode) acceptLoop() {
-	defer n.wg.Done()
-	for {
-		conn, err := n.ln.Accept()
-		if err != nil {
-			return
-		}
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		n.accepted[conn] = struct{}{}
-		n.wg.Add(1)
-		n.mu.Unlock()
-		go n.serveConn(conn)
+	h.wg.Wait()
+	for _, n := range *h.nodes.Load() {
+		n.closedMu.Lock()
+		n.closed = true
+		close(n.inbox)
+		n.closedMu.Unlock()
 	}
 }
 
-// rcvPeer returns the stable receive-state record for a peer, creating
-// it on first use. Records are never replaced, so links can hold the
-// pointer for the node's lifetime as their piggyback source.
-func (n *TCPNode) rcvPeer(from core.ProcessID) *rcvState {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rcvPeerLocked(from)
+func (h *TCPHost) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		setKeepAlive(conn)
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		h.accepted[conn] = struct{}{}
+		h.wg.Add(1)
+		h.mu.Unlock()
+		go h.serveConn(conn)
+	}
 }
 
-// rcvPeerLocked is rcvPeer for callers already holding n.mu (linkTo
+// canonicalAddr resolves a configured dial string to the canonical
+// "ip:port" form — the form the remote host announces in its hellos
+// (its bound ln.Addr()). Sessions, dedup state, and the piggyback
+// rendezvous are all keyed by this string, so a deployment whose addrs
+// map says "localhost:7700" must land on the same records as the
+// peer's announced "127.0.0.1:7700"; without normalization the two
+// spellings would silently split the session state (and with it the
+// piggybacked-ack path). IPv4 resolution is preferred so that on
+// dual-stack machines "localhost" keys as "127.0.0.1:p" — the form an
+// IPv4-bound listener announces — rather than the resolver's RFC-6724
+// pick of "[::1]:p". An unresolvable string falls back to itself (the
+// dial, which uses the configured string and re-resolves every redial,
+// will fail and retry anyway). A residual mismatch — a wildcard or
+// IPv6-only bind whose announced form no dial string resolves to —
+// degrades safely: state splits, piggybacked acks fall back to
+// standalone acks, delivery stays reliable. Hosts should listen on
+// concrete addresses.
+func canonicalAddr(addr string) string {
+	if ta, err := net.ResolveTCPAddr("tcp4", addr); err == nil {
+		return ta.String()
+	}
+	if ta, err := net.ResolveTCPAddr("tcp", addr); err == nil {
+		return ta.String()
+	}
+	return addr
+}
+
+// rcvPeer returns the stable receive-state record for a remote
+// process, creating it on first use. Records are never replaced, so
+// links can hold the pointer for the host's lifetime as their
+// piggyback source.
+func (h *TCPHost) rcvPeer(addr string) *rcvState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rcvPeerLocked(addr)
+}
+
+// rcvPeerLocked is rcvPeer for callers already holding h.mu (linkTo
 // constructs links under it).
-func (n *TCPNode) rcvPeerLocked(from core.ProcessID) *rcvState {
-	st := n.rcv[from]
+func (h *TCPHost) rcvPeerLocked(addr string) *rcvState {
+	st := h.rcv[addr]
 	if st == nil {
 		st = &rcvState{}
-		n.rcv[from] = st
+		h.rcv[addr] = st
 	}
 	return st
 }
 
-// peekLink returns the existing outgoing link to a peer, nil if this
-// node never sent to it (piggybacked acks then have nothing to trim).
-func (n *TCPNode) peekLink(to core.ProcessID) *peerLink {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.links[to]
+// peekLink returns the existing outgoing session to a remote process
+// address, nil if this host never sent to it (piggybacked acks then
+// have nothing to trim).
+func (h *TCPHost) peekLink(addr string) *peerLink {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.links[addr]
 }
 
-// stateFor resumes or resets the dedup state for a sender incarnation.
-func (n *TCPNode) stateFor(from core.ProcessID, nonce, firstSeq uint64) *rcvState {
-	st := n.rcvPeer(from)
+// stateFor resumes or resets the dedup state for a peer incarnation.
+func (h *TCPHost) stateFor(addr string, nonce, firstSeq uint64) *rcvState {
+	st := h.rcvPeer(addr)
 	st.mu.Lock()
 	if st.nonce != nonce {
 		st.nonce = nonce
@@ -396,21 +781,52 @@ func (n *TCPNode) stateFor(from core.ProcessID, nonce, firstSeq uint64) *rcvStat
 	return st
 }
 
+// rcvFrame is one decoded data frame of a receive burst.
+type rcvFrame struct {
+	seq uint64
+	env Envelope
+	ok  bool // decoded successfully
+}
+
+// rcvBurstMax bounds how many buffered frames one read wakeup decodes
+// before delivering; it mirrors the send side's coalescing and keeps
+// the one-lock-per-burst critical section short.
+const rcvBurstMax = 64
+
+// frameBuffered reports whether br holds one complete frame, so a
+// burst can keep decoding without ever blocking on the socket while
+// decoded envelopes sit undelivered.
+func frameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	return n <= maxFrame && uint32(br.Buffered()-4) >= n
+}
+
 // serveConn handles one accepted connection: parse the hello, then
-// deliver data frames in seq order, acking cumulatively. Acks are
-// coalesced off the latency path: one ack per ackEvery frames under
-// load, or one after an ackDelay quiet window — both far inside the
-// sender's retransmitTimeout — and suppressed entirely when this
-// node's reverse-direction data frames already piggybacked the ack
-// (rcvState.conveyed). Inbox delivery selects against the node's done
-// channel, so a full inbox can never wedge shutdown.
-func (n *TCPNode) serveConn(conn net.Conn) {
-	defer n.wg.Done()
+// deliver data frames in seq order, acking cumulatively. Each read
+// wakeup decodes a burst of buffered frames and delivers the whole
+// burst under ONE dedup-lock acquisition (mirroring the send side's
+// one-lock-per-burst queue append); piggybacked acks are applied once
+// per burst. Standalone acks are coalesced off the latency path: one
+// ack per ackEvery frames under load, or one after an ackDelay quiet
+// window — both far inside the sender's retransmitTimeout — and
+// suppressed entirely when this host's reverse-direction data frames
+// already piggybacked the ack (rcvState.conveyed). Inbox delivery
+// selects against the host's done channel, so a full inbox can never
+// wedge shutdown.
+func (h *TCPHost) serveConn(conn net.Conn) {
+	defer h.wg.Done()
 	defer func() {
 		_ = conn.Close()
-		n.mu.Lock()
-		delete(n.accepted, conn)
-		n.mu.Unlock()
+		h.mu.Lock()
+		delete(h.accepted, conn)
+		h.mu.Unlock()
 	}()
 	const (
 		ackEvery = 64
@@ -425,13 +841,14 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 	if err != nil || kind != frameHello {
 		return
 	}
-	from, nonce, firstSeq, err := parseHello(body)
-	if err != nil || firstSeq == 0 {
-		// Legitimate senders number frames from 1; firstSeq 0 would
-		// underflow the dedup resume point and blackhole the stream.
+	peerAddr, nonce, firstSeq, err := parseHello(body)
+	if err != nil || firstSeq == 0 || peerAddr == "" {
+		// Legitimate senders number frames from 1 and announce their
+		// listen address; firstSeq 0 would underflow the dedup resume
+		// point and blackhole the stream.
 		return
 	}
-	st := n.stateFor(from, nonce, firstSeq)
+	st := h.stateFor(peerAddr, nonce, firstSeq)
 	st.mu.Lock()
 	d := st.delivered
 	st.mu.Unlock()
@@ -440,13 +857,15 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 	if writeAck(bw, d) != nil {
 		return
 	}
-	n.counters.acksSent.Add(1)
+	h.counters.acksSent.Add(1)
 
-	// revLink is this node's outgoing link to the same peer, the target
-	// of piggybacked acks read off the peer's dataAck frames. Resolved
-	// lazily: it may not exist yet (or ever, for one-way traffic).
+	// revLink is this host's outgoing session to the same process, the
+	// target of piggybacked acks read off the peer's dataAck frames.
+	// Resolved lazily: it may not exist yet (or ever, for one-way
+	// traffic).
 	var revLink *peerLink
 
+	burst := make([]rcvFrame, 0, rcvBurstMax)
 	pendingAck := false
 	sinceAck := 0
 	for {
@@ -475,64 +894,145 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 				if writeAck(bw, d) != nil {
 					return
 				}
-				n.counters.acksSent.Add(1)
+				h.counters.acksSent.Add(1)
 				pendingAck, sinceAck = false, 0
 				continue
 			}
 		}
-		kind, body, err := readFrame(br, &scratch)
-		if err != nil {
+		// Collect a burst: one blocking read, then every complete frame
+		// already buffered, decoded before any lock is taken.
+		burst = burst[:0]
+		pongOwed := false
+		dead := false
+		var pbNonce, pbAck uint64 // piggybacked ack, applied once per burst
+		for {
+			kind, body, err := readFrame(br, &scratch)
+			if err != nil {
+				dead = true
+				break
+			}
+			envOff := 8
+			switch kind {
+			case frameData:
+				if len(body) < 8 {
+					dead = true
+				}
+			case frameDataAck:
+				if len(body) < dataAckEnvOff-dataSeqOff {
+					dead = true
+					break
+				}
+				if ackNonce := binary.LittleEndian.Uint64(body[8:]); ackNonce != 0 {
+					ack := binary.LittleEndian.Uint64(body[16:])
+					if ackNonce != pbNonce {
+						// A nonce change mid-burst (reverse link
+						// redialed) must not lose the earlier ack.
+						if pbNonce != 0 && revLinkFor(&revLink, h, peerAddr) != nil {
+							revLink.applyAck(pbNonce, pbAck)
+						}
+						pbNonce, pbAck = ackNonce, ack
+					} else if ack > pbAck {
+						pbAck = ack
+					}
+				}
+				envOff = dataAckEnvOff - dataSeqOff
+			case framePing:
+				pongOwed = true
+				if frameBuffered(br) && len(burst) < rcvBurstMax {
+					continue
+				}
+				kind = 0 // nothing to append; fallthrough to burst end
+			default:
+				if frameBuffered(br) && len(burst) < rcvBurstMax {
+					continue // tolerate unknown frame kinds
+				}
+				kind = 0
+			}
+			if dead {
+				break
+			}
+			if kind == frameData || kind == frameDataAck {
+				f := rcvFrame{seq: binary.LittleEndian.Uint64(body)}
+				f.env, err = decodeEnvelope(body[envOff:])
+				f.ok = err == nil
+				burst = append(burst, f)
+			}
+			if len(burst) >= rcvBurstMax || !frameBuffered(br) {
+				break
+			}
+		}
+		if pbNonce != 0 && revLinkFor(&revLink, h, peerAddr) != nil {
+			revLink.applyAck(pbNonce, pbAck)
+		}
+		if len(burst) > 0 {
+			// Deliver the burst under one dedup-lock acquisition. The
+			// lock also serializes against an overlapping serve loop for
+			// the same session (a redial racing the old conn's drain),
+			// keeping within-incarnation delivery exactly-once and FIFO.
+			nodes := *h.nodes.Load()
+			var delivered, dups, bad, dropped uint64
+			st.mu.Lock()
+			for i := range burst {
+				f := &burst[i]
+				if f.seq <= st.delivered {
+					dups++
+					continue
+				}
+				if f.ok {
+					if ln := nodes[f.env.To]; ln != nil {
+						switch h.deliverInbound(ln, f.env) {
+						case deliverOK:
+							delivered++
+						case deliverStalled:
+							// One colocated node's consumer stopped
+							// draining (crash-stop): drop ITS frames
+							// after the bounded stall — mirroring the
+							// send side's sendStallTimeout — instead of
+							// wedging the whole process-pair session
+							// behind st.mu.
+							dropped++
+						case deliverClosed:
+							st.mu.Unlock()
+							return
+						}
+					} else {
+						// Ack it anyway: a frame for a node this host
+						// does not carry would otherwise be
+						// retransmitted forever.
+						bad++
+					}
+				} else {
+					bad++
+				}
+				st.delivered = f.seq
+			}
+			d = st.delivered
+			st.mu.Unlock()
+			if delivered > 0 {
+				h.counters.delivered.Add(delivered)
+			}
+			if dups > 0 {
+				h.counters.dups.Add(dups)
+			}
+			if bad > 0 {
+				h.counters.badEnv.Add(bad)
+			}
+			if dropped > 0 {
+				h.counters.drops.Add(dropped)
+			}
+			pendingAck = true
+			sinceAck += len(burst)
+		}
+		if pongOwed {
+			if writePong(bw) != nil {
+				return
+			}
+		}
+		if dead {
 			return
 		}
-		envOff := 8
-		switch kind {
-		case frameData:
-			if len(body) < 8 {
-				return
-			}
-		case frameDataAck:
-			if len(body) < dataAckEnvOff-dataSeqOff {
-				return
-			}
-			if ackNonce := binary.LittleEndian.Uint64(body[8:]); ackNonce != 0 {
-				if revLink == nil {
-					revLink = n.peekLink(from)
-				}
-				if revLink != nil {
-					revLink.applyAck(ackNonce, binary.LittleEndian.Uint64(body[16:]))
-				}
-			}
-			envOff = dataAckEnvOff - dataSeqOff
-		default:
-			continue // tolerate unknown frame kinds
-		}
-		seq := binary.LittleEndian.Uint64(body)
-		env, decErr := decodeEnvelope(body[envOff:])
-		st.mu.Lock()
-		if seq > st.delivered {
-			if decErr == nil {
-				select {
-				case n.inbox <- env:
-					n.counters.delivered.Add(1)
-				case <-n.done:
-					st.mu.Unlock()
-					return
-				}
-			} else {
-				// Ack it anyway: an undecodable envelope would
-				// otherwise be retransmitted forever.
-				n.counters.badEnv.Add(1)
-			}
-			st.delivered = seq
-		} else {
-			n.counters.dups.Add(1)
-		}
-		d := st.delivered
-		st.mu.Unlock()
-		pendingAck = true
-		sinceAck++
-		if sinceAck >= ackEvery {
-			if st.conveyedWithin(d, ackEvery) {
+		if pendingAck && sinceAck >= ackEvery {
+			if st.conveyedWithin(d, uint64(sinceAck)) {
 				// Piggybacked acks are keeping up (the sender's unacked
 				// window stays small); skip the standalone ack but keep
 				// the quiet-window one armed for the tail of the burst.
@@ -542,8 +1042,52 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 			if writeAck(bw, d) != nil {
 				return
 			}
-			n.counters.acksSent.Add(1)
+			h.counters.acksSent.Add(1)
 			pendingAck, sinceAck = false, 0
 		}
 	}
+}
+
+// revLinkFor lazily resolves (and caches in *l) the host's outgoing
+// session to addr.
+func revLinkFor(l **peerLink, h *TCPHost, addr string) *peerLink {
+	if *l == nil {
+		*l = h.peekLink(addr)
+	}
+	return *l
+}
+
+// deliverInbound verdicts.
+type deliverVerdict int
+
+const (
+	deliverOK      deliverVerdict = iota
+	deliverStalled                // inbox full past the stall bound; frame dropped
+	deliverClosed                 // host shutting down
+)
+
+// deliverInbound hands one inbound envelope to a local node, blocking
+// on a full inbox only up to sendStallTimeout — and only once per
+// stall window per node (stalledRecently), so a 64-frame burst to a
+// crashed consumer pays one bounded stall, not 64. The caller holds
+// the session's dedup lock, which every ackSnapshot/piggyback caller
+// also takes — an unbounded (or repeated) wait here would wedge the
+// whole process pair on one crashed consumer, violating the
+// crash-stop liveness invariant (link.go invariant 5). A healthy
+// consumer drains in microseconds, so hitting the bound means the node
+// is gone: its frames are dropped and counted, exactly like sends to a
+// dead peer.
+func (h *TCPHost) deliverInbound(ln *TCPNode, env Envelope) deliverVerdict {
+	select {
+	case ln.inbox <- env:
+		ln.noteDelivered()
+		return deliverOK
+	case <-h.done:
+		return deliverClosed
+	default:
+	}
+	if ln.stalledRecently() {
+		return deliverStalled
+	}
+	return ln.awaitInbox(env, h.done)
 }

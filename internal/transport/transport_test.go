@@ -185,8 +185,9 @@ func TestTCPNodeRoundTrip(t *testing.T) {
 	}
 	defer n1.Close()
 	addrs[1] = n1.Addr()
-	// Re-point node 0's dial table at node 1's real address.
-	n0.addrs = map[core.ProcessID]string{0: n0.Addr(), 1: n1.Addr()}
+	// Both hosts share the addrs map, so node 0's dial table already
+	// points at node 1's real address (links resolve lazily on first
+	// send).
 
 	n0.SendHop(1, "over tcp", 7)
 	env := recvOne(t, n1)

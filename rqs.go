@@ -233,14 +233,22 @@ type (
 	Port = transport.Port
 	// TCPNode is a Port over real TCP connections.
 	TCPNode = transport.TCPNode
+	// TCPHost is one OS process's shared TCP session layer: all
+	// TCPNodes attached to it multiplex over one socket per remote
+	// process.
+	TCPHost = transport.TCPHost
 )
 
 // Transport constructors.
 var (
 	// NewNetwork creates an in-memory network for n processes.
 	NewNetwork = transport.NewNetwork
-	// NewTCPNode starts a TCP-backed port.
+	// NewTCPNode starts a single-node TCP-backed port (one logical
+	// process per OS process).
 	NewTCPNode = transport.NewTCPNode
+	// NewTCPHost starts a shared session host; attach logical nodes
+	// with its Node method to colocate many clients in one process.
+	NewTCPHost = transport.NewTCPHost
 )
 
 // NewStorageServer runs one storage server on an arbitrary Port (e.g. a
