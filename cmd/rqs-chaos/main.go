@@ -1,0 +1,224 @@
+// Command rqs-chaos runs the scripted fault-injection scenario matrix:
+// named chaos scenarios (partitions, flapping links, Byzantine stale
+// tags, kill -9 restarts, heavy-tailed latency, reorder/duplication
+// storms, wire blackholes) against the SWMR, MWMR and SMR workloads on
+// the in-memory and TCP transports, property-checking every run with
+// histcheck and asserting liveness through per-operation deadlines.
+//
+// Usage:
+//
+//	rqs-chaos -matrix                 # the full applicable matrix
+//	rqs-chaos -matrix -seed 42        # same matrix, different fault pattern
+//	rqs-chaos -scenario wire-blackhole -transport tcp -workload mwmr
+//	rqs-chaos -list                   # list scenarios and their cells
+//	rqs-chaos -matrix -artifact fail.json  # dump failing runs' seed+history
+//
+// Fault randomness derives entirely from -seed, so a failing cell is
+// replayed by rerunning with the seed the failure reported. Exit status
+// is 1 if any run fails: a liveness deadline missed, a history rejected
+// by histcheck, or a negative control that failed to produce its
+// violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/histcheck"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rqs-chaos:", err)
+		os.Exit(1)
+	}
+}
+
+var errRunsFailed = fmt.Errorf("scenario runs failed")
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rqs-chaos", flag.ContinueOnError)
+	var (
+		matrix    = fs.Bool("matrix", false, "run every applicable scenario × transport × workload cell")
+		scenario  = fs.String("scenario", "", "run one named scenario (see -list)")
+		transport = fs.String("transport", "", "restrict to one transport: memory or tcp")
+		workload  = fs.String("workload", "", "restrict to one workload: swmr, mwmr or smr")
+		seed      = fs.Int64("seed", 1, "fault-script seed; a run replays its faults from it")
+		list      = fs.Bool("list", false, "list scenarios and their applicable cells, then exit")
+		artifact  = fs.String("artifact", "", "write failing runs (seed, violation, history dump) as JSON to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		listScenarios(fs.Output())
+		return nil
+	}
+	if !*matrix && *scenario == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -matrix or -scenario")
+	}
+
+	scenarios := sim.Scenarios()
+	if *scenario != "" {
+		sc, ok := sim.FindScenario(*scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (see -list)", *scenario)
+		}
+		scenarios = []*sim.Scenario{sc}
+	}
+	transports, err := selectTransports(*transport)
+	if err != nil {
+		return err
+	}
+	workloads, err := selectWorkloads(*workload)
+	if err != nil {
+		return err
+	}
+
+	out := fs.Output()
+	var results []*sim.RunResult
+	failed := 0
+	for _, sc := range scenarios {
+		for _, tr := range transports {
+			for _, wl := range workloads {
+				if !sc.Applies(tr, wl) {
+					continue
+				}
+				res := sim.RunScenario(sc, tr, wl, *seed)
+				results = append(results, res)
+				verdict := "ok  "
+				if !res.Passed() {
+					verdict = "FAIL"
+					failed++
+				}
+				fmt.Fprintf(out, "%s %-28s %-6s %-4s seed=%-4d %7s  ops=%d drop=%d delay=%d dup=%d\n",
+					verdict, res.Scenario, res.Transport, res.Workload, res.Seed,
+					res.Elapsed.Round(time.Millisecond), len(res.Ops),
+					res.Stats.Dropped, res.Stats.Delayed, res.Stats.Duped)
+				if !res.Passed() {
+					fmt.Fprintf(out, "     ^ %s\n", res.Failure())
+				}
+			}
+		}
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no applicable scenario/transport/workload cells selected")
+	}
+	fmt.Fprintf(out, "%d runs, %d failed\n", len(results), failed)
+
+	if *artifact != "" && failed > 0 {
+		if err := writeArtifact(*artifact, results); err != nil {
+			return fmt.Errorf("artifact: %w", err)
+		}
+		fmt.Fprintf(out, "failure artifact written to %s\n", *artifact)
+	}
+	if failed > 0 {
+		return errRunsFailed
+	}
+	return nil
+}
+
+func selectTransports(s string) ([]sim.Transport, error) {
+	switch s {
+	case "":
+		return []sim.Transport{sim.MemoryTransport, sim.TCPTransport}, nil
+	case "memory":
+		return []sim.Transport{sim.MemoryTransport}, nil
+	case "tcp":
+		return []sim.Transport{sim.TCPTransport}, nil
+	}
+	return nil, fmt.Errorf("unknown transport %q (memory or tcp)", s)
+}
+
+func selectWorkloads(s string) ([]sim.Workload, error) {
+	switch s {
+	case "":
+		return []sim.Workload{sim.SWMRWorkload, sim.MWMRWorkload, sim.SMRWorkload}, nil
+	case "swmr":
+		return []sim.Workload{sim.SWMRWorkload}, nil
+	case "mwmr":
+		return []sim.Workload{sim.MWMRWorkload}, nil
+	case "smr":
+		return []sim.Workload{sim.SMRWorkload}, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (swmr, mwmr or smr)", s)
+}
+
+func listScenarios(out interface{ Write([]byte) (int, error) }) {
+	for _, sc := range sim.Scenarios() {
+		var cells []string
+		for _, tr := range []sim.Transport{sim.MemoryTransport, sim.TCPTransport} {
+			for _, wl := range []sim.Workload{sim.SWMRWorkload, sim.MWMRWorkload, sim.SMRWorkload} {
+				if sc.Applies(tr, wl) {
+					cells = append(cells, fmt.Sprintf("%s/%s", tr, wl))
+				}
+			}
+		}
+		tag := ""
+		if sc.ExpectViolation {
+			tag = " [negative control]"
+		}
+		fmt.Fprintf(out, "%s%s\n    %s\n    cells: %s\n",
+			sc.Name, tag, sc.Description, strings.Join(cells, " "))
+	}
+}
+
+// artifactRun is the JSON shape of one failing run: enough to replay
+// (scenario, cell, seed) and diagnose (failure, full history dump).
+type artifactRun struct {
+	Scenario        string          `json:"scenario"`
+	Transport       string          `json:"transport"`
+	Workload        string          `json:"workload"`
+	Seed            int64           `json:"seed"`
+	ExpectViolation bool            `json:"expect_violation"`
+	Failure         string          `json:"failure"`
+	ElapsedMS       int64           `json:"elapsed_ms"`
+	History         []histcheck.Op  `json:"history"`
+	ProxyStats      *proxyStatsJSON `json:"proxy_stats,omitempty"`
+}
+
+type proxyStatsJSON struct {
+	BytesForwarded  uint64 `json:"bytes_forwarded"`
+	BytesBlackholed uint64 `json:"bytes_blackholed"`
+	ConnsOpened     uint64 `json:"conns_opened"`
+	ConnsCut        uint64 `json:"conns_cut"`
+}
+
+func writeArtifact(path string, results []*sim.RunResult) error {
+	var failing []artifactRun
+	for _, res := range results {
+		if res.Passed() {
+			continue
+		}
+		ar := artifactRun{
+			Scenario:        res.Scenario,
+			Transport:       string(res.Transport),
+			Workload:        string(res.Workload),
+			Seed:            res.Seed,
+			ExpectViolation: res.ExpectViolation,
+			Failure:         res.Failure(),
+			ElapsedMS:       res.Elapsed.Milliseconds(),
+			History:         res.Ops,
+		}
+		if res.ProxyStats != nil {
+			ar.ProxyStats = &proxyStatsJSON{
+				BytesForwarded:  res.ProxyStats.BytesForwarded,
+				BytesBlackholed: res.ProxyStats.BytesBlackholed,
+				ConnsOpened:     res.ProxyStats.ConnsOpened,
+				ConnsCut:        res.ProxyStats.ConnsCut,
+			}
+		}
+		failing = append(failing, ar)
+	}
+	data, err := json.MarshalIndent(failing, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

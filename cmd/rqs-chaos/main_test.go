@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/histcheck"
+	"repro/internal/sim"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoMode(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no -matrix/-scenario should error")
+	}
+}
+
+func TestRunUnknownSelections(t *testing.T) {
+	if err := run([]string{"-scenario", "no-such"}); err == nil {
+		t.Error("unknown scenario should error")
+	}
+	if err := run([]string{"-matrix", "-transport", "carrier-pigeon"}); err == nil {
+		t.Error("unknown transport should error")
+	}
+	if err := run([]string{"-matrix", "-workload", "quantum"}); err == nil {
+		t.Error("unknown workload should error")
+	}
+	// A valid scenario restricted to a cell outside its matrix selects
+	// no runs at all.
+	if err := run([]string{"-scenario", "wire-blackhole", "-transport", "memory"}); err == nil {
+		t.Error("empty cell selection should error")
+	}
+}
+
+func TestRunSingleScenario(t *testing.T) {
+	err := run([]string{
+		"-scenario", "byzantine-stale-tag",
+		"-transport", "memory", "-workload", "mwmr", "-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPassingRunWritesNoArtifact pins that -artifact stays untouched
+// while the matrix is green (CI uploads the file only when it exists).
+func TestPassingRunWritesNoArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chaos-fail.json")
+	err := run([]string{
+		"-scenario", "byzantine-stale-tag-weak",
+		"-transport", "memory", "-workload", "mwmr",
+		"-seed", "3", "-artifact", path,
+	})
+	if err != nil {
+		t.Fatalf("negative control should pass: %v", err)
+	}
+	if _, statErr := os.Stat(path); !errors.Is(statErr, os.ErrNotExist) {
+		t.Error("passing matrix should write no artifact")
+	}
+}
+
+// TestWriteArtifact pins the replay payload of a failing run: scenario
+// identity, seed, failure text and the full history dump.
+func TestWriteArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chaos-fail.json")
+	failing := &sim.RunResult{
+		Scenario:        "byzantine-stale-tag-weak",
+		Transport:       sim.MemoryTransport,
+		Workload:        sim.MWMRWorkload,
+		Seed:            3,
+		ExpectViolation: true, // no Violation recorded → the run failed
+		Ops: []histcheck.Op{
+			{Kind: histcheck.Write, Client: "mwwriter0", TS: 1},
+			{Kind: histcheck.Read, Client: "settle0", TS: 0},
+		},
+	}
+	passing := &sim.RunResult{Scenario: "asymmetric-partition"}
+	if failing.Passed() || !passing.Passed() {
+		t.Fatal("fixture verdicts are wrong")
+	}
+	if err := writeArtifact(path, []*sim.RunResult{passing, failing}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []artifactRun
+	if err := json.Unmarshal(data, &runs); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("artifact has %d runs, want 1 (passing runs excluded)", len(runs))
+	}
+	if runs[0].Seed != 3 || runs[0].Failure == "" || len(runs[0].History) != 2 {
+		t.Errorf("artifact lacks replay info: %+v", runs[0])
+	}
+}

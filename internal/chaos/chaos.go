@@ -1,0 +1,286 @@
+// Package chaos is the scripted fault-injection layer: composable,
+// seeded, time-scheduled fault scripts that drive both transports
+// through one injector interface, plus a conn-level proxy (proxy.go)
+// for faults below the session layer.
+//
+// A Script is a list of Rules. Each rule selects a set of directed
+// links (From → To), an active window on the script's clock, and an
+// Effect — cut, park-until-heal, probabilistic drop, a delay
+// distribution, duplication, or a flapping schedule. Active rules
+// compose: drops win, delays add, duplication takes the max. Every
+// random choice comes from a per-rule PRNG stream derived from the
+// script seed, so a campaign replays the same fault pattern from the
+// same seed regardless of how many other rules fire.
+//
+// The package deliberately imports neither transport: it matches
+// transport.Injector structurally (same Decide signature over
+// core.ProcessID), which keeps chaos a leaf package that transport's
+// own tests can import.
+package chaos
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Injector is the fault-injection decision interface, structurally
+// identical to transport.Injector: the fate of one envelope on the
+// from→to link — drop it, delay it, and/or deliver dup extra copies.
+type Injector interface {
+	Decide(from, to core.ProcessID) (drop bool, delay time.Duration, dup int)
+}
+
+// Rule scripts one fault: an effect applied to a set of directed links
+// during a window of the script clock.
+type Rule struct {
+	// From and To select the directed links the rule applies to; an
+	// empty set matches every sender (resp. receiver). An asymmetric
+	// partition is one rule with From={a}, To={b} and no mirror rule.
+	From, To core.Set
+	// Start and Stop bound the active window, measured from
+	// Script.Start. Stop = 0 means "until the end of the run".
+	Start, Stop time.Duration
+	// Effect is what happens to envelopes matched during the window.
+	Effect Effect
+}
+
+// Effect is one fault behaviour. Implementations receive the rule's
+// private PRNG, the current script-clock time, and the rule's stop
+// time (0 = never) and return their contribution to the envelope's
+// fate.
+type Effect interface {
+	apply(rng *rand.Rand, now, stop time.Duration) (drop bool, delay time.Duration, dup int)
+}
+
+// Cut drops every matched envelope: a hard partition of the selected
+// links. With a rule window it is a partition that heals but loses the
+// traffic sent meanwhile; see Park for the lossless variant.
+type Cut struct{}
+
+func (Cut) apply(*rand.Rand, time.Duration, time.Duration) (bool, time.Duration, int) {
+	return true, 0, 0
+}
+
+// Park holds matched envelopes until the rule's window closes and then
+// delivers them: a partition whose traffic resumes on heal — the shape
+// quorum protocols without protocol-level retransmission need for a
+// liveness assertion (the in-flight round completes once the partition
+// heals). With no Stop, Park degenerates to Cut.
+type Park struct{}
+
+func (Park) apply(_ *rand.Rand, now, stop time.Duration) (bool, time.Duration, int) {
+	if stop <= 0 {
+		return true, 0, 0
+	}
+	return false, stop - now, 0
+}
+
+// Drop discards each matched envelope independently with probability P.
+type Drop struct{ P float64 }
+
+func (d Drop) apply(rng *rand.Rand, _, _ time.Duration) (bool, time.Duration, int) {
+	return rng.Float64() < d.P, 0, 0
+}
+
+// Dup delivers one extra copy of each matched envelope with
+// probability P.
+type Dup struct{ P float64 }
+
+func (d Dup) apply(rng *rand.Rand, _, _ time.Duration) (bool, time.Duration, int) {
+	if rng.Float64() < d.P {
+		return false, 0, 1
+	}
+	return false, 0, 0
+}
+
+// Delay adds a sampled delay to each matched envelope. Combined with
+// concurrent traffic this is also the reordering primitive: envelopes
+// sampled a long delay arrive after envelopes sent later.
+type Delay struct{ Dist Distribution }
+
+func (d Delay) apply(rng *rand.Rand, _, _ time.Duration) (bool, time.Duration, int) {
+	return false, d.Dist.Sample(rng), 0
+}
+
+// Flap models a link on a square-wave schedule: down for Duty×Period
+// at the start of every period, up for the rest. While down, envelopes
+// are parked to the end of the current down-phase (Park=true) or
+// dropped (Park=false).
+type Flap struct {
+	Period time.Duration
+	Duty   float64 // fraction of each period spent down, in [0,1]
+	Park   bool
+}
+
+func (f Flap) apply(_ *rand.Rand, now, _ time.Duration) (bool, time.Duration, int) {
+	if f.Period <= 0 {
+		return false, 0, 0
+	}
+	pos := now % f.Period
+	down := time.Duration(f.Duty * float64(f.Period))
+	if pos >= down {
+		return false, 0, 0
+	}
+	if f.Park {
+		return false, down - pos, 0
+	}
+	return true, 0, 0
+}
+
+// Distribution samples a latency.
+type Distribution interface {
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// Fixed is a constant delay.
+type Fixed time.Duration
+
+// Sample returns the constant.
+func (f Fixed) Sample(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// Uniform samples uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi time.Duration }
+
+// Sample draws from the interval.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(rng.Int63n(int64(u.Hi-u.Lo)+1))
+}
+
+// Pareto is a heavy-tailed delay: Scale·U^(-1/Alpha), capped at Max —
+// the classic tail-latency shape where most envelopes see ~Scale but a
+// few see orders of magnitude more.
+type Pareto struct {
+	Scale time.Duration
+	Alpha float64
+	Max   time.Duration
+}
+
+// Sample draws from the capped Pareto tail.
+func (p Pareto) Sample(rng *rand.Rand) time.Duration {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	d := time.Duration(float64(p.Scale) * math.Pow(u, -1/p.Alpha))
+	if p.Max > 0 && d > p.Max {
+		d = p.Max
+	}
+	return d
+}
+
+// Stats counts a script's decisions, for tests and run reports.
+type Stats struct {
+	Decided uint64 // envelopes inspected while the script was started
+	Dropped uint64
+	Delayed uint64
+	Duped   uint64
+}
+
+// Script is a seeded, time-scheduled fault plan implementing the
+// injector interface of both transports. Build with NewScript, add
+// rules with Rule, install via SetInjector, and call Start when the
+// campaign clock should begin. Decide is safe for concurrent use; an
+// unstarted script passes everything through.
+type Script struct {
+	seed  int64
+	rules []*boundRule
+
+	mu      sync.Mutex
+	started bool
+	epoch   time.Time
+	now     func() time.Time // test seam
+
+	decided, dropped, delayed, duped atomic.Uint64
+}
+
+type boundRule struct {
+	Rule
+	rng *rand.Rand
+}
+
+// NewScript creates an empty script. All randomness in rule effects
+// derives from seed: rule i draws from its own stream seeded
+// seed^(i+1)·prime, so decisions replay per rule.
+func NewScript(seed int64) *Script {
+	return &Script{seed: seed, now: time.Now}
+}
+
+// Rule appends a rule and returns the script for chaining.
+func (s *Script) Rule(r Rule) *Script {
+	i := int64(len(s.rules))
+	src := rand.NewSource(s.seed ^ (i+1)*0x5851F42D4C957F2D)
+	s.rules = append(s.rules, &boundRule{Rule: r, rng: rand.New(src)})
+	return s
+}
+
+// Start begins the script clock: rule windows are measured from this
+// instant. Calling Start again restarts the clock.
+func (s *Script) Start() {
+	s.mu.Lock()
+	s.started = true
+	s.epoch = s.now()
+	s.mu.Unlock()
+}
+
+// Decide implements the injector interface of both transports.
+func (s *Script) Decide(from, to core.ProcessID) (bool, time.Duration, int) {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return false, 0, 0
+	}
+	now := s.now().Sub(s.epoch)
+	var delay time.Duration
+	dup := 0
+	for _, r := range s.rules {
+		if now < r.Start || (r.Stop > 0 && now >= r.Stop) {
+			continue
+		}
+		if !r.From.IsEmpty() && !r.From.Contains(from) {
+			continue
+		}
+		if !r.To.IsEmpty() && !r.To.Contains(to) {
+			continue
+		}
+		drop, d, extra := r.Effect.apply(r.rng, now, r.Stop)
+		if drop {
+			s.mu.Unlock()
+			s.decided.Add(1)
+			s.dropped.Add(1)
+			return true, 0, 0
+		}
+		delay += d
+		if extra > dup {
+			dup = extra
+		}
+	}
+	s.mu.Unlock()
+	s.decided.Add(1)
+	if delay > 0 {
+		s.delayed.Add(1)
+	}
+	if dup > 0 {
+		s.duped.Add(1)
+	}
+	return false, delay, dup
+}
+
+// Stats returns the script's decision counters.
+func (s *Script) Stats() Stats {
+	return Stats{
+		Decided: s.decided.Load(),
+		Dropped: s.dropped.Load(),
+		Delayed: s.delayed.Load(),
+		Duped:   s.duped.Load(),
+	}
+}
+
+var _ Injector = (*Script)(nil)

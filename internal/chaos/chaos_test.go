@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// clockAt pins the script clock so window logic is deterministic.
+func clockAt(s *Script, offset time.Duration) {
+	base := time.Unix(1000, 0)
+	s.now = func() time.Time { return base }
+	s.Start()
+	s.now = func() time.Time { return base.Add(offset) }
+}
+
+func TestUnstartedScriptPassesThrough(t *testing.T) {
+	s := NewScript(1).Rule(Rule{Effect: Cut{}})
+	if drop, d, dup := s.Decide(0, 1); drop || d != 0 || dup != 0 {
+		t.Fatalf("unstarted script decided (%v, %v, %d)", drop, d, dup)
+	}
+}
+
+func TestRuleWindow(t *testing.T) {
+	s := NewScript(1).Rule(Rule{Start: 100 * time.Millisecond, Stop: 200 * time.Millisecond, Effect: Cut{}})
+	for _, tc := range []struct {
+		at   time.Duration
+		drop bool
+	}{
+		{50 * time.Millisecond, false},
+		{100 * time.Millisecond, true},
+		{150 * time.Millisecond, true},
+		{200 * time.Millisecond, false},
+		{300 * time.Millisecond, false},
+	} {
+		clockAt(s, tc.at)
+		if drop, _, _ := s.Decide(0, 1); drop != tc.drop {
+			t.Errorf("at %v: drop = %v, want %v", tc.at, drop, tc.drop)
+		}
+	}
+}
+
+func TestAsymmetricCut(t *testing.T) {
+	// Cut 0→1 only; 1→0 and unrelated links flow.
+	s := NewScript(1).Rule(Rule{From: core.NewSet(0), To: core.NewSet(1), Effect: Cut{}})
+	clockAt(s, time.Millisecond)
+	if drop, _, _ := s.Decide(0, 1); !drop {
+		t.Error("0→1 not cut")
+	}
+	if drop, _, _ := s.Decide(1, 0); drop {
+		t.Error("1→0 cut; partition should be asymmetric")
+	}
+	if drop, _, _ := s.Decide(0, 2); drop {
+		t.Error("0→2 cut; only the selected link should be")
+	}
+}
+
+func TestParkDelaysUntilHeal(t *testing.T) {
+	s := NewScript(1).Rule(Rule{Stop: 500 * time.Millisecond, Effect: Park{}})
+	clockAt(s, 200*time.Millisecond)
+	drop, d, _ := s.Decide(0, 1)
+	if drop || d != 300*time.Millisecond {
+		t.Fatalf("park at t=200ms of a 500ms window: (%v, %v), want delay 300ms", drop, d)
+	}
+	// Park with no heal time is a cut.
+	s2 := NewScript(1).Rule(Rule{Effect: Park{}})
+	clockAt(s2, time.Millisecond)
+	if drop, _, _ := s2.Decide(0, 1); !drop {
+		t.Error("unbounded Park should drop")
+	}
+}
+
+func TestFlapSquareWave(t *testing.T) {
+	f := Flap{Period: 100 * time.Millisecond, Duty: 0.4, Park: false}
+	s := NewScript(1).Rule(Rule{Effect: f})
+	clockAt(s, 120*time.Millisecond) // 20ms into the period: down
+	if drop, _, _ := s.Decide(0, 1); !drop {
+		t.Error("down-phase envelope not dropped")
+	}
+	clockAt(s, 170*time.Millisecond) // 70ms into the period: up
+	if drop, _, _ := s.Decide(0, 1); drop {
+		t.Error("up-phase envelope dropped")
+	}
+	// Parking flap delays to the end of the down phase instead.
+	sp := NewScript(1).Rule(Rule{Effect: Flap{Period: 100 * time.Millisecond, Duty: 0.4, Park: true}})
+	clockAt(sp, 110*time.Millisecond)
+	if drop, d, _ := sp.Decide(0, 1); drop || d != 30*time.Millisecond {
+		t.Errorf("parking flap 10ms into a 40ms down phase: (%v, %v), want delay 30ms", drop, d)
+	}
+}
+
+func TestEffectsCompose(t *testing.T) {
+	s := NewScript(1).
+		Rule(Rule{Effect: Delay{Dist: Fixed(5 * time.Millisecond)}}).
+		Rule(Rule{Effect: Delay{Dist: Fixed(7 * time.Millisecond)}}).
+		Rule(Rule{Effect: Dup{P: 1}})
+	clockAt(s, time.Millisecond)
+	drop, d, dup := s.Decide(0, 1)
+	if drop || d != 12*time.Millisecond || dup != 1 {
+		t.Fatalf("composed effects: (%v, %v, %d), want delays summed to 12ms and dup 1", drop, d, dup)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := NewScript(seed).Rule(Rule{Effect: Drop{P: 0.5}})
+		clockAt(s, time.Millisecond)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i], _, _ = s.Decide(0, 1)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-decision sequences")
+	}
+}
+
+func TestDistributionBounds(t *testing.T) {
+	s := NewScript(7)
+	rng := s.Rule(Rule{}).rules[0].rng
+	u := Uniform{Lo: 2 * time.Millisecond, Hi: 9 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if d := u.Sample(rng); d < u.Lo || d > u.Hi {
+			t.Fatalf("uniform sample %v outside [%v, %v]", d, u.Lo, u.Hi)
+		}
+	}
+	p := Pareto{Scale: time.Millisecond, Alpha: 1.2, Max: 50 * time.Millisecond}
+	sawTail := false
+	for i := 0; i < 5000; i++ {
+		d := p.Sample(rng)
+		if d < p.Scale || d > p.Max {
+			t.Fatalf("pareto sample %v outside [%v, %v]", d, p.Scale, p.Max)
+		}
+		if d > 10*p.Scale {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Error("pareto never produced a tail sample > 10×scale in 5000 draws")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := NewScript(1).Rule(Rule{From: core.NewSet(0), Effect: Cut{}})
+	clockAt(s, time.Millisecond)
+	s.Decide(0, 1) // dropped
+	s.Decide(1, 0) // passed
+	st := s.Stats()
+	if st.Decided != 2 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 2 decided / 1 dropped", st)
+	}
+}
+
+// TestProxyForwardBlackholeCut exercises the conn-level proxy: bytes
+// flow through, a blackholed proxy swallows them (counted), and
+// CutConns kills live conns (counted).
+func TestProxyForwardBlackholeCut(t *testing.T) {
+	echo, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer echo.Close()
+	go func() {
+		for {
+			c, err := echo.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = io.Copy(c, c) }()
+		}
+	}()
+
+	p, err := NewProxy(echo.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	msg := []byte("ping")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo through proxy: %q, %v", got, err)
+	}
+	if st := p.Stats(); st.BytesForwarded == 0 || st.ConnsOpened != 1 {
+		t.Fatalf("after echo: stats %+v", st)
+	}
+
+	p.Blackhole(true)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().BytesBlackholed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("blackholed bytes never counted: stats %+v", p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.Blackhole(false)
+
+	p.CutConns()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(got); err == nil {
+		t.Fatal("read succeeded after CutConns")
+	}
+	if st := p.Stats(); st.ConnsCut == 0 {
+		t.Fatalf("cut conns not counted: stats %+v", st)
+	}
+}

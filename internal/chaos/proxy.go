@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a conn-level chaos interposer for the TCP transport: it
+// listens locally, forwards byte streams to a target address, and can
+// blackhole traffic (keep conns open, silently discard bytes — a
+// partition the peer cannot observe as a socket error) or cut live
+// conns (abrupt socket death, as in a host crash). Install it through
+// TCPHost.SetDialer, or hand peers its Addr as the target's address,
+// so every peerLink session runs through it. Unlike the envelope-level
+// Script, faults here hit below the session layer, so the transport's
+// retransmission machinery is what must repair them.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	frozen atomic.Bool
+
+	bytesForwarded  atomic.Uint64
+	bytesBlackholed atomic.Uint64
+	connsOpened     atomic.Uint64
+	connsCut        atomic.Uint64
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+// ProxyStats reports what the proxy has done to the wire.
+type ProxyStats struct {
+	BytesForwarded  uint64 // bytes relayed while passing traffic
+	BytesBlackholed uint64 // bytes silently discarded while blackholed
+	ConnsOpened     uint64 // proxied conn pairs established
+	ConnsCut        uint64 // conns torn down by CutConns
+}
+
+// NewProxy starts a proxy on a fresh loopback port relaying to target.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target}
+	go p.accept()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — dial this instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target is the address the proxy relays to.
+func (p *Proxy) Target() string { return p.target }
+
+// Blackhole switches silent-discard mode on or off. While on, both
+// directions of every proxied conn swallow bytes but stay open.
+func (p *Proxy) Blackhole(on bool) { p.frozen.Store(on) }
+
+// CutConns abruptly closes every live proxied conn. New conns are
+// still accepted, so the transport's redial recovers — this models a
+// kill -9 of the wire, not of the proxy.
+func (p *Proxy) CutConns() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		p.connsCut.Add(1)
+		_ = c.Close()
+	}
+}
+
+// Stats returns the proxy's byte and conn counters.
+func (p *Proxy) Stats() ProxyStats {
+	return ProxyStats{
+		BytesForwarded:  p.bytesForwarded.Load(),
+		BytesBlackholed: p.bytesBlackholed.Load(),
+		ConnsOpened:     p.connsOpened.Load(),
+		ConnsCut:        p.connsCut.Load(),
+	}
+}
+
+// Close stops the listener and closes every proxied conn.
+func (p *Proxy) Close() {
+	_ = p.ln.Close()
+	p.mu.Lock()
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+func (p *Proxy) accept() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+		if err != nil {
+			_ = c.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = c.Close()
+			_ = up.Close()
+			return
+		}
+		p.conns = append(p.conns, c, up)
+		p.mu.Unlock()
+		p.connsOpened.Add(1)
+		go p.pipe(c, up)
+		go p.pipe(up, c)
+	}
+}
+
+func (p *Proxy) pipe(dst, src net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if err != nil {
+			return
+		}
+		if p.frozen.Load() {
+			p.bytesBlackholed.Add(uint64(n))
+			continue // partition: swallow the bytes, keep the conn open
+		}
+		if _, err := dst.Write(buf[:n]); err != nil {
+			return
+		}
+		p.bytesForwarded.Add(uint64(n))
+	}
+}

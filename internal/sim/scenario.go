@@ -1,0 +1,471 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	stdnet "net"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/histcheck"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// This file is the scenario runner of the chaos layer: it deploys a
+// protocol workload on a transport, installs a scripted fault campaign
+// (internal/chaos) on it, drives clients with per-operation deadlines,
+// and property-checks every completed run with histcheck. Scenario
+// definitions live in scenarios.go; the rqs-chaos command iterates the
+// full matrix.
+
+// Transport names a transport a scenario can run over.
+type Transport string
+
+// The transports of the matrix.
+const (
+	MemoryTransport Transport = "memory"
+	TCPTransport    Transport = "tcp"
+)
+
+// Workload names a protocol workload a scenario can drive.
+type Workload string
+
+// The workloads of the matrix.
+const (
+	SWMRWorkload Workload = "swmr"
+	MWMRWorkload Workload = "mwmr"
+	SMRWorkload  Workload = "smr"
+)
+
+// DefaultOpTimeout is the per-operation liveness deadline: every fault
+// window of every scenario heals (or leaves a live quorum) well inside
+// it, so an operation exceeding it is a liveness violation, not slack.
+const DefaultOpTimeout = 20 * time.Second
+
+// RunContext is what a scenario's Events hook sees: the run's identity
+// plus handles on the deployment's fault controls.
+type RunContext struct {
+	Transport Transport
+	Workload  Workload
+	Seed      int64
+	RQS       *core.RQS
+
+	// Restart kill-9s server id, keeps it down for the given duration,
+	// and restarts it with the crashed incarnation's register state.
+	// Nil for workloads without restartable servers (SMR).
+	Restart func(id core.ProcessID, down time.Duration) error
+	// Proxy fronts server 0's wire on TCP runs of scenarios that set
+	// WireProxy; nil otherwise.
+	Proxy *chaos.Proxy
+}
+
+// Scenario is one named fault campaign: which systems and deployments
+// it applies to, the scripted faults it injects, and whether the run is
+// a negative control expected to fail the atomicity check.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Transports and Workloads bound applicability; Applies refines the
+	// product (SMR deployments exist on the memory transport only).
+	Transports []Transport
+	Workloads  []Workload
+
+	// System builds the refined quorum system (nil: FiveServerRQS).
+	System func() *core.RQS
+	// Hooks makes selected servers Byzantine (nil: all honest).
+	Hooks func(r *core.RQS) map[core.ProcessID]storage.Hooks
+	// Script builds the seeded fault script (nil: no injector).
+	Script func(r *core.RQS, seed int64) *chaos.Script
+	// Events runs concurrently with the workload for faults that are
+	// actions rather than link rules: server restarts, wire blackholes.
+	Events func(rc *RunContext)
+	// WireProxy routes the client host's dials to server 0 through a
+	// chaos.Proxy (TCP only), exposed to Events as rc.Proxy.
+	WireProxy bool
+	// ExpectViolation marks a negative control: the run passes only if
+	// histcheck REJECTS the history (e.g. a Byzantine server on a
+	// quorum system below the class-3 intersection requirement).
+	ExpectViolation bool
+	// OpTimeout overrides DefaultOpTimeout.
+	OpTimeout time.Duration
+}
+
+// Applies reports whether the scenario runs on this transport/workload
+// cell of the matrix.
+func (sc *Scenario) Applies(tr Transport, wl Workload) bool {
+	if wl == SMRWorkload && tr != MemoryTransport {
+		return false // SMR deployments are memory-only today
+	}
+	return containsTransport(sc.Transports, tr) && containsWorkload(sc.Workloads, wl)
+}
+
+func containsTransport(ts []Transport, t Transport) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func containsWorkload(ws []Workload, w Workload) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// RunResult is one cell of the scenario matrix, histcheck verdict
+// included.
+type RunResult struct {
+	Scenario        string
+	Transport       Transport
+	Workload        Workload
+	Seed            int64
+	ExpectViolation bool
+
+	// Ops is the recorded history (the artifact dumped on failure).
+	Ops []histcheck.Op
+	// Violation is histcheck's verdict on Ops (nil = atomic).
+	Violation *histcheck.Violation
+	// Err reports a liveness or deployment failure: an operation that
+	// missed its deadline, a decided value mismatch, a cluster that
+	// would not start.
+	Err error
+
+	Elapsed    time.Duration
+	Stats      chaos.Stats       // script decision counters (zero if no script)
+	ProxyStats *chaos.ProxyStats // wire-proxy counters (WireProxy runs only)
+}
+
+// Passed reports the run's verdict: no liveness error, and the
+// histcheck outcome the scenario expects.
+func (r *RunResult) Passed() bool {
+	if r.Err != nil {
+		return false
+	}
+	if r.ExpectViolation {
+		return r.Violation != nil
+	}
+	return r.Violation == nil
+}
+
+// Failure renders why the run failed ("" if it passed).
+func (r *RunResult) Failure() string {
+	switch {
+	case r.Passed():
+		return ""
+	case r.Err != nil:
+		return r.Err.Error()
+	case r.ExpectViolation:
+		return "negative control passed histcheck (expected an atomicity violation)"
+	default:
+		return r.Violation.Error()
+	}
+}
+
+// storageDeployment is the surface the storage workloads need; both
+// StorageCluster (memory) and TCPStorageCluster satisfy it.
+type storageDeployment interface {
+	Writer() *storage.Writer
+	Reader() *storage.Reader
+	MWWriter() *storage.MWWriter
+	MWReader() *storage.MWReader
+	SetInjector(inj transport.Injector)
+	Stop()
+}
+
+// RunScenario executes one matrix cell: deploy, inject, drive, check.
+// Faults replay deterministically from the seed; wall-clock timing of
+// concurrent clients does not (the histcheck conditions hold for every
+// interleaving, which is what the checker verifies).
+func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult {
+	res := &RunResult{
+		Scenario:        sc.Name,
+		Transport:       tr,
+		Workload:        wl,
+		Seed:            seed,
+		ExpectViolation: sc.ExpectViolation,
+	}
+	if !sc.Applies(tr, wl) {
+		res.Err = fmt.Errorf("scenario %q does not apply to %s/%s", sc.Name, tr, wl)
+		return res
+	}
+	system := core.FiveServerRQS()
+	if sc.System != nil {
+		system = sc.System()
+	}
+	opTimeout := sc.OpTimeout
+	if opTimeout <= 0 {
+		opTimeout = DefaultOpTimeout
+	}
+	var hooks map[core.ProcessID]storage.Hooks
+	if sc.Hooks != nil {
+		hooks = sc.Hooks(system)
+	}
+	var script *chaos.Script
+	if sc.Script != nil {
+		script = sc.Script(system, seed)
+	}
+
+	rc := &RunContext{Transport: tr, Workload: wl, Seed: seed, RQS: system}
+	rec := histcheck.NewRecorder()
+	start := time.Now()
+
+	var proxy *chaos.Proxy
+	runWorkload := func() error { return nil }
+	switch wl {
+	case SMRWorkload:
+		c, err := NewSMRCluster(system, SMROptions{})
+		if err != nil {
+			res.Err = fmt.Errorf("smr cluster: %w", err)
+			return res
+		}
+		defer c.Stop()
+		if script != nil {
+			c.SetInjector(script)
+			defer c.SetInjector(nil)
+		}
+		runWorkload = func() error { return runSMRWorkload(c, rec, opTimeout) }
+	default:
+		var d storageDeployment
+		switch tr {
+		case MemoryTransport:
+			mc := NewStorageCluster(system, StorageOptions{Hooks: hooks})
+			rc.Restart = func(id core.ProcessID, down time.Duration) error {
+				mc.RestartServer(id, down)
+				return nil
+			}
+			d = mc
+		case TCPTransport:
+			tc, err := NewTCPStorageCluster(system, TCPStorageOptions{Hooks: hooks})
+			if err != nil {
+				res.Err = fmt.Errorf("tcp cluster: %w", err)
+				return res
+			}
+			rc.Restart = tc.RestartServer
+			if sc.WireProxy {
+				target := tc.ServerHosts[0].Addr()
+				proxy, err = chaos.NewProxy(target)
+				if err != nil {
+					tc.Stop()
+					res.Err = fmt.Errorf("wire proxy: %w", err)
+					return res
+				}
+				defer proxy.Close()
+				proxyAddr := proxy.Addr()
+				tc.ClientHost.SetDialer(func(addr string, timeout time.Duration) (stdnet.Conn, error) {
+					if addr == target {
+						addr = proxyAddr
+					}
+					return stdnet.DialTimeout("tcp", addr, timeout)
+				})
+				rc.Proxy = proxy
+			}
+			d = tc
+		default:
+			res.Err = fmt.Errorf("unknown transport %q", tr)
+			return res
+		}
+		defer d.Stop()
+		if script != nil {
+			d.SetInjector(script)
+			defer d.SetInjector(nil)
+		}
+		if wl == SWMRWorkload {
+			runWorkload = func() error { return runSWMRWorkload(d, rec, opTimeout) }
+		} else {
+			runWorkload = func() error { return runMWMRWorkload(d, rec, opTimeout) }
+		}
+	}
+
+	if script != nil {
+		script.Start()
+	}
+	var eventsDone chan struct{}
+	if sc.Events != nil {
+		eventsDone = make(chan struct{})
+		go func() {
+			defer close(eventsDone)
+			sc.Events(rc)
+		}()
+	}
+	res.Err = runWorkload()
+	if eventsDone != nil {
+		<-eventsDone
+	}
+
+	res.Ops = rec.Ops()
+	res.Violation = histcheck.Check(res.Ops)
+	res.Elapsed = time.Since(start)
+	if script != nil {
+		res.Stats = script.Stats()
+	}
+	if proxy != nil {
+		st := proxy.Stats()
+		res.ProxyStats = &st
+	}
+	return res
+}
+
+// Workload sizes: small enough that the full matrix stays a smoke test,
+// large enough that every scenario's fault windows see traffic.
+const (
+	swmrWriteOps = 8
+	swmrReadOps  = 8
+	mwmrOps      = 5
+	smrCommands  = 6
+)
+
+// record runs one client operation under its deadline and records the
+// completed op; a deadline miss is returned as the liveness violation.
+func record(rec *histcheck.Recorder, kind histcheck.Kind, client string, opTimeout time.Duration, op func(ctx context.Context) (int64, error)) error {
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	inv := time.Now()
+	ts, err := op(ctx)
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", client, kind, err)
+	}
+	rec.Record(histcheck.Op{Kind: kind, Client: client, TS: ts, Inv: inv, Resp: time.Now()})
+	return nil
+}
+
+// runSWMRWorkload drives the Figure 5-7 protocol: the single writer
+// against two concurrent readers.
+func runSWMRWorkload(d storageDeployment, rec *histcheck.Recorder, opTimeout time.Duration) error {
+	w := d.Writer()
+	readers := []*storage.Reader{d.Reader(), d.Reader()}
+
+	errs := make(chan error, 1+len(readers))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swmrWriteOps; i++ {
+			err := record(rec, histcheck.Write, "writer", opTimeout, func(ctx context.Context) (int64, error) {
+				res, err := w.WriteCtx(ctx, fmt.Sprintf("v%d", i))
+				return res.TS, err
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for ri, r := range readers {
+		wg.Add(1)
+		go func(name string, r *storage.Reader) {
+			defer wg.Done()
+			for i := 0; i < swmrReadOps; i++ {
+				err := record(rec, histcheck.Read, name, opTimeout, func(ctx context.Context) (int64, error) {
+					res, err := r.ReadCtx(ctx)
+					return res.TS, err
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(fmt.Sprintf("reader%d", ri), r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runMWMRWorkload drives the multi-writer register: two writers and two
+// readers concurrently, then one settle read per reader strictly after
+// every write completed — the deterministic probe the negative-control
+// scenario relies on (a stale settle read is provably non-atomic).
+// Client creation order is fixed (writers on ports n, n+1; readers on
+// n+2, n+3) so scripted rules can address clients by process ID.
+func runMWMRWorkload(d storageDeployment, rec *histcheck.Recorder, opTimeout time.Duration) error {
+	writers := []*storage.MWWriter{d.MWWriter(), d.MWWriter()}
+	readers := []*storage.MWReader{d.MWReader(), d.MWReader()}
+
+	errs := make(chan error, len(writers)+len(readers))
+	var wg sync.WaitGroup
+	for wi, w := range writers {
+		wg.Add(1)
+		go func(name string, w *storage.MWWriter) {
+			defer wg.Done()
+			for i := 0; i < mwmrOps; i++ {
+				err := record(rec, histcheck.Write, name, opTimeout, func(ctx context.Context) (int64, error) {
+					res, err := w.WriteCtx(ctx, fmt.Sprintf("%s-v%d", name, i))
+					return res.Tag.Packed(), err
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(fmt.Sprintf("mwwriter%d", wi), w)
+	}
+	for ri, r := range readers {
+		wg.Add(1)
+		go func(name string, r *storage.MWReader) {
+			defer wg.Done()
+			for i := 0; i < mwmrOps; i++ {
+				err := record(rec, histcheck.Read, name, opTimeout, func(ctx context.Context) (int64, error) {
+					res, err := r.ReadCtx(ctx)
+					return res.Tag.Packed(), err
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(fmt.Sprintf("mwreader%d", ri), r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	for ri, r := range readers {
+		err := record(rec, histcheck.Read, fmt.Sprintf("settle%d", ri), opTimeout, func(ctx context.Context) (int64, error) {
+			res, err := r.ReadCtx(ctx)
+			return res.Tag.Packed(), err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSMRWorkload decides commands sequentially through the shared log.
+// Each committed slot is recorded as a write with timestamp slot+1:
+// sequential decisions from one proposer must commit to increasing
+// slots, which is exactly histcheck's write real-time condition.
+func runSMRWorkload(c *SMRCluster, rec *histcheck.Recorder, opTimeout time.Duration) error {
+	for i := 0; i < smrCommands; i++ {
+		cmd := consensus.Value(fmt.Sprintf("cmd-%d", i))
+		inv := time.Now()
+		slot, v, ok := c.Decide(cmd, opTimeout)
+		if !ok {
+			return fmt.Errorf("smr: slot %d did not commit within %v", slot, opTimeout)
+		}
+		if v != cmd {
+			return fmt.Errorf("smr: slot %d decided %q, proposed %q", slot, v, cmd)
+		}
+		rec.Record(histcheck.Op{
+			Kind: histcheck.Write, Client: "proposer",
+			TS: int64(slot) + 1, Inv: inv, Resp: time.Now(),
+		})
+	}
+	return nil
+}

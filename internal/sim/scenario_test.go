@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestScenarioRegistry pins the matrix surface the chaos runner
+// promises: at least 8 named scenarios, unique names, and every
+// scenario applicable to at least one transport/workload cell.
+func TestScenarioRegistry(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 8 {
+		t.Fatalf("registry has %d scenarios, want >= 8", len(scs))
+	}
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		cells := 0
+		for _, tr := range []Transport{MemoryTransport, TCPTransport} {
+			for _, wl := range []Workload{SWMRWorkload, MWMRWorkload, SMRWorkload} {
+				if sc.Applies(tr, wl) {
+					cells++
+				}
+			}
+		}
+		if cells == 0 {
+			t.Errorf("scenario %q applies to no matrix cell", sc.Name)
+		}
+		if _, ok := FindScenario(sc.Name); !ok {
+			t.Errorf("FindScenario(%q) missed a registered scenario", sc.Name)
+		}
+	}
+	if _, ok := FindScenario("no-such-scenario"); ok {
+		t.Error("FindScenario invented a scenario")
+	}
+}
+
+// TestScenarioMatrixMemory runs every memory-transport cell of the
+// matrix once: each run must complete within its liveness deadlines and
+// produce the histcheck verdict its scenario expects.
+func TestScenarioMatrixMemory(t *testing.T) {
+	for _, sc := range Scenarios() {
+		for _, wl := range []Workload{SWMRWorkload, MWMRWorkload, SMRWorkload} {
+			if !sc.Applies(MemoryTransport, wl) {
+				continue
+			}
+			sc, wl := sc, wl
+			t.Run(fmt.Sprintf("%s/%s", sc.Name, wl), func(t *testing.T) {
+				t.Parallel()
+				res := RunScenario(sc, MemoryTransport, wl, 1)
+				if !res.Passed() {
+					t.Fatalf("scenario failed: %s", res.Failure())
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioMatrixTCP spot-checks the TCP column with the scenarios
+// that exercise TCP-specific machinery: the wire proxy, host restart,
+// the injector above the session layer, and the Byzantine negative
+// control over real sockets.
+func TestScenarioMatrixTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP scenario matrix skipped in -short")
+	}
+	cells := []struct {
+		name string
+		wl   Workload
+	}{
+		{"wire-blackhole", SWMRWorkload},
+		{"partition-heal-during-write", MWMRWorkload},
+		{"kill9-restart-midwrite", SWMRWorkload},
+		{"reorder-dup-storm", MWMRWorkload},
+		{"byzantine-stale-tag-weak", MWMRWorkload},
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(fmt.Sprintf("%s/%s", cell.name, cell.wl), func(t *testing.T) {
+			t.Parallel()
+			sc, ok := FindScenario(cell.name)
+			if !ok {
+				t.Fatalf("scenario %q not registered", cell.name)
+			}
+			res := RunScenario(sc, TCPTransport, cell.wl, 1)
+			if !res.Passed() {
+				t.Fatalf("scenario failed: %s", res.Failure())
+			}
+			if cell.name == "wire-blackhole" {
+				if res.ProxyStats == nil {
+					t.Fatal("wire-blackhole run reported no proxy stats")
+				}
+				if res.ProxyStats.BytesBlackholed == 0 {
+					t.Error("proxy blackholed no bytes — the fault never bit")
+				}
+				if res.ProxyStats.ConnsCut == 0 {
+					t.Error("proxy cut no conns — the heal path never ran")
+				}
+			}
+		})
+	}
+}
+
+// TestNegativeControlStaleTag is the acceptance criterion's negative
+// control: the stale-tag forger must be masked by a quorum system
+// meeting the class-3 intersection requirement and must produce an
+// atomicity violation on one below it — deterministically, for every
+// seed, because the violation is structural (the readers' quorum holds
+// no honest server that observed a write).
+func TestNegativeControlStaleTag(t *testing.T) {
+	weak, ok := FindScenario("byzantine-stale-tag-weak")
+	if !ok {
+		t.Fatal("negative-control scenario not registered")
+	}
+	if !weak.ExpectViolation {
+		t.Fatal("negative control not marked ExpectViolation")
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		res := RunScenario(weak, MemoryTransport, MWMRWorkload, seed)
+		if res.Err != nil {
+			t.Fatalf("seed %d: liveness failure instead of safety violation: %v", seed, res.Err)
+		}
+		if res.Violation == nil {
+			t.Fatalf("seed %d: weak system masked the stale tag — violation expected", seed)
+		}
+		if !strings.Contains(res.Violation.Reason, "read") {
+			t.Errorf("seed %d: expected a read-side violation, got %q", seed, res.Violation.Reason)
+		}
+		if !res.Passed() {
+			t.Errorf("seed %d: ExpectViolation run with a violation should pass", seed)
+		}
+	}
+
+	strong, ok := FindScenario("byzantine-stale-tag")
+	if !ok {
+		t.Fatal("positive-control scenario not registered")
+	}
+	res := RunScenario(strong, MemoryTransport, MWMRWorkload, 1)
+	if !res.Passed() {
+		t.Fatalf("positive control failed: %s", res.Failure())
+	}
+	if res.Violation != nil {
+		t.Fatalf("ByzantineThirdRQS(4) failed to mask the stale tag: %v", res.Violation)
+	}
+}
+
+// TestRunScenarioRejectsInapplicableCell pins the guard rail the
+// rqs-chaos command relies on for -scenario/-transport/-workload
+// combinations outside the matrix.
+func TestRunScenarioRejectsInapplicableCell(t *testing.T) {
+	sc, ok := FindScenario("wire-blackhole")
+	if !ok {
+		t.Fatal("scenario not registered")
+	}
+	res := RunScenario(sc, MemoryTransport, SWMRWorkload, 1)
+	if res.Err == nil || res.Passed() {
+		t.Fatalf("memory run of a TCP-only scenario must fail, got pass=%v err=%v",
+			res.Passed(), res.Err)
+	}
+}

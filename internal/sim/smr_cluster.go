@@ -90,6 +90,12 @@ func (c *SMRCluster) Decide(cmd consensus.Value, timeout time.Duration) (int, co
 	return slot, v, ok
 }
 
+// SetInjector installs a fault injector on the cluster's network
+// (nil removes it).
+func (c *SMRCluster) SetInjector(inj transport.Injector) {
+	c.Net.SetInjector(inj)
+}
+
 // CrashAcceptors crashes the given acceptors at the network boundary.
 func (c *SMRCluster) CrashAcceptors(set core.Set) {
 	for _, id := range set.Members() {

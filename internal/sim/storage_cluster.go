@@ -109,6 +109,36 @@ func (c *StorageCluster) CrashServers(set core.Set) {
 	}
 }
 
+// SetInjector installs a fault injector on the cluster's network
+// (nil removes it).
+func (c *StorageCluster) SetInjector(inj transport.Injector) {
+	c.Net.SetInjector(inj)
+}
+
+// RestartServer models kill -9 + restart of server id: the process
+// disappears at the network boundary and its loop stops, stays down
+// for the given duration, then a fresh server resumes at the same
+// process ID with the crashed server's durable register state (the
+// stand-in for the WAL recovery a later durability layer will provide;
+// see ARCHITECTURE.md). Messages sent while it was down are dropped —
+// liveness during the outage rests on the remaining quorums.
+func (c *StorageCluster) RestartServer(id core.ProcessID, down time.Duration) {
+	c.Net.Crash(id)
+	srv := c.Servers[id]
+	srv.Stop()
+	hist := srv.HistorySnapshot()
+	tag, val := srv.MWSnapshot()
+	if down > 0 {
+		time.Sleep(down)
+	}
+	fresh := storage.NewServer(c.Net.Port(id), storage.Hooks{})
+	fresh.SetHistory(hist)
+	fresh.SetMW(tag, val)
+	c.Servers[id] = fresh
+	fresh.Start()
+	c.Net.Restart(id)
+}
+
 // Stop shuts the cluster down.
 func (c *StorageCluster) Stop() {
 	c.Net.Close()

@@ -28,6 +28,13 @@ type TCPStorageCluster struct {
 	clientMu   sync.Mutex
 	ports      []transport.Port
 	nextClient int
+
+	// addrs is the shared address map the hosts were built over; kept
+	// so RestartServer can bring a fresh host up at the old address.
+	// inj is the currently installed injector, re-installed on
+	// restarted hosts.
+	addrs map[core.ProcessID]string
+	inj   transport.Injector
 }
 
 // TCPStorageOptions configures NewTCPStorageCluster.
@@ -36,6 +43,8 @@ type TCPStorageOptions struct {
 	Clients int
 	// Timeout is the protocol's 2Δ timer (default 5ms — loopback TCP).
 	Timeout time.Duration
+	// Hooks optionally makes individual servers Byzantine.
+	Hooks map[core.ProcessID]storage.Hooks
 }
 
 var registerTCPStorageOnce sync.Once
@@ -69,6 +78,7 @@ func NewTCPStorageCluster(r *core.RQS, opts TCPStorageOptions) (*TCPStorageClust
 	n := r.N()
 	c := &TCPStorageCluster{RQS: r, Timeout: opts.Timeout}
 	addrs := make(map[core.ProcessID]string, n+opts.Clients)
+	c.addrs = addrs
 	fail := func(err error) (*TCPStorageCluster, error) {
 		c.Stop()
 		return nil, err
@@ -101,7 +111,7 @@ func NewTCPStorageCluster(r *core.RQS, opts TCPStorageOptions) (*TCPStorageClust
 		if err != nil {
 			return fail(err)
 		}
-		srv := storage.NewServer(node, storage.Hooks{})
+		srv := storage.NewServer(node, opts.Hooks[id])
 		srv.Start()
 		c.Servers = append(c.Servers, srv)
 	}
@@ -146,6 +156,62 @@ func (c *TCPStorageCluster) clientPort() transport.Port {
 	p := c.ports[c.nextClient]
 	c.nextClient++
 	return p
+}
+
+// SetInjector installs a fault injector on every host of the
+// deployment — requests are decided at the client host, replies at the
+// server hosts, so both directions of every link go through it. Nil
+// removes it.
+func (c *TCPStorageCluster) SetInjector(inj transport.Injector) {
+	c.clientMu.Lock()
+	c.inj = inj
+	hosts := append([]*transport.TCPHost{c.ClientHost}, c.ServerHosts...)
+	c.clientMu.Unlock()
+	for _, h := range hosts {
+		if h != nil {
+			h.SetInjector(inj)
+		}
+	}
+}
+
+// RestartServer models kill -9 + restart of server id's OS process:
+// its host closes (every conn dies abruptly), the process stays down,
+// then a fresh host binds the same address and a fresh server resumes
+// with the crashed server's durable register state. Client sessions
+// redial with jittered backoff and retransmit their unacked frames, so
+// requests sent during the outage are replayed to the new incarnation.
+func (c *TCPStorageCluster) RestartServer(id core.ProcessID, down time.Duration) error {
+	srv := c.Servers[id]
+	host := c.ServerHosts[id]
+	addr := host.Addr()
+	host.Close()
+	srv.Stop()
+	hist := srv.HistorySnapshot()
+	tag, val := srv.MWSnapshot()
+	if down > 0 {
+		time.Sleep(down)
+	}
+	fresh, err := transport.NewTCPHost(addr, c.addrs)
+	if err != nil {
+		return err
+	}
+	node, err := fresh.Node(id)
+	if err != nil {
+		fresh.Close()
+		return err
+	}
+	c.clientMu.Lock()
+	if inj := c.inj; inj != nil {
+		fresh.SetInjector(inj)
+	}
+	c.ServerHosts[id] = fresh
+	c.clientMu.Unlock()
+	s := storage.NewServer(node, storage.Hooks{})
+	s.SetHistory(hist)
+	s.SetMW(tag, val)
+	c.Servers[id] = s
+	s.Start()
+	return nil
 }
 
 // Stop tears the deployment down.

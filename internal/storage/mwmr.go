@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/transport"
 )
@@ -114,15 +116,35 @@ type mwClient struct {
 	maxVal  string
 	withMax core.Set
 	closed  bool // the port's inbox closed mid-operation
+	aborted bool // the operation's deadline expired mid-phase
 }
 
 func newMWClient(rqs *core.RQS, port transport.Port) mwClient {
 	return mwClient{rqs: rqs, port: port, tr: rqs.NewTracker()}
 }
 
+// recv receives the next envelope for a phase wait, draining buffered
+// messages first (the cheap path under load). A nil done channel — the
+// deadline-free common case — can never fire; a non-nil one aborts the
+// phase when it does.
+func (c *mwClient) recv(done <-chan struct{}) (transport.Envelope, bool) {
+	select {
+	case env, ok := <-c.port.Inbox():
+		return env, ok
+	default:
+	}
+	select {
+	case env, ok := <-c.port.Inbox():
+		return env, ok
+	case <-done:
+		c.aborted = true
+		return transport.Envelope{}, false
+	}
+}
+
 // readPhase broadcasts MWReadReq and collects acks until some class-3
 // quorum responded, tracking the maximum tag and who reported it.
-func (c *mwClient) readPhase() {
+func (c *mwClient) readPhase(done <-chan struct{}) {
 	c.seq++
 	drainPort(c.port)
 	transport.Broadcast(c.port, c.rqs.Universe(), MWReadReq{Seq: c.seq})
@@ -130,9 +152,11 @@ func (c *mwClient) readPhase() {
 	c.tr.Reset()
 	c.maxTag, c.maxVal, c.withMax = Tag{}, NoValue, core.EmptySet
 	for {
-		env, ok := <-c.port.Inbox()
+		env, ok := c.recv(done)
 		if !ok {
-			c.closed = true
+			if !c.aborted {
+				c.closed = true
+			}
 			return
 		}
 		ack, isAck := env.Payload.(MWReadAck)
@@ -154,15 +178,17 @@ func (c *mwClient) readPhase() {
 
 // writePhase broadcasts MWWriteReq〈tag, val〉 and waits for acks from
 // some class-3 quorum.
-func (c *mwClient) writePhase(tag Tag, val string) {
+func (c *mwClient) writePhase(tag Tag, val string, done <-chan struct{}) {
 	c.seq++
 	transport.Broadcast(c.port, c.rqs.Universe(), MWWriteReq{Seq: c.seq, Tag: tag, Val: val})
 
 	c.tr.Reset()
 	for {
-		env, ok := <-c.port.Inbox()
+		env, ok := c.recv(done)
 		if !ok {
-			c.closed = true
+			if !c.aborted {
+				c.closed = true
+			}
 			return
 		}
 		if ack, isAck := env.Payload.(MWWriteAck); isAck && ack.Seq == c.seq {
@@ -200,13 +226,30 @@ func (w *MWWriter) WriterID() core.ProcessID { return w.id }
 // at a quorum, the write phase stores 〈〈maxTS+1, writerID〉, v〉 at a
 // quorum. Always two round-trips.
 func (w *MWWriter) Write(v string) MWResult {
-	w.c.readPhase()
+	res, _ := w.WriteCtx(context.Background(), v)
+	return res
+}
+
+// WriteCtx is Write with a per-operation deadline: when ctx expires
+// before a quorum responds, the operation aborts and the context's
+// error is returned. An aborted write may be partially applied; the
+// writer remains usable.
+func (w *MWWriter) WriteCtx(ctx context.Context, v string) (MWResult, error) {
+	done := ctx.Done()
+	w.c.aborted = false
+	w.c.readPhase(done)
+	if w.c.aborted {
+		return MWResult{Val: v, Rounds: 1}, ctx.Err()
+	}
 	if w.c.closed {
-		return MWResult{Val: v, Rounds: 1}
+		return MWResult{Val: v, Rounds: 1}, nil
 	}
 	tag := Tag{TS: w.c.maxTag.TS + 1, Writer: w.id}
-	w.c.writePhase(tag, v)
-	return MWResult{Val: v, Tag: tag, Rounds: 2}
+	w.c.writePhase(tag, v, done)
+	if w.c.aborted {
+		return MWResult{Val: v, Rounds: 2}, ctx.Err()
+	}
+	return MWResult{Val: v, Tag: tag, Rounds: 2}, nil
 }
 
 // MWReader is a reader of the MWMR register. Like MWWriter, one
@@ -228,16 +271,32 @@ func NewMWReader(rqs *core.RQS, port transport.Port) *MWReader {
 // resides at a quorum and the read completes in a single round-trip
 // (the uncontended fast path).
 func (r *MWReader) Read() MWResult {
-	r.c.readPhase()
+	res, _ := r.ReadCtx(context.Background())
+	return res
+}
+
+// ReadCtx is Read with a per-operation deadline: when ctx expires
+// before the read completes, the operation aborts and the context's
+// error is returned. The reader remains usable.
+func (r *MWReader) ReadCtx(ctx context.Context) (MWResult, error) {
+	done := ctx.Done()
+	r.c.aborted = false
+	r.c.readPhase(done)
+	if r.c.aborted {
+		return MWResult{Val: NoValue, Rounds: 1}, ctx.Err()
+	}
 	if r.c.closed {
-		return MWResult{Val: NoValue, Rounds: 1}
+		return MWResult{Val: NoValue, Rounds: 1}, nil
 	}
 	tag, val := r.c.maxTag, r.c.maxVal
 	if _, ok := r.c.rqs.ContainedQuorum(r.c.withMax, core.Class3); ok {
-		return MWResult{Val: val, Tag: tag, Rounds: 1}
+		return MWResult{Val: val, Tag: tag, Rounds: 1}, nil
 	}
-	r.c.writePhase(tag, val)
-	return MWResult{Val: val, Tag: tag, Rounds: 2}
+	r.c.writePhase(tag, val, done)
+	if r.c.aborted {
+		return MWResult{Val: NoValue, Rounds: 2}, ctx.Err()
+	}
+	return MWResult{Val: val, Tag: tag, Rounds: 2}, nil
 }
 
 // drainPort discards leftover replies from previous operations.

@@ -23,6 +23,7 @@ type readState struct {
 	qc2prime    []core.Set          // class-2 quorums that responded in round 1
 	highestTS   int64
 	portClosed  bool // the transport shut down mid-read
+	aborted     bool // the operation's deadline expired mid-read
 
 	// pairs memoizes observedPairs for the current round: the histories
 	// only change in queryRound, which invalidates it, and the

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -59,6 +60,16 @@ func NewReader(rqs *core.RQS, port transport.Port, timeout time.Duration) *Reade
 // highest candidate exists, then a BCD-guided writeback phase that
 // enforces atomicity while preserving best-case latency.
 func (r *Reader) Read() ReadResult {
+	res, _ := r.ReadCtx(context.Background())
+	return res
+}
+
+// ReadCtx is Read with a per-operation deadline: when ctx expires
+// before the read can complete, the operation aborts and the context's
+// error is returned — the chaos harness's liveness check. The reader
+// remains usable after an abort.
+func (r *Reader) ReadCtx(ctx context.Context) (ReadResult, error) {
+	done := ctx.Done()
 	r.readNo++
 	r.drainStale()
 	r.trResp.Reset()
@@ -77,18 +88,22 @@ func (r *Reader) Read() ReadResult {
 	st.qc2prime = nil
 	st.highestTS = 0
 	st.portClosed = false
+	st.aborted = false
 	st.pairsValid = false
 
 	rounds := 0
 	var csel Pair
 	for {
 		rounds++
-		r.queryRound(st, rounds)
+		r.queryRound(st, rounds, done)
+		if st.aborted {
+			return ReadResult{Val: NoValue, TS: 0, Rounds: rounds}, ctx.Err()
+		}
 		if st.portClosed {
 			// The transport shut down mid-operation; report what little
 			// is known instead of spinning (test harnesses close the
 			// network under deliberately blocked reads).
-			return ReadResult{Val: NoValue, TS: 0, Rounds: rounds}
+			return ReadResult{Val: NoValue, TS: 0, Rounds: rounds}, nil
 		}
 		// The responded set only changes between rounds, so the quorums
 		// it contains are computed once per round, not per predicate.
@@ -108,14 +123,14 @@ func (r *Reader) Read() ReadResult {
 	// Regular semantics (Section 6): return the selection with no
 	// writeback; read inversion becomes possible but regularity holds.
 	if r.semantics == Regular {
-		return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: rounds}
+		return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: rounds}, nil
 	}
 
 	// Second part: atomicity via the Best-Case Detector (lines 40-49).
 	if rounds == 1 {
 		if st.bcd1Any(csel) {
 			// Line 40: a class-1 quorum confirmed the pair; no writeback.
-			return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 1}
+			return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 1}, nil
 		}
 		x1 := st.bcd2(csel, 1)
 		x2 := st.bcd2(csel, 2)
@@ -124,33 +139,44 @@ func (r *Reader) Read() ReadResult {
 			if len(x2)+len(x3) > 0 {
 				// Line 42: the writer already informed a full quorum;
 				// write back directly with round number 2.
-				r.writeback(2, csel, nil, false)
-				return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 2}
+				if _, aborted := r.writeback(2, csel, nil, false, done); aborted {
+					return ReadResult{Val: NoValue, Rounds: 2}, ctx.Err()
+				}
+				return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 2}, nil
 			}
 			// Lines 43-47: R = 1. Write back the class-2 quorum ids and
 			// hope a quorum from X confirms before the timer runs out.
-			acked := r.writeback(1, csel, x1, true)
+			acked, aborted := r.writeback(1, csel, x1, true, done)
+			if aborted {
+				return ReadResult{Val: NoValue, Rounds: 2}, ctx.Err()
+			}
 			for _, q := range x1 {
 				if q.SubsetOf(acked) {
-					return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 2}
+					return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 2}, nil
 				}
 			}
-			r.writeback(2, csel, nil, false)
-			return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 3}
+			if _, aborted := r.writeback(2, csel, nil, false, done); aborted {
+				return ReadResult{Val: NoValue, Rounds: 3}, ctx.Err()
+			}
+			return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: 3}, nil
 		}
 	}
 
 	// Line 49: generic two-round writeback.
-	r.writeback(1, csel, nil, false)
-	r.writeback(2, csel, nil, false)
-	return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: rounds + 2}
+	if _, aborted := r.writeback(1, csel, nil, false, done); aborted {
+		return ReadResult{Val: NoValue, Rounds: rounds + 1}, ctx.Err()
+	}
+	if _, aborted := r.writeback(2, csel, nil, false, done); aborted {
+		return ReadResult{Val: NoValue, Rounds: rounds + 2}, ctx.Err()
+	}
+	return ReadResult{Val: csel.Val, TS: csel.TS, Rounds: rounds + 2}, nil
 }
 
 // queryRound sends rd〈read_no, rnd〉 to all servers and waits until some
 // quorum replied in this round and, in round 1, the 2Δ timer expired or
 // every server replied (once the whole universe has answered, no later
 // message can add information, so the timer wait is provably redundant).
-func (r *Reader) queryRound(st *readState, rnd int) {
+func (r *Reader) queryRound(st *readState, rnd int, done <-chan struct{}) {
 	transport.Broadcast(r.port, r.rqs.Universe(), ReadReq{ReadNo: r.readNo, Round: rnd})
 
 	st.pairsValid = false // fresh acks will refresh the histories
@@ -164,7 +190,11 @@ func (r *Reader) queryRound(st *readState, rnd int) {
 		if quorumOK && (timerDone || st.round.Complete()) {
 			return
 		}
-		env, ok, timedOut := recvOrTimer(r.port, timer)
+		env, ok, timedOut, aborted := recvOrTimer(r.port, timer, done)
+		if aborted {
+			st.aborted = true
+			return
+		}
 		if timedOut {
 			timerDone = true
 			continue
@@ -190,8 +220,9 @@ func (r *Reader) queryRound(st *readState, rnd int) {
 // writeback implements lines 60-62: send wr〈ts, val, sets, round〉 to all
 // servers and wait for a quorum of acks; with withTimer it additionally
 // waits for the 2Δ timer (the line 43-45 dance), again cut short if the
-// whole universe acks. It returns the servers that acked.
-func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool) core.Set {
+// whole universe acks. It returns the servers that acked, and whether
+// the wait was aborted by the done channel firing.
+func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool, done <-chan struct{}) (core.Set, bool) {
 	req := WriteReq{TS: c.TS, Val: c.Val, Sets: sets, Round: round}
 	transport.Broadcast(r.port, r.rqs.Universe(), req)
 
@@ -203,15 +234,18 @@ func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool) c
 
 	for {
 		if quorumOK && (timerDone || r.trWB.Complete()) {
-			return r.trWB.Responded()
+			return r.trWB.Responded(), false
 		}
-		env, ok, timedOut := recvOrTimer(r.port, timer)
+		env, ok, timedOut, aborted := recvOrTimer(r.port, timer, done)
+		if aborted {
+			return r.trWB.Responded(), true
+		}
 		if timedOut {
 			timerDone = true
 			continue
 		}
 		if !ok {
-			return r.trWB.Responded()
+			return r.trWB.Responded(), false
 		}
 		if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == c.TS && ack.Round == round {
 			if r.trWB.Add(env.From) && !quorumOK {

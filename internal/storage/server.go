@@ -22,6 +22,13 @@ type Hooks struct {
 	// DropRead, if non-nil and returning true, silently ignores a read
 	// request.
 	DropRead func(from core.ProcessID, req ReadReq) bool
+	// ForgeMWRead, if non-nil, replaces the 〈tag, value〉 this server
+	// reports in MWMR read acks — the Byzantine stale/forged-tag mode:
+	// returning an old tag makes the server deny completed writes,
+	// returning a fabricated 〈ts, writer-id〉 tag makes it invent them.
+	// Whether either lie can reach a reader's return value is exactly
+	// the class-3 intersection question the chaos campaigns test.
+	ForgeMWRead func(from core.ProcessID) (Tag, string)
 }
 
 // serverBurst bounds how many inbox envelopes the server drains per
@@ -30,6 +37,12 @@ type Hooks struct {
 // amortizes per-message locking when many clients hit one server. The
 // bound keeps a flooded server from starving Stop.
 const serverBurst = 64
+
+// mwState is a precomputed forged MWMR reply (phase 1 of handleBurst).
+type mwState struct {
+	tag Tag
+	val string
+}
 
 // ackBucket accumulates one burst's replies to a single destination at
 // a single hop depth, flushed through Port.SendBatch.
@@ -122,6 +135,14 @@ func (s *Server) SetHistory(h History) {
 	s.histShared = false
 }
 
+// SetMW overwrites the MWMR register state (used with MWSnapshot to
+// carry state across a scripted crash/restart, and by fault injection).
+func (s *Server) SetMW(tag Tag, val string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mwTag, s.mwVal = tag, val
+}
+
 func (s *Server) run() {
 	defer close(s.done)
 	var burst []transport.Envelope
@@ -163,7 +184,9 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 	// requests are nilled out; forged read acks are precomputed, one
 	// hook call per surviving read, exactly as unbatched serving did.
 	var forged []History
+	var forgedMW []mwState
 	hasForge := s.hooks.ForgeHistory != nil
+	hasMWForge := s.hooks.ForgeMWRead != nil
 	for i := range burst {
 		switch req := burst[i].Payload.(type) {
 		case WriteReq:
@@ -178,6 +201,14 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 					forged = make([]History, len(burst))
 				}
 				forged[i] = s.hooks.ForgeHistory()
+			}
+		case MWReadReq:
+			if hasMWForge {
+				if forgedMW == nil {
+					forgedMW = make([]mwState, len(burst))
+				}
+				tag, val := s.hooks.ForgeMWRead(burst[i].From)
+				forgedMW[i] = mwState{tag: tag, val: val}
 			}
 		}
 	}
@@ -207,7 +238,11 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 			}
 			s.ack(env.From, env.Hop+1, MWWriteAck{Seq: req.Seq})
 		case MWReadReq:
-			s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: s.mwTag, Val: s.mwVal})
+			if hasMWForge {
+				s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: forgedMW[i].tag, Val: forgedMW[i].val})
+			} else {
+				s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: s.mwTag, Val: s.mwVal})
+			}
 		}
 	}
 	s.mu.Unlock()

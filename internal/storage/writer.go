@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -55,36 +56,57 @@ func (w *Writer) SetTimestamp(ts int64) {
 // It blocks until a quorum of servers is reachable (wait-freedom assumes
 // one correct quorum).
 func (w *Writer) Write(v string) WriteResult {
+	res, _ := w.WriteCtx(context.Background(), v)
+	return res
+}
+
+// WriteCtx is Write with a per-operation deadline: when ctx expires
+// before a quorum is reachable, the operation aborts and the context's
+// error is returned — a liveness violation surfaced as an error instead
+// of an unbounded quorum wait. An aborted write consumes its timestamp
+// (the single writer never reuses one) and may be partially applied at
+// some servers; the writer itself remains usable.
+func (w *Writer) WriteCtx(ctx context.Context, v string) (WriteResult, error) {
+	done := ctx.Done()
 	w.ts++
 	w.drainStale()
 
 	// Round 1: wait for a quorum AND the 2Δ timer (or every server).
-	w.round(1, v, nil, true)
+	_, aborted := w.round(1, v, nil, true, done)
+	if aborted {
+		return WriteResult{TS: w.ts}, ctx.Err()
+	}
 	if _, ok := w.tr.Contained(core.Class1); ok {
-		return WriteResult{TS: w.ts, Rounds: 1}
+		return WriteResult{TS: w.ts, Rounds: 1}, nil
 	}
 	// Remember the class-2 quorums that responded (lines 4-5).
 	qc2 := w.tr.ContainedAll(core.Class2)
 
 	// Round 2: write the pair with the QC'2 certificate.
-	acked := w.round(2, v, qc2, true)
+	acked, aborted := w.round(2, v, qc2, true, done)
+	if aborted {
+		return WriteResult{TS: w.ts}, ctx.Err()
+	}
 	for _, q := range qc2 {
 		if q.SubsetOf(acked) {
-			return WriteResult{TS: w.ts, Rounds: 2}
+			return WriteResult{TS: w.ts, Rounds: 2}, nil
 		}
 	}
 
 	// Round 3: plain quorum write.
-	w.round(3, v, nil, false)
-	return WriteResult{TS: w.ts, Rounds: 3}
+	if _, aborted := w.round(3, v, nil, false, done); aborted {
+		return WriteResult{TS: w.ts}, ctx.Err()
+	}
+	return WriteResult{TS: w.ts, Rounds: 3}, nil
 }
 
 // round sends wr〈ts, v, sets, rnd〉 to all servers and waits for acks from
 // some quorum, plus (rounds 1-2) the expiration of the 2Δ timer. The
 // timer wait is cut short once every server has acked: nothing further
 // can arrive, so waiting longer cannot change any verdict. It returns
-// the set of servers that acked this round (also held by w.tr).
-func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool) core.Set {
+// the set of servers that acked this round (also held by w.tr), and
+// whether the wait was aborted by the done channel firing.
+func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool, done <-chan struct{}) (core.Set, bool) {
 	req := WriteReq{TS: w.ts, Val: v, Sets: sets, Round: rnd}
 	transport.Broadcast(w.port, w.rqs.Universe(), req)
 
@@ -96,15 +118,18 @@ func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool) core.
 
 	for {
 		if quorumOK && (timerDone || w.tr.Complete()) {
-			return w.tr.Responded()
+			return w.tr.Responded(), false
 		}
-		env, ok, timedOut := recvOrTimer(w.port, timer)
+		env, ok, timedOut, aborted := recvOrTimer(w.port, timer, done)
+		if aborted {
+			return w.tr.Responded(), true
+		}
 		if timedOut {
 			timerDone = true
 			continue
 		}
 		if !ok {
-			return w.tr.Responded()
+			return w.tr.Responded(), false
 		}
 		// Re-check quorum containment only when the ack changed the
 		// tracker state; duplicates and stale messages are free.
@@ -119,20 +144,25 @@ func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool) core.
 // recvOrTimer receives the next envelope for a timed protocol wait,
 // draining already-buffered messages before touching the select/timer
 // machinery (under load a whole quorum's acks land as one burst, and
-// the bare receive is markedly cheaper than a two-case select).
+// the bare receive is markedly cheaper than a multi-case select).
 // timedOut reports that the round timer fired instead; ok is false
-// when the inbox closed.
-func recvOrTimer(port transport.Port, timer *time.Timer) (env transport.Envelope, ok, timedOut bool) {
+// when the inbox closed; aborted reports that the caller's done
+// channel fired (nil done — the common, deadline-free case — can
+// never fire and costs only a never-ready select case on the slow
+// path).
+func recvOrTimer(port transport.Port, timer *time.Timer, done <-chan struct{}) (env transport.Envelope, ok, timedOut, aborted bool) {
 	select {
 	case env, ok = <-port.Inbox():
-		return env, ok, false
+		return env, ok, false, false
 	default:
 	}
 	select {
 	case env, ok = <-port.Inbox():
-		return env, ok, false
+		return env, ok, false, false
 	case <-timer.C:
-		return transport.Envelope{}, false, true
+		return transport.Envelope{}, false, true, false
+	case <-done:
+		return transport.Envelope{}, false, false, true
 	}
 }
 

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -34,6 +35,22 @@ type ConformanceCluster interface {
 	Start(id core.ProcessID)
 	// Close tears the whole cluster down.
 	Close()
+}
+
+// InjectorCluster is the optional extension a ConformanceCluster
+// implements to opt into the fault-injection cases: SetInjector must
+// install inj on every transport instance carrying cluster traffic
+// (nil removes it).
+type InjectorCluster interface {
+	SetInjector(inj Injector)
+}
+
+// funcInjector adapts a plain function to Injector for the suite's
+// scripted cases.
+type funcInjector func(from, to core.ProcessID) (bool, time.Duration, int)
+
+func (f funcInjector) Decide(from, to core.ProcessID) (bool, time.Duration, int) {
+	return f(from, to)
 }
 
 // Conformance runs the suite; mk builds a fresh n-process cluster per
@@ -282,6 +299,109 @@ func Conformance(t *testing.T, mk func(t *testing.T, n int) ConformanceCluster) 
 		case <-drained:
 		case <-time.After(10 * time.Second):
 			t.Fatal("inbox never closed")
+		}
+	})
+
+	t.Run("InjectorDuplication", func(t *testing.T) {
+		c := mk(t, 2)
+		defer c.Close()
+		ic, ok := c.(InjectorCluster)
+		if !ok {
+			t.Skip("cluster does not support fault injection")
+		}
+		const msgs = 50
+		ic.SetInjector(funcInjector(func(from, to core.ProcessID) (bool, time.Duration, int) {
+			if from == 0 && to == 1 {
+				return false, 0, 1 // one extra copy of everything
+			}
+			return false, 0, 0
+		}))
+		for i := 0; i < msgs; i++ {
+			c.Port(0).Send(1, i)
+		}
+		got := make(map[int]int, msgs)
+		for n := 0; n < 2*msgs; n++ {
+			env := conformanceRecv(t, c.Port(1))
+			got[env.Payload.(int)]++
+		}
+		for i := 0; i < msgs; i++ {
+			if got[i] != 2 {
+				t.Errorf("payload %d delivered %d times, want exactly 2", i, got[i])
+			}
+		}
+	})
+
+	t.Run("InjectorReorder", func(t *testing.T) {
+		c := mk(t, 2)
+		defer c.Close()
+		ic, ok := c.(InjectorCluster)
+		if !ok {
+			t.Skip("cluster does not support fault injection")
+		}
+		// Delay every second envelope on 0→1 long enough to dominate
+		// scheduling noise: the undelayed half overtakes it, so delivery
+		// order must differ from send order (non-FIFO lossless channel).
+		const msgs = 40
+		var calls atomic.Int64
+		ic.SetInjector(funcInjector(func(from, to core.ProcessID) (bool, time.Duration, int) {
+			if from == 0 && to == 1 && calls.Add(1)%2 == 1 {
+				return false, 150 * time.Millisecond, 0
+			}
+			return false, 0, 0
+		}))
+		for i := 0; i < msgs; i++ {
+			c.Port(0).Send(1, i)
+		}
+		order := make([]int, 0, msgs)
+		seen := make(map[int]bool, msgs)
+		for n := 0; n < msgs; n++ {
+			env := conformanceRecv(t, c.Port(1))
+			i := env.Payload.(int)
+			if seen[i] {
+				t.Fatalf("payload %d duplicated by a pure delay", i)
+			}
+			seen[i] = true
+			order = append(order, i)
+		}
+		inOrder := true
+		for i := 1; i < len(order); i++ {
+			if order[i] < order[i-1] {
+				inOrder = false
+				break
+			}
+		}
+		if inOrder {
+			t.Error("deliveries arrived in send order despite alternating delays")
+		}
+	})
+
+	t.Run("InjectorAsymmetricPartition", func(t *testing.T) {
+		c := mk(t, 2)
+		defer c.Close()
+		ic, ok := c.(InjectorCluster)
+		if !ok {
+			t.Skip("cluster does not support fault injection")
+		}
+		// Cut 0→1 while 1→0 flows.
+		ic.SetInjector(funcInjector(func(from, to core.ProcessID) (bool, time.Duration, int) {
+			return from == 0 && to == 1, 0, 0
+		}))
+		c.Port(0).Send(1, "fwd")
+		c.Port(1).Send(0, "rev")
+		if env := conformanceRecv(t, c.Port(0)); env.Payload != "rev" {
+			t.Fatalf("reverse direction received %+v, want rev", env)
+		}
+		select {
+		case env := <-c.Port(1).Inbox():
+			t.Fatalf("cut direction delivered %+v", env)
+		case <-time.After(300 * time.Millisecond):
+		}
+		// Healing the partition restores the link for new sends (the
+		// injector-dropped envelope is gone for good).
+		ic.SetInjector(nil)
+		c.Port(0).Send(1, "after-heal")
+		if env := conformanceRecv(t, c.Port(1)); env.Payload != "after-heal" {
+			t.Fatalf("healed link received %+v, want after-heal", env)
 		}
 	})
 }

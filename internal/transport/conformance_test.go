@@ -19,6 +19,7 @@ func (c *networkCluster) Port(id core.ProcessID) Port { return c.net.Port(id) }
 func (c *networkCluster) Stop(core.ProcessID) bool    { return false }
 func (c *networkCluster) Start(core.ProcessID)        {}
 func (c *networkCluster) Close()                      { c.net.Close() }
+func (c *networkCluster) SetInjector(inj Injector)    { c.net.SetInjector(inj) }
 
 func TestConformanceNetwork(t *testing.T) {
 	Conformance(t, func(t *testing.T, n int) ConformanceCluster {
@@ -72,6 +73,14 @@ func (c *tcpCluster) Close() {
 	for _, node := range c.nodes {
 		if node != nil {
 			node.Close()
+		}
+	}
+}
+
+func (c *tcpCluster) SetInjector(inj Injector) {
+	for _, node := range c.nodes {
+		if node != nil {
+			node.h.SetInjector(inj)
 		}
 	}
 }
@@ -158,6 +167,13 @@ func (c *tcpSharedCluster) Close() {
 	c.shared.Close()
 	if c.solo != nil {
 		c.solo.Close()
+	}
+}
+
+func (c *tcpSharedCluster) SetInjector(inj Injector) {
+	c.shared.SetInjector(inj)
+	if c.solo != nil {
+		c.solo.h.SetInjector(inj)
 	}
 }
 

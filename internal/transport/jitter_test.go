@@ -1,0 +1,35 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDialBackoffJitterSpreads pins the thundering-herd fix: N links
+// that lost their conns at the same instant (a partition healing, a
+// peer restarting) must not redial in lockstep waves. The jittered
+// backoff samples each wait uniformly from [base/2, base], so 64
+// "simultaneous" redials land spread across the half-window.
+func TestDialBackoffJitterSpreads(t *testing.T) {
+	const links = 64
+	base := 400 * time.Millisecond
+	distinct := make(map[time.Duration]struct{}, links)
+	for i := 0; i < links; i++ {
+		d := jitteredBackoff(base)
+		if d < base/2 || d > base {
+			t.Fatalf("jittered wait %v outside [%v, %v]", d, base/2, base)
+		}
+		distinct[d] = struct{}{}
+	}
+	// With nanosecond granularity over a 200ms window, collapsing 64
+	// draws to a handful of values means the jitter is broken.
+	if len(distinct) < links/4 {
+		t.Fatalf("%d simultaneous redials produced only %d distinct waits", links, len(distinct))
+	}
+	// Tiny backoffs must stay sane (no Int63n(0) panic, no negatives).
+	for _, b := range []time.Duration{0, 1, 2, dialBackoffMin} {
+		if d := jitteredBackoff(b); d < 0 || d > b {
+			t.Fatalf("jitteredBackoff(%v) = %v", b, d)
+		}
+	}
+}

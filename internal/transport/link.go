@@ -485,7 +485,7 @@ func (l *peerLink) dial() net.Conn {
 			return nil
 		default:
 		}
-		conn, err := net.DialTimeout("tcp", l.addr, dialTimeout)
+		conn, err := l.h.dialPeer(l.addr)
 		if err == nil {
 			setKeepAlive(conn)
 			l.mu.Lock()
@@ -505,12 +505,25 @@ func (l *peerLink) dial() net.Conn {
 		select {
 		case <-l.h.done:
 			return nil
-		case <-time.After(backoff):
+		case <-time.After(jitteredBackoff(backoff)):
 		}
 		if backoff *= 2; backoff > dialBackoffMax {
 			backoff = dialBackoffMax
 		}
 	}
+}
+
+// jitteredBackoff spreads a backoff ceiling into a uniform sample from
+// [base/2, base]. Pure exponential backoff synchronizes every link that
+// lost its conn at the same instant — after a partition heals, N peers
+// redial the restarted host in lockstep waves. Jitter decorrelates the
+// waves while keeping the expected wait at 3/4 of the ceiling.
+func jitteredBackoff(base time.Duration) time.Duration {
+	if base <= 1 {
+		return base
+	}
+	half := base / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // runConn drives one connection until it fails or the host closes:

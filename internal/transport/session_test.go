@@ -4,10 +4,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 )
 
@@ -426,78 +426,6 @@ func TestSessionHostnameAddrsUnifyState(t *testing.T) {
 	}
 }
 
-// blackholeProxy forwards TCP bytes between a local listener and a
-// target until frozen; a frozen proxy keeps both conns open but
-// silently discards all traffic — a partition the peer cannot observe
-// as a socket error.
-type blackholeProxy struct {
-	ln     net.Listener
-	target string
-	frozen atomic.Bool
-	conns  struct {
-		sync.Mutex
-		list []net.Conn
-	}
-}
-
-func newBlackholeProxy(t *testing.T, target string) *blackholeProxy {
-	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	p := &blackholeProxy{ln: ln, target: target}
-	go p.accept()
-	t.Cleanup(p.close)
-	return p
-}
-
-func (p *blackholeProxy) addr() string { return p.ln.Addr().String() }
-
-func (p *blackholeProxy) accept() {
-	for {
-		c, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		up, err := net.Dial("tcp", p.target)
-		if err != nil {
-			_ = c.Close()
-			continue
-		}
-		p.conns.Lock()
-		p.conns.list = append(p.conns.list, c, up)
-		p.conns.Unlock()
-		go p.pipe(c, up)
-		go p.pipe(up, c)
-	}
-}
-
-func (p *blackholeProxy) pipe(dst, src net.Conn) {
-	buf := make([]byte, 32<<10)
-	for {
-		n, err := src.Read(buf)
-		if err != nil {
-			return
-		}
-		if p.frozen.Load() {
-			continue // partition: swallow the bytes, keep the conn open
-		}
-		if _, err := dst.Write(buf[:n]); err != nil {
-			return
-		}
-	}
-}
-
-func (p *blackholeProxy) close() {
-	_ = p.ln.Close()
-	p.conns.Lock()
-	for _, c := range p.conns.list {
-		_ = c.Close()
-	}
-	p.conns.Unlock()
-}
-
 // TestKeepaliveDetectsSilentPartition pins the keepalive satellite: an
 // established, fully idle session (nothing queued, so the ack-silence
 // check can never fire) whose peer silently stops responding must be
@@ -514,8 +442,12 @@ func TestKeepaliveDetectsSilentPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer receiver.Close()
-	proxy := newBlackholeProxy(t, receiver.Addr())
-	addrs[1] = proxy.addr() // the sender dials through the proxy
+	proxy, err := chaos.NewProxy(receiver.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+	addrs[1] = proxy.Addr() // the sender dials through the proxy
 	addrs[0] = "127.0.0.1:0"
 	sender, err := NewTCPNode(0, addrs)
 	if err != nil {
@@ -540,7 +472,7 @@ func TestKeepaliveDetectsSilentPartition(t *testing.T) {
 		t.Fatalf("DeadPeers = %d before the partition", s.DeadPeers)
 	}
 
-	proxy.frozen.Store(true)
+	proxy.Blackhole(true)
 	// No data is sent from here on: only the heartbeat can notice.
 	deadline = time.Now().Add(10 * time.Second)
 	for sender.Stats().DeadPeers == 0 {
@@ -549,6 +481,9 @@ func TestKeepaliveDetectsSilentPartition(t *testing.T) {
 			t.Fatalf("silent partition never detected (stats %+v)", s)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+	if ps := proxy.Stats(); ps.BytesBlackholed == 0 {
+		t.Errorf("proxy swallowed the keepalive pings but counted nothing: %+v", ps)
 	}
 	if s := sender.Stats(); s.Pings == 0 {
 		t.Errorf("expected keepalive pings to have been sent, stats %+v", s)

@@ -54,6 +54,12 @@ type TCPHost struct {
 	nodes  atomic.Pointer[map[core.ProcessID]*TCPNode]
 	routes atomic.Pointer[map[core.ProcessID]*peerLink]
 
+	// inj, when non-nil, is the fault injector consulted on every send;
+	// dialFn, when non-nil, replaces net.DialTimeout for every peerLink
+	// dial (the chaos proxy interposes here). Both are read lock-free.
+	inj    atomic.Pointer[Injector]
+	dialFn atomic.Pointer[DialFunc]
+
 	mu       sync.Mutex
 	links    map[string]*peerLink // one session per remote process address (canonical ip:port)
 	rcv      map[string]*rcvState // per-remote-process receive/dedup state
@@ -331,6 +337,76 @@ func NewTCPNode(id core.ProcessID, addrs map[core.ProcessID]string) (*TCPNode, e
 // Addr returns the host's bound listen address (useful with ":0").
 func (h *TCPHost) Addr() string { return h.addr }
 
+// DialFunc dials a remote host address; it has the shape of
+// net.DialTimeout with the network fixed to "tcp".
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+// SetDialer installs a custom dialer used by every peerLink (re)dial
+// from now on — the hook a conn-level chaos proxy wraps every session
+// through. Passing nil restores net.DialTimeout.
+func (h *TCPHost) SetDialer(fn DialFunc) {
+	if fn == nil {
+		h.dialFn.Store(nil)
+		return
+	}
+	h.dialFn.Store(&fn)
+}
+
+// dialPeer resolves the dialer hook and connects to addr.
+func (h *TCPHost) dialPeer(addr string) (net.Conn, error) {
+	if fn := h.dialFn.Load(); fn != nil {
+		return (*fn)(addr, dialTimeout)
+	}
+	return net.DialTimeout("tcp", addr, dialTimeout)
+}
+
+// SetInjector installs a fault injector consulted on every send —
+// including the in-process fast path between colocated nodes, so
+// memory and TCP deployments see the same scripted faults. Passing nil
+// removes it; the pass-through cost is one atomic nil check per send.
+// Injection happens above the session layer: a delayed envelope is
+// re-submitted whole after its delay, a dropped one never reaches the
+// retransmission queue (the loss is permanent, unlike conn-level loss,
+// which sessions repair).
+func (h *TCPHost) SetInjector(inj Injector) {
+	if inj == nil {
+		h.inj.Store(nil)
+		return
+	}
+	h.inj.Store(&inj)
+}
+
+// injectOne applies the installed injector to one send. It reports
+// whether the caller should proceed with the normal immediate path;
+// false means the envelope was consumed here (dropped, or rescheduled
+// to run after a delay). Duplicate copies are dispatched here.
+func (h *TCPHost) injectOne(inj Injector, from, to core.ProcessID, payload Message, hop int) bool {
+	drop, delay, dup := inj.Decide(from, to)
+	if drop {
+		h.counters.drops.Add(1)
+		return false
+	}
+	for i := 0; i < dup; i++ {
+		h.sendMaybeAfter(delay, from, to, payload, hop)
+	}
+	if delay > 0 {
+		h.sendMaybeAfter(delay, from, to, payload, hop)
+		return false
+	}
+	return true
+}
+
+// sendMaybeAfter dispatches through the injector-free path, after a
+// delay when d > 0. Deliveries racing Close are dropped by the normal
+// closed checks in linkTo/deliverLocal.
+func (h *TCPHost) sendMaybeAfter(d time.Duration, from, to core.ProcessID, payload Message, hop int) {
+	if d <= 0 {
+		h.sendDirect(from, to, payload, hop)
+		return
+	}
+	time.AfterFunc(d, func() { h.sendDirect(from, to, payload, hop) })
+}
+
 // Addr returns the hosting process's listen address.
 func (n *TCPNode) Addr() string { return n.h.addr }
 
@@ -418,6 +494,14 @@ func (n *TCPNode) deliverLocal(env Envelope) bool {
 }
 
 func (h *TCPHost) sendHop(from, to core.ProcessID, payload Message, hop int) {
+	if p := h.inj.Load(); p != nil && !h.injectOne(*p, from, to, payload, hop) {
+		return
+	}
+	h.sendDirect(from, to, payload, hop)
+}
+
+// sendDirect is the injector-free single-envelope send path.
+func (h *TCPHost) sendDirect(from, to core.ProcessID, payload Message, hop int) {
 	env := Envelope{From: from, To: to, Hop: hop, Payload: payload}
 	if ln := h.localNode(to); ln != nil {
 		if ln.deliverLocal(env) {
@@ -438,6 +522,18 @@ func (h *TCPHost) sendHop(from, to core.ProcessID, payload Message, hop int) {
 
 func (h *TCPHost) sendBatch(from, to core.ProcessID, payloads []Message, hop int) {
 	if len(payloads) == 0 {
+		return
+	}
+	// An installed injector must decide every envelope individually, so
+	// the burst degrades to per-envelope sends (same rule as the
+	// in-memory network's batchable check).
+	if p := h.inj.Load(); p != nil {
+		inj := *p
+		for _, pl := range payloads {
+			if h.injectOne(inj, from, to, pl, hop) {
+				h.sendDirect(from, to, pl, hop)
+			}
+		}
 		return
 	}
 	if ln := h.localNode(to); ln != nil {
@@ -513,6 +609,18 @@ func (h *TCPHost) sendBatch(from, to core.ProcessID, payloads []Message, hop int
 
 func (h *TCPHost) broadcast(from core.ProcessID, dst core.Set, payload Message, hop int) {
 	if dst == 0 {
+		return
+	}
+	// Per-envelope injection: the fan-out degrades to single sends so
+	// each link gets its own Decide call.
+	if p := h.inj.Load(); p != nil {
+		inj := *p
+		for v := uint64(dst); v != 0; v &= v - 1 {
+			to := core.ProcessID(bits.TrailingZeros64(v))
+			if h.injectOne(inj, from, to, payload, hop) {
+				h.sendDirect(from, to, payload, hop)
+			}
+		}
 		return
 	}
 	// Local destinations take the in-process path; remote destinations

@@ -51,6 +51,21 @@ const (
 // Filter inspects an envelope before delivery.
 type Filter func(Envelope) Verdict
 
+// Injector is a per-link fault-injection hook consulted on every send.
+// Decide returns the fate of one envelope travelling from→to: drop it,
+// delay it by some duration, and/or deliver dup extra copies (each copy
+// subject to the same delay). Both transports accept the same interface,
+// so one scripted fault plan drives the in-memory Network and the TCP
+// session layer identically.
+//
+// Implementations must be safe for concurrent use: transports invoke
+// Decide from arbitrary sender goroutines without serialization. The
+// canonical implementation is internal/chaos.Script, which matches this
+// interface structurally so that neither package imports the other.
+type Injector interface {
+	Decide(from, to core.ProcessID) (drop bool, delay time.Duration, dup int)
+}
+
 // Port is one process's attachment to a network.
 type Port interface {
 	// ID returns the process ID this port belongs to.
@@ -84,6 +99,7 @@ const inboxCap = 4096
 // dispatch. Mutators copy it, change the copy, and swap the pointer.
 type netConfig struct {
 	filter  Filter
+	inj     Injector
 	delay   time.Duration
 	linkDly []time.Duration // flat n×n, -1 = no override; nil when unused
 	crashed core.Set
@@ -168,6 +184,14 @@ func (net *Network) SetFilter(f Filter) {
 	net.updateCfg(func(c *netConfig) { c.filter = f })
 }
 
+// SetInjector installs a fault injector consulted on every send, after
+// the filter and on top of any configured delays. Passing nil removes
+// it; with no injector installed the dispatch paths are unchanged (the
+// nil check rides on the routing snapshot that is loaded anyway).
+func (net *Network) SetInjector(inj Injector) {
+	net.updateCfg(func(c *netConfig) { c.inj = inj })
+}
+
 // SetDelay sets the uniform link delay; per-link delays take precedence.
 func (net *Network) SetDelay(d time.Duration) {
 	net.updateCfg(func(c *netConfig) { c.delay = d })
@@ -194,6 +218,13 @@ func (net *Network) SetLinkDelay(from, to core.ProcessID, d time.Duration) {
 // goroutine may keep running but becomes invisible.
 func (net *Network) Crash(id core.ProcessID) {
 	net.updateCfg(func(c *netConfig) { c.crashed = c.crashed.Add(id) })
+}
+
+// Restart reconnects a previously crashed process: messages to and from
+// it flow again. It models the recovered process rejoining at the
+// network boundary; envelopes dropped while it was crashed stay dropped.
+func (net *Network) Restart(id core.ProcessID) {
+	net.updateCfg(func(c *netConfig) { c.crashed = c.crashed.Remove(id) })
 }
 
 // Crashed returns the set of crashed processes.
@@ -291,25 +322,42 @@ func (net *Network) dispatch(env Envelope) {
 			d = ld
 		}
 	}
+	copies := 1
+	if cfg.inj != nil {
+		drop, extra, dup := cfg.inj.Decide(env.From, env.To)
+		if drop {
+			net.sendMu.RUnlock()
+			return
+		}
+		d += extra
+		if dup > 0 {
+			copies += dup
+		}
+	}
 	// Register with inflight (and the timer heap) before releasing the
 	// accept gate, so Close's Wait provably covers this message.
-	net.inflight.Add(1)
+	net.inflight.Add(copies)
 	if d <= 0 {
 		net.sendMu.RUnlock()
-		net.deliver(env) // may block on a full inbox; gate released
+		for i := 0; i < copies; i++ {
+			net.deliver(env) // may block on a full inbox; gate released
+		}
 		return
 	}
-	net.timers.schedule(time.Now().Add(d), env)
+	when := time.Now().Add(d)
+	for i := 0; i < copies; i++ {
+		net.timers.schedule(when, env)
+	}
 	net.sendMu.RUnlock()
 }
 
 // batchable reports whether the routing snapshot lets a whole burst
-// take the batched fast path: plain delivery only. Filters must see
-// envelopes one at a time, delays schedule per envelope, and crashes
-// need the per-envelope from/to check, so any of those falls back to
-// dispatch.
+// take the batched fast path: plain delivery only. Filters and
+// injectors must see envelopes one at a time, delays schedule per
+// envelope, and crashes need the per-envelope from/to check, so any of
+// those falls back to dispatch.
 func batchable(cfg *netConfig) bool {
-	return cfg.filter == nil && cfg.delay <= 0 && cfg.linkDly == nil && cfg.crashed == 0
+	return cfg.filter == nil && cfg.inj == nil && cfg.delay <= 0 && cfg.linkDly == nil && cfg.crashed == 0
 }
 
 // dispatchBatch routes a same-destination burst: one accept-gate

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/chaos"
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -134,9 +135,12 @@ type (
 	StorageCluster = sim.StorageCluster
 	// StorageOptions configures NewStorage.
 	StorageOptions = sim.StorageOptions
-	// Writer is the storage's single writer (Figure 5).
+	// Writer is the storage's single writer (Figure 5). Write blocks
+	// until the operation completes; WriteCtx takes a per-operation
+	// deadline and reports a liveness violation as the context error.
 	Writer = storage.Writer
-	// Reader is a storage reader (Figure 7).
+	// Reader is a storage reader (Figure 7); ReadCtx is Read with a
+	// per-operation deadline, like Writer.WriteCtx.
 	Reader = storage.Reader
 	// WriteResult reports a write's timestamp and round count.
 	WriteResult = storage.WriteResult
@@ -146,9 +150,11 @@ type (
 	ServerHooks = storage.Hooks
 	// Tag orders MWMR writes: lexicographic on (TS, Writer).
 	Tag = storage.Tag
-	// MWWriter is one of arbitrarily many writers of the MWMR register.
+	// MWWriter is one of arbitrarily many writers of the MWMR register
+	// (deadline-aware variant: WriteCtx).
 	MWWriter = storage.MWWriter
-	// MWReader is a reader of the MWMR register.
+	// MWReader is a reader of the MWMR register (deadline-aware
+	// variant: ReadCtx).
 	MWReader = storage.MWReader
 	// MWResult reports an MWMR operation's value, tag and round count.
 	MWResult = storage.MWResult
@@ -249,6 +255,51 @@ var (
 	// NewTCPHost starts a shared session host; attach logical nodes
 	// with its Node method to colocate many clients in one process.
 	NewTCPHost = transport.NewTCPHost
+)
+
+// Chaos layer: scripted fault injection for both transports plus the
+// scenario-matrix runner (see the "Chaos layer" section of
+// ARCHITECTURE.md and cmd/rqs-chaos).
+type (
+	// Injector decides each envelope's fate on a from→to link: drop,
+	// added delay, extra duplicate copies. Install on a Network or
+	// TCPHost (or a sim cluster) with SetInjector; ChaosScript is the
+	// canonical implementation.
+	Injector = transport.Injector
+	// ChaosScript is a seeded, time-scheduled fault script: a chain of
+	// ChaosRules whose randomness replays exactly from the seed.
+	ChaosScript = chaos.Script
+	// ChaosRule scripts one fault: an effect on a set of directed
+	// links during a window of the script clock.
+	ChaosRule = chaos.Rule
+	// ChaosEffect is one fault behaviour (Cut, Park, Drop, Dup, Delay,
+	// Flap — see internal/chaos).
+	ChaosEffect = chaos.Effect
+	// ChaosProxy is a conn-level interposer for the TCP transport:
+	// blackhole bytes or cut live conns below the session layer.
+	ChaosProxy = chaos.Proxy
+	// ChaosProxyStats reports what a proxy did to the wire.
+	ChaosProxyStats = chaos.ProxyStats
+	// Scenario is one named fault campaign of the chaos matrix.
+	Scenario = sim.Scenario
+	// ScenarioResult is one histcheck-verified run of a scenario.
+	ScenarioResult = sim.RunResult
+)
+
+// Chaos constructors and the scenario matrix.
+var (
+	// NewChaosScript creates an empty seeded fault script.
+	NewChaosScript = chaos.NewScript
+	// NewChaosProxy starts a conn-level proxy relaying to a target
+	// address; install it via TCPHost.SetDialer.
+	NewChaosProxy = chaos.NewProxy
+	// ChaosScenarios returns the named scenario registry.
+	ChaosScenarios = sim.Scenarios
+	// FindChaosScenario looks a scenario up by name.
+	FindChaosScenario = sim.FindScenario
+	// RunChaosScenario executes one scenario×transport×workload cell
+	// and returns its histcheck-verified result.
+	RunChaosScenario = sim.RunScenario
 )
 
 // NewStorageServer runs one storage server on an arbitrary Port (e.g. a
