@@ -195,6 +195,45 @@ func BenchmarkMWMRManyWriters(b *testing.B) {
 	}
 }
 
+// BenchmarkKVManyClients is C concurrent KV clients over a
+// two-shard-group keyed deployment: uniform Puts and zipfian (s=1.2)
+// Gets over a 1k-key table (the perf gate's load/kv-* entries run the
+// 10k-key variant). Matches the CI bench-smoke pattern so every PR
+// exercises one kv load cell.
+func BenchmarkKVManyClients(b *testing.B) {
+	table := sim.KeyTable(1024)
+	for _, c := range sim.LoadConcurrencies {
+		b.Run(fmt.Sprintf("put/c%d", c), func(b *testing.B) {
+			cl := NewKV(Example7RQS(), KVOptions{Groups: 2, Clients: c})
+			defer cl.Stop()
+			var seed int64
+			sim.RunManyClients(b, c, func() func() error {
+				seed++
+				kv := cl.Client()
+				keys := sim.NewUniformKeys(seed, table)
+				return func() error { _, err := kv.Put(keys(), "v"); return err }
+			})
+		})
+		b.Run(fmt.Sprintf("get-zipf/c%d", c), func(b *testing.B) {
+			cl := NewKV(Example7RQS(), KVOptions{Groups: 2, Clients: c + 1})
+			defer cl.Stop()
+			pre := cl.Client()
+			for _, key := range table {
+				if _, err := pre.Put(key, "v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var seed int64
+			sim.RunManyClients(b, c, func() func() error {
+				seed++
+				kv := cl.Client()
+				keys := sim.NewZipfKeys(seed, 1.2, table)
+				return func() error { _, _, err := kv.Get(keys()); return err }
+			})
+		})
+	}
+}
+
 // BenchmarkTCPStorageManyClients is BenchmarkStorageManyClients over
 // real loopback TCP in shared-session mode: all C logical clients are
 // colocated on one client host, so the socket count per process pair

@@ -38,6 +38,44 @@ func memStorageLoad(r *core.RQS, c int, read bool) func(b *testing.B) {
 	}
 }
 
+// kvLoadKeys is the keyspace size of the kv load points: large enough
+// that the per-key register map and its sharding actually matter,
+// small enough that preloading stays a fraction of the measured run.
+const kvLoadKeys = 10000
+
+// kvLoad is C concurrent KV clients over a two-shard-group in-memory
+// deployment. Writes draw keys uniformly over the 10k-key table; reads
+// draw them zipfian (s=1.2) over the same table, preloaded with one
+// Put per key — the skewed-read regime where the head keys resolve on
+// the one-round fast path while the tail still exercises the lazily
+// created register states.
+func kvLoad(r *core.RQS, c int, read bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		cl := sim.NewKVCluster(r, sim.KVOptions{Groups: 2, Clients: c + 1})
+		defer cl.Stop()
+		table := sim.KeyTable(kvLoadKeys)
+		if read {
+			pre := cl.Client()
+			for _, key := range table {
+				if _, err := pre.Put(key, "v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		var seed int64
+		sim.RunManyClients(b, c, func() func() error {
+			seed++
+			kv := cl.Client()
+			if read {
+				keys := sim.NewZipfKeys(seed, 1.2, table)
+				return func() error { _, _, err := kv.Get(keys()); return err }
+			}
+			keys := sim.NewUniformKeys(seed, table)
+			return func() error { _, err := kv.Put(keys(), "v"); return err }
+		})
+	}
+}
+
 // smrLoad is C concurrent clients deciding commands through one shared
 // pipelined SMR deployment.
 func smrLoad(r *core.RQS, c int) func(b *testing.B) {
@@ -101,6 +139,8 @@ func runLoadMatrix() error {
 			point{"memory", "storage-read", c, memStorageLoad(example7, c, true)},
 			point{"memory", "mwmr-write", c, memStorageLoad(example7, c, false)},
 			point{"memory", "smr-decide", c, smrLoad(example7, c)},
+			point{"memory", "kv-put", c, kvLoad(example7, c, false)},
+			point{"memory", "kv-get-zipf", c, kvLoad(example7, c, true)},
 			point{"tcp", "storage-read", c, tcpStorageLoad(example7, c, true)},
 			point{"tcp", "mwmr-write", c, tcpStorageLoad(example7, c, false)},
 		)

@@ -198,6 +198,14 @@ func perfSuite() ([]BenchResult, error) {
 		{"load/mwmr-write-c8/example7", memStorageLoad(example7, 8, false)},
 		{"load/mwmr-write-c64/example7", memStorageLoad(example7, 64, false)},
 		{"load/smr-decide-c8/example7", smrLoad(example7, 8)},
+		// Keyed KV throughput: uniform Puts and zipfian (s=1.2) Gets
+		// over a 10k-key table on two shard groups — the per-key state
+		// map, consistent-hash routing, and tracker pooling all gate
+		// here.
+		{"load/kv-put-c8/example7", kvLoad(example7, 8, false)},
+		{"load/kv-put-c64/example7", kvLoad(example7, 64, false)},
+		{"load/kv-get-zipf-c8/example7", kvLoad(example7, 8, true)},
+		{"load/kv-get-zipf-c64/example7", kvLoad(example7, 64, true)},
 		// TCP points of the load matrix, in shared-session mode (all C
 		// clients colocated on one host). Gating these makes the C=64
 		// session-multiplexing win an enforced floor exactly like the

@@ -1,9 +1,10 @@
 // Command rqs-chaos runs the scripted fault-injection scenario matrix:
 // named chaos scenarios (partitions, flapping links, Byzantine stale
 // tags, kill -9 restarts, heavy-tailed latency, reorder/duplication
-// storms, wire blackholes) against the SWMR, MWMR and SMR workloads on
-// the in-memory and TCP transports, property-checking every run with
-// histcheck and asserting liveness through per-operation deadlines.
+// storms, wire blackholes) against the SWMR, MWMR, SMR and keyed KV
+// workloads on the in-memory and TCP transports, property-checking
+// every run with histcheck and asserting liveness through
+// per-operation deadlines.
 //
 // Usage:
 //
@@ -47,7 +48,7 @@ func run(args []string) error {
 		matrix    = fs.Bool("matrix", false, "run every applicable scenario × transport × workload cell")
 		scenario  = fs.String("scenario", "", "run one named scenario (see -list)")
 		transport = fs.String("transport", "", "restrict to one transport: memory or tcp")
-		workload  = fs.String("workload", "", "restrict to one workload: swmr, mwmr or smr")
+		workload  = fs.String("workload", "", "restrict to one workload: swmr, mwmr, smr or kv")
 		seed      = fs.Int64("seed", 1, "fault-script seed; a run replays its faults from it")
 		list      = fs.Bool("list", false, "list scenarios and their applicable cells, then exit")
 		artifact  = fs.String("artifact", "", "write failing runs (seed, violation, history dump) as JSON to this path")
@@ -139,22 +140,24 @@ func selectTransports(s string) ([]sim.Transport, error) {
 func selectWorkloads(s string) ([]sim.Workload, error) {
 	switch s {
 	case "":
-		return []sim.Workload{sim.SWMRWorkload, sim.MWMRWorkload, sim.SMRWorkload}, nil
+		return []sim.Workload{sim.SWMRWorkload, sim.MWMRWorkload, sim.SMRWorkload, sim.KVWorkload}, nil
 	case "swmr":
 		return []sim.Workload{sim.SWMRWorkload}, nil
 	case "mwmr":
 		return []sim.Workload{sim.MWMRWorkload}, nil
 	case "smr":
 		return []sim.Workload{sim.SMRWorkload}, nil
+	case "kv":
+		return []sim.Workload{sim.KVWorkload}, nil
 	}
-	return nil, fmt.Errorf("unknown workload %q (swmr, mwmr or smr)", s)
+	return nil, fmt.Errorf("unknown workload %q (swmr, mwmr, smr or kv)", s)
 }
 
 func listScenarios(out interface{ Write([]byte) (int, error) }) {
 	for _, sc := range sim.Scenarios() {
 		var cells []string
 		for _, tr := range []sim.Transport{sim.MemoryTransport, sim.TCPTransport} {
-			for _, wl := range []sim.Workload{sim.SWMRWorkload, sim.MWMRWorkload, sim.SMRWorkload} {
+			for _, wl := range []sim.Workload{sim.SWMRWorkload, sim.MWMRWorkload, sim.SMRWorkload, sim.KVWorkload} {
 				if sc.Applies(tr, wl) {
 					cells = append(cells, fmt.Sprintf("%s/%s", tr, wl))
 				}

@@ -25,6 +25,22 @@
 // discover the maximum tag, then the write); an uncontended read
 // completes in one.
 //
+// # Keyed KV demo
+//
+// The same servers host a full keyspace of per-key MWMR registers (the
+// single-register roles above all live at key ""). The kv roles drive
+// it with Get/Put/CAS:
+//
+//	rqs-demo -role kv-put -key user:42 -value alice
+//	rqs-demo -role kv-get -key user:42
+//	rqs-demo -role kv-cas -key user:42 -expect-ts 1 -expect-writer 6 -value bob
+//
+// kv-get prints the version (ts, writer) that committed the value;
+// kv-cas installs its value only if the key's version still equals
+// (-expect-ts, -expect-writer) — at most one concurrent CAS per
+// version succeeds. The zero version (0, 0) CASes against an unwritten
+// key.
+//
 // All processes default to localhost ports 7700+id; override with
 // -addrs host:port,host:port,... (servers first, then the client
 // slots).
@@ -59,9 +75,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rqs-demo", flag.ContinueOnError)
 	var (
-		role    = fs.String("role", "", "server | write | read | mwmr-write | mwmr-read")
+		role    = fs.String("role", "", "server | write | read | mwmr-write | mwmr-read | kv-put | kv-get | kv-cas")
 		id      = fs.Int("id", -1, "process id: server id for -role server, client slot otherwise")
-		value   = fs.String("value", "hello", "value to write (role=write, mwmr-write)")
+		value   = fs.String("value", "hello", "value to write (role=write, mwmr-write, kv-put, kv-cas)")
+		key     = fs.String("key", "demo", "key to operate on (kv roles)")
+		expTS   = fs.Int64("expect-ts", 0, "expected version timestamp (role=kv-cas)")
+		expWr   = fs.Int("expect-writer", 0, "expected version writer id (role=kv-cas)")
 		addrsCS = fs.String("addrs", "", "comma-separated addresses; default localhost:7700+i")
 		timeout = fs.Duration("timeout", 50*time.Millisecond, "round timer (2Δ); SWMR roles only — mwmr phases are pure quorum waits")
 	)
@@ -79,6 +98,8 @@ func run(args []string) error {
 	transport.Register(storage.MWReadAck{})
 	transport.Register(storage.MWWriteReq{})
 	transport.Register(storage.MWWriteAck{})
+	transport.Register(storage.KVCASReq{})
+	transport.Register(storage.KVCASAck{})
 
 	addrs := make(map[core.ProcessID]string, n+clientSlots)
 	if *addrsCS != "" {
@@ -202,6 +223,55 @@ func run(args []string) error {
 		fmt.Printf("mwmr read %q (tag ts=%d, writer=%d) in %d round(s)\n",
 			val, res.Tag.TS, res.Tag.Writer, res.Rounds)
 		return nil
+
+	case "kv-put", "kv-get", "kv-cas":
+		cid, err := clientID()
+		if err != nil {
+			return err
+		}
+		node, err := transport.NewTCPNode(cid, addrs)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		kv := storage.NewKVClient([]storage.KVGroup{{System: system, Port: node}})
+		switch *role {
+		case "kv-put":
+			ver, err := kv.Put(*key, *value)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("kv put %s=%q at version (ts=%d, writer=%d)\n",
+				*key, *value, ver.TS, ver.Writer)
+		case "kv-get":
+			val, ver, err := kv.Get(*key)
+			if err != nil {
+				return err
+			}
+			if val == storage.NoValue {
+				val = "⊥"
+			}
+			fmt.Printf("kv get %s=%q (version ts=%d, writer=%d)\n",
+				*key, val, ver.TS, ver.Writer)
+		case "kv-cas":
+			expect := storage.Version{TS: *expTS, Writer: core.ProcessID(*expWr)}
+			res, err := kv.CAS(*key, expect, *value)
+			if err != nil {
+				return err
+			}
+			if res.OK {
+				fmt.Printf("kv cas %s=%q applied at version (ts=%d, writer=%d)\n",
+					*key, *value, res.Version.TS, res.Version.Writer)
+			} else {
+				val := res.Val
+				if val == storage.NoValue {
+					val = "⊥"
+				}
+				fmt.Printf("kv cas %s failed: version is now (ts=%d, writer=%d) holding %q\n",
+					*key, res.Version.TS, res.Version.Writer, val)
+			}
+		}
+		return nil
 	}
-	return fmt.Errorf("unknown -role %q (want server, write, read, mwmr-write or mwmr-read)", *role)
+	return fmt.Errorf("unknown -role %q (want server, write, read, mwmr-write, mwmr-read, kv-put, kv-get or kv-cas)", *role)
 }

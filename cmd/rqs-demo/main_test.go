@@ -163,6 +163,155 @@ func TestMWMRWriteReadRoles(t *testing.T) {
 	}
 }
 
+// TestKVRoles drives the demo's keyed roles end to end over real TCP:
+// kv-put, kv-get, a kv-cas against the put's version (must apply), and
+// a kv-cas against the now-stale version (must fail cleanly).
+func TestKVRoles(t *testing.T) {
+	system := core.Example7RQS()
+	n := system.N()
+	transport.Register(storage.MWReadReq{})
+	transport.Register(storage.MWReadAck{})
+	transport.Register(storage.MWWriteReq{})
+	transport.Register(storage.MWWriteAck{})
+	transport.Register(storage.KVCASReq{})
+	transport.Register(storage.KVCASAck{})
+
+	addrs := make(map[core.ProcessID]string, n+2)
+	for i := 0; i < n; i++ {
+		addrs[i] = "127.0.0.1:0"
+	}
+	for i := 0; i < 2; i++ {
+		addrs[n+i] = reserveAddr(t)
+	}
+	for i := 0; i < n; i++ {
+		node, err := transport.NewTCPNode(i, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		addrs[i] = node.Addr()
+		srv := storage.NewServer(node, storage.Hooks{})
+		srv.Start()
+		defer srv.Stop()
+	}
+	csv := make([]string, n+2)
+	for i := range csv {
+		csv[i] = addrs[i]
+	}
+	addrsFlag := strings.Join(csv, ",")
+
+	for _, roleArgs := range [][]string{
+		{"-role", "kv-put", "-key", "user:42", "-value", "alice"},
+		{"-role", "kv-get", "-key", "user:42"},
+		// The put above committed version (ts=1, writer=n): this CAS
+		// must apply...
+		{"-role", "kv-cas", "-key", "user:42", "-value", "bob",
+			"-expect-ts", "1", "-expect-writer", strconv.Itoa(n)},
+		// ...and re-CASing the now-stale version must fail cleanly
+		// (run() still returns nil — failure is a result, not an error).
+		{"-role", "kv-cas", "-key", "user:42", "-value", "carol",
+			"-expect-ts", "1", "-expect-writer", strconv.Itoa(n)},
+	} {
+		args := append(roleArgs, "-id", strconv.Itoa(n), "-addrs", addrsFlag)
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", roleArgs, err)
+		}
+	}
+
+	// An independent client on the second slot: the winning CAS value
+	// is committed at version (ts=2, writer=n).
+	node, err := transport.NewTCPNode(n+1, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	kv := storage.NewKVClient([]storage.KVGroup{{System: system, Port: node}})
+	val, ver, err := kv.Get("user:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != "bob" || ver.TS != 2 || ver.Writer != n {
+		t.Fatalf("kv get user:42 = (%q, %+v), want (%q, ts=2 writer=%d)", val, ver, "bob", n)
+	}
+}
+
+// TestKVClientRestartNoStaleAcks pins the cross-incarnation stale-ack
+// fix: a KV client process exits right after its ops (leaving acks the
+// servers' reliable links will retransmit to its slot), and a FRESH
+// client process on the same slot reads a different, never-written
+// key. With sequence numbers restarting at 1 each incarnation, the
+// retransmitted key-less acks of the dead client matched the new
+// read's Seq and returned the OLD key's value; the random per-
+// incarnation seq start makes the new read see ⊥.
+func TestKVClientRestartNoStaleAcks(t *testing.T) {
+	system := core.Example7RQS()
+	n := system.N()
+	transport.Register(storage.MWReadReq{})
+	transport.Register(storage.MWReadAck{})
+	transport.Register(storage.MWWriteReq{})
+	transport.Register(storage.MWWriteAck{})
+	transport.Register(storage.KVCASReq{})
+	transport.Register(storage.KVCASAck{})
+
+	addrs := make(map[core.ProcessID]string, n+1)
+	for i := 0; i < n; i++ {
+		addrs[i] = "127.0.0.1:0"
+	}
+	addrs[n] = reserveAddr(t) // the slot both incarnations share
+	for i := 0; i < n; i++ {
+		node, err := transport.NewTCPNode(i, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		addrs[i] = node.Addr()
+		srv := storage.NewServer(node, storage.Hooks{})
+		srv.Start()
+		defer srv.Stop()
+	}
+
+	// Incarnation 1: put + get, then the process dies (Close) without
+	// draining — its unconsumed acks stay queued for retransmission.
+	node1, err := transport.NewTCPNode(n, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv1 := storage.NewKVClient([]storage.KVGroup{{System: system, Port: node1}})
+	if _, err := kv1.Put("user:42", "alice"); err != nil {
+		node1.Close()
+		t.Fatal(err)
+	}
+	if _, _, err := kv1.Get("user:42"); err != nil {
+		node1.Close()
+		t.Fatal(err)
+	}
+	node1.Close()
+
+	// Incarnation 2, same slot: a different key must read as unwritten
+	// even while the dead incarnation's acks are being redelivered.
+	node2, err := transport.NewTCPNode(n, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	kv2 := storage.NewKVClient([]storage.KVGroup{{System: system, Port: node2}})
+	val, ver, err := kv2.Get("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != storage.NoValue || !ver.IsZero() {
+		t.Fatalf("unwritten key after client restart = (%q, %+v), want (⊥, zero version)", val, ver)
+	}
+	// The original key is unaffected.
+	val, _, err = kv2.Get("user:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != "alice" {
+		t.Fatalf("user:42 after client restart = %q, want %q", val, "alice")
+	}
+}
+
 // reserveAddr grabs a free loopback port and releases it for the
 // client nodes to bind. Listeners use SO_REUSEADDR, so the immediate
 // rebind (twice, by the two client incarnations) is safe.

@@ -49,10 +49,14 @@ func (k Kind) String() string {
 }
 
 // Op is one completed operation: the timestamp it wrote or returned and
-// its real-time invocation/response instants.
+// its real-time invocation/response instants. Key names the register
+// the operation addressed; single-register histories leave it "" and
+// CheckPerKey verifies each key's sub-history independently (atomicity
+// is a per-object property).
 type Op struct {
 	Kind   Kind
 	Client string
+	Key    string
 	TS     int64
 	Inv    time.Time
 	Resp   time.Time
@@ -97,6 +101,30 @@ func (r *Recorder) Ops() []Op {
 
 // Check verifies atomicity of the recorded history.
 func (r *Recorder) Check() *Violation { return Check(r.Ops()) }
+
+// CheckPerKey verifies atomicity of a multi-key history: operations are
+// grouped by Key and each key's sub-history is checked independently —
+// linearizability is a local (per-object) property, so a multi-key
+// history is atomic iff every per-key projection is. On a key-less
+// history (every Key == "") it is exactly Check. The first violating
+// key found is reported; keys are scanned in recorded order for
+// deterministic reports.
+func CheckPerKey(ops []Op) *Violation {
+	byKey := make(map[string][]Op)
+	var order []string
+	for _, op := range ops {
+		if _, seen := byKey[op.Key]; !seen {
+			order = append(order, op.Key)
+		}
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	for _, key := range order {
+		if v := Check(byKey[key]); v != nil {
+			return v
+		}
+	}
+	return nil
+}
 
 // Check verifies atomicity of a history of completed operations.
 // It returns nil if the history is atomic.

@@ -162,3 +162,51 @@ func TestKindString(t *testing.T) {
 		t.Error("Kind.String broken")
 	}
 }
+
+// keyed tags an op with a register key.
+func keyed(op Op, key string) Op {
+	op.Key = key
+	return op
+}
+
+// TestCheckPerKey pins the per-object semantics of the multi-key
+// checker: a cross-key "inversion" is legal (the keys are independent
+// registers), a within-key violation is still caught, and a key-less
+// history degenerates to Check exactly.
+func TestCheckPerKey(t *testing.T) {
+	// Key b's write carries a SMALLER timestamp than an already-read
+	// key-a value, strictly later in real time — flat Check rejects
+	// this, per-key it is two perfectly sequential registers.
+	crossKey := []Op{
+		keyed(wr(5, 0, 1), "a"),
+		keyed(rd("r", 5, 2, 3), "a"),
+		keyed(wr(1, 4, 5), "b"),
+		keyed(rd("r", 1, 6, 7), "b"),
+	}
+	if v := Check(crossKey); v == nil {
+		t.Fatal("flat Check accepted the cross-key history (test premise broken)")
+	}
+	if v := CheckPerKey(crossKey); v != nil {
+		t.Fatalf("CheckPerKey rejected independent keys: %v", v)
+	}
+
+	// A read inversion inside one key must still be caught even with
+	// healthy traffic on another key.
+	withinKey := []Op{
+		keyed(wr(1, 0, 1), "a"),
+		keyed(wr(2, 2, 3), "a"),
+		keyed(rd("x", 2, 4, 5), "a"),
+		keyed(rd("y", 1, 6, 7), "a"), // inversion on key a
+		keyed(wr(1, 0, 1), "b"),
+		keyed(rd("z", 1, 2, 3), "b"),
+	}
+	if v := CheckPerKey(withinKey); v == nil {
+		t.Fatal("CheckPerKey missed a within-key read inversion")
+	}
+
+	// Key-less histories: same verdict as Check.
+	keyless := []Op{wr(1, 0, 1), rd("r", 1, 2, 3)}
+	if v := CheckPerKey(keyless); v != nil {
+		t.Fatalf("CheckPerKey rejected an atomic key-less history: %v", v)
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// KVOptions configures NewKVCluster / NewTCPKVCluster.
+type KVOptions struct {
+	// Groups is the number of shard groups — independent quorum
+	// deployments that each host a slice of the keyspace (default 2).
+	Groups int
+	// Clients is the number of KV client slots (default 4). Each
+	// client holds one port into every group.
+	Clients int
+	// Timeout is the 2Δ timer handed to any SWMR clients spawned from
+	// the underlying clusters; the KV paths are asynchronous and do
+	// not use it.
+	Timeout time.Duration
+}
+
+func (o *KVOptions) defaults() {
+	if o.Groups <= 0 {
+		o.Groups = 2
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+}
+
+// KVCluster is a keyed KV deployment over the in-memory transport: G
+// shard groups, each a full StorageCluster running the same quorum
+// system over its own network, with KV clients consistent-hashing keys
+// across the groups.
+type KVCluster struct {
+	RQS    *core.RQS
+	Groups []*StorageCluster
+}
+
+// NewKVCluster starts opts.Groups independent storage deployments of
+// the given quorum system.
+func NewKVCluster(rqs *core.RQS, opts KVOptions) *KVCluster {
+	opts.defaults()
+	c := &KVCluster{RQS: rqs}
+	for g := 0; g < opts.Groups; g++ {
+		c.Groups = append(c.Groups, NewStorageCluster(rqs, StorageOptions{
+			Clients: opts.Clients,
+			Timeout: opts.Timeout,
+		}))
+	}
+	return c
+}
+
+// Client returns a KV client holding one fresh port into every group.
+func (c *KVCluster) Client() *storage.KVClient {
+	groups := make([]storage.KVGroup, len(c.Groups))
+	for g, sc := range c.Groups {
+		groups[g] = storage.KVGroup{System: sc.RQS, Port: sc.clientPort()}
+	}
+	return storage.NewKVClient(groups)
+}
+
+// SetInjector installs a fault injector on every group's network (nil
+// removes it). A single injector instance serves all groups — the
+// chaos scripts are safe for concurrent multi-network installs.
+func (c *KVCluster) SetInjector(inj transport.Injector) {
+	for _, sc := range c.Groups {
+		sc.SetInjector(inj)
+	}
+}
+
+// RestartServer kill -9s and restarts one server of one group,
+// carrying its full keyspace snapshot across the restart.
+func (c *KVCluster) RestartServer(group int, id core.ProcessID, down time.Duration) {
+	c.Groups[group].RestartServer(id, down)
+}
+
+// Stop shuts every group down.
+func (c *KVCluster) Stop() {
+	for _, sc := range c.Groups {
+		sc.Stop()
+	}
+}
+
+// kvDeployment is the transport-neutral surface the KV workloads and
+// tests drive; KVCluster and TCPKVCluster both satisfy it.
+type kvDeployment interface {
+	Client() *storage.KVClient
+	SetInjector(inj transport.Injector)
+	Stop()
+}
+
+// TCPKVCluster is the KV deployment over real loopback TCP: G shard
+// groups, each a full TCPStorageCluster (per-server OS-process hosts
+// plus one shared client host per group).
+type TCPKVCluster struct {
+	RQS    *core.RQS
+	Groups []*TCPStorageCluster
+}
+
+// NewTCPKVCluster starts opts.Groups independent TCP storage
+// deployments of the given quorum system.
+func NewTCPKVCluster(rqs *core.RQS, opts KVOptions) (*TCPKVCluster, error) {
+	opts.defaults()
+	c := &TCPKVCluster{RQS: rqs}
+	for g := 0; g < opts.Groups; g++ {
+		sc, err := NewTCPStorageCluster(rqs, TCPStorageOptions{
+			Clients: opts.Clients,
+			Timeout: opts.Timeout,
+		})
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.Groups = append(c.Groups, sc)
+	}
+	return c, nil
+}
+
+// Client returns a KV client holding one fresh port into every group.
+func (c *TCPKVCluster) Client() *storage.KVClient {
+	groups := make([]storage.KVGroup, len(c.Groups))
+	for g, sc := range c.Groups {
+		groups[g] = storage.KVGroup{System: sc.RQS, Port: sc.clientPort()}
+	}
+	return storage.NewKVClient(groups)
+}
+
+// SetInjector installs a fault injector on every host of every group
+// (nil removes it).
+func (c *TCPKVCluster) SetInjector(inj transport.Injector) {
+	for _, sc := range c.Groups {
+		sc.SetInjector(inj)
+	}
+}
+
+// RestartServer kill -9s and restarts one server of one group,
+// carrying its full keyspace snapshot across the restart.
+func (c *TCPKVCluster) RestartServer(group int, id core.ProcessID, down time.Duration) error {
+	return c.Groups[group].RestartServer(id, down)
+}
+
+// Stop tears every group down.
+func (c *TCPKVCluster) Stop() {
+	for _, sc := range c.Groups {
+		sc.Stop()
+	}
+}

@@ -39,6 +39,7 @@ const (
 	SWMRWorkload Workload = "swmr"
 	MWMRWorkload Workload = "mwmr"
 	SMRWorkload  Workload = "smr"
+	KVWorkload   Workload = "kv"
 )
 
 // DefaultOpTimeout is the per-operation liveness deadline: every fault
@@ -222,6 +223,39 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 	var proxy *chaos.Proxy
 	runWorkload := func() error { return nil }
 	switch wl {
+	case KVWorkload:
+		// The keyed service: two shard groups of the scenario's system,
+		// the fault script installed on every group (the chaos scripts
+		// are safe for concurrent multi-network installs).
+		var d kvDeployment
+		switch tr {
+		case MemoryTransport:
+			mc := NewKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients})
+			rc.Restart = func(id core.ProcessID, down time.Duration) error {
+				mc.RestartServer(0, id, down)
+				return nil
+			}
+			d = mc
+		case TCPTransport:
+			tc, err := NewTCPKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients})
+			if err != nil {
+				res.Err = fmt.Errorf("tcp kv cluster: %w", err)
+				return res
+			}
+			rc.Restart = func(id core.ProcessID, down time.Duration) error {
+				return tc.RestartServer(0, id, down)
+			}
+			d = tc
+		default:
+			res.Err = fmt.Errorf("unknown transport %q", tr)
+			return res
+		}
+		defer d.Stop()
+		if script != nil {
+			d.SetInjector(script)
+			defer d.SetInjector(nil)
+		}
+		runWorkload = func() error { return runKVWorkload(d, rec, opTimeout) }
 	case SMRWorkload:
 		c, err := NewSMRCluster(system, SMROptions{})
 		if err != nil {
@@ -303,7 +337,7 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 	}
 
 	res.Ops = rec.Ops()
-	res.Violation = histcheck.Check(res.Ops)
+	res.Violation = histcheck.CheckPerKey(res.Ops)
 	res.Elapsed = time.Since(start)
 	if script != nil {
 		res.Stats = script.Stats()
@@ -322,7 +356,14 @@ const (
 	swmrReadOps  = 8
 	mwmrOps      = 5
 	smrCommands  = 6
+
+	kvScenarioClients = 4 // 2 writers + 1 reader + 1 settle client
+	kvOpsPerClient    = 6
 )
+
+// kvScenarioKeys spread the kv workload across both shard groups and
+// several server-side shards.
+var kvScenarioKeys = []string{"alpha", "beta", "gamma", "delta"}
 
 // record runs one client operation under its deadline and records the
 // completed op; a deadline miss is returned as the liveness violation.
@@ -335,6 +376,86 @@ func record(rec *histcheck.Recorder, kind histcheck.Kind, client string, opTimeo
 		return fmt.Errorf("%s %s: %w", client, kind, err)
 	}
 	rec.Record(histcheck.Op{Kind: kind, Client: client, TS: ts, Inv: inv, Resp: time.Now()})
+	return nil
+}
+
+// recordKeyed is record for keyed operations: the completed op carries
+// the key so the verdict can group per-key sub-histories.
+func recordKeyed(rec *histcheck.Recorder, kind histcheck.Kind, client, key string, opTimeout time.Duration, op func(ctx context.Context) (int64, error)) error {
+	ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+	defer cancel()
+	inv := time.Now()
+	ts, err := op(ctx)
+	if err != nil {
+		return fmt.Errorf("%s %s %q: %w", client, kind, key, err)
+	}
+	rec.Record(histcheck.Op{Kind: kind, Client: client, Key: key, TS: ts, Inv: inv, Resp: time.Now()})
+	return nil
+}
+
+// runKVWorkload drives the keyed service under faults: two putters and
+// one getter cycling through kvScenarioKeys concurrently, then one
+// settle read per key strictly after every write completed. Timestamps
+// are the packed versions; the verdict checks each key's sub-history.
+func runKVWorkload(d kvDeployment, rec *histcheck.Recorder, opTimeout time.Duration) error {
+	const putters = 2
+	clients := make([]*storage.KVClient, putters+1)
+	for i := range clients {
+		clients[i] = d.Client()
+	}
+
+	errs := make(chan error, len(clients))
+	var wg sync.WaitGroup
+	for p := 0; p < putters; p++ {
+		kv := clients[p]
+		wg.Add(1)
+		go func(name string, id int) {
+			defer wg.Done()
+			for i := 0; i < kvOpsPerClient; i++ {
+				key := kvScenarioKeys[(id+i)%len(kvScenarioKeys)]
+				err := recordKeyed(rec, histcheck.Write, name, key, opTimeout, func(ctx context.Context) (int64, error) {
+					ver, err := kv.PutCtx(ctx, key, fmt.Sprintf("%s-v%d", name, i))
+					return ver.Packed(), err
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(fmt.Sprintf("kvput%d", p), p)
+	}
+	getter := clients[putters]
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < kvOpsPerClient; i++ {
+			key := kvScenarioKeys[i%len(kvScenarioKeys)]
+			err := recordKeyed(rec, histcheck.Read, "kvget", key, opTimeout, func(ctx context.Context) (int64, error) {
+				_, ver, err := getter.GetCtx(ctx, key)
+				return ver.Packed(), err
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	settle := d.Client()
+	for _, key := range kvScenarioKeys {
+		err := recordKeyed(rec, histcheck.Read, "kvsettle", key, opTimeout, func(ctx context.Context) (int64, error) {
+			_, ver, err := settle.GetCtx(ctx, key)
+			return ver.Packed(), err
+		})
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -45,9 +45,10 @@ var scenarios = []*Scenario{
 		Description: "All traffic into servers 2..n-1 is parked for the first " +
 			"700ms — no class-3 quorum is reachable, so in-flight operations " +
 			"stall — then the partition heals and the parked traffic flows. " +
-			"Every operation must complete after the heal.",
+			"Every operation must complete after the heal. The kv cell runs " +
+			"the partition against multi-key writes across both shard groups.",
 		Transports: bothTransports,
-		Workloads:  storageWorkloads,
+		Workloads:  []Workload{SWMRWorkload, MWMRWorkload, KVWorkload},
 		Script: func(r *core.RQS, seed int64) *chaos.Script {
 			return chaos.NewScript(seed).Rule(chaos.Rule{
 				To:     r.Universe().Diff(core.NewSet(0, 1)),

@@ -126,14 +126,12 @@ func (c *StorageCluster) RestartServer(id core.ProcessID, down time.Duration) {
 	c.Net.Crash(id)
 	srv := c.Servers[id]
 	srv.Stop()
-	hist := srv.HistorySnapshot()
-	tag, val := srv.MWSnapshot()
+	state := srv.StateSnapshot()
 	if down > 0 {
 		time.Sleep(down)
 	}
 	fresh := storage.NewServer(c.Net.Port(id), storage.Hooks{})
-	fresh.SetHistory(hist)
-	fresh.SetMW(tag, val)
+	fresh.SetState(state)
 	c.Servers[id] = fresh
 	fresh.Start()
 	c.Net.Restart(id)

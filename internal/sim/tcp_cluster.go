@@ -61,6 +61,8 @@ func RegisterTCPStorageMessages() {
 		transport.Register(storage.MWReadAck{})
 		transport.Register(storage.MWWriteReq{})
 		transport.Register(storage.MWWriteAck{})
+		transport.Register(storage.KVCASReq{})
+		transport.Register(storage.KVCASAck{})
 	})
 }
 
@@ -186,8 +188,7 @@ func (c *TCPStorageCluster) RestartServer(id core.ProcessID, down time.Duration)
 	addr := host.Addr()
 	host.Close()
 	srv.Stop()
-	hist := srv.HistorySnapshot()
-	tag, val := srv.MWSnapshot()
+	state := srv.StateSnapshot()
 	if down > 0 {
 		time.Sleep(down)
 	}
@@ -207,8 +208,7 @@ func (c *TCPStorageCluster) RestartServer(id core.ProcessID, down time.Duration)
 	c.ServerHosts[id] = fresh
 	c.clientMu.Unlock()
 	s := storage.NewServer(node, storage.Hooks{})
-	s.SetHistory(hist)
-	s.SetMW(tag, val)
+	s.SetState(state)
 	c.Servers[id] = s
 	s.Start()
 	return nil

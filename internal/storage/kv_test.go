@@ -1,0 +1,209 @@
+package storage_test
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// TestKVRingDeterministic pins the consistent-hash routing: every
+// client of a deployment routes every key to the same group, the
+// routing is stable across client instances, and all groups receive a
+// nontrivial share of a large keyspace (64 vnodes per group keep the
+// imbalance low).
+func TestKVRingDeterministic(t *testing.T) {
+	c := sim.NewKVCluster(core.FiveServerRQS(), sim.KVOptions{Groups: 4, Clients: 2})
+	defer c.Stop()
+	a, b := c.Client(), c.Client()
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ga := a.GroupFor(key)
+		if gb := b.GroupFor(key); gb != ga {
+			t.Fatalf("clients disagree on key %q: %d vs %d", key, ga, gb)
+		}
+		counts[ga]++
+	}
+	for g, n := range counts {
+		if n < 4000/4/3 {
+			t.Fatalf("group %d received only %d/4000 keys (counts %v)", g, n, counts)
+		}
+	}
+}
+
+// TestKVBasicOps drives the Store surface sequentially on a two-group
+// deployment: versioned gets, unconditional puts, create-if-absent CAS
+// via the zero version, stale-expect CAS failure reporting the newer
+// version.
+func TestKVBasicOps(t *testing.T) {
+	c := sim.NewKVCluster(core.Example7RQS(), sim.KVOptions{Groups: 2, Clients: 1})
+	defer c.Stop()
+	kv := c.Client()
+
+	val, ver, err := kv.Get("a")
+	if err != nil || val != storage.NoValue || !ver.IsZero() {
+		t.Fatalf("Get of unwritten key = (%q, %v, %v), want (⊥, zero, nil)", val, ver, err)
+	}
+
+	v1, err := kv.Put("a", "one")
+	if err != nil || v1.IsZero() {
+		t.Fatalf("Put = (%v, %v)", v1, err)
+	}
+	val, ver, err = kv.Get("a")
+	if err != nil || val != "one" || ver != v1 {
+		t.Fatalf("Get after Put = (%q, %v, %v), want (one, %v, nil)", val, ver, err, v1)
+	}
+
+	// Independent keys have independent versions (possibly on other
+	// groups).
+	if _, ver2, _ := kv.Get("b"); !ver2.IsZero() {
+		t.Fatalf("key b inherited version %v from key a", ver2)
+	}
+
+	res, err := kv.CAS("a", v1, "two")
+	if err != nil || !res.OK {
+		t.Fatalf("CAS with current version = (%+v, %v), want success", res, err)
+	}
+	if !v1.Less(res.Version) {
+		t.Fatalf("CAS version %v not above expect %v", res.Version, v1)
+	}
+	val, ver, _ = kv.Get("a")
+	if val != "two" || ver != res.Version {
+		t.Fatalf("Get after CAS = (%q, %v), want (two, %v)", val, ver, res.Version)
+	}
+
+	stale, err := kv.CAS("a", v1, "three")
+	if err != nil || stale.OK {
+		t.Fatalf("CAS with stale version = (%+v, %v), want clean failure", stale, err)
+	}
+	if stale.Version != ver || stale.Val != "two" {
+		t.Fatalf("failed CAS reported (%v, %q), want current (%v, two)", stale.Version, stale.Val, ver)
+	}
+
+	// Create-if-absent: CAS against the zero version of a fresh key.
+	res, err = kv.CAS("fresh", storage.Version{}, "init")
+	if err != nil || !res.OK {
+		t.Fatalf("create-if-absent CAS = (%+v, %v), want success", res, err)
+	}
+	if val, _, _ := kv.Get("fresh"); val != "init" {
+		t.Fatalf("Get after create CAS = %q, want init", val)
+	}
+}
+
+// TestKVCASCounter is the memory-transport half of the CAS contract
+// test (the sim package runs it on both transports): concurrent
+// increment-by-CAS loops where every version admits exactly one
+// winner, so the counter never loses an increment.
+func TestKVCASCounter(t *testing.T) {
+	const clients, increments = 6, 5
+	c := sim.NewKVCluster(core.Example7RQS(), sim.KVOptions{Groups: 1, Clients: clients + 1})
+	defer c.Stop()
+
+	type win struct {
+		expectTS int64
+		client   int
+	}
+	var mu sync.Mutex
+	var wins []win
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		kv := c.Client()
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for won := 0; won < increments; {
+				val, ver, err := kv.Get("ctr")
+				if err != nil {
+					t.Errorf("client %d: Get: %v", id, err)
+					return
+				}
+				cur := 0
+				if val != storage.NoValue {
+					cur, _ = strconv.Atoi(val)
+				}
+				res, err := kv.CAS("ctr", ver, strconv.Itoa(cur+1))
+				if err != nil {
+					t.Errorf("client %d: CAS: %v", id, err)
+					return
+				}
+				if res.OK {
+					mu.Lock()
+					wins = append(wins, win{expectTS: ver.TS, client: id})
+					mu.Unlock()
+					won++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Exactly one winner per version: no two successes share an
+	// expect-version timestamp.
+	byTS := make(map[int64]int)
+	for _, w := range wins {
+		byTS[w.expectTS]++
+		if byTS[w.expectTS] > 1 {
+			t.Fatalf("version ts=%d admitted %d CAS winners", w.expectTS, byTS[w.expectTS])
+		}
+	}
+	if len(wins) != clients*increments {
+		t.Fatalf("recorded %d wins, want %d", len(wins), clients*increments)
+	}
+	// No increment lost: same-version contenders propose the same
+	// successor value, so the final counter equals the win count.
+	val, _, err := c.Client().Get("ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != strconv.Itoa(clients*increments) {
+		t.Fatalf("final counter %q, want %d", val, clients*increments)
+	}
+}
+
+// TestBurstKeyFairness pins the server's cross-key fairness bound: a
+// burst is served strictly in inbox arrival order, never grouped or
+// reordered by key, so one hot key cannot starve a cold key's request
+// (it is answered in its arrival position). The test floods one server
+// with a full burst of hot-key reads around a single cold-key read and
+// asserts the acks come back in exactly the arrival order.
+func TestBurstKeyFairness(t *testing.T) {
+	net := transport.NewNetwork(2)
+	defer net.Close()
+	srv := storage.NewServer(net.Port(0), storage.Hooks{})
+	srv.Start()
+	defer srv.Stop()
+
+	client := net.Port(1)
+	const total = 64
+	const coldAt = 40
+	for seq := int64(1); seq <= total; seq++ {
+		key := "hot"
+		if seq == coldAt {
+			key = "cold"
+		}
+		client.Send(0, storage.MWReadReq{Seq: seq, Key: key})
+	}
+	var want int64 = 1
+	for env := range client.Inbox() {
+		ack, ok := env.Payload.(storage.MWReadAck)
+		if !ok {
+			continue
+		}
+		if ack.Seq != want {
+			t.Fatalf("ack %d arrived out of arrival order (want %d): hot-key traffic reordered the cold key", ack.Seq, want)
+		}
+		want++
+		if want > total {
+			break
+		}
+	}
+}

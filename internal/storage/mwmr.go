@@ -2,6 +2,7 @@ package storage
 
 import (
 	"context"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/transport"
@@ -63,12 +64,19 @@ func (t Tag) Packed() int64 { return t.TS<<16 | int64(t.Writer) }
 // MWMR protocol messages. Seq is the issuing client's operation
 // sequence number; replies travel point-to-point back to that client,
 // so (client, Seq) pairs never collide and stale acks are filtered by
-// Seq alone.
+// Seq alone (clients run one operation — on one key — at a time, so
+// acks need not echo the key). Each client incarnation starts its
+// sequence at a random 62-bit nonce: a fresh process reusing a slot
+// must not match acks the reliable links retransmit from its
+// predecessor's operations (which may concern a different key). Key
+// addresses one register of the server's keyspace; the key-less MWMR
+// clients use "".
 
-// MWReadReq queries a server's current 〈tag, value〉 (the read phase of
-// both mw-reads and mw-writes).
+// MWReadReq queries a server's current 〈tag, value〉 for one key (the
+// read phase of both mw-reads and mw-writes).
 type MWReadReq struct {
 	Seq int64
+	Key string
 }
 
 // MWReadAck carries the server's current pair back.
@@ -78,10 +86,12 @@ type MWReadAck struct {
 	Val string
 }
 
-// MWWriteReq asks a server to store 〈tag, val〉 if tag is newer than
-// what it holds (the write phase of mw-writes and read writebacks).
+// MWWriteReq asks a server to store 〈tag, val〉 under a key if tag is
+// newer than what it holds (the write phase of mw-writes and read
+// writebacks).
 type MWWriteReq struct {
 	Seq int64
+	Key string
 	Tag Tag
 	Val string
 }
@@ -120,7 +130,10 @@ type mwClient struct {
 }
 
 func newMWClient(rqs *core.RQS, port transport.Port) mwClient {
-	return mwClient{rqs: rqs, port: port, tr: rqs.NewTracker()}
+	// Random seq start: acks retransmitted to a restarted client
+	// process (same slot, fresh incarnation) must not match the new
+	// incarnation's sequence numbers. 2^62 of headroom remains.
+	return mwClient{rqs: rqs, port: port, tr: rqs.NewTracker(), seq: rand.Int63n(1 << 62)}
 }
 
 // recv receives the next envelope for a phase wait, draining buffered
@@ -142,12 +155,13 @@ func (c *mwClient) recv(done <-chan struct{}) (transport.Envelope, bool) {
 	}
 }
 
-// readPhase broadcasts MWReadReq and collects acks until some class-3
-// quorum responded, tracking the maximum tag and who reported it.
-func (c *mwClient) readPhase(done <-chan struct{}) {
+// readPhase broadcasts MWReadReq for key and collects acks until some
+// class-3 quorum responded, tracking the maximum tag and who reported
+// it.
+func (c *mwClient) readPhase(key string, done <-chan struct{}) {
 	c.seq++
 	drainPort(c.port)
-	transport.Broadcast(c.port, c.rqs.Universe(), MWReadReq{Seq: c.seq})
+	transport.Broadcast(c.port, c.rqs.Universe(), MWReadReq{Seq: c.seq, Key: key})
 
 	c.tr.Reset()
 	c.maxTag, c.maxVal, c.withMax = Tag{}, NoValue, core.EmptySet
@@ -176,11 +190,11 @@ func (c *mwClient) readPhase(done <-chan struct{}) {
 	}
 }
 
-// writePhase broadcasts MWWriteReq〈tag, val〉 and waits for acks from
-// some class-3 quorum.
-func (c *mwClient) writePhase(tag Tag, val string, done <-chan struct{}) {
+// writePhase broadcasts MWWriteReq〈tag, val〉 for key and waits for
+// acks from some class-3 quorum.
+func (c *mwClient) writePhase(key string, tag Tag, val string, done <-chan struct{}) {
 	c.seq++
-	transport.Broadcast(c.port, c.rqs.Universe(), MWWriteReq{Seq: c.seq, Tag: tag, Val: val})
+	transport.Broadcast(c.port, c.rqs.Universe(), MWWriteReq{Seq: c.seq, Key: key, Tag: tag, Val: val})
 
 	c.tr.Reset()
 	for {
@@ -206,6 +220,10 @@ func (c *mwClient) writePhase(tag Tag, val string, done <-chan struct{}) {
 // process ID. Not safe for concurrent use by multiple goroutines — the
 // model forbids a client from invoking a new operation before the
 // previous one completes.
+//
+// Legacy: MWWriter addresses the single key-less register, which is
+// key "" of the server's keyspace. New code that needs more than one
+// register should use KVClient (kv.go) instead.
 type MWWriter struct {
 	c  mwClient
 	id core.ProcessID
@@ -237,7 +255,7 @@ func (w *MWWriter) Write(v string) MWResult {
 func (w *MWWriter) WriteCtx(ctx context.Context, v string) (MWResult, error) {
 	done := ctx.Done()
 	w.c.aborted = false
-	w.c.readPhase(done)
+	w.c.readPhase("", done)
 	if w.c.aborted {
 		return MWResult{Val: v, Rounds: 1}, ctx.Err()
 	}
@@ -245,7 +263,7 @@ func (w *MWWriter) WriteCtx(ctx context.Context, v string) (MWResult, error) {
 		return MWResult{Val: v, Rounds: 1}, nil
 	}
 	tag := Tag{TS: w.c.maxTag.TS + 1, Writer: w.id}
-	w.c.writePhase(tag, v, done)
+	w.c.writePhase("", tag, v, done)
 	if w.c.aborted {
 		return MWResult{Val: v, Rounds: 2}, ctx.Err()
 	}
@@ -254,6 +272,9 @@ func (w *MWWriter) WriteCtx(ctx context.Context, v string) (MWResult, error) {
 
 // MWReader is a reader of the MWMR register. Like MWWriter, one
 // operation at a time per instance.
+//
+// Legacy: MWReader reads the single key-less register — key "" of the
+// server's keyspace. New code should prefer KVClient (kv.go).
 type MWReader struct {
 	c mwClient
 }
@@ -281,7 +302,7 @@ func (r *MWReader) Read() MWResult {
 func (r *MWReader) ReadCtx(ctx context.Context) (MWResult, error) {
 	done := ctx.Done()
 	r.c.aborted = false
-	r.c.readPhase(done)
+	r.c.readPhase("", done)
 	if r.c.aborted {
 		return MWResult{Val: NoValue, Rounds: 1}, ctx.Err()
 	}
@@ -292,7 +313,7 @@ func (r *MWReader) ReadCtx(ctx context.Context) (MWResult, error) {
 	if _, ok := r.c.rqs.ContainedQuorum(r.c.withMax, core.Class3); ok {
 		return MWResult{Val: val, Tag: tag, Rounds: 1}, nil
 	}
-	r.c.writePhase(tag, val, done)
+	r.c.writePhase("", tag, val, done)
 	if r.c.aborted {
 		return MWResult{Val: NoValue, Rounds: 2}, ctx.Err()
 	}

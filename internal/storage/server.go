@@ -9,8 +9,10 @@ import (
 
 // Hooks let the fault-injection layer turn a server Byzantine. All hooks
 // are optional; a zero Hooks value is an honest server. Hooks run on the
-// server's goroutine, outside the server's state lock (a hook may call
-// back into accessors like HistorySnapshot).
+// server's goroutine, outside the server's state locks (a hook may call
+// back into accessors like HistorySnapshot). Hooks apply to every key of
+// the keyspace; the chaos scenarios that use them address the legacy
+// key-"" register.
 type Hooks struct {
 	// ForgeHistory, if non-nil, replaces the history sent in read acks
 	// (state forging, as the Byzantine servers of the Theorem 3 proof do
@@ -32,11 +34,71 @@ type Hooks struct {
 }
 
 // serverBurst bounds how many inbox envelopes the server drains per
-// wakeup. One burst takes the state lock once and batches
-// same-destination acks into one transport submission, which is what
-// amortizes per-message locking when many clients hit one server. The
-// bound keeps a flooded server from starving Stop.
+// wakeup. One burst takes each touched shard's lock once per key-run
+// and batches same-destination acks into one transport submission,
+// which is what amortizes per-message locking when many clients hit
+// one server. The bound keeps a flooded server from starving Stop.
+//
+// Fairness across keys: a burst is served strictly in inbox arrival
+// order (FIFO), never grouped or reordered by key, so a hot key cannot
+// starve requests for other keys — a cold key's request is answered in
+// the same burst it arrives in, after at most the serverBurst-1
+// envelopes queued ahead of it. TestBurstKeyFairness pins this bound.
 const serverBurst = 64
+
+// kvShardCount is the fixed number of shards of a server's keyspace.
+// Requests for keys on different shards contend only on the shard
+// mutex, never a global one; 16 shards keep per-shard maps small
+// without measurable lookup overhead.
+const kvShardCount = 16
+
+// regState is the full per-key register state: the SWMR history of
+// Figure 6 plus the tag-ordered MWMR register. States are created
+// lazily on first touch; History stays nil until the first SWMR write
+// (nil-safe: History.Slot and Clone treat nil as empty).
+type regState struct {
+	history History
+	// histShared marks the history map as referenced by previously
+	// handed-out read acks: the next write copies it instead of
+	// mutating in place (copy-on-write), so read acks share one
+	// snapshot between writes instead of deep-cloning per read.
+	histShared bool
+	mwTag      Tag    // MWMR register: current tag ...
+	mwVal      string // ... and value, monotone in tag order
+}
+
+// kvShard is one shard of the keyspace: a mutex and the states of the
+// keys that hash to it.
+type kvShard struct {
+	mu   sync.Mutex
+	regs map[string]*regState
+}
+
+// reg returns the shard's state for key, creating it lazily. Callers
+// hold sh.mu.
+func (sh *kvShard) reg(key string) *regState {
+	r := sh.regs[key]
+	if r == nil {
+		r = &regState{}
+		sh.regs[key] = r
+	}
+	return r
+}
+
+// shardOf maps a key to its shard (FNV-1a; deterministic so tests can
+// construct same-shard and cross-shard key sets).
+func shardOf(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % kvShardCount)
+}
 
 // mwState is a precomputed forged MWMR reply (phase 1 of handleBurst).
 type mwState struct {
@@ -52,32 +114,30 @@ type ackBucket struct {
 	msgs []transport.Message
 }
 
-// Server is one storage server. It hosts both registers of the
-// package over a single port: the SWMR history of Figure 6 and the
-// tag-ordered MWMR register (mwmr.go). Run processes its inbox until
-// the port's inbox closes; Stop aborts earlier.
+// Server is one storage server. It hosts a keyspace of registers over
+// a single port: per key, the SWMR history of Figure 6 and the
+// tag-ordered MWMR register (mwmr.go), behind a sharded map with
+// per-shard mutexes, created lazily on first touch. The key-less
+// protocol clients (Writer/Reader, MWWriter/MWReader) address key "".
+// Run processes its inbox until the port's inbox closes; Stop aborts
+// earlier.
 //
 // The inbox is drained in bursts (up to serverBurst envelopes per
-// wakeup): the whole burst executes under one state-lock acquisition
-// and its acks are grouped per destination into batched sends.
+// wakeup): the burst executes in arrival order holding one shard lock
+// at a time (consecutive same-shard requests — all of them, for
+// single-key workloads — share one acquisition) and its acks are
+// grouped per destination into batched sends.
 type Server struct {
 	id    core.ProcessID
 	port  transport.Port
 	hooks Hooks
 
-	mu      sync.Mutex
-	history History
-	// histShared marks the history map as referenced by previously
-	// handed-out read acks: the next write copies it instead of
-	// mutating in place (copy-on-write), so read acks share one
-	// snapshot between writes instead of deep-cloning per read.
-	histShared bool
-	mwTag      Tag    // MWMR register: current tag ...
-	mwVal      string // ... and value, monotone in tag order
+	shards [kvShardCount]kvShard
 
 	// acks is the per-burst reply accumulator; buckets and their msgs
 	// slices are reused across bursts (the transports do not retain
-	// the payload slice past the SendBatch call).
+	// the payload slice past the SendBatch call). Only the server
+	// goroutine touches it.
 	acks     []ackBucket
 	acksUsed int
 
@@ -88,14 +148,17 @@ type Server struct {
 
 // NewServer creates a server bound to the given port.
 func NewServer(port transport.Port, hooks Hooks) *Server {
-	return &Server{
-		id:      port.ID(),
-		port:    port,
-		hooks:   hooks,
-		history: make(History),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+	s := &Server{
+		id:    port.ID(),
+		port:  port,
+		hooks: hooks,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
+	for i := range s.shards {
+		s.shards[i].regs = make(map[string]*regState)
+	}
+	return s
 }
 
 // Start launches the server loop in its own goroutine.
@@ -110,37 +173,95 @@ func (s *Server) Stop() {
 	<-s.done
 }
 
-// HistorySnapshot returns a deep copy of the server's current history,
-// for assertions and Byzantine state capture.
+// RegSnapshot is the captured state of one key's register.
+type RegSnapshot struct {
+	History History
+	MWTag   Tag
+	MWVal   string
+}
+
+// ServerState is a full keyspace snapshot, keyed by register key.
+type ServerState map[string]RegSnapshot
+
+// StateSnapshot deep-copies the server's entire keyspace, for carrying
+// state across a scripted crash/restart and for assertions.
+func (s *Server) StateSnapshot() ServerState {
+	out := make(ServerState)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for key, reg := range sh.regs {
+			out[key] = RegSnapshot{History: reg.history.Clone(), MWTag: reg.mwTag, MWVal: reg.mwVal}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// SetState replaces the server's entire keyspace with a deep copy of
+// st (the restart half of StateSnapshot).
+func (s *Server) SetState(st ServerState) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.regs = make(map[string]*regState)
+		sh.mu.Unlock()
+	}
+	for key, snap := range st {
+		sh := &s.shards[shardOf(key)]
+		sh.mu.Lock()
+		sh.regs[key] = &regState{history: snap.History.Clone(), mwTag: snap.MWTag, mwVal: snap.MWVal}
+		sh.mu.Unlock()
+	}
+}
+
+// HistorySnapshot returns a deep copy of the server's current history
+// for the legacy key-"" register, for assertions and Byzantine state
+// capture. Legacy: keyspace-wide capture is StateSnapshot.
 func (s *Server) HistorySnapshot() History {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.history.Clone()
+	sh := &s.shards[shardOf("")]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if reg := sh.regs[""]; reg != nil {
+		return reg.history.Clone()
+	}
+	return make(History)
 }
 
-// MWSnapshot returns the MWMR register's current tag and value, for
-// assertions on server state.
+// MWSnapshot returns the current tag and value of the legacy key-""
+// MWMR register, for assertions on server state. Legacy: keyspace-wide
+// capture is StateSnapshot.
 func (s *Server) MWSnapshot() (Tag, string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mwTag, s.mwVal
+	sh := &s.shards[shardOf("")]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if reg := sh.regs[""]; reg != nil {
+		return reg.mwTag, reg.mwVal
+	}
+	return Tag{}, NoValue
 }
 
-// SetHistory overwrites the server's state (used by fault injection to
-// forge state transitions that a Byzantine process may perform).
+// SetHistory overwrites the legacy key-"" register's history (used by
+// fault injection to forge state transitions that a Byzantine process
+// may perform). Legacy: keyspace-wide restore is SetState.
 func (s *Server) SetHistory(h History) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.history = h.Clone()
-	s.histShared = false
+	sh := &s.shards[shardOf("")]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reg := sh.reg("")
+	reg.history = h.Clone()
+	reg.histShared = false
 }
 
-// SetMW overwrites the MWMR register state (used with MWSnapshot to
-// carry state across a scripted crash/restart, and by fault injection).
+// SetMW overwrites the legacy key-"" MWMR register state (used with
+// MWSnapshot to carry state across a scripted crash/restart, and by
+// fault injection). Legacy: keyspace-wide restore is SetState.
 func (s *Server) SetMW(tag Tag, val string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mwTag, s.mwVal = tag, val
+	sh := &s.shards[shardOf("")]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	reg := sh.reg("")
+	reg.mwTag, reg.mwVal = tag, val
 }
 
 func (s *Server) run() {
@@ -177,10 +298,11 @@ func (s *Server) run() {
 
 // handleBurst executes one drained burst: hooks run first (unlocked —
 // they may call back into the server), then every surviving request is
-// applied under a single state-lock acquisition, then the accumulated
+// applied in arrival order holding one shard lock at a time (runs of
+// same-shard requests share one acquisition), then the accumulated
 // acks flush as per-destination batches.
 func (s *Server) handleBurst(burst []transport.Envelope) {
-	// Phase 1: fault-injection hooks, outside the lock. Dropped
+	// Phase 1: fault-injection hooks, outside the locks. Dropped
 	// requests are nilled out; forged read acks are precomputed, one
 	// hook call per surviving read, exactly as unbatched serving did.
 	var forged []History
@@ -213,13 +335,28 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 		}
 	}
 
-	// Phase 2: apply the burst under one lock acquisition.
-	s.mu.Lock()
+	// Phase 2: apply the burst in arrival order. The currently-locked
+	// shard is cached across iterations: a single-key (or single-shard)
+	// burst — every key-less legacy workload — still pays exactly one
+	// lock acquisition, while mixed-key bursts re-lock only at shard
+	// boundaries, preserving FIFO fairness across keys.
+	locked := -1
+	lock := func(key string) *kvShard {
+		si := shardOf(key)
+		if si != locked {
+			if locked >= 0 {
+				s.shards[locked].mu.Unlock()
+			}
+			s.shards[si].mu.Lock()
+			locked = si
+		}
+		return &s.shards[si]
+	}
 	for i := range burst {
 		env := &burst[i]
 		switch req := env.Payload.(type) {
 		case WriteReq:
-			s.applyWrite(req)
+			applyWrite(lock(req.Key).reg(req.Key), req)
 			s.ack(env.From, env.Hop+1, WriteAck{TS: req.TS, Round: req.Round})
 		case ReadReq:
 			var h History
@@ -228,24 +365,45 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 			} else {
 				// Share the live map as an immutable snapshot; the
 				// next write copies before mutating.
-				s.histShared = true
-				h = s.history
+				reg := lock(req.Key).reg(req.Key)
+				reg.histShared = true
+				h = reg.history
 			}
 			s.ack(env.From, env.Hop+1, ReadAck{ReadNo: req.ReadNo, Round: req.Round, History: h})
 		case MWWriteReq:
-			if s.mwTag.Less(req.Tag) {
-				s.mwTag, s.mwVal = req.Tag, req.Val
+			reg := lock(req.Key).reg(req.Key)
+			if reg.mwTag.Less(req.Tag) {
+				reg.mwTag, reg.mwVal = req.Tag, req.Val
 			}
 			s.ack(env.From, env.Hop+1, MWWriteAck{Seq: req.Seq})
 		case MWReadReq:
 			if hasMWForge {
 				s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: forgedMW[i].tag, Val: forgedMW[i].val})
 			} else {
-				s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: s.mwTag, Val: s.mwVal})
+				reg := lock(req.Key).reg(req.Key)
+				s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: reg.mwTag, Val: reg.mwVal})
 			}
+		case KVCASReq:
+			// Conditional apply: install 〈Tag, Val〉 iff the register
+			// still holds exactly the expected tag. Tags never revisit
+			// a value (they are monotone and Expect < Tag), so at most
+			// one same-Expect CAS can observe Applied=true here — the
+			// quorum-intersection argument for at-most-one CAS winner
+			// per version rests on this (see kv.go). Strict equality
+			// also rejects a client re-CASing an expect it already won
+			// (its retry proposes the same tag but the register moved).
+			reg := lock(req.Key).reg(req.Key)
+			applied := false
+			if reg.mwTag == req.Expect {
+				reg.mwTag, reg.mwVal = req.Tag, req.Val
+				applied = true
+			}
+			s.ack(env.From, env.Hop+1, KVCASAck{Seq: req.Seq, Applied: applied, Tag: reg.mwTag, Val: reg.mwVal})
 		}
 	}
-	s.mu.Unlock()
+	if locked >= 0 {
+		s.shards[locked].mu.Unlock()
+	}
 
 	// Phase 3: flush acks, one batched send per (destination, hop).
 	for i := 0; i < s.acksUsed; i++ {
@@ -279,21 +437,26 @@ func (s *Server) ack(to core.ProcessID, hop int, msg transport.Message) {
 	s.acksUsed++
 }
 
-// applyWrite implements lines 2-7 of Figure 6: for every round m ≤ rnd,
-// store the pair unless a *different* pair already occupies the slot, and
-// merge the class-2 quorum ids into the final round's slot. Callers hold
-// s.mu; if the current history map is shared with outstanding read acks
-// it is copied first (the acks keep the old, now-immutable snapshot).
-func (s *Server) applyWrite(req WriteReq) {
+// applyWrite implements lines 2-7 of Figure 6 against one key's
+// register: for every round m ≤ rnd, store the pair unless a
+// *different* pair already occupies the slot, and merge the class-2
+// quorum ids into the final round's slot. Callers hold the register's
+// shard mutex; if the current history map is shared with outstanding
+// read acks it is copied first (the acks keep the old, now-immutable
+// snapshot).
+func applyWrite(reg *regState, req WriteReq) {
 	if req.Round < 1 || req.Round > 3 {
 		return
 	}
-	if s.histShared {
-		s.history = s.history.Clone()
-		s.histShared = false
+	if reg.histShared {
+		reg.history = reg.history.Clone()
+		reg.histShared = false
+	}
+	if reg.history == nil {
+		reg.history = make(History)
 	}
 	pair := Pair{TS: req.TS, Val: req.Val}
-	row := s.history[req.TS]
+	row := reg.history[req.TS]
 	for m := 1; m <= req.Round; m++ {
 		slot := row[m-1]
 		if slot.Pair.IsBottom() || slot.Pair == pair {
@@ -304,5 +467,5 @@ func (s *Server) applyWrite(req WriteReq) {
 			row[m-1] = slot
 		}
 	}
-	s.history[req.TS] = row
+	reg.history[req.TS] = row
 }

@@ -112,12 +112,15 @@ func (h History) Clone() History {
 // Messages of the protocol.
 
 // WriteReq is the wr〈ts, v, QC'2, rnd〉 message of Figures 5 and 7.
-// Readers use it for writebacks as well.
+// Readers use it for writebacks as well. Key addresses one register of
+// the server's keyspace; the key-less SWMR clients use "" (the legacy
+// single register).
 type WriteReq struct {
 	TS    int64
 	Val   string
 	Sets  []core.Set // class-2 quorum ids (QC'2); nil in rounds 1 and 3
 	Round int        // 1, 2 or 3
+	Key   string
 }
 
 // WriteAck is the wr_ack〈ts, rnd〉 reply.
@@ -126,10 +129,12 @@ type WriteAck struct {
 	Round int
 }
 
-// ReadReq is the rd〈read_no, read_rnd〉 message.
+// ReadReq is the rd〈read_no, read_rnd〉 message. Key addresses one
+// register of the server's keyspace ("" = the legacy single register).
 type ReadReq struct {
 	ReadNo int64
 	Round  int
+	Key    string
 }
 
 // ReadAck is the rd_ack〈read_no, read_rnd, history〉 reply carrying the

@@ -165,6 +165,53 @@ func NewStorage(system *System, opts StorageOptions) *StorageCluster {
 	return sim.NewStorageCluster(system, opts)
 }
 
+// Keyed KV service over the storage layer: per-key MWMR registers
+// behind a sharded server keyspace, with client-side consistent
+// hashing of keys onto independent shard groups.
+type (
+	// KVStore is the versioned Get/Put/CAS interface; KVClient is the
+	// quorum-backed implementation.
+	KVStore = storage.Store
+	// KVClient is a Get/Put/CAS client consistent-hashing keys across
+	// shard groups. One operation at a time per client.
+	KVClient = storage.KVClient
+	// KVGroup names one shard group: a quorum system plus this
+	// client's port into its deployment.
+	KVGroup = storage.KVGroup
+	// KVVersion identifies one committed state of a key (the MWMR tag
+	// that wrote it).
+	KVVersion = storage.Version
+	// KVCASResult reports how a CAS completed.
+	KVCASResult = storage.CASResult
+	// KVCluster is a running KV deployment over the in-memory
+	// transport: shard groups of storage servers plus KV client slots.
+	KVCluster = sim.KVCluster
+	// TCPKVCluster is the KV deployment over real loopback TCP.
+	TCPKVCluster = sim.TCPKVCluster
+	// KVOptions configures NewKV / NewTCPKV.
+	KVOptions = sim.KVOptions
+)
+
+// NewKV starts a keyed KV deployment over the given system: opts.Groups
+// independent storage clusters, each running system's quorums over its
+// own in-memory network. Spawn clients with KVCluster.Client; each
+// offers Get/Put/CAS (see storage.Store for the exact CAS guarantee).
+func NewKV(system *System, opts KVOptions) *KVCluster {
+	return sim.NewKVCluster(system, opts)
+}
+
+// NewTCPKV is NewKV over real loopback TCP deployments.
+func NewTCPKV(system *System, opts KVOptions) (*TCPKVCluster, error) {
+	return sim.NewTCPKVCluster(system, opts)
+}
+
+// NewKVClient assembles a KV client from hand-built shard groups (for
+// deployments not managed by NewKV/NewTCPKV). All ports must share one
+// process ID, which becomes the client's writer ID.
+func NewKVClient(groups []KVGroup) *KVClient {
+	return storage.NewKVClient(groups)
+}
+
 // Consensus deployment (Section 4).
 type (
 	// ConsensusCluster is a running consensus deployment: acceptors on
@@ -330,9 +377,9 @@ func NewMWMRReader(system *System, port Port) *MWReader {
 	return storage.NewMWReader(system, port)
 }
 
-// RegisterStorageMessages registers the storage message types — both
-// the SWMR protocol's and the MWMR variant's — with the framed TCP
-// transport codec.
+// RegisterStorageMessages registers the storage message types — the
+// SWMR protocol's, the MWMR variant's and the KV CAS extension's —
+// with the framed TCP transport codec.
 func RegisterStorageMessages() {
 	transport.Register(storage.WriteReq{})
 	transport.Register(storage.WriteAck{})
@@ -342,4 +389,6 @@ func RegisterStorageMessages() {
 	transport.Register(storage.MWReadAck{})
 	transport.Register(storage.MWWriteReq{})
 	transport.Register(storage.MWWriteAck{})
+	transport.Register(storage.KVCASReq{})
+	transport.Register(storage.KVCASAck{})
 }
