@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -32,6 +33,31 @@ func memStorageLoad(r *core.RQS, c int, read bool) func(b *testing.B) {
 				rd := cl.Reader()
 				return func() error { rd.Read(); return nil }
 			}
+			w := cl.MWWriter()
+			return func() error { w.Write("v"); return nil }
+		})
+	}
+}
+
+// memStorageDurableLoad is the mwmr-write load point over durable
+// servers: every server burst pays one batched WAL append + fdatasync
+// before its acks leave (group commit riding the burst drain), so the
+// fsync cost amortizes over up to 64 concurrent writes. noSync drops
+// the fdatasync while keeping the log writes — the pair prices the
+// fsync tax separately from the serialization/IO overhead.
+func memStorageDurableLoad(r *core.RQS, c int, noSync bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "rqs-bench-wal-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cl := sim.NewStorageCluster(r, sim.StorageOptions{
+			Timeout: 500 * time.Microsecond, Clients: c + 1,
+			DataDir: dir, WALNoSync: noSync,
+		})
+		defer cl.Stop()
+		sim.RunManyClients(b, c, func() func() error {
 			w := cl.MWWriter()
 			return func() error { w.Write("v"); return nil }
 		})
@@ -138,6 +164,8 @@ func runLoadMatrix() error {
 		points = append(points,
 			point{"memory", "storage-read", c, memStorageLoad(example7, c, true)},
 			point{"memory", "mwmr-write", c, memStorageLoad(example7, c, false)},
+			point{"memory", "durable-write", c, memStorageDurableLoad(example7, c, false)},
+			point{"memory", "durable-nosync", c, memStorageDurableLoad(example7, c, true)},
 			point{"memory", "smr-decide", c, smrLoad(example7, c)},
 			point{"memory", "kv-put", c, kvLoad(example7, c, false)},
 			point{"memory", "kv-get-zipf", c, kvLoad(example7, c, true)},

@@ -197,6 +197,14 @@ func perfSuite() ([]BenchResult, error) {
 		{"load/storage-read-c64/example7", memStorageLoad(example7, 64, true)},
 		{"load/mwmr-write-c8/example7", memStorageLoad(example7, 8, false)},
 		{"load/mwmr-write-c64/example7", memStorageLoad(example7, 64, false)},
+		// Durable-write throughput: the same C=64 write load with every
+		// server running over a write-ahead log — one batched
+		// append+fdatasync per 64-envelope burst before the acks leave.
+		// The nosync variant prices the fdatasync separately from the
+		// record serialization and file writes. Gated like the volatile
+		// write number: group commit must keep the fsync tax amortized.
+		{"load/storage-write-durable-c64/example7", memStorageDurableLoad(example7, 64, false)},
+		{"load/storage-write-durable-nosync-c64/example7", memStorageDurableLoad(example7, 64, true)},
 		{"load/smr-decide-c8/example7", smrLoad(example7, 8)},
 		// Keyed KV throughput: uniform Puts and zipfian (s=1.2) Gets
 		// over a 10k-key table on two shard groups — the per-key state

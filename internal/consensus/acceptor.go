@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // ElectionConfig tunes the Election module (Figure 14).
@@ -60,6 +61,17 @@ type Acceptor struct {
 	nextView       int
 	timerStopped   bool // permanently stopped after a decided quorum
 	decisionFrom   map[Value]core.Set
+
+	// Durability (nil for a volatile acceptor — see durable.go). dirty
+	// marks that the handled event changed promise/accept state; the
+	// post-event hook appends one AcceptorState record, fsyncs, and
+	// only then flushes the deferred sends.
+	wal         *wal.Log
+	dp          *deferPort
+	walBuf      []byte
+	dirty       bool
+	walFailed   bool
+	maxSegments int
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -116,10 +128,14 @@ func (a *Acceptor) Start() { go a.run() }
 // way (there is no goroutine to stop).
 func (a *Acceptor) HandleEnvelope(env transport.Envelope) { a.handle(env) }
 
-// Stop terminates the loop and waits for exit.
+// Stop terminates the loop and waits for exit. A durable acceptor's
+// log is released after the loop drains.
 func (a *Acceptor) Stop() {
 	a.stopOnce.Do(func() { close(a.stop) })
 	<-a.done
+	if a.wal != nil {
+		a.wal.Close()
+	}
 }
 
 // Decided returns the acceptor's decision, if any. Safe only after Stop.
@@ -134,6 +150,7 @@ func (a *Acceptor) run() {
 			return
 		case <-a.timer.C:
 			a.onSuspectTimeout()
+			a.persistAndFlush()
 		case env, ok := <-a.port.Inbox():
 			if !ok {
 				return
@@ -144,6 +161,13 @@ func (a *Acceptor) run() {
 }
 
 func (a *Acceptor) handle(env transport.Envelope) {
+	a.dispatch(env)
+	// Durable acceptors commit dirtied state before the event's sends
+	// leave (write-ahead); volatile acceptors no-op here.
+	a.persistAndFlush()
+}
+
+func (a *Acceptor) dispatch(env transport.Envelope) {
 	switch m := env.Payload.(type) {
 	case PrepareMsg:
 		a.onPrepare(env, m)
@@ -202,6 +226,7 @@ func (a *Acceptor) onPrepare(env transport.Envelope, m PrepareMsg) {
 		a.prep = m.V
 		a.prepview = map[int]bool{a.view: true}
 	}
+	a.dirty = true
 	// Line 33: echo update1.
 	u := UpdateMsg{Step: 1, V: m.V, View: a.view}
 	a.oldStep[1][vwKey{m.V, a.view}] = true
@@ -276,6 +301,7 @@ func (a *Acceptor) evalTriggers(step int, v Value, view int) {
 
 // applyUpdate is lines 34-35: adopt v as the step-updated value.
 func (a *Acceptor) applyUpdate(step int, v Value, view int) {
+	a.dirty = true
 	if a.update[step] == v {
 		a.updateview[step][view] = true
 		return
@@ -289,6 +315,7 @@ func (a *Acceptor) applyUpdate(step int, v Value, view int) {
 func (a *Acceptor) decide(v Value) {
 	a.hasDecided = true
 	a.decidedVal = v
+	a.dirty = true
 	// Figure 14 line 7: publish the decision to the acceptors (and, so
 	// pulls converge faster, to the learners).
 	transport.Broadcast(a.port, a.updTargets(), DecisionMsg{V: v})
@@ -307,6 +334,7 @@ func (a *Acceptor) onNewView(env transport.Envelope, m NewViewMsg) {
 		return
 	}
 	a.view = m.View
+	a.dirty = true
 	// Lines 23-27: gather countersignatures for every unproven update.
 	a.pendingTo = env.From
 	a.pendingActive = true

@@ -1,0 +1,105 @@
+package consensus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// durableAcceptorFixture builds one durable acceptor over a fresh
+// in-memory network: acceptors 0-6 (the Example 7 universe), proposer
+// 7.
+func durableAcceptorFixture(t *testing.T, dir string) (*Acceptor, *transport.Network) {
+	t.Helper()
+	rqs := core.Example7RQS()
+	acceptors := core.FullSet(7)
+	topo := Topology{Acceptors: acceptors, Proposers: []core.ProcessID{7}}
+	ring, signers, err := GenKeys(acceptors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewNetwork(8)
+	a, err := NewDurableAcceptor(rqs, topo, net.Port(0), ring, signers[0], ElectionConfig{}, dir)
+	if err != nil {
+		net.Close()
+		t.Fatal(err)
+	}
+	return a, net
+}
+
+// TestDurableAcceptorRecoversPromise: a prepared value must survive a
+// kill -9 — the recovered acceptor still holds the prep/prepview it
+// echoed update1 for, so it can never help a conflicting value decide
+// in that view.
+func TestDurableAcceptorRecoversPromise(t *testing.T) {
+	dir := t.TempDir()
+	a, net := durableAcceptorFixture(t, dir)
+	defer net.Close()
+	a.HandleEnvelope(transport.Envelope{From: 7, To: 0, Payload: PrepareMsg{View: InitView, V: "x"}})
+	want := a.PersistentState()
+	if want.Prep != "x" || len(want.Prepview) != 1 {
+		t.Fatalf("prepare did not take: %#v", want)
+	}
+	// The promise echo (update1) must have left only after the fsync —
+	// and must have left.
+	select {
+	case env := <-net.Port(1).Inbox():
+		if u, ok := env.Payload.(UpdateMsg); !ok || u.Step != 1 || u.V != "x" {
+			t.Fatalf("acceptor 1 received %#v, want update1<x>", env.Payload)
+		}
+	default:
+		t.Fatal("update1 was never flushed after the commit")
+	}
+	a.wal.Close() // kill -9: only the log survives
+
+	a2, net2 := durableAcceptorFixture(t, dir)
+	defer net2.Close()
+	defer a2.wal.Close()
+	if got := a2.PersistentState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered state differs:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+// TestDurableAcceptorRecoversDecision: a decision reached via a quorum
+// of update3 messages survives restart.
+func TestDurableAcceptorRecoversDecision(t *testing.T) {
+	dir := t.TempDir()
+	a, net := durableAcceptorFixture(t, dir)
+	defer net.Close()
+	for from := core.ProcessID(0); from < 7; from++ {
+		a.HandleEnvelope(transport.Envelope{From: from, To: 0,
+			Payload: UpdateMsg{Step: 3, V: "d", View: InitView}})
+	}
+	if v, ok := a.Decided(); !ok || v != "d" {
+		t.Fatalf("fixture did not decide: (%q, %v)", v, ok)
+	}
+	a.wal.Close()
+
+	a2, net2 := durableAcceptorFixture(t, dir)
+	defer net2.Close()
+	defer a2.wal.Close()
+	if v, ok := a2.Decided(); !ok || v != "d" {
+		t.Fatalf("recovered acceptor lost its decision: (%q, %v)", v, ok)
+	}
+}
+
+// TestDurableAcceptorMutesOnWALFailure pins the write-ahead rule: when
+// the log cannot commit, the event's messages must not leave — a mute
+// acceptor is safe, an amnesiac one that spoke is not.
+func TestDurableAcceptorMutesOnWALFailure(t *testing.T) {
+	dir := t.TempDir()
+	a, net := durableAcceptorFixture(t, dir)
+	defer net.Close()
+	a.wal.Close() // the next Sync fails: disk is gone
+	a.HandleEnvelope(transport.Envelope{From: 7, To: 0, Payload: PrepareMsg{View: InitView, V: "x"}})
+	select {
+	case env := <-net.Port(1).Inbox():
+		t.Fatalf("message %#v escaped a failed commit", env.Payload)
+	default:
+	}
+	if !a.walFailed {
+		t.Fatal("acceptor did not latch the WAL failure")
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -20,6 +22,20 @@ type KVOptions struct {
 	// the underlying clusters; the KV paths are asynchronous and do
 	// not use it.
 	Timeout time.Duration
+	// DataDir, when non-empty, makes every group's servers durable:
+	// group g's server state lives under DataDir/g<g> (see
+	// StorageOptions.DataDir / TCPStorageOptions.DataDir).
+	DataDir string
+	// WALNoSync skips the WAL's fdatasync (benchmark-only).
+	WALNoSync bool
+}
+
+// groupDataDir is group g's slice of the data dir ("" when volatile).
+func (o *KVOptions) groupDataDir(g int) string {
+	if o.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(o.DataDir, fmt.Sprintf("g%d", g))
 }
 
 func (o *KVOptions) defaults() {
@@ -47,8 +63,10 @@ func NewKVCluster(rqs *core.RQS, opts KVOptions) *KVCluster {
 	c := &KVCluster{RQS: rqs}
 	for g := 0; g < opts.Groups; g++ {
 		c.Groups = append(c.Groups, NewStorageCluster(rqs, StorageOptions{
-			Clients: opts.Clients,
-			Timeout: opts.Timeout,
+			Clients:   opts.Clients,
+			Timeout:   opts.Timeout,
+			DataDir:   opts.groupDataDir(g),
+			WALNoSync: opts.WALNoSync,
 		}))
 	}
 	return c
@@ -72,10 +90,11 @@ func (c *KVCluster) SetInjector(inj transport.Injector) {
 	}
 }
 
-// RestartServer kill -9s and restarts one server of one group,
-// carrying its full keyspace snapshot across the restart.
-func (c *KVCluster) RestartServer(group int, id core.ProcessID, down time.Duration) {
-	c.Groups[group].RestartServer(id, down)
+// RestartServer kill -9s and restarts one server of one group; a
+// durable deployment recovers its keyspace from the WAL, a volatile
+// one comes back amnesiac.
+func (c *KVCluster) RestartServer(group int, id core.ProcessID, down time.Duration) error {
+	return c.Groups[group].RestartServer(id, down)
 }
 
 // Stop shuts every group down.
@@ -108,8 +127,10 @@ func NewTCPKVCluster(rqs *core.RQS, opts KVOptions) (*TCPKVCluster, error) {
 	c := &TCPKVCluster{RQS: rqs}
 	for g := 0; g < opts.Groups; g++ {
 		sc, err := NewTCPStorageCluster(rqs, TCPStorageOptions{
-			Clients: opts.Clients,
-			Timeout: opts.Timeout,
+			Clients:   opts.Clients,
+			Timeout:   opts.Timeout,
+			DataDir:   opts.groupDataDir(g),
+			WALNoSync: opts.WALNoSync,
 		})
 		if err != nil {
 			c.Stop()
@@ -137,8 +158,9 @@ func (c *TCPKVCluster) SetInjector(inj transport.Injector) {
 	}
 }
 
-// RestartServer kill -9s and restarts one server of one group,
-// carrying its full keyspace snapshot across the restart.
+// RestartServer kill -9s and restarts one server of one group; a
+// durable deployment recovers its keyspace from the WAL, a volatile
+// one comes back amnesiac.
 func (c *TCPKVCluster) RestartServer(group int, id core.ProcessID, down time.Duration) error {
 	return c.Groups[group].RestartServer(id, down)
 }

@@ -330,11 +330,12 @@ func TestKVCASPutInterleaveTCP(t *testing.T) {
 }
 
 // TestKVClusterRestartCarriesKeyspace restarts EVERY server of one
-// group and verifies the whole keyspace — not just the legacy ""
-// register — survives: reads after the rolling restart can only
-// succeed with the snapshot/restore path carrying all keys.
+// durable deployment and verifies the whole keyspace — not just the
+// legacy "" register — survives: after the rolling restart every
+// server's in-memory state is gone, so reads can only succeed if WAL
+// replay recovered all keys on all servers.
 func TestKVClusterRestartCarriesKeyspace(t *testing.T) {
-	c := NewKVCluster(core.FiveServerRQS(), KVOptions{Groups: 2, Clients: 2})
+	c := NewKVCluster(core.FiveServerRQS(), KVOptions{Groups: 2, Clients: 2, DataDir: t.TempDir()})
 	defer c.Stop()
 	kv := c.Client()
 
@@ -349,7 +350,9 @@ func TestKVClusterRestartCarriesKeyspace(t *testing.T) {
 	}
 	for g := range c.Groups {
 		for id := 0; id < c.RQS.N(); id++ {
-			c.RestartServer(g, core.ProcessID(id), 0)
+			if err := c.RestartServer(g, core.ProcessID(id), 0); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	kv2 := c.Client()
@@ -361,5 +364,52 @@ func TestKVClusterRestartCarriesKeyspace(t *testing.T) {
 		if got != val || ver.IsZero() {
 			t.Fatalf("key %q after rolling restart = (%q, %v), want (%q, non-zero)", key, got, ver, val)
 		}
+	}
+}
+
+// TestVolatileRestartIsAmnesiac pins the kill -9 model for clusters
+// WITHOUT a data dir: RestartServer must bring the server back with
+// nothing — no in-process snapshot may smuggle state across the
+// "crash". The write lands on every server (all five are in each
+// write quorum's closure here), so a non-empty post-restart snapshot
+// can only mean the harness cheated.
+func TestVolatileRestartIsAmnesiac(t *testing.T) {
+	c := NewStorageCluster(core.FiveServerRQS(), StorageOptions{Clients: 1})
+	defer c.Stop()
+	c.Writer().Write("survivor?")
+	// Find a server that actually holds state, then kill it.
+	id := core.ProcessID(-1)
+	for i, srv := range c.Servers {
+		if len(srv.StateSnapshot()) > 0 {
+			id = core.ProcessID(i)
+			break
+		}
+	}
+	if id < 0 {
+		t.Fatal("no server holds the write")
+	}
+	if err := c.RestartServer(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Servers[id].StateSnapshot(); len(st) != 0 {
+		t.Fatalf("volatile server %d came back with state %v after kill -9; in-memory state must not survive", id, st)
+	}
+}
+
+// TestDurableRestartRecoversFromDisk is the counterpart: with a data
+// dir, the same kill -9 recovers the register state by replaying the
+// WAL.
+func TestDurableRestartRecoversFromDisk(t *testing.T) {
+	c := NewStorageCluster(core.FiveServerRQS(), StorageOptions{Clients: 2, DataDir: t.TempDir()})
+	defer c.Stop()
+	c.Writer().Write("durable")
+	for id := 0; id < c.RQS.N(); id++ {
+		if err := c.RestartServer(core.ProcessID(id), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := c.Reader().Read()
+	if res.Val != "durable" {
+		t.Fatalf("read %q after rolling restart of every server, want %q", res.Val, "durable")
 	}
 }

@@ -1,0 +1,20 @@
+package sim
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS to at least 2: durable-storage tests and
+// benchmarks block in fdatasync, and with a single P the runtime
+// cannot hand the P off until sysmon retakes it (20µs-10ms adaptive) —
+// every disk flush would stall the scheduler, and with it every
+// server, client, and histcheck goroutine in the process. rqs-bench
+// applies the same floor for the load gates.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		runtime.GOMAXPROCS(2)
+	}
+	os.Exit(m.Run())
+}

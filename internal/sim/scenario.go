@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	stdnet "net"
+	"os"
 	"sync"
 	"time"
 
@@ -56,7 +57,8 @@ type RunContext struct {
 	RQS       *core.RQS
 
 	// Restart kill-9s server id, keeps it down for the given duration,
-	// and restarts it with the crashed incarnation's register state.
+	// and restarts it strictly from on-disk state: a Durable scenario's
+	// server recovers from its WAL, a volatile one restarts amnesiac.
 	// Nil for workloads without restartable servers (SMR).
 	Restart func(id core.ProcessID, down time.Duration) error
 	// Proxy fronts server 0's wire on TCP runs of scenarios that set
@@ -88,6 +90,13 @@ type Scenario struct {
 	// WireProxy routes the client host's dials to server 0 through a
 	// chaos.Proxy (TCP only), exposed to Events as rc.Proxy.
 	WireProxy bool
+	// Durable deploys the servers over write-ahead logs in a run-scoped
+	// temp directory: rc.Restart recovers the killed server's state
+	// from disk instead of restarting it amnesiac. Required for any
+	// scenario whose fault set includes a server restart — a volatile
+	// server that acked writes and then forgot them is outside the
+	// crash-recovery model the protocols assume.
+	Durable bool
 	// ExpectViolation marks a negative control: the run passes only if
 	// histcheck REJECTS the history (e.g. a Byzantine server on a
 	// quorum system below the class-3 intersection requirement).
@@ -215,6 +224,16 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 	if sc.Script != nil {
 		script = sc.Script(system, seed)
 	}
+	var dataDir string
+	if sc.Durable {
+		dir, err := os.MkdirTemp("", "rqs-chaos-")
+		if err != nil {
+			res.Err = fmt.Errorf("durable data dir: %w", err)
+			return res
+		}
+		defer os.RemoveAll(dir)
+		dataDir = dir
+	}
 
 	rc := &RunContext{Transport: tr, Workload: wl, Seed: seed, RQS: system}
 	rec := histcheck.NewRecorder()
@@ -230,14 +249,13 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 		var d kvDeployment
 		switch tr {
 		case MemoryTransport:
-			mc := NewKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients})
+			mc := NewKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients, DataDir: dataDir})
 			rc.Restart = func(id core.ProcessID, down time.Duration) error {
-				mc.RestartServer(0, id, down)
-				return nil
+				return mc.RestartServer(0, id, down)
 			}
 			d = mc
 		case TCPTransport:
-			tc, err := NewTCPKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients})
+			tc, err := NewTCPKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients, DataDir: dataDir})
 			if err != nil {
 				res.Err = fmt.Errorf("tcp kv cluster: %w", err)
 				return res
@@ -272,14 +290,11 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 		var d storageDeployment
 		switch tr {
 		case MemoryTransport:
-			mc := NewStorageCluster(system, StorageOptions{Hooks: hooks})
-			rc.Restart = func(id core.ProcessID, down time.Duration) error {
-				mc.RestartServer(id, down)
-				return nil
-			}
+			mc := NewStorageCluster(system, StorageOptions{Hooks: hooks, DataDir: dataDir})
+			rc.Restart = mc.RestartServer
 			d = mc
 		case TCPTransport:
-			tc, err := NewTCPStorageCluster(system, TCPStorageOptions{Hooks: hooks})
+			tc, err := NewTCPStorageCluster(system, TCPStorageOptions{Hooks: hooks, DataDir: dataDir})
 			if err != nil {
 				res.Err = fmt.Errorf("tcp cluster: %w", err)
 				return res

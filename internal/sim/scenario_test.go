@@ -106,6 +106,38 @@ func TestScenarioMatrixTCP(t *testing.T) {
 	}
 }
 
+// TestKill9RecoverMatrix is the crash-recovery acceptance criterion:
+// the kill9-recover-midwrite scenario — real process-state loss, a
+// fresh server recovering strictly from its write-ahead log — must
+// pass histcheck on both transports, across the swmr, mwmr and kv
+// workloads, for three seeds. TCP cells run only outside -short.
+func TestKill9RecoverMatrix(t *testing.T) {
+	sc, ok := FindScenario("kill9-recover-midwrite")
+	if !ok {
+		t.Fatal("kill9-recover-midwrite not registered")
+	}
+	if !sc.Durable {
+		t.Fatal("kill9-recover-midwrite must deploy durable servers")
+	}
+	for _, tr := range []Transport{MemoryTransport, TCPTransport} {
+		for _, wl := range []Workload{SWMRWorkload, MWMRWorkload, KVWorkload} {
+			for _, seed := range []int64{1, 2, 3} {
+				tr, wl, seed := tr, wl, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", tr, wl, seed), func(t *testing.T) {
+					if tr == TCPTransport && testing.Short() {
+						t.Skip("TCP recovery cells skipped in -short")
+					}
+					t.Parallel()
+					res := RunScenario(sc, tr, wl, seed)
+					if !res.Passed() {
+						t.Fatalf("recovery cell failed: %s", res.Failure())
+					}
+				})
+			}
+		}
+	}
+}
+
 // TestNegativeControlStaleTag is the acceptance criterion's negative
 // control: the stale-tag forger must be masked by a quorum system
 // meeting the class-3 intersection requirement and must produce an

@@ -122,10 +122,11 @@ var scenarios = []*Scenario{
 		Name: "kill9-restart-midwrite",
 		Description: "A fixed 15ms delay on all traffic into servers stretches " +
 			"the run; 120ms in, server 1 is killed mid-operation, stays down " +
-			"150ms, and restarts with its register state. Operations ride " +
+			"150ms, and restarts from its write-ahead log. Operations ride " +
 			"out the outage on the surviving quorums.",
 		Transports: bothTransports,
 		Workloads:  storageWorkloads,
+		Durable:    true,
 		Script: func(r *core.RQS, seed int64) *chaos.Script {
 			return chaos.NewScript(seed).Rule(chaos.Rule{
 				To:     r.Universe(),
@@ -135,6 +136,31 @@ var scenarios = []*Scenario{
 		Events: func(rc *RunContext) {
 			time.Sleep(120 * time.Millisecond)
 			_ = rc.Restart(1, 150*time.Millisecond)
+		},
+	},
+	{
+		Name: "kill9-recover-midwrite",
+		Description: "The crash-recovery tier: servers run over write-ahead " +
+			"logs, a fixed 12ms delay into servers stretches the run, and " +
+			"110ms in server 1 is kill -9'd mid-operation with real process-" +
+			"state loss — the fresh incarnation replays its WAL (and, on " +
+			"TCP, reloads its session dedup table) before serving again. " +
+			"Every acked write it vouched for must still be there: histcheck " +
+			"rejects the history if recovery loses or doubles one. The kv " +
+			"cell drives multi-key writes across both shard groups through " +
+			"the crash window.",
+		Transports: bothTransports,
+		Workloads:  []Workload{SWMRWorkload, MWMRWorkload, KVWorkload},
+		Durable:    true,
+		Script: func(r *core.RQS, seed int64) *chaos.Script {
+			return chaos.NewScript(seed).Rule(chaos.Rule{
+				To:     r.Universe(),
+				Effect: chaos.Delay{Dist: chaos.Fixed(12 * time.Millisecond)},
+			})
+		},
+		Events: func(rc *RunContext) {
+			time.Sleep(110 * time.Millisecond)
+			_ = rc.Restart(1, 120*time.Millisecond)
 		},
 	},
 	{

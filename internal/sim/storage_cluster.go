@@ -5,6 +5,8 @@
 package sim
 
 import (
+	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -21,6 +23,12 @@ type StorageCluster struct {
 	Servers []*storage.Server
 	Timeout time.Duration
 
+	// dataDir, when non-empty, makes every server durable: each runs
+	// over a WAL in its own subdirectory, and RestartServer recovers
+	// from that log instead of bringing the server back amnesiac.
+	dataDir   string
+	walNoSync bool
+
 	clientMu   sync.Mutex // tests spawn clients from concurrent goroutines
 	nClients   int
 	nextClient int
@@ -34,9 +42,20 @@ type StorageOptions struct {
 	Timeout time.Duration
 	// Hooks optionally makes individual servers Byzantine.
 	Hooks map[core.ProcessID]storage.Hooks
+	// DataDir, when non-empty, runs every server over a write-ahead log
+	// in DataDir/s<id>: acks only follow the fsync, and RestartServer
+	// replays the log instead of losing the state. Empty = volatile
+	// servers that restart amnesiac.
+	DataDir string
+	// WALNoSync skips the WAL's fdatasync (benchmark-only; meaningless
+	// without DataDir).
+	WALNoSync bool
 }
 
-// NewStorageCluster starts servers for every process in the RQS universe.
+// NewStorageCluster starts servers for every process in the RQS
+// universe. It panics if a durable server's data directory cannot be
+// opened — the harness callers (tests, benchmarks) have no recovery
+// path for a broken temp dir anyway.
 func NewStorageCluster(rqs *core.RQS, opts StorageOptions) *StorageCluster {
 	if opts.Clients <= 0 {
 		opts.Clients = 4
@@ -47,17 +66,33 @@ func NewStorageCluster(rqs *core.RQS, opts StorageOptions) *StorageCluster {
 	n := rqs.N()
 	net := transport.NewNetwork(n + opts.Clients)
 	c := &StorageCluster{
-		RQS:      rqs,
-		Net:      net,
-		Timeout:  opts.Timeout,
-		nClients: opts.Clients,
+		RQS:       rqs,
+		Net:       net,
+		Timeout:   opts.Timeout,
+		dataDir:   opts.DataDir,
+		walNoSync: opts.WALNoSync,
+		nClients:  opts.Clients,
 	}
 	for id := 0; id < n; id++ {
-		srv := storage.NewServer(net.Port(id), opts.Hooks[id])
+		srv, err := c.newServer(core.ProcessID(id), opts.Hooks[id])
+		if err != nil {
+			net.Close()
+			panic(fmt.Sprintf("sim: durable server %d: %v", id, err))
+		}
 		srv.Start()
 		c.Servers = append(c.Servers, srv)
 	}
 	return c
+}
+
+// newServer builds server id in the cluster's durability mode.
+func (c *StorageCluster) newServer(id core.ProcessID, hooks storage.Hooks) (*storage.Server, error) {
+	if c.dataDir == "" {
+		return storage.NewServer(c.Net.Port(id), hooks), nil
+	}
+	dir := filepath.Join(c.dataDir, fmt.Sprintf("s%d", id))
+	return storage.NewDurableServer(c.Net.Port(id), hooks, dir,
+		storage.DurableOptions{NoSync: c.walNoSync})
 }
 
 // Writer returns a writer on a fresh client port.
@@ -118,23 +153,25 @@ func (c *StorageCluster) SetInjector(inj transport.Injector) {
 // RestartServer models kill -9 + restart of server id: the process
 // disappears at the network boundary and its loop stops, stays down
 // for the given duration, then a fresh server resumes at the same
-// process ID with the crashed server's durable register state (the
-// stand-in for the WAL recovery a later durability layer will provide;
-// see ARCHITECTURE.md). Messages sent while it was down are dropped —
-// liveness during the outage rests on the remaining quorums.
-func (c *StorageCluster) RestartServer(id core.ProcessID, down time.Duration) {
+// process ID — strictly from on-disk state. A durable cluster's fresh
+// server replays its write-ahead log; a volatile cluster's comes back
+// amnesiac, exactly like a real process whose memory died with it.
+// Messages sent while it was down are dropped — liveness during the
+// outage rests on the remaining quorums.
+func (c *StorageCluster) RestartServer(id core.ProcessID, down time.Duration) error {
 	c.Net.Crash(id)
-	srv := c.Servers[id]
-	srv.Stop()
-	state := srv.StateSnapshot()
+	c.Servers[id].Stop()
 	if down > 0 {
 		time.Sleep(down)
 	}
-	fresh := storage.NewServer(c.Net.Port(id), storage.Hooks{})
-	fresh.SetState(state)
+	fresh, err := c.newServer(id, storage.Hooks{})
+	if err != nil {
+		return fmt.Errorf("sim: recover server %d: %w", id, err)
+	}
 	c.Servers[id] = fresh
 	fresh.Start()
 	c.Net.Restart(id)
+	return nil
 }
 
 // Stop shuts the cluster down.

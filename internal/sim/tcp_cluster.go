@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -35,6 +37,12 @@ type TCPStorageCluster struct {
 	// restarted hosts.
 	addrs map[core.ProcessID]string
 	inj   transport.Injector
+
+	// dataDir, when non-empty, makes every server durable: its WAL
+	// lives in dataDir/s<id>/wal and its host's dedup table in
+	// dataDir/s<id>/net, and RestartServer recovers both from disk.
+	dataDir   string
+	walNoSync bool
 }
 
 // TCPStorageOptions configures NewTCPStorageCluster.
@@ -45,6 +53,14 @@ type TCPStorageOptions struct {
 	Timeout time.Duration
 	// Hooks optionally makes individual servers Byzantine.
 	Hooks map[core.ProcessID]storage.Hooks
+	// DataDir, when non-empty, makes every server process durable: the
+	// register state goes through a write-ahead log and the session
+	// layer's dedup table through atomic state files, both under
+	// DataDir/s<id>, so RestartServer recovers the whole process from
+	// disk. Empty = volatile servers that restart amnesiac.
+	DataDir string
+	// WALNoSync skips the WAL's fdatasync (benchmark-only).
+	WALNoSync bool
 }
 
 var registerTCPStorageOnce sync.Once
@@ -78,7 +94,8 @@ func NewTCPStorageCluster(r *core.RQS, opts TCPStorageOptions) (*TCPStorageClust
 	}
 	RegisterTCPStorageMessages()
 	n := r.N()
-	c := &TCPStorageCluster{RQS: r, Timeout: opts.Timeout}
+	c := &TCPStorageCluster{RQS: r, Timeout: opts.Timeout,
+		dataDir: opts.DataDir, walNoSync: opts.WALNoSync}
 	addrs := make(map[core.ProcessID]string, n+opts.Clients)
 	c.addrs = addrs
 	fail := func(err error) (*TCPStorageCluster, error) {
@@ -92,7 +109,7 @@ func NewTCPStorageCluster(r *core.RQS, opts TCPStorageOptions) (*TCPStorageClust
 	// edge (the Start goroutine spawn) instead of racing the setup
 	// writes.
 	for id := 0; id < n; id++ {
-		host, err := transport.NewTCPHost("127.0.0.1:0", addrs)
+		host, err := transport.NewTCPHostDir("127.0.0.1:0", addrs, c.serverNetDir(core.ProcessID(id)))
 		if err != nil {
 			return fail(err)
 		}
@@ -113,7 +130,10 @@ func NewTCPStorageCluster(r *core.RQS, opts TCPStorageOptions) (*TCPStorageClust
 		if err != nil {
 			return fail(err)
 		}
-		srv := storage.NewServer(node, opts.Hooks[id])
+		srv, err := c.newServer(node, core.ProcessID(id), opts.Hooks[id])
+		if err != nil {
+			return fail(err)
+		}
 		srv.Start()
 		c.Servers = append(c.Servers, srv)
 	}
@@ -125,6 +145,25 @@ func NewTCPStorageCluster(r *core.RQS, opts TCPStorageOptions) (*TCPStorageClust
 		c.ports = append(c.ports, node)
 	}
 	return c, nil
+}
+
+// serverNetDir is server id's dedup state dir ("" when volatile).
+func (c *TCPStorageCluster) serverNetDir(id core.ProcessID) string {
+	if c.dataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.dataDir, fmt.Sprintf("s%d", id), "net")
+}
+
+// newServer builds server id over node in the cluster's durability
+// mode.
+func (c *TCPStorageCluster) newServer(node transport.Port, id core.ProcessID, hooks storage.Hooks) (*storage.Server, error) {
+	if c.dataDir == "" {
+		return storage.NewServer(node, hooks), nil
+	}
+	dir := filepath.Join(c.dataDir, fmt.Sprintf("s%d", id), "wal")
+	return storage.NewDurableServer(node, hooks, dir,
+		storage.DurableOptions{NoSync: c.walNoSync})
 }
 
 // Reader returns a reader on a fresh colocated client node.
@@ -179,20 +218,20 @@ func (c *TCPStorageCluster) SetInjector(inj transport.Injector) {
 // RestartServer models kill -9 + restart of server id's OS process:
 // its host closes (every conn dies abruptly), the process stays down,
 // then a fresh host binds the same address and a fresh server resumes
-// with the crashed server's durable register state. Client sessions
-// redial with jittered backoff and retransmit their unacked frames, so
-// requests sent during the outage are replayed to the new incarnation.
+// — strictly from on-disk state. A durable cluster's fresh process
+// replays its WAL and reloads its dedup table; a volatile cluster's
+// comes back amnesiac. Client sessions redial with jittered backoff
+// and retransmit their unacked frames, so requests sent during the
+// outage are replayed to the new incarnation.
 func (c *TCPStorageCluster) RestartServer(id core.ProcessID, down time.Duration) error {
-	srv := c.Servers[id]
 	host := c.ServerHosts[id]
 	addr := host.Addr()
 	host.Close()
-	srv.Stop()
-	state := srv.StateSnapshot()
+	c.Servers[id].Stop()
 	if down > 0 {
 		time.Sleep(down)
 	}
-	fresh, err := transport.NewTCPHost(addr, c.addrs)
+	fresh, err := transport.NewTCPHostDir(addr, c.addrs, c.serverNetDir(id))
 	if err != nil {
 		return err
 	}
@@ -207,8 +246,11 @@ func (c *TCPStorageCluster) RestartServer(id core.ProcessID, down time.Duration)
 	}
 	c.ServerHosts[id] = fresh
 	c.clientMu.Unlock()
-	s := storage.NewServer(node, storage.Hooks{})
-	s.SetState(state)
+	s, err := c.newServer(node, id, storage.Hooks{})
+	if err != nil {
+		fresh.Close()
+		return err
+	}
 	c.Servers[id] = s
 	s.Start()
 	return nil

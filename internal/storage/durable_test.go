@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// burstOf wraps requests from a notional client (process 1) into the
+// envelope shape the burst loop consumes.
+func burstOf(reqs ...transport.Message) []transport.Envelope {
+	envs := make([]transport.Envelope, len(reqs))
+	for i, r := range reqs {
+		envs[i] = transport.Envelope{From: 1, To: 0, Payload: r}
+	}
+	return envs
+}
+
+// durableFixtureBurst is a mixed mutation burst touching all three
+// logged request types across two keys.
+func durableFixtureBurst() []transport.Envelope {
+	return burstOf(
+		MWWriteReq{Seq: 1, Key: "alpha", Tag: Tag{TS: 1, Writer: 1}, Val: "v1"},
+		MWWriteReq{Seq: 2, Key: "alpha", Tag: Tag{TS: 2, Writer: 1}, Val: "v2"},
+		WriteReq{Key: "beta", TS: 7, Val: "sw", Round: 2},
+		KVCASReq{Seq: 3, Key: "alpha", Expect: Tag{TS: 2, Writer: 1}, Tag: Tag{TS: 3, Writer: 1}, Val: "v3"},
+	)
+}
+
+// TestDurableServerRecoversKeyspace kills a durable server (no Stop,
+// no snapshot — the WAL is all that survives) and checks a fresh
+// server over the same directory replays the exact keyspace.
+func TestDurableServerRecoversKeyspace(t *testing.T) {
+	dir := t.TempDir()
+	net := transport.NewNetwork(2)
+	defer net.Close()
+	srv, err := NewDurableServer(net.Port(0), Hooks{}, dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.handleBurst(durableFixtureBurst()) {
+		t.Fatal("burst failed")
+	}
+	want := srv.StateSnapshot()
+	// kill -9: release the log without flushing anything beyond what
+	// the burst's group commit already made durable.
+	srv.wal.Close()
+
+	srv2, err := NewDurableServer(net.Port(0), Hooks{}, dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.wal.Close()
+	got := srv2.StateSnapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered keyspace differs:\n got %#v\nwant %#v", got, want)
+	}
+	if got["alpha"].MWVal != "v3" || got["alpha"].MWTag != (Tag{TS: 3, Writer: 1}) {
+		t.Fatalf("alpha = %#v, want CAS result v3", got["alpha"])
+	}
+}
+
+// TestDurableReplayIdempotence re-feeds every logged record into an
+// already-recovered server: the keyspace must not move. This is the
+// property that makes a crash between compaction's snapshot publish
+// and segment cleanup harmless (the next replay sees snapshot +
+// already-covered records).
+func TestDurableReplayIdempotence(t *testing.T) {
+	dir := t.TempDir()
+	net := transport.NewNetwork(2)
+	defer net.Close()
+	srv, err := NewDurableServer(net.Port(0), Hooks{}, dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := durableFixtureBurst()
+	if !srv.handleBurst(burst) {
+		t.Fatal("burst failed")
+	}
+	srv.wal.Close()
+
+	srv2, err := NewDurableServer(net.Port(0), Hooks{}, dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.wal.Close()
+	before := srv2.StateSnapshot()
+	for _, env := range burst {
+		rec, err := transport.EncodeMessage(nil, env.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv2.replayRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := srv2.StateSnapshot()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("replaying records twice moved the keyspace:\n before %#v\n after %#v", before, after)
+	}
+}
+
+// TestDurableCompactionRoundTrip forces rotation + compaction through
+// the burst path and checks recovery comes from snapshot + suffix.
+func TestDurableCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	net := transport.NewNetwork(2)
+	defer net.Close()
+	srv, err := NewDurableServer(net.Port(0), Hooks{}, dir,
+		DurableOptions{SegmentBytes: 256, MaxSegments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		ok := srv.handleBurst(burstOf(
+			MWWriteReq{Seq: int64(i), Key: "hot", Tag: Tag{TS: int64(i + 1), Writer: 1}, Val: "v"},
+			MWWriteReq{Seq: int64(i), Key: "cold", Tag: Tag{TS: int64(i + 1), Writer: 2}, Val: "w"},
+		))
+		if !ok {
+			t.Fatalf("burst %d failed", i)
+		}
+	}
+	if srv.wal.SnapshotSeq() < 0 {
+		t.Fatal("no compaction happened; test needs a smaller SegmentBytes")
+	}
+	want := srv.StateSnapshot()
+	srv.wal.Close()
+
+	srv2, err := NewDurableServer(net.Port(0), Hooks{}, dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.wal.Close()
+	if got := srv2.StateSnapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-compaction recovery differs:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+// TestDurableWALFailureDropsAcks pins the never-ack-non-durable-state
+// rule: when the log cannot commit a burst, the burst's acks must not
+// leave the server.
+func TestDurableWALFailureDropsAcks(t *testing.T) {
+	dir := t.TempDir()
+	net := transport.NewNetwork(2)
+	defer net.Close()
+	// Budget only the segment header: the first logged burst crashes.
+	srv, err := NewDurableServer(net.Port(0), Hooks{}, dir,
+		DurableOptions{Hooks: wal.Hooks{FailAfterNBytes: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.wal.Close()
+	if srv.handleBurst(burstOf(MWWriteReq{Seq: 1, Key: "k", Tag: Tag{TS: 1, Writer: 1}, Val: "v"})) {
+		t.Fatal("handleBurst reported success past a WAL crash")
+	}
+	select {
+	case env := <-net.Port(1).Inbox():
+		t.Fatalf("ack %#v escaped a failed group commit", env.Payload)
+	default:
+	}
+}

@@ -28,7 +28,13 @@ import (
 // The fast path is safe in the crash model because server tags are
 // monotone: if a full quorum Q reports tag t, every later phase-1
 // quorum intersects Q (Property 1) in a server whose tag is still
-// ≥ t, so no later operation selects an older tag. Tolerating
+// ≥ t, so no later operation selects an older tag. Durable servers
+// extend the argument across kill -9: monotonicity only survives a
+// restart for tags the WAL has fsynced, so MWReadAck.Synced marks
+// whether the report is behind the fsync horizon and only synced
+// reports count toward the fast-path quorum (unsynced ones still
+// seed tag selection — a lost tag is only ever replaced by a higher
+// one). Tolerating
 // Byzantine servers in the MWMR setting requires authenticated tags
 // (writers would need to sign 〈tag, value〉); that extension is left on
 // the ROADMAP.
@@ -84,6 +90,12 @@ type MWReadAck struct {
 	Seq int64
 	Tag Tag
 	Val string
+	// Synced reports whether the pair is covered by the server's WAL
+	// fsync horizon (always true on a volatile server). Only synced
+	// reports count toward the read fast path: a tag that a kill -9
+	// could still erase from this server must not contribute to the
+	// quorum that lets a reader skip its writeback.
+	Synced bool
 }
 
 // MWWriteReq asks a server to store 〈tag, val〉 under a key if tag is
@@ -121,7 +133,9 @@ type mwClient struct {
 	tr   *core.QuorumTracker
 
 	// Read-phase scratch, reset per phase: the maximum tag seen and
-	// the exact set of servers that reported it.
+	// the set of servers that reported it as synced (durably held, so
+	// eligible to support the fast path — volatile servers report
+	// everything synced).
 	maxTag  Tag
 	maxVal  string
 	withMax core.Set
@@ -178,8 +192,11 @@ func (c *mwClient) readPhase(key string, done <-chan struct{}) {
 			continue
 		}
 		if c.maxTag.Less(ack.Tag) {
-			c.maxTag, c.maxVal, c.withMax = ack.Tag, ack.Val, core.NewSet(env.From)
-		} else if ack.Tag == c.maxTag {
+			c.maxTag, c.maxVal, c.withMax = ack.Tag, ack.Val, core.EmptySet
+			if ack.Synced {
+				c.withMax = core.NewSet(env.From)
+			}
+		} else if ack.Tag == c.maxTag && ack.Synced {
 			c.withMax = c.withMax.Add(env.From)
 		}
 		if c.tr.Add(env.From) {

@@ -2,9 +2,11 @@ package storage
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Hooks let the fault-injection layer turn a server Byzantine. All hooks
@@ -114,6 +116,13 @@ type ackBucket struct {
 	msgs []transport.Message
 }
 
+// syncBatch is one group-commit round's acks, parked until the
+// syncer's next fdatasync covers the round's WAL records.
+type syncBatch struct {
+	acks []ackBucket
+	n    int
+}
+
 // Server is one storage server. It hosts a keyspace of registers over
 // a single port: per key, the SWMR history of Figure 6 and the
 // tag-ordered MWMR register (mwmr.go), behind a sharded map with
@@ -137,9 +146,42 @@ type Server struct {
 	// acks is the per-burst reply accumulator; buckets and their msgs
 	// slices are reused across bursts (the transports do not retain
 	// the payload slice past the SendBatch call). Only the server
-	// goroutine touches it.
+	// goroutine touches it. roAcks accumulates the burst's MWMR read
+	// acks, which flush at the end of the burst without waiting for
+	// any group commit in flight: they never claim durability (the
+	// Synced bit says exactly what survives a crash), so holding them
+	// behind an fsync would only add latency.
 	acks     []ackBucket
 	acksUsed int
+	roAcks   []ackBucket
+	roUsed   int
+
+	// Durability (nil for a volatile server — see durable.go). The wal
+	// receives one record per applied mutation during phase 2. Group
+	// commit is leader-style: at most one fdatasync is ever in flight,
+	// and while it runs the server loop keeps draining its inbox,
+	// accumulating every new burst's records and mutation acks into ONE
+	// held batch (s.acks/burstLogged). When the syncer signals the
+	// round complete, the held batch is handed over as the next round.
+	// One disk flush therefore covers everything that arrived during
+	// the previous flush — the classic group-commit pipeline — instead
+	// of each small burst paying its own round. The invariant is an ack
+	// horizon: no ack leaves while any record appended before it is
+	// still un-synced, so acks never expose state a kill -9 could
+	// erase. Bursts that touch a fully synced log (every burst of a
+	// pure-read workload) flush inline.
+	wal           *wal.Log
+	walBuf        []byte // encode scratch (server goroutine only)
+	snapBuf       []byte // compaction encode scratch (syncer only)
+	walEncodeFail atomic.Bool
+	maxSegments   int  // compaction trigger
+	burstLogged   int  // records appended, not yet handed to the syncer
+	syncBusy      bool // a commit round is in flight (run loop only)
+	syncCh        chan syncBatch
+	syncIdleCh    chan struct{}    // syncer → run loop: round complete
+	syncFree      chan []ackBucket // recycled ack-bucket slices
+	walDead       chan struct{}    // closed by the syncer on WAL failure
+	syncerDone    chan struct{}
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -167,10 +209,15 @@ func (s *Server) Start() {
 }
 
 // Stop terminates the server loop and waits for it to exit. Safe for
-// concurrent use: the stop channel closes exactly once.
+// concurrent use: the stop channel closes exactly once. A durable
+// server's log is released only after the loop has drained, so no
+// in-flight burst can race the close.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() { close(s.stop) })
 	<-s.done
+	if s.wal != nil {
+		s.wal.Close()
+	}
 }
 
 // RegSnapshot is the captured state of one key's register.
@@ -266,11 +313,35 @@ func (s *Server) SetMW(tag Tag, val string) {
 
 func (s *Server) run() {
 	defer close(s.done)
+	if s.wal != nil {
+		s.syncCh = make(chan syncBatch, 1)
+		s.syncIdleCh = make(chan struct{}, 1)
+		s.syncFree = make(chan []ackBucket, 2)
+		s.walDead = make(chan struct{})
+		s.syncerDone = make(chan struct{})
+		go s.syncer()
+		// Runs before close(s.done): the syncer finishes its round
+		// before Stop releases the log.
+		defer func() { close(s.syncCh); <-s.syncerDone }()
+	}
 	var burst []transport.Envelope
 	for {
 		select {
 		case <-s.stop:
 			return
+		case <-s.walDead: // nil (never ready) on a volatile server
+			return
+		case <-s.syncIdleCh: // nil (never ready) on a volatile server
+			// The commit round completed and its acks are out. Hand
+			// over whatever accumulated while it ran as the next round.
+			s.syncBusy = false
+			if s.burstLogged > 0 || s.acksUsed > 0 {
+				s.burstLogged = 0
+				if !s.enqueueSync() {
+					return
+				}
+				s.syncBusy = true
+			}
 		case env, ok := <-s.port.Inbox():
 			if !ok {
 				return
@@ -291,7 +362,11 @@ func (s *Server) run() {
 					break fill
 				}
 			}
-			s.handleBurst(burst)
+			if !s.handleBurst(burst) {
+				// Durability failed: the server must not keep serving
+				// (and acking) state its log cannot guarantee.
+				return
+			}
 		}
 	}
 }
@@ -299,9 +374,13 @@ func (s *Server) run() {
 // handleBurst executes one drained burst: hooks run first (unlocked —
 // they may call back into the server), then every surviving request is
 // applied in arrival order holding one shard lock at a time (runs of
-// same-shard requests share one acquisition), then the accumulated
-// acks flush as per-destination batches.
-func (s *Server) handleBurst(burst []transport.Envelope) {
+// same-shard requests share one acquisition), and finally the
+// accumulated acks flush as per-destination batches — inline on a
+// volatile server, or via the syncer's group commit on a durable one
+// whose log has un-synced records. It reports false when the WAL
+// failed: the acks are dropped (they would acknowledge non-durable
+// state) and the caller stops the loop.
+func (s *Server) handleBurst(burst []transport.Envelope) bool {
 	// Phase 1: fault-injection hooks, outside the locks. Dropped
 	// requests are nilled out; forged read acks are precomputed, one
 	// hook call per surviving read, exactly as unbatched serving did.
@@ -356,7 +435,9 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 		env := &burst[i]
 		switch req := env.Payload.(type) {
 		case WriteReq:
-			applyWrite(lock(req.Key).reg(req.Key), req)
+			if applyWrite(lock(req.Key).reg(req.Key), req) && s.wal != nil {
+				s.logMutation(req)
+			}
 			s.ack(env.From, env.Hop+1, WriteAck{TS: req.TS, Round: req.Round})
 		case ReadReq:
 			var h History
@@ -372,16 +453,18 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 			s.ack(env.From, env.Hop+1, ReadAck{ReadNo: req.ReadNo, Round: req.Round, History: h})
 		case MWWriteReq:
 			reg := lock(req.Key).reg(req.Key)
-			if reg.mwTag.Less(req.Tag) {
-				reg.mwTag, reg.mwVal = req.Tag, req.Val
+			if applyMW(reg, req.Tag, req.Val) && s.wal != nil {
+				s.logMutation(req)
 			}
 			s.ack(env.From, env.Hop+1, MWWriteAck{Seq: req.Seq})
 		case MWReadReq:
 			if hasMWForge {
-				s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: forgedMW[i].tag, Val: forgedMW[i].val})
+				// A Byzantine server may lie about Synced like it lies
+				// about the pair; class-3 masking covers both.
+				s.ackNow(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: forgedMW[i].tag, Val: forgedMW[i].val, Synced: true})
 			} else {
 				reg := lock(req.Key).reg(req.Key)
-				s.ack(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: reg.mwTag, Val: reg.mwVal})
+				s.ackNow(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: reg.mwTag, Val: reg.mwVal, Synced: s.walSynced()})
 			}
 		case KVCASReq:
 			// Conditional apply: install 〈Tag, Val〉 iff the register
@@ -393,10 +476,9 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 			// also rejects a client re-CASing an expect it already won
 			// (its retry proposes the same tag but the register moved).
 			reg := lock(req.Key).reg(req.Key)
-			applied := false
-			if reg.mwTag == req.Expect {
-				reg.mwTag, reg.mwVal = req.Tag, req.Val
-				applied = true
+			applied := applyCAS(reg, req.Expect, req.Tag, req.Val)
+			if applied && s.wal != nil {
+				s.logMutation(req)
 			}
 			s.ack(env.From, env.Hop+1, KVCASAck{Seq: req.Seq, Applied: applied, Tag: reg.mwTag, Val: reg.mwVal})
 		}
@@ -405,9 +487,56 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 		s.shards[locked].mu.Unlock()
 	}
 
+	// Read acks leave immediately, ahead of any group commit in
+	// flight: what they expose is qualified by Synced, so no fsync has
+	// to cover them. Reordering ahead of parked mutation acks is safe —
+	// every client matches replies by sequence number.
+	s.flushBuckets(s.roAcks, s.roUsed)
+	s.roUsed = 0
+
+	// Group commit: if this burst logged records, or a commit round is
+	// in flight (so the keyspace may expose state whose records are
+	// not yet durable), the burst's acks park until a covering
+	// fdatasync. With a round already running they simply stay
+	// accumulated in s.acks — the idle signal hands them over as one
+	// batch, which is where the amortization comes from. Otherwise —
+	// a volatile server, or any burst on a fully synced log — the acks
+	// flush inline below. When the run loop (and so the syncer) is not
+	// running — tests drive handleBurst directly — the commit happens
+	// synchronously instead.
+	if s.wal != nil && (s.burstLogged > 0 || s.syncBusy) {
+		if s.syncCh != nil {
+			if s.syncBusy {
+				return true // held for the next round
+			}
+			s.burstLogged = 0
+			if !s.enqueueSync() {
+				return false
+			}
+			s.syncBusy = true
+			return true
+		}
+		s.burstLogged = 0
+		if !s.syncWAL() {
+			for i := 0; i < s.acksUsed; i++ {
+				s.acks[i].msgs = s.acks[i].msgs[:0]
+			}
+			s.acksUsed = 0
+			return false
+		}
+	}
+
 	// Phase 3: flush acks, one batched send per (destination, hop).
-	for i := 0; i < s.acksUsed; i++ {
-		b := &s.acks[i]
+	s.flushBuckets(s.acks, s.acksUsed)
+	s.acksUsed = 0
+	return true
+}
+
+// flushBuckets sends the first n accumulated buckets and resets their
+// message slices for reuse.
+func (s *Server) flushBuckets(buckets []ackBucket, n int) {
+	for i := 0; i < n; i++ {
+		b := &buckets[i]
 		if len(b.msgs) == 1 {
 			s.port.SendHop(b.to, b.msgs[0], b.hop)
 		} else {
@@ -415,26 +544,104 @@ func (s *Server) handleBurst(burst []transport.Envelope) {
 		}
 		b.msgs = b.msgs[:0]
 	}
-	s.acksUsed = 0
 }
 
-// ack queues one reply for the burst's flush phase, grouping by
-// destination and hop depth.
-func (s *Server) ack(to core.ProcessID, hop int, msg transport.Message) {
-	for i := 0; i < s.acksUsed; i++ {
-		if s.acks[i].to == to && s.acks[i].hop == hop {
-			s.acks[i].msgs = append(s.acks[i].msgs, msg)
-			return
+// addAck appends one reply to a bucket accumulator, grouping by
+// destination and hop depth, reusing bucket capacity across bursts.
+func addAck(buckets []ackBucket, used *int, to core.ProcessID, hop int, msg transport.Message) []ackBucket {
+	for i := 0; i < *used; i++ {
+		if buckets[i].to == to && buckets[i].hop == hop {
+			buckets[i].msgs = append(buckets[i].msgs, msg)
+			return buckets
 		}
 	}
-	if s.acksUsed < len(s.acks) {
-		b := &s.acks[s.acksUsed]
+	if *used < len(buckets) {
+		b := &buckets[*used]
 		b.to, b.hop = to, hop
 		b.msgs = append(b.msgs[:0], msg)
 	} else {
-		s.acks = append(s.acks, ackBucket{to: to, hop: hop, msgs: []transport.Message{msg}})
+		buckets = append(buckets, ackBucket{to: to, hop: hop, msgs: []transport.Message{msg}})
 	}
-	s.acksUsed++
+	*used++
+	return buckets
+}
+
+// ack queues one reply on the burst's group-commit-gated flush: it
+// leaves only once every record appended before it is durable.
+func (s *Server) ack(to core.ProcessID, hop int, msg transport.Message) {
+	s.acks = addAck(s.acks, &s.acksUsed, to, hop, msg)
+}
+
+// ackNow queues one reply on the burst's immediate flush (read acks,
+// which carry their own durability qualifier).
+func (s *Server) ackNow(to core.ProcessID, hop int, msg transport.Message) {
+	s.roAcks = addAck(s.roAcks, &s.roUsed, to, hop, msg)
+}
+
+// walSynced reports whether every record appended to the WAL is
+// already covered by an fdatasync — trivially true on a volatile
+// server. Exactly when this holds, the keyspace state a read ack
+// exposes is guaranteed to survive a kill -9.
+func (s *Server) walSynced() bool {
+	return s.wal == nil || (s.burstLogged == 0 && !s.syncBusy)
+}
+
+// enqueueSync hands the accumulated acks to the syncer as one commit
+// round and swaps in a recycled (or nil) ack buffer. Only called with
+// no round in flight, so the send never blocks on a busy syncer. It
+// reports false when the WAL has already failed — the server must
+// stop (dropping the acks, which would acknowledge non-durable state).
+func (s *Server) enqueueSync() bool {
+	batch := syncBatch{acks: s.acks, n: s.acksUsed}
+	var fresh []ackBucket
+	select {
+	case fresh = <-s.syncFree:
+	default:
+	}
+	s.acks, s.acksUsed = fresh, 0
+	select {
+	case s.syncCh <- batch:
+		return true
+	case <-s.walDead:
+		return false
+	}
+}
+
+// syncer is the durable server's group-commit goroutine: one commit
+// round at a time — wal.Sync (one fdatasync covering every record
+// appended so far, including any that landed after the round's acks
+// were handed over), then flush the round's acks, then signal the run
+// loop so it hands over the batch that accumulated meanwhile. While
+// the fdatasync blocks, the server loop keeps serving — that overlap
+// is what lets one disk flush amortize over many bursts. On a WAL
+// failure it drops the round's acks and closes walDead, which stops
+// the server loop: an ack must never acknowledge state the log cannot
+// guarantee.
+func (s *Server) syncer() {
+	defer close(s.syncerDone)
+	for batch := range s.syncCh {
+		if !s.syncWAL() {
+			close(s.walDead)
+			for range s.syncCh { // unblock a producer mid-send
+			}
+			return
+		}
+		s.flushBatch(&batch)
+		select {
+		case s.syncIdleCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// flushBatch sends one round's acks (post-fsync) and recycles the
+// bucket slice for the server loop.
+func (s *Server) flushBatch(b *syncBatch) {
+	s.flushBuckets(b.acks, b.n)
+	select {
+	case s.syncFree <- b.acks:
+	default:
+	}
 }
 
 // applyWrite implements lines 2-7 of Figure 6 against one key's
@@ -443,10 +650,12 @@ func (s *Server) ack(to core.ProcessID, hop int, msg transport.Message) {
 // quorum ids into the final round's slot. Callers hold the register's
 // shard mutex; if the current history map is shared with outstanding
 // read acks it is copied first (the acks keep the old, now-immutable
-// snapshot).
-func applyWrite(reg *regState, req WriteReq) {
+// snapshot). It reports whether the request was a well-formed round
+// (the WAL logs exactly those); re-applying the same request is a
+// no-op, which is what makes log replay idempotent.
+func applyWrite(reg *regState, req WriteReq) bool {
 	if req.Round < 1 || req.Round > 3 {
-		return
+		return false
 	}
 	if reg.histShared {
 		reg.history = reg.history.Clone()
@@ -468,4 +677,31 @@ func applyWrite(reg *regState, req WriteReq) {
 		}
 	}
 	reg.history[req.TS] = row
+	return true
+}
+
+// applyMW applies one MWMR write: the register adopts 〈tag, val〉 only
+// if tag strictly exceeds the current one. Reports whether the state
+// changed. Monotonicity makes replay idempotent: a logged tag replayed
+// onto a register that already adopted it (or moved past it) is a
+// no-op. Callers hold the shard mutex.
+func applyMW(reg *regState, tag Tag, val string) bool {
+	if reg.mwTag.Less(tag) {
+		reg.mwTag, reg.mwVal = tag, val
+		return true
+	}
+	return false
+}
+
+// applyCAS conditionally applies one CAS: install 〈tag, val〉 iff the
+// register still holds exactly expect. Reports whether it applied.
+// Tags never revisit a value, so a replayed CAS whose effect is
+// already in the register finds mwTag == tag ≠ expect and no-ops.
+// Callers hold the shard mutex.
+func applyCAS(reg *regState, expect, tag Tag, val string) bool {
+	if reg.mwTag == expect {
+		reg.mwTag, reg.mwVal = tag, val
+		return true
+	}
+	return false
 }

@@ -423,6 +423,38 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 	return decodeEnvelope(b)
 }
 
+// EncodeMessage appends m's tagged wire encoding (type tag + payload,
+// no routing header) to b. It is the serialization behind WAL records:
+// durability layers reuse the transport's compiled codecs instead of
+// inventing a second format. The type must have been registered.
+func EncodeMessage(b []byte, m Message) ([]byte, error) {
+	return appendTaggedPayload(b, m)
+}
+
+// DecodeMessage parses one message produced by EncodeMessage. The
+// result does not alias b.
+func DecodeMessage(b []byte) (Message, error) {
+	if len(b) < 4 {
+		return nil, errShortFrame
+	}
+	tag := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if tag == 0 {
+		return nil, nil
+	}
+	registry.RLock()
+	tc := registry.byTag[tag]
+	registry.RUnlock()
+	if tc == nil {
+		return nil, fmt.Errorf("transport: unknown payload type tag %#x", tag)
+	}
+	v := reflect.New(tc.typ).Elem()
+	if _, err := tc.dec(b, v); err != nil {
+		return nil, err
+	}
+	return v.Interface(), nil
+}
+
 // appendEnvelope appends env's wire encoding. The payload type must be
 // registered (nil payloads are legal and get tag 0).
 func appendEnvelope(b []byte, env *Envelope) ([]byte, error) {

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/wal"
+)
+
+// Persistent dedup state: a durable TCPHost (NewTCPHostDir) saves each
+// peer's (incarnation nonce, cumulative delivered seq) to an atomic
+// write-rename file and reloads it on construction, so exactly-once
+// delivery survives a receiver kill -9 — the open TCP follow-on.
+//
+// The ordering is write-ahead on the receive path: a burst's resume
+// point is persisted BEFORE its frames are handed to the inboxes.
+// A crash therefore can lose the window between persist and delivery
+// (the retransmitted frames are dropped as dups), but can never
+// double-deliver — at-most-once is the invariant the protocol layers
+// need, since every client retries with fresh requests on timeout but
+// cannot tolerate a write applying twice under one seq. The save rides
+// the existing burst structure: one file write per receive burst, not
+// per frame, and only when the resume point advanced.
+//
+// The recovery handshake needs no new frames: the hello's immediate
+// resume-point ack (serveConn) replays the persisted cumulative ack to
+// a same-incarnation sender, which trims its retransmission queue and
+// resumes past the delivered prefix; a new sender incarnation (nonce
+// change) resets the state exactly as in-memory operation does.
+
+// dedupMagic brands the state files; a file without it (or with a CRC
+// mismatch) is ignored rather than trusted.
+const dedupMagic = "RQSDDUP1"
+
+const dedupSuffix = ".dedup"
+
+// encodeDedup frames one peer's state: magic, addr, nonce, delivered,
+// CRC over everything before it.
+func encodeDedup(addr string, nonce, delivered uint64) []byte {
+	b := make([]byte, 0, len(dedupMagic)+10+len(addr)+20)
+	b = append(b, dedupMagic...)
+	b = binary.AppendUvarint(b, uint64(len(addr)))
+	b = append(b, addr...)
+	b = binary.AppendUvarint(b, nonce)
+	b = binary.AppendUvarint(b, delivered)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+func decodeDedup(b []byte) (addr string, nonce, delivered uint64, err error) {
+	if len(b) < len(dedupMagic)+4 || string(b[:len(dedupMagic)]) != dedupMagic {
+		return "", 0, 0, errors.New("tcp: bad dedup file magic")
+	}
+	body, crcB := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcB) {
+		return "", 0, 0, errors.New("tcp: dedup file crc mismatch")
+	}
+	rest := body[len(dedupMagic):]
+	n, rest, err := decUvarint(rest)
+	if err != nil || uint64(len(rest)) < n {
+		return "", 0, 0, errors.New("tcp: dedup file truncated")
+	}
+	addr = string(rest[:n])
+	rest = rest[n:]
+	if nonce, rest, err = decUvarint(rest); err != nil {
+		return "", 0, 0, err
+	}
+	if delivered, _, err = decUvarint(rest); err != nil {
+		return "", 0, 0, err
+	}
+	return addr, nonce, delivered, nil
+}
+
+// dedupFileName maps a peer address to a filename. The address is also
+// stored inside the file, so the name only needs to be stable and
+// filesystem-safe.
+func dedupFileName(addr string) string {
+	r := strings.NewReplacer(":", "_", "/", "_", "[", "", "]", "")
+	return r.Replace(addr) + dedupSuffix
+}
+
+// loadDedupState populates h.rcv from the state files in h.stateDir.
+// Invalid files are skipped: trusting nothing is always safe (the
+// state degrades to a fresh incarnation reset).
+func (h *TCPHost) loadDedupState() error {
+	if err := os.MkdirAll(h.stateDir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(h.stateDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), dedupSuffix) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(h.stateDir, e.Name()))
+		if err != nil {
+			continue
+		}
+		addr, nonce, delivered, err := decodeDedup(data)
+		if err != nil || nonce == 0 {
+			continue
+		}
+		st := &rcvState{nonce: nonce, delivered: delivered,
+			savedNonce: nonce, savedDelivered: delivered}
+		h.rcv[addr] = st
+	}
+	return nil
+}
+
+// persistDedup durably records that every frame of peer incarnation
+// nonce up to seq target is (about to be) delivered. It reports false
+// only when the state could not be made durable — the caller must then
+// refuse to deliver the burst, since delivering without the record
+// would allow a post-restart double delivery. Saves are skipped when
+// a newer save already covers target, and when the incarnation moved
+// on (a racing conn of a newer peer restart owns the file now).
+func (h *TCPHost) persistDedup(addr string, st *rcvState, nonce, target uint64) bool {
+	st.saveMu.Lock()
+	defer st.saveMu.Unlock()
+	if st.savedNonce == nonce && st.savedDelivered >= target {
+		return true
+	}
+	st.mu.Lock()
+	cur := st.nonce
+	st.mu.Unlock()
+	if cur != nonce {
+		// Stale incarnation: its frames will be dropped anyway.
+		return true
+	}
+	path := filepath.Join(h.stateDir, dedupFileName(addr))
+	if err := wal.WriteFileAtomic(path, encodeDedup(addr, nonce, target)); err != nil {
+		return false
+	}
+	st.savedNonce, st.savedDelivered = nonce, target
+	return true
+}
