@@ -172,7 +172,11 @@ func (s *Server) syncWAL() bool {
 	if s.wal.Segments() > s.maxSegments {
 		// Compaction failure is not fatal to this commit: the records
 		// are already durable. The wal latches its own error; the next
-		// Sync surfaces it.
+		// Sync surfaces it. Mutations the server goroutine appends
+		// between this StateSnapshot and the Compact are safe: Compact
+		// rotates before flushing, so post-snapshot records land in the
+		// fresh segment (outside the snapshot's coverage) and replay
+		// idempotently on top of it.
 		if buf, err := transport.EncodeMessage(s.snapBuf[:0], s.StateSnapshot()); err == nil {
 			s.snapBuf = buf
 			_ = s.wal.Compact(buf)

@@ -2,12 +2,24 @@ package storage
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/transport"
 )
+
+// ErrClosed reports that the client's transport port closed while an
+// operation was in flight: the operation did not complete and its
+// result carries no information. Unlike the legacy register clients
+// (which return a zero result with a nil error on shutdown, relying on
+// the caller owning the teardown), the Store interface is generic —
+// its users must be able to tell "key unwritten" / "write committed"
+// from "client shut down", so the KV methods surface the condition as
+// an error. The client stays safe to call; every later operation also
+// returns ErrClosed.
+var ErrClosed = errors.New("storage: client port closed")
 
 // This file is the keyed KV service over the storage servers: a
 // Get/Put/CAS client for the per-key MWMR registers the server
@@ -88,7 +100,9 @@ type CASResult struct {
 // Store is the versioned KV interface the storage layer serves: reads
 // return the value together with the version that committed it, and
 // CAS installs a value only against the exact version the caller last
-// observed. KVClient is the quorum-backed implementation.
+// observed. All methods return ErrClosed when the client shut down
+// mid-operation (the non-error results then carry no information).
+// KVClient is the quorum-backed implementation.
 type Store interface {
 	// Get returns the current value and version of key (NoValue and
 	// the zero Version if never written).
@@ -207,7 +221,7 @@ func (kv *KVClient) GetCtx(ctx context.Context, key string) (string, Version, er
 		return NoValue, Version{}, ctx.Err()
 	}
 	if c.closed {
-		return NoValue, Version{}, nil
+		return NoValue, Version{}, ErrClosed
 	}
 	tag, val := c.maxTag, c.maxVal
 	if _, ok := c.rqs.ContainedQuorum(c.withMax, core.Class3); ok {
@@ -216,6 +230,11 @@ func (kv *KVClient) GetCtx(ctx context.Context, key string) (string, Version, er
 	c.writePhase(key, tag, val, done)
 	if c.aborted {
 		return NoValue, Version{}, ctx.Err()
+	}
+	if c.closed {
+		// The writeback did not reach a quorum; the read's value is not
+		// guaranteed to be stable for later readers.
+		return NoValue, Version{}, ErrClosed
 	}
 	return val, tag, nil
 }
@@ -232,13 +251,21 @@ func (kv *KVClient) PutCtx(ctx context.Context, key, val string) (Version, error
 	done := ctx.Done()
 	c.aborted = false
 	c.readPhase(key, done)
-	if c.aborted || c.closed {
+	if c.aborted {
 		return Version{}, ctx.Err()
+	}
+	if c.closed {
+		return Version{}, ErrClosed
 	}
 	tag := Tag{TS: c.maxTag.TS + 1, Writer: kv.id}
 	c.writePhase(key, tag, val, done)
 	if c.aborted {
 		return Version{}, ctx.Err()
+	}
+	if c.closed {
+		// The write phase never completed at a quorum: the put is at
+		// best partially applied and must not report as committed.
+		return Version{}, ErrClosed
 	}
 	return tag, nil
 }
@@ -260,6 +287,11 @@ func (kv *KVClient) CASCtx(ctx context.Context, key string, expect Version, val 
 	res := c.casPhase(key, expect, tag, val, done)
 	if c.aborted {
 		return res, ctx.Err()
+	}
+	if c.closed {
+		// No quorum verdict: the CAS outcome is unknown (it may have
+		// deposited its value at a minority, like an aborted CAS).
+		return res, ErrClosed
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package storage_test
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -93,6 +94,28 @@ func TestKVBasicOps(t *testing.T) {
 	}
 	if val, _, _ := kv.Get("fresh"); val != "init" {
 		t.Fatalf("Get after create CAS = %q, want init", val)
+	}
+}
+
+// TestKVErrClosed pins the Store shutdown contract: once the client's
+// ports close mid-operation, Get/Put/CAS return ErrClosed — a Get must
+// not read as "key unwritten" nor a Put as "committed" when the
+// operation never reached a quorum verdict.
+func TestKVErrClosed(t *testing.T) {
+	c := sim.NewKVCluster(core.Example7RQS(), sim.KVOptions{Groups: 1, Clients: 1})
+	kv := c.Client()
+	if _, err := kv.Put("k", "v"); err != nil {
+		t.Fatalf("Put on live deployment: %v", err)
+	}
+	c.Stop()
+	if _, _, err := kv.Get("k"); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Get after Stop: err = %v, want ErrClosed", err)
+	}
+	if _, err := kv.Put("k", "v2"); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Put after Stop: err = %v, want ErrClosed", err)
+	}
+	if _, err := kv.CAS("k", storage.Version{}, "v3"); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("CAS after Stop: err = %v, want ErrClosed", err)
 	}
 }
 

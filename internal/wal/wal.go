@@ -60,6 +60,13 @@ const (
 // same way a real I/O error would.
 var ErrSimulatedCrash = errors.New("wal: simulated crash (FailAfterNBytes)")
 
+// errBadMagic marks a segment whose header bytes are present but
+// wrong. Unlike a torn tail it cannot be produced by a crash —
+// createSegment fsyncs the header before any record is acknowledged,
+// and a torn header write leaves a short file, not eight wrong bytes —
+// so Open refuses the directory instead of silently truncating.
+var errBadMagic = errors.New("bad segment magic")
+
 // Hooks are test-only fault injection points.
 type Hooks struct {
 	// FailAfterNBytes, when > 0, simulates a kill -9 mid-write: after
@@ -241,16 +248,20 @@ func (l *Log) snapPath(n int) string {
 	return filepath.Join(l.dir, fmt.Sprintf("%s%08d%s", snapPrefix, n, snapSuffix))
 }
 
-// validateSegment walks the records of segment n. A malformed header,
-// short body, or CRC mismatch in the final segment is a torn tail:
-// the file is truncated back to the last whole record. The same state
-// in an interior segment cannot be explained by a crash (later
+// validateSegment walks the records of segment n. A malformed record
+// header, short body, or CRC mismatch in the final segment is a torn
+// tail: the file is truncated back to the last whole record. The same
+// state in an interior segment cannot be explained by a crash (later
 // segments were created after it was sealed) and is rejected as
-// corruption.
+// corruption. Bad segment magic is rejected even on the final segment:
+// no crash produces eight wrong header bytes (a torn header write
+// leaves a short file, which IS truncate-recoverable), so truncating
+// here would silently discard every acknowledged record in the segment
+// instead of surfacing the external corruption to the operator.
 func (l *Log) validateSegment(n int, final bool) error {
 	valid, _, err := scanSegment(l.segPath(n), nil)
 	if err != nil {
-		if !final {
+		if !final || errors.Is(err, errBadMagic) {
 			return fmt.Errorf("wal: seg-%d: %w", n, err)
 		}
 		return os.Truncate(l.segPath(n), valid)
@@ -274,7 +285,7 @@ func scanSegment(path string, deliver func([]byte) error) (validLen int64, n int
 		return 0, 0, errors.New("torn segment header")
 	}
 	if string(data[:len(segMagic)]) != segMagic {
-		return 0, 0, errors.New("bad segment magic")
+		return 0, 0, errBadMagic
 	}
 	off := int64(len(segMagic))
 	for int64(len(data))-off >= recordHeader {
@@ -486,7 +497,13 @@ func (l *Log) rotateLocked() error {
 		return err
 	}
 	l.active = nil
-	return l.createSegment(l.activeN + 1)
+	if err := l.createSegment(l.activeN + 1); err != nil {
+		return err
+	}
+	// Every byte of the new active file is the fsynced header; no
+	// pending fdatasync debt carries over from the sealed segment.
+	l.dirty = false
+	return nil
 }
 
 // Compact makes snapshot the new replay base: it seals the current
@@ -495,11 +512,25 @@ func (l *Log) rotateLocked() error {
 // snapshots it supersedes. A crash at any step leaves a recoverable
 // directory (at worst with superseded files that the next Open
 // skips).
+//
+// Contract: snapshot must cover every record a completed Sync has
+// flushed, but NOT necessarily records still buffered via Append —
+// under group commit the owning goroutine keeps appending while the
+// syncer captures state and compacts, so a buffered record may
+// postdate the snapshot. Compact therefore rotates BEFORE flushing:
+// buffered records land in the fresh segment, which the snapshot does
+// not supersede, and replay applies them idempotently on top of it.
+// Flushing them first would seal them into a segment the snapshot
+// deletes below — a lost acknowledged write once the next Sync acks
+// them.
 func (l *Log) Compact(snapshot []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.syncLocked(); err != nil {
-		return err
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.closed {
+		return errors.New("wal: closed")
 	}
 	sealed := l.activeN
 	if err := l.rotateLocked(); err != nil {

@@ -130,6 +130,24 @@ func TestCRCMismatchRejected(t *testing.T) {
 			t.Fatalf("replayed %d records past a corrupt tail, want 2", len(recs))
 		}
 	})
+	t.Run("final-segment-bad-magic-rejects", func(t *testing.T) {
+		// Wrong magic bytes cannot be crash damage (a torn header write
+		// leaves a short file; createSegment fsyncs the header before
+		// any record is acked), so truncate-to-valid-prefix would
+		// silently discard every acknowledged record in the segment.
+		// Open must surface the corruption instead.
+		dir := t.TempDir()
+		l, _ := Open(dir, Options{})
+		appendN(t, l, 3)
+		l.Close()
+		seg := filepath.Join(dir, "seg-00000000.wal")
+		data, _ := os.ReadFile(seg)
+		copy(data, "XXXXXXXX")
+		os.WriteFile(seg, data, 0o644)
+		if _, err := Open(dir, Options{}); err == nil {
+			t.Fatal("Open truncated a bad-magic final segment instead of failing")
+		}
+	})
 	t.Run("interior-segment-rejects", func(t *testing.T) {
 		dir := t.TempDir()
 		l, _ := Open(dir, Options{SegmentBytes: 64}) // force rotation
@@ -206,6 +224,40 @@ func TestRotationCompactionRoundTrip(t *testing.T) {
 		if want := fmt.Sprintf("post-%d", i); string(r) != want {
 			t.Fatalf("suffix[%d] = %q, want %q", i, r, want)
 		}
+	}
+}
+
+// TestCompactPreservesPendingRecords pins the group-commit/compaction
+// race: under group commit the owning goroutine keeps appending while
+// the syncer captures a state snapshot and compacts, so a buffered
+// record can postdate the snapshot handed to Compact. That record must
+// land in the fresh segment (outside the snapshot's coverage) and
+// survive to replay — flushing it into the segment the snapshot
+// supersedes would delete an acknowledged write.
+func TestCompactPreservesPendingRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 4)
+	snapshot := []byte("covers-first-4-only")
+	// The racing append: buffered after the snapshot was captured,
+	// before Compact runs.
+	l.Append([]byte("post-snapshot"))
+	if err := l.Compact(snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil { // the ack-covering group commit
+		t.Fatal(err)
+	}
+	l.Close()
+	snap, recs := replayAll(t, dir)
+	if !bytes.Equal(snap, snapshot) {
+		t.Fatalf("snapshot = %q, want %q", snap, snapshot)
+	}
+	if len(recs) != 1 || string(recs[0]) != "post-snapshot" {
+		t.Fatalf("post-snapshot record lost across compaction: suffix = %q", recs)
 	}
 }
 
