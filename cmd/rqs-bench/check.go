@@ -12,12 +12,22 @@ import (
 // tolerance relative to the committed baseline, turning the bench
 // smoke into an enforced perf trajectory (ROADMAP item).
 
-// compareBench returns one message per baseline entry that regressed —
-// fresh ns/op > base ns/op × (1+tolerance), or fresh allocs/op beyond
-// the same proportional bound plus a two-alloc jitter slack (timers and
-// pools occasionally shift a count by one) — or disappeared from the
-// fresh run. New entries only present in fresh are fine — they become
-// the baseline when BENCH_RESULTS.json is regenerated.
+// nsRegressed and allocsRegressed are the gate's two bounds: fresh
+// ns/op beyond base × (1+tolerance), and fresh allocs/op beyond the
+// same proportional bound plus a two-alloc jitter slack (timers and
+// pools occasionally shift a count by one).
+func nsRegressed(base, fresh BenchResult, tolerance float64) bool {
+	return base.NsPerOp > 0 && fresh.NsPerOp > base.NsPerOp*(1+tolerance)
+}
+
+func allocsRegressed(base, fresh BenchResult, tolerance float64) bool {
+	return fresh.AllocsPerOp > int64(float64(base.AllocsPerOp)*(1+tolerance))+2
+}
+
+// compareBench returns one message per baseline entry that regressed
+// on either bound, or disappeared from the fresh run. New entries only
+// present in fresh are fine — they become the baseline when
+// BENCH_RESULTS.json is regenerated.
 func compareBench(base, fresh []BenchResult, tolerance float64) []string {
 	freshBy := make(map[string]BenchResult, len(fresh))
 	for _, r := range fresh {
@@ -33,12 +43,13 @@ func compareBench(base, fresh []BenchResult, tolerance float64) []string {
 		if b.NsPerOp <= 0 {
 			continue
 		}
-		if f.NsPerOp > b.NsPerOp*(1+tolerance) {
+		if nsRegressed(b, f, tolerance) {
 			problems = append(problems,
 				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
 					b.Name, f.NsPerOp, b.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1), 100*tolerance))
 		}
-		if allowed := int64(float64(b.AllocsPerOp)*(1+tolerance)) + 2; f.AllocsPerOp > allowed {
+		if allocsRegressed(b, f, tolerance) {
+			allowed := int64(float64(b.AllocsPerOp)*(1+tolerance)) + 2
 			problems = append(problems,
 				fmt.Sprintf("%s: %d allocs/op vs baseline %d allocs/op (allowed %d at tolerance %.0f%%)",
 					b.Name, f.AllocsPerOp, b.AllocsPerOp, allowed, 100*tolerance))
@@ -59,13 +70,36 @@ func checkBench(baselinePath string, tolerance float64) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
 	}
-	fresh, err := perfSuite()
+	specs, err := perfSuiteSpecs()
 	if err != nil {
 		return err
 	}
 	baseBy := make(map[string]BenchResult, len(base))
 	for _, r := range base {
 		baseBy[r.Name] = r
+	}
+	// Measure each entry, re-sampling before declaring a regression:
+	// a single unlucky sample (GC pause, scheduler quantum stolen by a
+	// colocated process) must not fail the gate, while a structural
+	// regression survives every re-sample. The elementwise minimum
+	// across samples is what gets compared — see specSamples.
+	fresh := make([]BenchResult, 0, len(specs))
+	for _, s := range specs {
+		f, err := measureSpec(s, specSamples(s.name))
+		if err != nil {
+			return err
+		}
+		if b, ok := baseBy[s.name]; ok {
+			for retry := 0; retry < 2 && (nsRegressed(b, f, tolerance) || allocsRegressed(b, f, tolerance)); retry++ {
+				r, err := measureSpec(s, 1)
+				if err != nil {
+					return err
+				}
+				f = minResult(f, r)
+				fmt.Printf("%-40s re-sampled: %.0f ns/op, %d allocs/op\n", s.name, f.NsPerOp, f.AllocsPerOp)
+			}
+		}
+		fresh = append(fresh, f)
 	}
 	for _, f := range fresh {
 		if b, ok := baseBy[f.Name]; ok && b.NsPerOp > 0 {

@@ -173,6 +173,12 @@ func runLoadMatrix() error {
 			point{"tcp", "mwmr-write", c, tcpStorageLoad(example7, c, false)},
 		)
 	}
+	// The C=256 fan-in swarm runs beyond the standard ladder on the TCP
+	// read path only: 256 colocated logical clients against one shared
+	// session per server is the regime the per-link credit windows and
+	// the arena-backed burst receive are built for (also gated as
+	// load/tcp-storage-read-c256 in the perf suite).
+	points = append(points, point{"tcp", "storage-read", 256, tcpStorageLoad(example7, 256, true)})
 	fmt.Printf("%-8s %-14s %4s %12s %12s %10s\n", "transport", "workload", "C", "ops/sec", "ns/op", "allocs/op")
 	for _, p := range points {
 		r := testing.Benchmark(p.fn)

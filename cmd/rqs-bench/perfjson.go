@@ -1,12 +1,10 @@
 package main
 
 import (
-	"encoding/gob"
 	"encoding/json"
 	"fmt"
-	"net"
 	"os"
-	"sync"
+	"strings"
 	"testing"
 	"time"
 
@@ -27,11 +25,96 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// perfSuite is the fixed operation set behind `rqs-bench -json`: the
-// quorum-engine primitives on both the scan path (general adversary)
-// and the O(1) threshold path, plus the end-to-end storage hot paths
-// that the E11 throughput benches measure.
+// benchSpec is one entry of the perf suite: a gate name and the
+// benchmark body measured under it.
+type benchSpec struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// specSamples is how many times a suite entry is sampled per
+// measurement, keeping the elementwise minimum (see measureSpec). The
+// wire microbenches complete an op in ~1µs, so a single unlucky
+// scheduling quantum inside their one sampled run shifts the mean by
+// 2-5× — enough to trip the gate with no code change at all. Minima
+// are robust to that: noise only ever adds time, so min-of-N compares
+// the structural cost of the path. Every entry takes at least two
+// samples: a single-sample BASELINE is just as dangerous as a
+// single-sample check — one lucky-fast draw at -json time becomes a
+// bar no honest re-measurement can clear. The µs-scale wire entries,
+// where one stolen quantum distorts the most, take a third.
+func specSamples(name string) int {
+	if strings.HasPrefix(name, "transport/") {
+		return 3
+	}
+	return 2
+}
+
+// measureSpec samples a suite entry `samples` times and returns the
+// elementwise minimum (ns, allocs, bytes) across runs.
+func measureSpec(s benchSpec, samples int) (BenchResult, error) {
+	var best BenchResult
+	for i := 0; i < samples; i++ {
+		r := testing.Benchmark(s.fn)
+		if r.N == 0 {
+			return BenchResult{}, fmt.Errorf("benchmark %s failed", s.name)
+		}
+		res := BenchResult{
+			Name:        s.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if i == 0 {
+			best = res
+			continue
+		}
+		best = minResult(best, res)
+	}
+	return best, nil
+}
+
+// minResult is the elementwise minimum of two samples of the same
+// entry — the gate's noise-robust estimator of structural cost.
+func minResult(a, b BenchResult) BenchResult {
+	out := a
+	if b.NsPerOp < out.NsPerOp {
+		out.NsPerOp = b.NsPerOp
+		out.Iterations = b.Iterations
+	}
+	if b.AllocsPerOp < out.AllocsPerOp {
+		out.AllocsPerOp = b.AllocsPerOp
+	}
+	if b.BytesPerOp < out.BytesPerOp {
+		out.BytesPerOp = b.BytesPerOp
+	}
+	return out
+}
+
+// perfSuite measures the fixed operation set behind `rqs-bench -json`:
+// the quorum-engine primitives on both the scan path (general
+// adversary) and the O(1) threshold path, plus the end-to-end storage
+// hot paths that the E11 throughput benches measure.
 func perfSuite() ([]BenchResult, error) {
+	specs, err := perfSuiteSpecs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BenchResult, 0, len(specs))
+	for _, s := range specs {
+		r, err := measureSpec(s, specSamples(s.name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// perfSuiteSpecs builds the suite without running it, so checkBench
+// can re-sample individual entries before declaring a regression.
+func perfSuiteSpecs() ([]benchSpec, error) {
 	example7 := core.Example7RQS()
 	threshold8, err := core.NewThresholdRQS(core.ThresholdParams{N: 8, T: 3, R: 2, Q: 1, K: 1})
 	if err != nil {
@@ -174,10 +257,7 @@ func perfSuite() ([]BenchResult, error) {
 		}
 	}
 
-	suite := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
+	suite := []benchSpec{
 		{"core/contained-quorum/threshold8", containedQuorum(threshold8, core.NewSet(0, 1, 2, 3, 4, 5))},
 		{"core/contained-quorum/example7", containedQuorum(example7, core.NewSet(0, 1, 2, 3, 4))},
 		{"core/tracker-round/threshold8", trackerRound(threshold8)},
@@ -221,29 +301,19 @@ func perfSuite() ([]BenchResult, error) {
 		{"load/tcp-storage-read-c1/example7", tcpStorageLoad(example7, 1, true)},
 		{"load/tcp-storage-read-c8/example7", tcpStorageLoad(example7, 8, true)},
 		{"load/tcp-storage-read-c64/example7", tcpStorageLoad(example7, 64, true)},
+		// The C=256 fan-in point: one server-side session carrying a
+		// 256-client swarm. This is where per-frame decode allocation
+		// and head-of-line blocking on the shared peerLink dominate, so
+		// it gates the zero-copy receive path and the per-link credit
+		// windows together.
+		{"load/tcp-storage-read-c256/example7", tcpStorageLoad(example7, 256, true)},
 		{"load/tcp-mwmr-write-c64/example7", tcpStorageLoad(example7, 64, false)},
 		{"transport/broadcast-7", broadcast},
 		{"transport/tcp-roundtrip", tcpRoundTrip},
-		{"transport/tcp-roundtrip-gob-baseline", gobRoundTrip},
 		{"transport/tcp-throughput", tcpThroughput},
 		{"transport/memory-roundtrip", memRoundTrip},
 	}
-
-	out := make([]BenchResult, 0, len(suite))
-	for _, s := range suite {
-		r := testing.Benchmark(s.fn)
-		if r.N == 0 {
-			return nil, fmt.Errorf("benchmark %s failed", s.name)
-		}
-		out = append(out, BenchResult{
-			Name:        s.name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		})
-	}
-	return out, nil
+	return suite, nil
 }
 
 // wirePayload is the protocols' hot message shape, shared by the wire
@@ -275,14 +345,19 @@ func tcpNodePair(b *testing.B) (*transport.TCPNode, *transport.TCPNode) {
 	return n0, n1
 }
 
-// tcpRoundTrip measures one framed-transport round trip.
+// tcpRoundTrip measures one framed-transport round trip. The echoer
+// replies with its own payload rather than the received one — received
+// payloads alias a receive arena that must be released before the next
+// burst can recycle it, and the send path encodes asynchronously.
 func tcpRoundTrip(b *testing.B) {
 	n0, n1 := tcpNodePair(b)
 	defer n0.Close()
 	defer n1.Close()
 	go func() {
+		reply := wirePayload()
 		for env := range n1.Inbox() {
-			n1.Send(env.From, env.Payload)
+			env.Release()
+			n1.Send(env.From, reply)
 		}
 	}()
 	payload := wirePayload()
@@ -290,7 +365,8 @@ func tcpRoundTrip(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n0.Send(1, payload)
-		<-n0.Inbox()
+		env := <-n0.Inbox()
+		env.Release()
 	}
 }
 
@@ -303,7 +379,8 @@ func tcpThroughput(b *testing.B) {
 	go func() {
 		defer close(done)
 		for i := 0; i < b.N; i++ {
-			<-n1.Inbox()
+			env := <-n1.Inbox()
+			env.Release()
 		}
 	}()
 	payload := wirePayload()
@@ -331,82 +408,6 @@ func memRoundTrip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p0.Send(1, payload)
 		<-p0.Inbox()
-	}
-}
-
-// gobRoundTrip is the seed's wire scheme — mutex-guarded gob.Encoder
-// per direction, decode goroutine feeding an inbox channel — kept as
-// the baseline the framed codec is measured against in
-// BENCH_RESULTS.json.
-func gobRoundTrip(b *testing.B) {
-	gob.Register(storage.WriteReq{})
-	type gobNode struct {
-		mu    sync.Mutex
-		enc   *gob.Encoder
-		inbox chan transport.Envelope
-	}
-	nodes := [2]*gobNode{
-		{inbox: make(chan transport.Envelope, 4096)},
-		{inbox: make(chan transport.Envelope, 4096)},
-	}
-	var lns [2]net.Listener
-	var conns []net.Conn
-	for i := range lns {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		lns[i] = ln
-		defer ln.Close()
-	}
-	for i := range lns {
-		i := i
-		go func() {
-			conn, err := lns[i].Accept()
-			if err != nil {
-				return
-			}
-			dec := gob.NewDecoder(conn)
-			for {
-				var env transport.Envelope
-				if dec.Decode(&env) != nil {
-					return
-				}
-				nodes[i].inbox <- env
-			}
-		}()
-		conn, err := net.Dial("tcp", lns[1-i].Addr().String())
-		if err != nil {
-			b.Fatal(err)
-		}
-		conns = append(conns, conn)
-		nodes[i].enc = gob.NewEncoder(conn)
-	}
-	defer func() {
-		for _, c := range conns {
-			_ = c.Close()
-		}
-	}()
-	send := func(g *gobNode, env *transport.Envelope) error {
-		g.mu.Lock()
-		defer g.mu.Unlock()
-		return g.enc.Encode(env)
-	}
-	go func() {
-		for env := range nodes[1].inbox {
-			if send(nodes[1], &env) != nil {
-				return
-			}
-		}
-	}()
-	env := transport.Envelope{From: 0, To: 1, Payload: wirePayload()}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := send(nodes[0], &env); err != nil {
-			b.Fatal(err)
-		}
-		<-nodes[0].inbox
 	}
 }
 

@@ -389,29 +389,35 @@ func (t *QuorumTracker) Contained(c QuorumClass) (Set, bool) {
 // covered by the responses — the incremental counterpart of
 // RQS.ContainedQuorums.
 func (t *QuorumTracker) ContainedAll(c QuorumClass) []Set {
+	return t.AppendContained(nil, c)
+}
+
+// AppendContained is ContainedAll appending into dst, so per-round
+// callers can reuse one backing array across operations. The appended
+// Sets are shared index state (values, immutable); only the dst slice
+// header is the caller's to reuse.
+func (t *QuorumTracker) AppendContained(dst []Set, c QuorumClass) []Set {
 	if t.idx.blocks != nil {
 		if !blocksMaybeContained(t.idx.blocks, t.idx.universe, t.responded, c) {
-			return nil
+			return dst
 		}
 	}
 	if t.idx.blocks != nil || t.idx.mode == modeScan {
-		var out []Set
 		for i, q := range t.idx.quorums {
 			if t.idx.class[i] <= c && q.SubsetOf(t.responded) {
-				out = append(out, q)
+				dst = append(dst, q)
 			}
 		}
-		return out
+		return dst
 	}
-	var out []Set
 	for wi, w := range t.satisfied {
 		for w != 0 {
 			qi := wi<<6 + bits.TrailingZeros64(w)
 			w &= w - 1
 			if t.idx.class[qi] <= c {
-				out = append(out, t.idx.quorums[qi])
+				dst = append(dst, t.idx.quorums[qi])
 			}
 		}
 	}
-	return out
+	return dst
 }

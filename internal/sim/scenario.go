@@ -88,7 +88,8 @@ type Scenario struct {
 	// actions rather than link rules: server restarts, wire blackholes.
 	Events func(rc *RunContext)
 	// WireProxy routes the client host's dials to server 0 through a
-	// chaos.Proxy (TCP only), exposed to Events as rc.Proxy.
+	// chaos.Proxy (TCP only), exposed to Events as rc.Proxy. On the kv
+	// workload the proxy fronts shard group 0's server 0.
 	WireProxy bool
 	// Durable deploys the servers over write-ahead logs in a run-scoped
 	// temp directory: rc.Restart recovers the killed server's state
@@ -262,6 +263,29 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 			}
 			rc.Restart = func(id core.ProcessID, down time.Duration) error {
 				return tc.RestartServer(0, id, down)
+			}
+			if sc.WireProxy {
+				// The proxy fronts group 0's server 0: half of the keyspace
+				// rides through the blackhole while the other shard group
+				// stays clean — exactly the partial-outage shape a keyed
+				// service must mask.
+				g0 := tc.Groups[0]
+				target := g0.ServerHosts[0].Addr()
+				proxy, err = chaos.NewProxy(target)
+				if err != nil {
+					tc.Stop()
+					res.Err = fmt.Errorf("wire proxy: %w", err)
+					return res
+				}
+				defer proxy.Close()
+				proxyAddr := proxy.Addr()
+				g0.ClientHost.SetDialer(func(addr string, timeout time.Duration) (stdnet.Conn, error) {
+					if addr == target {
+						addr = proxyAddr
+					}
+					return stdnet.DialTimeout("tcp", addr, timeout)
+				})
+				rc.Proxy = proxy
 			}
 			d = tc
 		default:

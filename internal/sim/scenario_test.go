@@ -22,7 +22,7 @@ func TestScenarioRegistry(t *testing.T) {
 		seen[sc.Name] = true
 		cells := 0
 		for _, tr := range []Transport{MemoryTransport, TCPTransport} {
-			for _, wl := range []Workload{SWMRWorkload, MWMRWorkload, SMRWorkload} {
+			for _, wl := range []Workload{SWMRWorkload, MWMRWorkload, SMRWorkload, KVWorkload} {
 				if sc.Applies(tr, wl) {
 					cells++
 				}
@@ -45,7 +45,7 @@ func TestScenarioRegistry(t *testing.T) {
 // produce the histcheck verdict its scenario expects.
 func TestScenarioMatrixMemory(t *testing.T) {
 	for _, sc := range Scenarios() {
-		for _, wl := range []Workload{SWMRWorkload, MWMRWorkload, SMRWorkload} {
+		for _, wl := range []Workload{SWMRWorkload, MWMRWorkload, SMRWorkload, KVWorkload} {
 			if !sc.Applies(MemoryTransport, wl) {
 				continue
 			}
@@ -74,6 +74,7 @@ func TestScenarioMatrixTCP(t *testing.T) {
 		wl   Workload
 	}{
 		{"wire-blackhole", SWMRWorkload},
+		{"wire-blackhole", KVWorkload}, // the proxy fronting shard group 0's server 0
 		{"partition-heal-during-write", MWMRWorkload},
 		{"kill9-restart-midwrite", SWMRWorkload},
 		{"reorder-dup-storm", MWMRWorkload},

@@ -17,9 +17,14 @@ import (
 
 var bothTransports = []Transport{MemoryTransport, TCPTransport}
 
-var storageWorkloads = []Workload{SWMRWorkload, MWMRWorkload}
+// storageWorkloads are the register-shaped rows every generic fault
+// campaign covers: the two single-register protocols plus the keyed
+// service (whose cell drives multi-key writes across both shard
+// groups). Byzantine scenarios pin their workload explicitly — their
+// forging hooks target one protocol's message types.
+var storageWorkloads = []Workload{SWMRWorkload, MWMRWorkload, KVWorkload}
 
-var allWorkloads = []Workload{SWMRWorkload, MWMRWorkload, SMRWorkload}
+var allWorkloads = []Workload{SWMRWorkload, MWMRWorkload, KVWorkload, SMRWorkload}
 
 // everyLink matches any sender and any receiver.
 var everyLink = core.EmptySet
@@ -48,7 +53,7 @@ var scenarios = []*Scenario{
 			"Every operation must complete after the heal. The kv cell runs " +
 			"the partition against multi-key writes across both shard groups.",
 		Transports: bothTransports,
-		Workloads:  []Workload{SWMRWorkload, MWMRWorkload, KVWorkload},
+		Workloads:  storageWorkloads,
 		Script: func(r *core.RQS, seed int64) *chaos.Script {
 			return chaos.NewScript(seed).Rule(chaos.Rule{
 				To:     r.Universe().Diff(core.NewSet(0, 1)),
@@ -150,7 +155,7 @@ var scenarios = []*Scenario{
 			"cell drives multi-key writes across both shard groups through " +
 			"the crash window.",
 		Transports: bothTransports,
-		Workloads:  []Workload{SWMRWorkload, MWMRWorkload, KVWorkload},
+		Workloads:  storageWorkloads,
 		Durable:    true,
 		Script: func(r *core.RQS, seed int64) *chaos.Script {
 			return chaos.NewScript(seed).Rule(chaos.Rule{

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/transport"
@@ -322,11 +323,18 @@ func (c *mwClient) casPhase(key string, expect, tag Tag, val string, done <-chan
 		}
 		ack, isAck := env.Payload.(KVCASAck)
 		if !isAck || ack.Seq != c.seq {
+			env.Release()
 			continue
 		}
 		if curTag.Less(ack.Tag) {
 			curTag, curVal = ack.Tag, ack.Val
+			if env.Aliased() {
+				// The adopted value escapes in the CASResult; unalias it
+				// from the receive arena before releasing.
+				curVal = strings.Clone(curVal)
+			}
 		}
+		env.Release()
 		if ack.Applied {
 			if applied.Add(env.From) {
 				if _, ok := applied.Contained(core.Class3); ok {

@@ -3,6 +3,7 @@ package storage
 import (
 	"context"
 	"math/rand"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/transport"
@@ -189,16 +190,24 @@ func (c *mwClient) readPhase(key string, done <-chan struct{}) {
 		}
 		ack, isAck := env.Payload.(MWReadAck)
 		if !isAck || ack.Seq != c.seq {
+			env.Release()
 			continue
 		}
 		if c.maxTag.Less(ack.Tag) {
-			c.maxTag, c.maxVal, c.withMax = ack.Tag, ack.Val, core.EmptySet
+			val := ack.Val
+			if env.Aliased() {
+				// The adopted value may outlive the envelope (it is the
+				// phase's result); unalias it from the receive arena.
+				val = strings.Clone(val)
+			}
+			c.maxTag, c.maxVal, c.withMax = ack.Tag, val, core.EmptySet
 			if ack.Synced {
 				c.withMax = core.NewSet(env.From)
 			}
 		} else if ack.Tag == c.maxTag && ack.Synced {
 			c.withMax = c.withMax.Add(env.From)
 		}
+		env.Release()
 		if c.tr.Add(env.From) {
 			if _, ok := c.tr.Contained(core.Class3); ok {
 				return
@@ -222,7 +231,9 @@ func (c *mwClient) writePhase(key string, tag Tag, val string, done <-chan struc
 			}
 			return
 		}
-		if ack, isAck := env.Payload.(MWWriteAck); isAck && ack.Seq == c.seq {
+		ack, isAck := env.Payload.(MWWriteAck)
+		env.Release()
+		if isAck && ack.Seq == c.seq {
 			if c.tr.Add(env.From) {
 				if _, ok := c.tr.Contained(core.Class3); ok {
 					return
@@ -340,13 +351,15 @@ func (r *MWReader) ReadCtx(ctx context.Context) (MWResult, error) {
 // drainPort discards leftover replies from previous operations.
 // Server registers are monotone, so dropped stale acks lose no
 // information — draining only keeps per-operation accounting exact.
+// Discarded envelopes are released so their receive arenas recycle.
 func drainPort(port transport.Port) {
 	for {
 		select {
-		case _, ok := <-port.Inbox():
+		case env, ok := <-port.Inbox():
 			if !ok {
 				return
 			}
+			env.Release()
 		default:
 			return
 		}

@@ -111,15 +111,35 @@ func TestMWMRReadWriteback(t *testing.T) {
 		return tag == planted
 	})
 
-	res := rd.Read()
-	if res.Tag != planted || res.Val != "planted" {
+	// A read whose responding quorum happens to exclude server 0 may
+	// legally return the old pair in one round (the planted write is
+	// incomplete, so missing it is linearizable); retry until the read
+	// hears from server 0 and must take the slow path.
+	var res storage.MWResult
+	for attempt := 0; ; attempt++ {
+		res = rd.Read()
+		if res.Tag == planted {
+			break
+		}
+		if attempt >= 100 {
+			t.Fatalf("read %+v after %d attempts, want the planted pair", res, attempt)
+		}
+	}
+	if res.Val != "planted" {
 		t.Fatalf("read %+v, want the planted pair", res)
 	}
 	if res.Rounds != 2 {
 		t.Fatalf("read rounds = %d, want 2 (writeback required)", res.Rounds)
 	}
-	if res := rd.Read(); res.Rounds != 1 {
-		t.Fatalf("post-writeback read rounds = %d, want 1", res.Rounds)
+	// The writeback installed the planted pair at a full quorum; reads
+	// converge to the fast path once their quorum is covered by it.
+	for attempt := 0; ; attempt++ {
+		if res := rd.Read(); res.Rounds == 1 {
+			break
+		}
+		if attempt >= 100 {
+			t.Fatal("post-writeback reads never reached the fast path")
+		}
 	}
 }
 

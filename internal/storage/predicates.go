@@ -2,7 +2,7 @@ package storage
 
 import (
 	"math/bits"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 )
@@ -154,7 +154,17 @@ func (st *readState) observedPairs() []Pair {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].TS > out[j].TS })
+	// slices.SortFunc over sort.Slice: no reflect.Swapper allocation on
+	// a path the candidate predicates hit once per round.
+	slices.SortFunc(out, func(a, b Pair) int {
+		switch {
+		case a.TS > b.TS:
+			return -1
+		case a.TS < b.TS:
+			return 1
+		}
+		return 0
+	})
 	st.pairs = out
 	st.pairsValid = true
 	return out

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"context"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -30,11 +31,18 @@ type Reader struct {
 	trRound *core.QuorumTracker // acks of the current query round
 	trResp  *core.QuorumTracker // servers heard from at all this read
 	trWB    *core.QuorumTracker // writeback acks
+	timer   *time.Timer         // reused 2Δ timer (see resetTimer)
 
 	// st is the per-operation read state, reused across operations (one
 	// operation at a time): the history map and pair scratch keep their
 	// allocations.
 	st readState
+
+	// retained holds the arena-aliased envelopes whose ReadAck histories
+	// st.hist references. The histories stay live for the whole read
+	// (candidate selection and the BCD checks walk them), so the arenas
+	// recycle only at the start of the NEXT operation (drainStale).
+	retained []transport.Envelope
 }
 
 // NewReader creates a reader. timeout is the paper's 2Δ; zero selects
@@ -84,8 +92,8 @@ func (r *Reader) ReadCtx(ctx context.Context) (ReadResult, error) {
 	} else {
 		clear(st.hist)
 	}
-	st.respQuorums = nil
-	st.qc2prime = nil
+	st.respQuorums = st.respQuorums[:0]
+	st.qc2prime = st.qc2prime[:0]
 	st.highestTS = 0
 	st.portClosed = false
 	st.aborted = false
@@ -106,18 +114,27 @@ func (r *Reader) ReadCtx(ctx context.Context) (ReadResult, error) {
 			return ReadResult{Val: NoValue, TS: 0, Rounds: rounds}, nil
 		}
 		// The responded set only changes between rounds, so the quorums
-		// it contains are computed once per round, not per predicate.
-		st.respQuorums = st.resp.ContainedAll(core.Class3)
+		// it contains are computed once per round, not per predicate —
+		// appended into buffers the predicates alone read, reused across
+		// operations (the Sets themselves are shared immutable index
+		// state; only the slice headers are recycled here).
+		st.respQuorums = st.resp.AppendContained(st.respQuorums[:0], core.Class3)
 		if rounds == 1 {
 			st.highestTS = st.computeHighestTS()
 			if !r.disableQC2 {
-				st.qc2prime = st.round.ContainedAll(core.Class2)
+				st.qc2prime = st.round.AppendContained(st.qc2prime[:0], core.Class2)
 			}
 		}
 		if c, ok := st.selectCandidate(); ok {
 			csel = c
 			break
 		}
+	}
+	if len(r.retained) > 0 {
+		// The candidate was selected out of arena-aliased histories; the
+		// returned value must survive past the arenas' recycle at the
+		// next operation's drainStale.
+		csel.Val = strings.Clone(csel.Val)
 	}
 
 	// Regular semantics (Section 6): return the selection with no
@@ -181,8 +198,7 @@ func (r *Reader) queryRound(st *readState, rnd int, done <-chan struct{}) {
 
 	st.pairsValid = false // fresh acks will refresh the histories
 	st.round.Reset()
-	timer := time.NewTimer(r.timeout)
-	defer timer.Stop()
+	timer := resetTimer(&r.timer, r.timeout)
 	timerDone := rnd != 1
 	quorumOK := false
 
@@ -203,16 +219,24 @@ func (r *Reader) queryRound(st *readState, rnd int, done <-chan struct{}) {
 			st.portClosed = true
 			return
 		}
-		if ack, isAck := env.Payload.(ReadAck); isAck && ack.ReadNo == r.readNo {
-			// Lines 50-53: any ack refreshes the local copy of the
-			// server's history and the Responded bookkeeping; only
-			// current-round acks advance the round. Quorum checks
-			// rerun only when the ack set actually grew.
-			st.hist[env.From] = ack.History
-			st.resp.Add(env.From)
-			if ack.Round == rnd && st.round.Add(env.From) && !quorumOK {
-				_, quorumOK = st.round.Contained(core.Class3)
-			}
+		ack, isAck := env.Payload.(ReadAck)
+		if !isAck || ack.ReadNo != r.readNo {
+			env.Release()
+			continue
+		}
+		// Lines 50-53: any ack refreshes the local copy of the
+		// server's history and the Responded bookkeeping; only
+		// current-round acks advance the round. Quorum checks
+		// rerun only when the ack set actually grew.
+		st.hist[env.From] = ack.History
+		if env.Aliased() {
+			// The history's strings alias the envelope's receive arena;
+			// hold the reference until the operation is over.
+			r.retained = append(r.retained, env)
+		}
+		st.resp.Add(env.From)
+		if ack.Round == rnd && st.round.Add(env.From) && !quorumOK {
+			_, quorumOK = st.round.Contained(core.Class3)
 		}
 	}
 }
@@ -227,8 +251,7 @@ func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool, d
 	transport.Broadcast(r.port, r.rqs.Universe(), req)
 
 	r.trWB.Reset()
-	timer := time.NewTimer(r.timeout)
-	defer timer.Stop()
+	timer := resetTimer(&r.timer, r.timeout)
 	timerDone := !withTimer
 	quorumOK := false
 
@@ -247,7 +270,9 @@ func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool, d
 		if !ok {
 			return r.trWB.Responded(), false
 		}
-		if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == c.TS && ack.Round == round {
+		ack, isAck := env.Payload.(WriteAck)
+		env.Release()
+		if isAck && ack.TS == c.TS && ack.Round == round {
 			if r.trWB.Add(env.From) && !quorumOK {
 				_, quorumOK = r.trWB.Contained(core.Class3)
 			}
@@ -255,4 +280,12 @@ func (r *Reader) writeback(round int, c Pair, sets []core.Set, withTimer bool, d
 	}
 }
 
-func (r *Reader) drainStale() { drainPort(r.port) }
+func (r *Reader) drainStale() {
+	drainPort(r.port)
+	// The previous operation's histories die with its read state; the
+	// envelopes retained for them can recycle their arenas now.
+	for i := range r.retained {
+		r.retained[i].Release()
+	}
+	r.retained = r.retained[:0]
+}

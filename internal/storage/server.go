@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -77,12 +78,14 @@ type kvShard struct {
 }
 
 // reg returns the shard's state for key, creating it lazily. Callers
-// hold sh.mu.
+// hold sh.mu. The inserted map key is cloned: request keys decoded off
+// the TCP path alias a recycled receive arena and must not outlive the
+// envelope that carried them.
 func (sh *kvShard) reg(key string) *regState {
 	r := sh.regs[key]
 	if r == nil {
 		r = &regState{}
-		sh.regs[key] = r
+		sh.regs[strings.Clone(key)] = r
 	}
 	return r
 }
@@ -435,6 +438,9 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 		env := &burst[i]
 		switch req := env.Payload.(type) {
 		case WriteReq:
+			if env.Aliased() {
+				req.Val = strings.Clone(req.Val)
+			}
 			if applyWrite(lock(req.Key).reg(req.Key), req) && s.wal != nil {
 				s.logMutation(req)
 			}
@@ -452,6 +458,9 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 			}
 			s.ack(env.From, env.Hop+1, ReadAck{ReadNo: req.ReadNo, Round: req.Round, History: h})
 		case MWWriteReq:
+			if env.Aliased() {
+				req.Val = strings.Clone(req.Val)
+			}
 			reg := lock(req.Key).reg(req.Key)
 			if applyMW(reg, req.Tag, req.Val) && s.wal != nil {
 				s.logMutation(req)
@@ -475,6 +484,9 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 			// per version rests on this (see kv.go). Strict equality
 			// also rejects a client re-CASing an expect it already won
 			// (its retry proposes the same tag but the register moved).
+			if env.Aliased() {
+				req.Val = strings.Clone(req.Val)
+			}
 			reg := lock(req.Key).reg(req.Key)
 			applied := applyCAS(reg, req.Expect, req.Tag, req.Val)
 			if applied && s.wal != nil {
@@ -485,6 +497,14 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 	}
 	if locked >= 0 {
 		s.shards[locked].mu.Unlock()
+	}
+
+	// Everything the keyspace (or the WAL buffer) retains from this
+	// burst has been cloned or encoded above, so the envelopes' receive
+	// arenas can recycle now — acks parked for a group commit carry only
+	// server-owned state.
+	for i := range burst {
+		burst[i].Release()
 	}
 
 	// Read acks leave immediately, ahead of any group commit in

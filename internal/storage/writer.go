@@ -27,6 +27,7 @@ type Writer struct {
 	timeout time.Duration // the 2Δ round timer
 	ts      int64
 	tr      *core.QuorumTracker // per-round ack tracker, reset each round
+	timer   *time.Timer         // reused 2Δ timer (see resetTimer)
 }
 
 // NewWriter creates the writer. timeout is the paper's 2Δ; zero selects
@@ -111,8 +112,7 @@ func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool, done 
 	transport.Broadcast(w.port, w.rqs.Universe(), req)
 
 	w.tr.Reset()
-	timer := time.NewTimer(w.timeout)
-	defer timer.Stop()
+	timer := resetTimer(&w.timer, w.timeout)
 	timerDone := !withTimer
 	quorumOK := false
 
@@ -132,13 +132,39 @@ func (w *Writer) round(rnd int, v string, sets []core.Set, withTimer bool, done 
 			return w.tr.Responded(), false
 		}
 		// Re-check quorum containment only when the ack changed the
-		// tracker state; duplicates and stale messages are free.
-		if ack, isAck := env.Payload.(WriteAck); isAck && ack.TS == w.ts && ack.Round == rnd {
+		// tracker state; duplicates and stale messages are free. The
+		// assertion copies the (string-free) ack out of the envelope, so
+		// the receive arena can recycle before the tracker runs.
+		ack, isAck := env.Payload.(WriteAck)
+		env.Release()
+		if isAck && ack.TS == w.ts && ack.Round == rnd {
 			if w.tr.Add(env.From) && !quorumOK {
 				_, quorumOK = w.tr.Contained(core.Class3)
 			}
 		}
 	}
+}
+
+// resetTimer arms a client's reused 2Δ round timer: the first call
+// creates it, later calls stop-drain-reset it. Clients run one
+// operation at a time and the timer channel has no other consumer, so
+// the non-blocking drain makes Reset race-free under both timer
+// semantics — and a round stops paying a runtime-timer allocation.
+func resetTimer(t **time.Timer, d time.Duration) *time.Timer {
+	tm := *t
+	if tm == nil {
+		tm = time.NewTimer(d)
+		*t = tm
+		return tm
+	}
+	if !tm.Stop() {
+		select {
+		case <-tm.C:
+		default:
+		}
+	}
+	tm.Reset(d)
+	return tm
 }
 
 // recvOrTimer receives the next envelope for a timed protocol wait,

@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the zero-copy receive arena: the allocation-lean half of
+// the TCP receive path. serveConn reads each burst's frame bodies into
+// one arena-owned chunk and decodes payloads into typed slabs drawn
+// from the same arena, so string and []byte fields of a delivered
+// payload alias the read buffer instead of being copied out of it, and
+// the payload struct itself comes from a recycled slab instead of a
+// fresh reflect.New per envelope.
+//
+// # Ownership contract
+//
+// An arena is owned jointly by the serve loop that filled it and every
+// envelope decoded out of it, via a reference count:
+//
+//   - getArena returns an arena holding the serve loop's own reference.
+//   - decodeEnvelopeArena takes one additional reference per decoded
+//     envelope; the envelope carries it (Envelope.arena) until the
+//     consumer calls Envelope.Release.
+//   - the serve loop drops its reference once the burst is delivered.
+//
+// When the count reaches zero the arena is recycled: used slabs are
+// zeroed (decode skips zero-length fields, so a dirty slab would leak
+// one burst's strings into the next) and the arena returns to its pool.
+// A consumer that never calls Release keeps the arena alive until the
+// envelope itself is garbage collected — the failure mode is a missed
+// recycle, never a corrupted live payload. Consumers that retain any
+// string or []byte from an aliased payload past Release must copy it
+// first (see Envelope.Aliased).
+
+// arenaSlabLen is the element count of one typed slab. It matches
+// rcvBurstMax: a burst can never need two slabs of one type.
+const arenaSlabLen = rcvBurstMax
+
+// arenaChunkMin is the initial chunk capacity; bursts of typical
+// protocol frames fit without growing.
+const arenaChunkMin = 16 << 10
+
+// arenaPoison, when enabled, fills a recycled arena's chunk with a
+// poison byte so a use-after-release read of an aliased string shows up
+// as corrupt data instead of silently reading recycled bytes. Testing
+// hook only (SetArenaPoison); the poison write itself also gives the
+// race detector a write to pair with any late read.
+var arenaPoison atomic.Bool
+
+// SetArenaPoison toggles poisoning of recycled receive arenas. It is a
+// testing-only hook: the lifecycle soak tests turn it on to convert
+// use-after-recycle bugs into deterministic corruption.
+func SetArenaPoison(on bool) { arenaPoison.Store(on) }
+
+const arenaPoisonByte = 0xDB
+
+// arenaSlab is one typed slab: a pooled *[arenaSlabLen]T the decoder
+// carves payload values out of. Slabs stay attached to their arena
+// across recycles, so a warm arena serves its usual payload types with
+// zero allocation.
+type arenaSlab struct {
+	tc  *typeCodec
+	arr reflect.Value // addressable *[arenaSlabLen]T
+	n   int           // elements handed out this cycle
+}
+
+// recvArena is one burst's decode arena: the raw chunk frame bodies are
+// read into (and aliased by decoded strings), plus the typed slabs the
+// payload values live in.
+type recvArena struct {
+	refs  atomic.Int32
+	chunk []byte
+	slabs []arenaSlab
+}
+
+var arenaPool = sync.Pool{New: func() any { return &recvArena{} }}
+
+// getArena returns a recycled (or fresh) arena holding the caller's own
+// reference.
+func getArena() *recvArena {
+	a := arenaPool.Get().(*recvArena)
+	a.refs.Store(1)
+	return a
+}
+
+// grow reserves n more bytes in the chunk and returns the region. When
+// the chunk must grow mid-burst the old backing array is abandoned, not
+// copied: earlier frames' decoded strings alias it and keep it alive.
+func (a *recvArena) grow(n int) []byte {
+	off := len(a.chunk)
+	if cap(a.chunk)-off < n {
+		size := 2 * cap(a.chunk)
+		if size < arenaChunkMin {
+			size = arenaChunkMin
+		}
+		if size < n {
+			size = n
+		}
+		a.chunk = make([]byte, 0, size)
+		off = 0
+	}
+	a.chunk = a.chunk[:off+n]
+	return a.chunk[off : off+n]
+}
+
+// alloc returns a zeroed, addressable value of tc's type from the
+// arena's slab for that type (attached on first use).
+func (a *recvArena) alloc(tc *typeCodec) reflect.Value {
+	for i := range a.slabs {
+		s := &a.slabs[i]
+		if s.tc == tc && s.n < arenaSlabLen {
+			v := s.arr.Elem().Index(s.n)
+			s.n++
+			return v
+		}
+	}
+	arr := reflect.New(reflect.ArrayOf(arenaSlabLen, tc.typ))
+	a.slabs = append(a.slabs, arenaSlab{tc: tc, arr: arr, n: 1})
+	return arr.Elem().Index(0)
+}
+
+// acquire adds one reference (one envelope's share of the arena).
+func (a *recvArena) acquire() { a.refs.Add(1) }
+
+// release drops one reference; the last one recycles the arena. Used
+// slabs are zeroed — the decoder leaves zero-length slice, map and
+// byte fields unset, so a recycled-but-dirty slab element would smuggle
+// the previous burst's values into the next burst's payloads.
+func (a *recvArena) release() {
+	if a.refs.Add(-1) != 0 {
+		return
+	}
+	if arenaPoison.Load() {
+		for i := range a.chunk {
+			a.chunk[i] = arenaPoisonByte
+		}
+	}
+	for i := range a.slabs {
+		if s := &a.slabs[i]; s.n > 0 {
+			s.arr.Elem().SetZero()
+			s.n = 0
+		}
+	}
+	a.chunk = a.chunk[:0]
+	if cap(a.chunk) > maxFrame/64 {
+		a.chunk = nil // don't keep giants alive in the pool
+	}
+	arenaPool.Put(a)
+}
+
+// readFrameArena reads one frame, placing its body in a's chunk so the
+// decoded payload may alias it, and returns the frame kind and body.
+func readFrameArena(br *bufio.Reader, a *recvArena) (byte, []byte, error) {
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	_, _ = br.Discard(4)
+	body := a.grow(int(n))
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"reflect"
 	"sync"
+	"unsafe"
 )
 
 // This file is the TCP wire format: a length-prefixed frame layer and a
@@ -87,6 +88,25 @@ type typeCodec struct {
 	name string
 	enc  encFn
 	dec  decFn
+	// decA is the aliasing variant of dec: string and []byte leaves
+	// reference the input buffer instead of copying out of it. Only the
+	// arena receive path uses it; the buffer must outlive the decoded
+	// value (the arena guarantees this via its reference count).
+	decA decFn
+	// rtype is the runtime type word an interface holding this type
+	// carries, captured once at Register so the arena decode path can
+	// box a slab-backed value as a Message without the allocation
+	// v.Interface() would make. indirect reports whether the interface
+	// data word is a pointer to the value (always true for types wider
+	// than a word); only then is direct eface packing legal.
+	rtype    unsafe.Pointer
+	indirect bool
+}
+
+// eface mirrors the runtime's interface{} layout; used to box arena
+// slab values without allocating.
+type eface struct {
+	typ, data unsafe.Pointer
 }
 
 var registry struct {
@@ -125,7 +145,13 @@ func Register(v Message) {
 		panic(fmt.Sprintf("transport: type tag collision between %s and %s", prev.name, name))
 	}
 	tc := &typeCodec{typ: t, tag: tag, name: name}
-	tc.enc, tc.dec = compileCodec(t, make(map[reflect.Type]*typeCodec))
+	tc.enc, tc.dec, tc.decA = compileCodec(t, make(map[reflect.Type]*typeCodec))
+	// Capture the runtime type word from a boxed zero value. Direct
+	// (pointer-shaped, word-sized) types keep indirect=false and fall
+	// back to v.Interface() when boxed from a slab.
+	box := Message(reflect.New(t).Elem().Interface())
+	tc.rtype = (*eface)(unsafe.Pointer(&box)).typ
+	tc.indirect = t.Size() > unsafe.Sizeof(uintptr(0))
 	registry.byTag[tag] = tc
 	registry.byType[t] = tc
 }
@@ -140,19 +166,22 @@ func wireTypeName(t reflect.Type) string {
 	return t.String()
 }
 
-// compileCodec builds the encoder/decoder pair for t. seen breaks
-// recursive types: a self-referential field dispatches through the
-// placeholder filled in when the outer compilation finishes.
-func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decFn) {
+// compileCodec builds the encoder and the two decoders for t: dec
+// copies every string and byte slice out of the input, decA lets them
+// alias it (the arena path). seen breaks recursive types: a
+// self-referential field dispatches through the placeholder filled in
+// when the outer compilation finishes.
+func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decFn, decFn) {
 	if ph, ok := seen[t]; ok {
 		return func(b []byte, v reflect.Value) []byte { return ph.enc(b, v) },
-			func(b []byte, v reflect.Value) ([]byte, error) { return ph.dec(b, v) }
+			func(b []byte, v reflect.Value) ([]byte, error) { return ph.dec(b, v) },
+			func(b []byte, v reflect.Value) ([]byte, error) { return ph.decA(b, v) }
 	}
 	ph := &typeCodec{typ: t}
 	seen[t] = ph
 
 	var enc encFn
-	var dec decFn
+	var dec, decA decFn
 	switch t.Kind() {
 	case reflect.Bool:
 		enc = func(b []byte, v reflect.Value) []byte {
@@ -228,6 +257,16 @@ func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decF
 			v.SetString(string(b[:n]))
 			return b[n:], nil
 		}
+		decA = func(b []byte, v reflect.Value) ([]byte, error) {
+			n, b, err := decUvarint(b)
+			if err != nil || n > uint64(len(b)) {
+				return nil, errShortFrame
+			}
+			if n > 0 {
+				v.SetString(unsafe.String(&b[0], int(n)))
+			}
+			return b[n:], nil
+		}
 	case reflect.Slice:
 		if t.Elem().Kind() == reflect.Uint8 {
 			enc = func(b []byte, v reflect.Value) []byte {
@@ -246,9 +285,21 @@ func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decF
 				}
 				return b[n:], nil
 			}
+			decA = func(b []byte, v reflect.Value) ([]byte, error) {
+				n, b, err := decUvarint(b)
+				if err != nil || n > uint64(len(b)) {
+					return nil, errShortFrame
+				}
+				if n > 0 {
+					// Full-capacity slice so a consumer append reallocates
+					// instead of scribbling on the arena chunk.
+					v.SetBytes(b[:n:n])
+				}
+				return b[n:], nil
+			}
 			break
 		}
-		elemEnc, elemDec := compileCodec(t.Elem(), seen)
+		elemEnc, elemDec, elemDecA := compileCodec(t.Elem(), seen)
 		minElem := minEncodedSize(t.Elem())
 		enc = func(b []byte, v reflect.Value) []byte {
 			n := v.Len()
@@ -258,30 +309,33 @@ func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decF
 			}
 			return b
 		}
-		dec = func(b []byte, v reflect.Value) ([]byte, error) {
-			n, b, err := decUvarint(b)
-			if err != nil || n > maxFrame {
-				return nil, errShortFrame
-			}
-			// A corrupt length must fail before the allocation, not
-			// after: every element costs at least minElem bytes.
-			if minElem > 0 && n > uint64(len(b))/uint64(minElem) {
-				return nil, errShortFrame
-			}
-			if n == 0 {
-				return b, nil // zero-length decodes as nil, like gob
-			}
-			out := reflect.MakeSlice(t, int(n), int(n))
-			for i := 0; i < int(n); i++ {
-				if b, err = elemDec(b, out.Index(i)); err != nil {
-					return nil, err
+		mkDec := func(elem decFn) decFn {
+			return func(b []byte, v reflect.Value) ([]byte, error) {
+				n, b, err := decUvarint(b)
+				if err != nil || n > maxFrame {
+					return nil, errShortFrame
 				}
+				// A corrupt length must fail before the allocation, not
+				// after: every element costs at least minElem bytes.
+				if minElem > 0 && n > uint64(len(b))/uint64(minElem) {
+					return nil, errShortFrame
+				}
+				if n == 0 {
+					return b, nil // zero-length decodes as nil, like gob
+				}
+				out := reflect.MakeSlice(t, int(n), int(n))
+				for i := 0; i < int(n); i++ {
+					if b, err = elem(b, out.Index(i)); err != nil {
+						return nil, err
+					}
+				}
+				v.Set(out)
+				return b, nil
 			}
-			v.Set(out)
-			return b, nil
 		}
+		dec, decA = mkDec(elemDec), mkDec(elemDecA)
 	case reflect.Array:
-		elemEnc, elemDec := compileCodec(t.Elem(), seen)
+		elemEnc, elemDec, elemDecA := compileCodec(t.Elem(), seen)
 		n := t.Len()
 		enc = func(b []byte, v reflect.Value) []byte {
 			for i := 0; i < n; i++ {
@@ -289,61 +343,81 @@ func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decF
 			}
 			return b
 		}
-		dec = func(b []byte, v reflect.Value) ([]byte, error) {
-			var err error
-			for i := 0; i < n; i++ {
-				if b, err = elemDec(b, v.Index(i)); err != nil {
-					return nil, err
+		mkDec := func(elem decFn) decFn {
+			return func(b []byte, v reflect.Value) ([]byte, error) {
+				var err error
+				for i := 0; i < n; i++ {
+					if b, err = elem(b, v.Index(i)); err != nil {
+						return nil, err
+					}
 				}
-			}
-			return b, nil
-		}
-	case reflect.Map:
-		keyEnc, keyDec := compileCodec(t.Key(), seen)
-		valEnc, valDec := compileCodec(t.Elem(), seen)
-		minPair := minEncodedSize(t.Key()) + minEncodedSize(t.Elem())
-		enc = func(b []byte, v reflect.Value) []byte {
-			b = binary.AppendUvarint(b, uint64(v.Len()))
-			it := v.MapRange()
-			for it.Next() {
-				b = keyEnc(b, it.Key())
-				b = valEnc(b, it.Value())
-			}
-			return b
-		}
-		dec = func(b []byte, v reflect.Value) ([]byte, error) {
-			n, b, err := decUvarint(b)
-			if err != nil || n > maxFrame {
-				return nil, errShortFrame
-			}
-			if minPair > 0 && n > uint64(len(b))/uint64(minPair) {
-				return nil, errShortFrame
-			}
-			if n == 0 {
 				return b, nil
 			}
-			out := reflect.MakeMapWithSize(t, int(n))
-			k := reflect.New(t.Key()).Elem()
-			val := reflect.New(t.Elem()).Elem()
-			for i := 0; i < int(n); i++ {
-				k.SetZero()
-				val.SetZero()
-				if b, err = keyDec(b, k); err != nil {
-					return nil, err
-				}
-				if b, err = valDec(b, val); err != nil {
-					return nil, err
-				}
-				out.SetMapIndex(k, val)
-			}
-			v.Set(out)
-			return b, nil
 		}
+		dec, decA = mkDec(elemDec), mkDec(elemDecA)
+	case reflect.Map:
+		keyEnc, keyDec, keyDecA := compileCodec(t.Key(), seen)
+		valEnc, valDec, valDecA := compileCodec(t.Elem(), seen)
+		minPair := minEncodedSize(t.Key()) + minEncodedSize(t.Elem())
+		// Addressable key/value scratch, pooled per map type: SetMapIndex
+		// copies out of it and SetIterKey/SetIterValue copy into it, so
+		// one warm pair serves every entry of every map of this type —
+		// the per-entry reflect.New (decode) and copyVal (encode-side
+		// MapIter.Key/Value) allocations were the bulk of a History-map
+		// ack's cost on the hot read path.
+		scratch := &sync.Pool{New: func() any {
+			return &mapKV{k: reflect.New(t.Key()).Elem(), v: reflect.New(t.Elem()).Elem()}
+		}}
+		enc = func(b []byte, v reflect.Value) []byte {
+			b = binary.AppendUvarint(b, uint64(v.Len()))
+			kv := scratch.Get().(*mapKV)
+			it := v.MapRange()
+			for it.Next() {
+				kv.k.SetIterKey(it)
+				kv.v.SetIterValue(it)
+				b = keyEnc(b, kv.k)
+				b = valEnc(b, kv.v)
+			}
+			kv.put(scratch)
+			return b
+		}
+		mkDec := func(key, val decFn) decFn {
+			return func(b []byte, v reflect.Value) ([]byte, error) {
+				n, b, err := decUvarint(b)
+				if err != nil || n > maxFrame {
+					return nil, errShortFrame
+				}
+				if minPair > 0 && n > uint64(len(b))/uint64(minPair) {
+					return nil, errShortFrame
+				}
+				if n == 0 {
+					return b, nil
+				}
+				out := reflect.MakeMapWithSize(t, int(n))
+				kv := scratch.Get().(*mapKV)
+				for i := 0; i < int(n); i++ {
+					kv.k.SetZero()
+					kv.v.SetZero()
+					if b, err = key(b, kv.k); err != nil {
+						return nil, err
+					}
+					if b, err = val(b, kv.v); err != nil {
+						return nil, err
+					}
+					out.SetMapIndex(kv.k, kv.v)
+				}
+				kv.put(scratch)
+				v.Set(out)
+				return b, nil
+			}
+		}
+		dec, decA = mkDec(keyDec, valDec), mkDec(keyDecA, valDecA)
 	case reflect.Struct:
 		type fieldCodec struct {
-			idx int
-			enc encFn
-			dec decFn
+			idx  int
+			enc  encFn
+			dec  decFn
+			decA decFn
 		}
 		var fields []fieldCodec
 		for i := 0; i < t.NumField(); i++ {
@@ -351,8 +425,8 @@ func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decF
 			if !f.IsExported() {
 				continue // like gob: unexported fields don't travel
 			}
-			fe, fd := compileCodec(f.Type, seen)
-			fields = append(fields, fieldCodec{idx: i, enc: fe, dec: fd})
+			fe, fd, fdA := compileCodec(f.Type, seen)
+			fields = append(fields, fieldCodec{idx: i, enc: fe, dec: fd, decA: fdA})
 		}
 		enc = func(b []byte, v reflect.Value) []byte {
 			for _, f := range fields {
@@ -369,11 +443,37 @@ func compileCodec(t reflect.Type, seen map[reflect.Type]*typeCodec) (encFn, decF
 			}
 			return b, nil
 		}
+		decA = func(b []byte, v reflect.Value) ([]byte, error) {
+			var err error
+			for _, f := range fields {
+				if b, err = f.decA(b, v.Field(f.idx)); err != nil {
+					return nil, err
+				}
+			}
+			return b, nil
+		}
 	default:
 		panic(fmt.Sprintf("transport: cannot encode kind %s (type %s)", t.Kind(), t))
 	}
-	ph.enc, ph.dec = enc, dec
-	return enc, dec
+	if decA == nil {
+		decA = dec // scalar leaves never alias the input
+	}
+	ph.enc, ph.dec, ph.decA = enc, dec, decA
+	return enc, dec, decA
+}
+
+// mapKV is the pooled addressable scratch of a map codec. put zeroes
+// both values before pooling so the pool never retains decoded payload
+// memory — in particular not arena-chunk pointers from the aliasing
+// decode path, which would keep recycled (and poisoned) arenas
+// reachable from entirely unrelated decodes. Error paths drop the pair
+// on the floor instead; the pool replenishes itself.
+type mapKV struct{ k, v reflect.Value }
+
+func (kv *mapKV) put(p *sync.Pool) {
+	kv.k.SetZero()
+	kv.v.SetZero()
+	p.Put(kv)
 }
 
 // minEncodedSize is the smallest number of bytes a value of type t can
@@ -516,24 +616,105 @@ func decodeEnvelope(b []byte) (Envelope, error) {
 	return env, nil
 }
 
-// Buffer pool shared by frame encoding and the read loops.
-var framePool = sync.Pool{
-	New: func() any { b := make([]byte, 0, 512); return &b },
+// decodeEnvelopeArena parses one envelope whose payload lives in a's
+// slabs and whose string/[]byte fields alias a's chunk (b must point
+// into it). A successfully decoded non-nil payload takes one arena
+// reference, carried by the returned envelope until Release.
+func decodeEnvelopeArena(b []byte, a *recvArena) (Envelope, error) {
+	var env Envelope
+	var vals [3]int64
+	for i := range vals {
+		x, n := binary.Varint(b)
+		if n <= 0 {
+			return env, errShortFrame
+		}
+		vals[i], b = x, b[n:]
+	}
+	env.From, env.To, env.Hop = int(vals[0]), int(vals[1]), int(vals[2])
+	if len(b) < 4 {
+		return env, errShortFrame
+	}
+	tag := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if tag == 0 {
+		return env, nil
+	}
+	registry.RLock()
+	tc := registry.byTag[tag]
+	registry.RUnlock()
+	if tc == nil {
+		return env, fmt.Errorf("transport: unknown payload type tag %#x", tag)
+	}
+	v := a.alloc(tc)
+	if _, err := tc.decA(b, v); err != nil {
+		// The slab element is dirty but unreferenced; it is zeroed when
+		// the arena recycles.
+		return env, err
+	}
+	if tc.indirect {
+		// Box the slab element directly: the interface's data word
+		// points into the slab array, which the arena keeps alive.
+		var m Message
+		e := (*eface)(unsafe.Pointer(&m))
+		e.typ = tc.rtype
+		e.data = v.Addr().UnsafePointer()
+		env.Payload = m
+	} else {
+		env.Payload = v.Interface()
+	}
+	env.arena = a
+	a.acquire()
+	return env, nil
 }
 
+// Buffer pool shared by frame encoding and the read loops. The *[]byte
+// headers are pooled separately from the arrays they point at:
+// framePool.Put(&b) on a local would force the header to escape, so
+// every putFrameBuf would allocate a header — recycling headers through
+// a second pool makes the get/put cycle allocation-free once warm.
+var (
+	framePool    sync.Pool // *[]byte carrying a usable backing array
+	frameHdrPool = sync.Pool{New: func() any { return new([]byte) }}
+)
+
 func getFrameBuf() []byte {
-	return (*(framePool.Get().(*[]byte)))[:0]
+	p, _ := framePool.Get().(*[]byte)
+	if p == nil {
+		return make([]byte, 0, 512)
+	}
+	b := (*p)[:0]
+	*p = nil
+	frameHdrPool.Put(p)
+	return b
+}
+
+func putFrameBuf(b []byte) {
+	if cap(b) > maxFrame/64 {
+		return // don't keep giants alive
+	}
+	p := frameHdrPool.Get().(*[]byte)
+	*p = b
+	framePool.Put(p)
 }
 
 // frameSlicePool recycles the [][]byte scratch used to stage a batch
 // of encoded frames between encode and queue append, so burst sends
-// allocate no per-batch slice header once warm.
-var frameSlicePool = sync.Pool{
-	New: func() any { s := make([][]byte, 0, 64); return &s },
-}
+// allocate no per-batch slice header once warm. Same two-pool header
+// recycling as framePool.
+var (
+	frameSlicePool    sync.Pool // *[][]byte carrying a usable backing array
+	frameSliceHdrPool = sync.Pool{New: func() any { return new([][]byte) }}
+)
 
 func getFrameSlice() [][]byte {
-	return (*(frameSlicePool.Get().(*[][]byte)))[:0]
+	p, _ := frameSlicePool.Get().(*[][]byte)
+	if p == nil {
+		return make([][]byte, 0, 64)
+	}
+	s := (*p)[:0]
+	*p = nil
+	frameSliceHdrPool.Put(p)
+	return s
 }
 
 func putFrameSlice(s [][]byte) {
@@ -548,14 +729,9 @@ func putFrameSlice(s [][]byte) {
 	for i := range s {
 		s[i] = nil
 	}
-	frameSlicePool.Put(&s)
-}
-
-func putFrameBuf(b []byte) {
-	if cap(b) > maxFrame/64 {
-		return // don't keep giants alive
-	}
-	framePool.Put(&b)
+	p := frameSliceHdrPool.Get().(*[][]byte)
+	*p = s[:0]
+	frameSlicePool.Put(p)
 }
 
 // beginFrame appends the 4-byte length placeholder and the kind byte;
@@ -570,13 +746,16 @@ func finishFrame(b []byte) []byte {
 }
 
 // readFrame reads one frame into *scratch (grown as needed) and returns
-// its kind and body.
+// its kind and body. The length prefix is peeked out of the bufio
+// buffer rather than read into a local array, which would escape into
+// the io.ReadFull call and cost an allocation per frame.
 func readFrame(br *bufio.Reader, scratch *[]byte) (byte, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	hdr, err := br.Peek(4)
+	if err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr)
+	_, _ = br.Discard(4)
 	if n == 0 || n > maxFrame {
 		return 0, nil, fmt.Errorf("transport: bad frame length %d", n)
 	}

@@ -63,6 +63,38 @@ func (f funcInjector) Decide(from, to core.ProcessID) (bool, time.Duration, int)
 	return f(from, to)
 }
 
+// stabilityMsg is the PayloadStability case's payload: one string and
+// one byte-slice field, the two kinds that alias the receive arena on
+// the zero-copy path.
+type stabilityMsg struct {
+	Seq int
+	S   string
+	B   []byte
+}
+
+// stabilityContent builds the expected payload for seq — variable
+// length, so consecutive messages land at different arena offsets.
+func stabilityContent(seq int) stabilityMsg {
+	s := fmt.Sprintf("stable-%04d-", seq)
+	for i := 0; i < seq%17; i++ {
+		s += "x"
+	}
+	b := make([]byte, seq%29)
+	for i := range b {
+		b[i] = byte(seq + i)
+	}
+	return stabilityMsg{Seq: seq, S: s, B: b}
+}
+
+func checkStability(t *testing.T, got stabilityMsg, when string) {
+	t.Helper()
+	want := stabilityContent(got.Seq)
+	if got.S != want.S || string(got.B) != string(want.B) {
+		t.Fatalf("payload %d mutated %s: got {S:%q B:%v}, want {S:%q B:%v}",
+			got.Seq, when, got.S, got.B, want.S, want.B)
+	}
+}
+
 // Conformance runs the suite; mk builds a fresh n-process cluster per
 // case (the case owns it and closes it).
 func Conformance(t *testing.T, mk func(t *testing.T, n int) ConformanceCluster) {
@@ -397,6 +429,46 @@ func Conformance(t *testing.T, mk func(t *testing.T, n int) ConformanceCluster) 
 		case <-drained:
 		case <-time.After(10 * time.Second):
 			t.Fatal("inbox never closed")
+		}
+	})
+
+	t.Run("PayloadStability", func(t *testing.T) {
+		// No payload may mutate after delivery: envelopes decoded out of
+		// a shared receive arena stay intact while OTHER envelopes of the
+		// same and later bursts are released and their arenas recycle.
+		// Poisoning makes a premature recycle corrupt the held payloads
+		// deterministically instead of silently.
+		SetArenaPoison(true)
+		defer SetArenaPoison(false)
+		Register(stabilityMsg{})
+		c := mk(t, 2)
+		defer c.Close()
+		const msgs = 600
+		go func() {
+			for i := 0; i < msgs; i++ {
+				c.Port(0).Send(1, stabilityContent(i))
+			}
+		}()
+		var held []Envelope
+		for i := 0; i < msgs; i++ {
+			env := conformanceRecv(t, c.Port(1))
+			m, ok := env.Payload.(stabilityMsg)
+			if !ok {
+				t.Fatalf("payload %T, want stabilityMsg", env.Payload)
+			}
+			checkStability(t, m, "at delivery")
+			if m.Seq%3 == 0 {
+				held = append(held, env) // outlive the delivery burst
+			} else {
+				env.Release()
+			}
+		}
+		// Every non-held envelope has been released and most of their
+		// arenas have recycled under the held ones' feet; the held
+		// payloads must still read back exactly as delivered.
+		for i := range held {
+			checkStability(t, held[i].Payload.(stabilityMsg), "after later bursts recycled")
+			held[i].Release()
 		}
 	})
 

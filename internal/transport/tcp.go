@@ -116,8 +116,15 @@ func (n *TCPNode) noteDelivered() {
 // non-blocking send failed: wait up to sendStallTimeout for space. A
 // healthy consumer drains in microseconds, so hitting the bound means
 // the node's consumer is gone (crash-stop) — the stall is recorded so
-// subsequent deliveries short-circuit for a window.
+// subsequent deliveries short-circuit for a window. Time spent here is
+// accounted as inbox-full time (InboxStallNS), distinct from the
+// credit-stall time frames spend staged in per-link spools
+// (CreditStallNS): the former measures a slow consumer, the latter
+// head-of-line pressure on the shared session.
 func (n *TCPNode) awaitInbox(env Envelope, done <-chan struct{}) deliverVerdict {
+	start := time.Now()
+	n.h.counters.inboxStalls.Add(1)
+	defer func() { n.h.counters.inboxStallNS.Add(uint64(time.Since(start))) }()
 	timer := time.NewTimer(sendStallTimeout)
 	defer timer.Stop()
 	select {
@@ -159,7 +166,43 @@ type rcvState struct {
 	saveMu         sync.Mutex
 	savedNonce     uint64
 	savedDelivered uint64
+
+	// Session flow control (guarded by mu): per-logical-link staging
+	// queues. A frame whose destination inbox is momentarily full is
+	// staged on its (from, to) link's spool instead of making the whole
+	// session block behind one hot link; spooled frames are already
+	// acked, so the spools live here — on the per-remote-process record
+	// that survives conn churn — and every serve loop for this session
+	// drains them (round-robin across links) before returning, keeping
+	// the cumulative-ack invariant: an acked frame is delivered exactly
+	// once or sheds only via the crash-stop verdict.
+	spools  map[uint64]*linkSpool
+	order   []*linkSpool // round-robin drain order (all spools ever created)
+	rrPos   int
+	spooled int // total frames currently staged across all spools
 }
+
+// linkSpool is one logical link's staging queue (guarded by the owning
+// rcvState's mu).
+type linkSpool struct {
+	node      *TCPNode
+	q         []Envelope
+	sinceNS   int64 // when the spool last became non-empty
+	headNS    int64 // when the spool last made progress (pop or fill)
+	highWater int
+}
+
+// linkCreditWindow bounds one logical link's staging queue: within the
+// window a hot link absorbs its own backpressure without touching its
+// session neighbors; at the window the serve loop falls back to the
+// bounded blocking wait on that link alone, which re-applies sender
+// backpressure through stalled acks.
+const linkCreditWindow = 256
+
+// spoolRetryDelay is how often an idle serve loop retries draining
+// staged frames into their inboxes when no inbound frame arrives to
+// trigger a drain pass.
+const spoolRetryDelay = time.Millisecond
 
 // ackSnapshot returns a consistent (incarnation, cumulative ack) pair
 // for stamping into outgoing dataAck frames.
@@ -210,6 +253,19 @@ type tcpCounters struct {
 	acksSent, acksReceived, badEnv atomic.Uint64
 	acksPiggybacked                atomic.Uint64
 	pings, pongs, deadPeers        atomic.Uint64
+	creditStalls, creditStallNS    atomic.Uint64
+	inboxStalls, inboxStallNS      atomic.Uint64
+	spoolHighWater                 atomic.Uint64
+}
+
+// maxUint64 raises a to at least v (monotonic high-water mark).
+func maxUint64(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // TCPStats is a snapshot of a host's transport counters, letting demos
@@ -230,14 +286,20 @@ type TCPStats struct {
 	Pings           uint64 // keepalive probes written on idle sessions
 	Pongs           uint64 // keepalive replies received
 	DeadPeers       uint64 // idle conns declared dead by keepalive probing (no pong)
+	CreditStalls    uint64 // logical links that exhausted delivery credit (empty→non-empty spool transitions)
+	CreditStallNS   uint64 // cumulative ns links spent with frames staged in their spool
+	InboxStalls     uint64 // bounded blocking waits on a full node inbox
+	InboxStallNS    uint64 // cumulative ns spent in those waits
+	SpoolHighWater  uint64 // deepest any logical link's staging queue has been
 	Queued          int    // frames currently awaiting acknowledgement across all sessions
+	Spooled         int    // frames currently staged in per-link flow-control spools
 	Sessions        int    // live outgoing sessions (one per remote process dialed)
 	AcceptedConns   int    // live accepted conns (one per remote process dialing in)
 }
 
 // Stats returns a snapshot of the host's transport counters.
 func (h *TCPHost) Stats() TCPStats {
-	queued := 0
+	queued, spooled := 0, 0
 	h.mu.Lock()
 	sessions := len(h.links)
 	acceptedConns := len(h.accepted)
@@ -246,9 +308,15 @@ func (h *TCPHost) Stats() TCPStats {
 		queued += l.unacked()
 		l.mu.Unlock()
 	}
+	for _, st := range h.rcv {
+		st.mu.Lock()
+		spooled += st.spooled
+		st.mu.Unlock()
+	}
 	h.mu.Unlock()
 	return TCPStats{
 		Queued:          queued,
+		Spooled:         spooled,
 		Sessions:        sessions,
 		AcceptedConns:   acceptedConns,
 		Sent:            h.counters.sent.Load(),
@@ -265,6 +333,11 @@ func (h *TCPHost) Stats() TCPStats {
 		Pings:           h.counters.pings.Load(),
 		Pongs:           h.counters.pongs.Load(),
 		DeadPeers:       h.counters.deadPeers.Load(),
+		CreditStalls:    h.counters.creditStalls.Load(),
+		CreditStallNS:   h.counters.creditStallNS.Load(),
+		InboxStalls:     h.counters.inboxStalls.Load(),
+		InboxStallNS:    h.counters.inboxStallNS.Load(),
+		SpoolHighWater:  h.counters.spoolHighWater.Load(),
 	}
 }
 
@@ -993,6 +1066,10 @@ func (h *TCPHost) serveConn(conn net.Conn) {
 		return
 	}
 	st := h.stateFor(peerAddr, nonce, firstSeq)
+	// Spooled frames are already acked: they must reach their inbox (or
+	// shed via the crash-stop verdict) before this serve loop goes away,
+	// because no retransmission will ever carry them again.
+	defer h.flushSpools(st)
 	st.mu.Lock()
 	d := st.delivered
 	st.mu.Unlock()
@@ -1011,19 +1088,38 @@ func (h *TCPHost) serveConn(conn net.Conn) {
 
 	burst := make([]rcvFrame, 0, rcvBurstMax)
 	pendingAck := false
+	spooled := false
 	sinceAck := 0
+	// The burst arena: frame bodies land in its chunk, payloads in its
+	// slabs. The serve loop's reference rotates to a fresh arena after
+	// each delivered burst (see the ownership contract in arena.go).
+	a := getArena()
+	defer func() { a.release() }()
 	for {
-		if pendingAck && br.Buffered() == 0 {
-			// Wait for the next frame only up to the ack-delay window;
+		if (pendingAck || spooled) && br.Buffered() == 0 {
+			// Wait for the next frame only up to the ack-delay window (or
+			// the much shorter spool-retry tick while frames are staged);
 			// Peek consumes nothing, so a timeout between frames is
 			// safe, and the deadline is cleared before the frame read.
-			_ = conn.SetReadDeadline(time.Now().Add(ackDelay))
+			wait := ackDelay
+			if spooled {
+				wait = spoolRetryDelay
+			}
+			_ = conn.SetReadDeadline(time.Now().Add(wait))
 			_, err := br.Peek(1)
 			_ = conn.SetReadDeadline(time.Time{})
 			if err != nil {
 				var ne net.Error
 				if !errors.As(err, &ne) || !ne.Timeout() {
 					return
+				}
+				if spooled {
+					st.mu.Lock()
+					spooled = h.drainSpools(st)
+					st.mu.Unlock()
+					if !pendingAck {
+						continue
+					}
 				}
 				st.mu.Lock()
 				d := st.delivered
@@ -1050,7 +1146,7 @@ func (h *TCPHost) serveConn(conn net.Conn) {
 		dead := false
 		var pbNonce, pbAck uint64 // piggybacked ack, applied once per burst
 		for {
-			kind, body, err := readFrame(br, &scratch)
+			kind, body, err := readFrameArena(br, a)
 			if err != nil {
 				dead = true
 				break
@@ -1097,7 +1193,7 @@ func (h *TCPHost) serveConn(conn net.Conn) {
 			}
 			if kind == frameData || kind == frameDataAck {
 				f := rcvFrame{seq: binary.LittleEndian.Uint64(body)}
-				f.env, err = decodeEnvelope(body[envOff:])
+				f.env, err = decodeEnvelopeArena(body[envOff:], a)
 				f.ok = err == nil
 				burst = append(burst, f)
 			}
@@ -1131,21 +1227,25 @@ func (h *TCPHost) serveConn(conn net.Conn) {
 				f := &burst[i]
 				if f.seq <= st.delivered {
 					dups++
+					f.env.Release()
 					continue
 				}
 				if f.ok {
 					if ln := nodes[f.env.To]; ln != nil {
-						switch h.deliverInbound(ln, f.env) {
+						switch h.deliverFlow(st, ln, f.env) {
 						case deliverOK:
 							delivered++
+						case deliverSpooled:
+							// The frame waits on its link's staging queue;
+							// it is counted when the drain pops it.
 						case deliverStalled:
-							// One colocated node's consumer stopped
-							// draining (crash-stop): drop ITS frames
-							// after the bounded stall — mirroring the
-							// send side's sendStallTimeout — instead of
-							// wedging the whole process-pair session
-							// behind st.mu.
+							// This link's consumer stopped draining
+							// (crash-stop): drop ITS frames after the
+							// bounded stall — mirroring the send side's
+							// sendStallTimeout — instead of wedging the
+							// whole process-pair session behind st.mu.
 							dropped++
+							f.env.Release()
 						case deliverClosed:
 							st.mu.Unlock()
 							return
@@ -1155,6 +1255,7 @@ func (h *TCPHost) serveConn(conn net.Conn) {
 						// does not carry would otherwise be
 						// retransmitted forever.
 						bad++
+						f.env.Release()
 					}
 				} else {
 					bad++
@@ -1162,6 +1263,7 @@ func (h *TCPHost) serveConn(conn net.Conn) {
 				st.delivered = f.seq
 			}
 			d = st.delivered
+			spooled = h.drainSpools(st)
 			st.mu.Unlock()
 			if delivered > 0 {
 				h.counters.delivered.Add(delivered)
@@ -1177,6 +1279,15 @@ func (h *TCPHost) serveConn(conn net.Conn) {
 			}
 			pendingAck = true
 			sinceAck += len(burst)
+			// Rotate the serve loop's arena reference: this burst's
+			// arena recycles as soon as its last consumer releases, and
+			// the next burst starts on a fresh (pooled) one.
+			a.release()
+			a = getArena()
+		} else {
+			// Nothing was decoded out of the chunk (ping/unknown-only
+			// wakeup); reuse it in place instead of letting it grow.
+			a.chunk = a.chunk[:0]
 		}
 		if pongOwed {
 			if writePong(bw) != nil {
@@ -1212,37 +1323,194 @@ func revLinkFor(l **peerLink, h *TCPHost, addr string) *peerLink {
 	return *l
 }
 
-// deliverInbound verdicts.
+// Delivery verdicts.
 type deliverVerdict int
 
 const (
 	deliverOK      deliverVerdict = iota
 	deliverStalled                // inbox full past the stall bound; frame dropped
 	deliverClosed                 // host shutting down
+	deliverSpooled                // staged on the link's flow-control spool
 )
 
-// deliverInbound hands one inbound envelope to a local node, blocking
-// on a full inbox only up to sendStallTimeout — and only once per
-// stall window per node (stalledRecently), so a 64-frame burst to a
-// crashed consumer pays one bounded stall, not 64. The caller holds
-// the session's dedup lock, which every ackSnapshot/piggyback caller
-// also takes — an unbounded (or repeated) wait here would wedge the
-// whole process pair on one crashed consumer, violating the
-// crash-stop liveness invariant (link.go invariant 5). A healthy
-// consumer drains in microseconds, so hitting the bound means the node
-// is gone: its frames are dropped and counted, exactly like sends to a
-// dead peer.
-func (h *TCPHost) deliverInbound(ln *TCPNode, env Envelope) deliverVerdict {
-	select {
-	case ln.inbox <- env:
-		ln.noteDelivered()
-		return deliverOK
-	case <-h.done:
-		return deliverClosed
-	default:
+// linkKey packs a logical (from, to) pair into the spool map key.
+func linkKey(from, to core.ProcessID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// deliverFlow hands one inbound envelope to node ln over the logical
+// link (env.From → env.To), preserving per-link FIFO through the
+// link's staging queue. The caller holds st.mu.
+//
+// The fast path is the old one: a non-blocking inbox send. What changed
+// is the slow path — a full inbox used to make the serve loop block (or
+// drop) with st.mu held, head-of-line-blocking every colocated link on
+// the shared session. Now the frame is staged on ITS link's spool and
+// the burst moves on; the session only falls back to the bounded
+// blocking wait when that one link exhausts its credit window, and even
+// then the wait charges only the hot link (its sender sees the stalled
+// acks; colocated links keep flowing through the round-robin drain).
+func (h *TCPHost) deliverFlow(st *rcvState, ln *TCPNode, env Envelope) deliverVerdict {
+	key := linkKey(env.From, env.To)
+	sp := st.spools[key]
+	if sp == nil || len(sp.q) == 0 {
+		select {
+		case ln.inbox <- env:
+			ln.noteDelivered()
+			return deliverOK
+		case <-h.done:
+			return deliverClosed
+		default:
+		}
+		if ln.stalledRecently() {
+			return deliverStalled
+		}
+		if sp == nil {
+			if st.spools == nil {
+				st.spools = make(map[uint64]*linkSpool)
+			}
+			sp = &linkSpool{node: ln}
+			st.spools[key] = sp
+			st.order = append(st.order, sp)
+		}
+		st.stage(sp, env, &h.counters)
+		return deliverSpooled
 	}
-	if ln.stalledRecently() {
-		return deliverStalled
+	// The spool is non-empty: FIFO on this link means queueing behind it.
+	if len(sp.q) >= linkCreditWindow {
+		// Credit exhausted. The bounded blocking wait applies to the
+		// spool head (oldest frame first); hitting the bound means the
+		// consumer is gone — crash-stop — and the whole spool sheds.
+		if ln.stalledRecently() {
+			h.shedSpool(st, sp)
+			return deliverStalled
+		}
+		head := sp.q[0]
+		switch ln.awaitInbox(head, h.done) {
+		case deliverOK:
+			sp.pop(st, &h.counters)
+			h.counters.delivered.Add(1)
+		case deliverClosed:
+			return deliverClosed
+		default:
+			h.shedSpool(st, sp)
+			return deliverStalled
+		}
 	}
-	return ln.awaitInbox(env, h.done)
+	st.stage(sp, env, &h.counters)
+	return deliverSpooled
+}
+
+// stage appends env to sp's queue. Caller holds st.mu.
+func (st *rcvState) stage(sp *linkSpool, env Envelope, c *tcpCounters) {
+	if len(sp.q) == 0 {
+		now := time.Now().UnixNano()
+		sp.sinceNS, sp.headNS = now, now
+		c.creditStalls.Add(1)
+	}
+	sp.q = append(sp.q, env)
+	st.spooled++
+	if len(sp.q) > sp.highWater {
+		sp.highWater = len(sp.q)
+		maxUint64(&c.spoolHighWater, uint64(sp.highWater))
+	}
+}
+
+// pop removes sp's head (already delivered by the caller) and updates
+// the progress clock. Caller holds st.mu.
+func (sp *linkSpool) pop(st *rcvState, c *tcpCounters) {
+	now := time.Now().UnixNano()
+	sp.headNS = now
+	sp.q[0] = Envelope{}
+	sp.q = sp.q[1:]
+	st.spooled--
+	if len(sp.q) == 0 {
+		sp.q = nil // let the drained backing array go
+		c.creditStallNS.Add(uint64(now - sp.sinceNS))
+	}
+}
+
+// drainSpools makes one round-robin pass over the staging queues,
+// popping as many frames as each inbox accepts without blocking, and
+// reports whether any staged frames remain. A spool that has made no
+// progress for sendStallTimeout with frames waiting marks its node
+// stalled (crash-stop) and sheds. Caller holds st.mu.
+func (h *TCPHost) drainSpools(st *rcvState) bool {
+	n := len(st.order)
+	if n == 0 || st.spooled == 0 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		sp := st.order[(st.rrPos+i)%n]
+		for len(sp.q) > 0 {
+			select {
+			case sp.node.inbox <- sp.q[0]:
+				sp.node.noteDelivered()
+				sp.pop(st, &h.counters)
+				h.counters.delivered.Add(1)
+				continue
+			default:
+			}
+			if time.Now().UnixNano()-sp.headNS > int64(sendStallTimeout) {
+				sp.node.stalledAtNS.Store(time.Now().UnixNano())
+				h.shedSpool(st, sp)
+			}
+			break
+		}
+	}
+	if n > 0 {
+		st.rrPos = (st.rrPos + 1) % n
+	}
+	return st.spooled > 0
+}
+
+// shedSpool drops every staged frame of one link — the crash-stop
+// verdict for its consumer, mirroring deliverStalled on the direct
+// path. Caller holds st.mu.
+func (h *TCPHost) shedSpool(st *rcvState, sp *linkSpool) {
+	if len(sp.q) == 0 {
+		return
+	}
+	h.counters.drops.Add(uint64(len(sp.q)))
+	h.counters.creditStallNS.Add(uint64(time.Now().UnixNano() - sp.sinceNS))
+	st.spooled -= len(sp.q)
+	for i := range sp.q {
+		sp.q[i].Release()
+		sp.q[i] = Envelope{}
+	}
+	sp.q = nil
+}
+
+// flushSpools drains every staging queue before a serve loop returns:
+// spooled frames are already acked, so they must reach their inbox (or
+// shed via the crash-stop verdict) — they cannot ride a retransmission,
+// and another serve loop for the session may never come.
+func (h *TCPHost) flushSpools(st *rcvState) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, sp := range st.order {
+		for len(sp.q) > 0 {
+			select {
+			case sp.node.inbox <- sp.q[0]:
+				sp.node.noteDelivered()
+				sp.pop(st, &h.counters)
+				h.counters.delivered.Add(1)
+				continue
+			default:
+			}
+			if sp.node.stalledRecently() {
+				h.shedSpool(st, sp)
+				break
+			}
+			switch sp.node.awaitInbox(sp.q[0], h.done) {
+			case deliverOK:
+				sp.pop(st, &h.counters)
+				h.counters.delivered.Add(1)
+			default:
+				// Stalled consumer or closing host: either way these
+				// frames' delivery chance is gone.
+				h.shedSpool(st, sp)
+			}
+		}
+	}
 }

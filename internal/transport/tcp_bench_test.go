@@ -54,15 +54,21 @@ func BenchmarkTCPVsMemory(b *testing.B) {
 		defer n0.Close()
 		defer n1.Close()
 		go func() {
+			// Reply with an echoer-owned payload: the received one
+			// aliases a receive arena that recycles on Release, and the
+			// send path encodes asynchronously.
+			reply := benchPayload()
 			for env := range n1.Inbox() {
-				n1.Send(env.From, env.Payload)
+				env.Release()
+				n1.Send(env.From, reply)
 			}
 		}()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			n0.Send(1, payload)
-			<-n0.Inbox()
+			env := <-n0.Inbox()
+			env.Release()
 		}
 	})
 
@@ -95,7 +101,8 @@ func BenchmarkTCPVsMemory(b *testing.B) {
 		go func() {
 			defer close(done)
 			for i := 0; i < b.N; i++ {
-				<-n1.Inbox()
+				env := <-n1.Inbox()
+				env.Release()
 			}
 		}()
 		b.ReportAllocs()

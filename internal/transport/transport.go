@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"repro/internal/core"
 )
@@ -36,7 +37,30 @@ type Envelope struct {
 	To      core.ProcessID
 	Hop     int
 	Payload Message
+
+	// arena, when non-nil, is the receive arena the payload was decoded
+	// into (TCP zero-copy path); the envelope holds one reference on it.
+	arena *recvArena
 }
+
+// Release hands the envelope's share of its decode arena back to the
+// transport. Consumers call it once they are done with the payload —
+// including any string or []byte reachable from it, which may alias
+// arena memory that is recycled for later frames. Releasing is
+// idempotent per envelope (the handle is cleared), optional (an
+// unreleased arena is simply garbage collected instead of recycled),
+// and a no-op for envelopes from paths that don't use arenas.
+func (e *Envelope) Release() {
+	if a := e.arena; a != nil {
+		e.arena = nil
+		a.release()
+	}
+}
+
+// Aliased reports whether the payload may alias transport-owned memory
+// that is recycled on Release. A consumer retaining any string or byte
+// slice from such a payload beyond Release must copy it first.
+func (e *Envelope) Aliased() bool { return e.arena != nil }
 
 // Verdict is a filter's decision about an in-flight envelope.
 type Verdict int
@@ -105,14 +129,25 @@ type netConfig struct {
 	crashed core.Set
 }
 
-// inboxShard is one destination's delivery endpoint: the inbox channel
-// and the lock that serializes sends against Close. The padding keeps
-// independent shards off each other's cache line.
+// inboxShardHot is the state a delivery actually touches: the inbox
+// channel and the lock that serializes sends against Close, laid out
+// contiguously so one shard's hot path stays within one cache line.
+type inboxShardHot struct {
+	mu      sync.Mutex
+	closed  bool
+	pumping bool // a pump goroutine owns the spill queue
+	ch      chan Envelope
+	spill   []Envelope // FIFO overflow past inboxCap, drained by pump
+}
+
+// inboxShard is one destination's delivery endpoint. The computed
+// padding rounds each shard up to 128 bytes — a cache-line pair, so
+// neighboring shards stay out of each other's line even with the
+// adjacent-line prefetcher pulling pairs — and cannot go stale if the
+// hot struct grows.
 type inboxShard struct {
-	mu     sync.Mutex
-	closed bool
-	ch     chan Envelope
-	_      [64 - 8*3]byte
+	inboxShardHot
+	_ [(128 - unsafe.Sizeof(inboxShardHot{})%128) % 128]byte
 }
 
 // Network is an in-memory network connecting n processes.
@@ -340,7 +375,7 @@ func (net *Network) dispatch(env Envelope) {
 	if d <= 0 {
 		net.sendMu.RUnlock()
 		for i := 0; i < copies; i++ {
-			net.deliver(env) // may block on a full inbox; gate released
+			net.deliver(env) // never blocks: a full inbox spills to the pump
 		}
 		return
 	}
@@ -386,14 +421,19 @@ func (net *Network) dispatchBatch(from, to core.ProcessID, payloads []Message, h
 	net.inflight.Add(len(payloads))
 	net.sendMu.RUnlock()
 	s := &net.shards[to]
+	retained := len(payloads) // inflight refs this call still owns
 	s.mu.Lock()
 	if !s.closed {
 		for _, pl := range payloads {
-			s.ch <- Envelope{From: from, To: to, Hop: hop, Payload: pl}
+			if net.put(s, Envelope{From: from, To: to, Hop: hop, Payload: pl}) {
+				retained--
+			}
 		}
 	}
 	s.mu.Unlock()
-	net.inflight.Add(-len(payloads))
+	if retained > 0 {
+		net.inflight.Add(-retained)
+	}
 }
 
 // dispatchBroadcast routes one payload to every member of dst under a
@@ -431,47 +471,89 @@ func (net *Network) dispatchBroadcast(from core.ProcessID, dst core.Set, payload
 		to := bits.TrailingZeros64(v)
 		s := &net.shards[to]
 		s.mu.Lock()
+		transferred := false
 		if !s.closed {
-			s.ch <- Envelope{From: from, To: to, Hop: hop, Payload: payload}
+			transferred = net.put(s, Envelope{From: from, To: to, Hop: hop, Payload: payload})
 		}
 		s.mu.Unlock()
-		net.inflight.Done()
+		if !transferred {
+			net.inflight.Done()
+		}
 	}
 }
 
-// deliver hands the envelope to its destination inbox under the shard
-// lock. Delivery blocks if the inbox is full: channels are reliable in
-// the model (§3.1), never lossy. A shard that closed while the message
-// was in flight drops it silently.
-func (net *Network) deliver(env Envelope) {
-	defer net.inflight.Done()
-	s := &net.shards[env.To]
-	s.mu.Lock()
-	if !s.closed {
-		s.ch <- env
+// put hands env to a shard's inbox without ever blocking the sender.
+// The fast path is the buffered channel; a full inbox — or one
+// already spilling, which is what keeps per-link FIFO — appends to
+// the spill queue, delivered in order by a pump goroutine. The
+// model's channels are reliable and unbounded (§3.1); a bounded
+// channel plus an unbounded spill implements exactly that, and never
+// blocking is what makes self-delivery safe: a protocol loop that
+// broadcasts to a set including itself would otherwise deadlock
+// against its own full inbox while holding this shard's lock,
+// convoying every other sender to the same shard behind it. Callers
+// hold s.mu; the return value reports that the envelope's inflight
+// reference was transferred to the pump.
+func (net *Network) put(s *inboxShard, env Envelope) bool {
+	if len(s.spill) == 0 {
+		select {
+		case s.ch <- env:
+			return false
+		default:
+		}
 	}
+	s.spill = append(s.spill, env)
+	if !s.pumping {
+		s.pumping = true
+		go net.pump(s)
+	}
+	return true
+}
+
+// pump drains a shard's spill queue into its inbox channel in FIFO
+// order. The head stays in the queue while the pump blocks on the
+// channel, so concurrent put calls keep appending behind it instead
+// of racing past it through the fast path. Blocking without the lock
+// is safe: the pump holds the spilled envelopes' inflight references,
+// and Close closes inbox channels only after inflight drains — which
+// also means the queue cannot be abandoned non-empty by a close.
+func (net *Network) pump(s *inboxShard) {
+	s.mu.Lock()
+	for len(s.spill) > 0 && !s.closed {
+		env := s.spill[0]
+		select {
+		case s.ch <- env:
+		default:
+			s.mu.Unlock()
+			s.ch <- env
+			s.mu.Lock()
+		}
+		s.spill[0] = Envelope{}
+		s.spill = s.spill[1:]
+		net.inflight.Done()
+	}
+	for i := range s.spill { // only reachable if closed raced in
+		s.spill[i] = Envelope{}
+		net.inflight.Done()
+	}
+	s.spill = nil
+	s.pumping = false
 	s.mu.Unlock()
 }
 
-// deliverAsync is deliver for the timer-queue goroutine: it must never
-// block the queue on one slow destination, so a full inbox hands the
-// envelope off to its own goroutine (the rare case) instead of
-// head-of-line-blocking every other delayed message.
-func (net *Network) deliverAsync(env Envelope) {
+// deliver hands the envelope to its destination inbox via put;
+// channels are reliable in the model (§3.1), never lossy. A shard
+// that closed while the message was in flight drops it silently.
+func (net *Network) deliver(env Envelope) {
 	s := &net.shards[env.To]
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		net.inflight.Done()
-		return
+	transferred := false
+	if !s.closed {
+		transferred = net.put(s, env)
 	}
-	select {
-	case s.ch <- env:
-		s.mu.Unlock()
+	s.mu.Unlock()
+	if !transferred {
 		net.inflight.Done()
-	default:
-		s.mu.Unlock()
-		go net.deliver(env)
 	}
 }
 
@@ -543,7 +625,10 @@ func (tq *timerQueue) run(net *Network) {
 		}
 		tq.mu.Unlock()
 		for _, env := range due {
-			net.deliverAsync(env)
+			// deliver never blocks the queue on one slow destination:
+			// a full inbox spills to the shard's pump instead of
+			// head-of-line-blocking every other delayed message.
+			net.deliver(env)
 		}
 		if len(due) > 0 {
 			continue
