@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -33,6 +34,28 @@ func memStorageLoad(r *core.RQS, c int, read bool) func(b *testing.B) {
 				rd := cl.Reader()
 				return func() error { rd.Read(); return nil }
 			}
+			w := cl.MWWriter()
+			return func() error { w.Write("v"); return nil }
+		})
+	}
+}
+
+// memStorageAuthLoad is the mwmr-write load point with authenticated
+// tags: every write pays one writer signature over 〈ts, writer, key,
+// value-digest〉 plus quorum-many countersignature verifications on the
+// acks, and the read phase before it verifies each server's
+// countersigned tag. The HMAC point is the deployment default priced
+// by the load/mwmr-write-auth-c64 gate (bounded against the unsigned
+// write number); the ed25519 point prices the transferable-signature
+// mode for the PERF.md overhead table.
+func memStorageAuthLoad(r *core.RQS, c int, mode auth.Mode) func(b *testing.B) {
+	return func(b *testing.B) {
+		dep := sim.AuthDeployment(mode, r, c+1)
+		cl := sim.NewStorageCluster(r, sim.StorageOptions{
+			Timeout: 500 * time.Microsecond, Clients: c + 1, Auth: dep,
+		})
+		defer cl.Stop()
+		sim.RunManyClients(b, c, func() func() error {
 			w := cl.MWWriter()
 			return func() error { w.Write("v"); return nil }
 		})
@@ -164,6 +187,8 @@ func runLoadMatrix() error {
 		points = append(points,
 			point{"memory", "storage-read", c, memStorageLoad(example7, c, true)},
 			point{"memory", "mwmr-write", c, memStorageLoad(example7, c, false)},
+			point{"memory", "mwmr-write-hmac", c, memStorageAuthLoad(example7, c, auth.ModeHMAC)},
+			point{"memory", "mwmr-write-ed25519", c, memStorageAuthLoad(example7, c, auth.ModeEd25519)},
 			point{"memory", "durable-write", c, memStorageDurableLoad(example7, c, false)},
 			point{"memory", "durable-nosync", c, memStorageDurableLoad(example7, c, true)},
 			point{"memory", "smr-decide", c, smrLoad(example7, c)},

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -277,6 +278,13 @@ func perfSuiteSpecs() ([]benchSpec, error) {
 		{"load/storage-read-c64/example7", memStorageLoad(example7, 64, true)},
 		{"load/mwmr-write-c8/example7", memStorageLoad(example7, 8, false)},
 		{"load/mwmr-write-c64/example7", memStorageLoad(example7, 64, false)},
+		// The authenticated C=64 write load (HMAC, the deployment
+		// default): same closed loop as mwmr-write-c64 but every write
+		// signs its tag and verifies quorum-many countersigned acks on
+		// both phases. Gating it next to the unsigned number keeps the
+		// signing overhead a bounded, visible tax rather than a silent
+		// regression channel.
+		{"load/mwmr-write-auth-c64/example7", memStorageAuthLoad(example7, 64, auth.ModeHMAC)},
 		// Durable-write throughput: the same C=64 write load with every
 		// server running over a write-ahead log — one batched
 		// append+fdatasync per 64-envelope burst before the acks leave.

@@ -1,7 +1,9 @@
 // Command rqs-chaos runs the scripted fault-injection scenario matrix:
 // named chaos scenarios (partitions, flapping links, Byzantine stale
-// tags, kill -9 restarts, heavy-tailed latency, reorder/duplication
-// storms, wire blackholes) against the SWMR, MWMR, SMR and keyed KV
+// tags with and without authenticated clients, replayed read acks,
+// equivocating acceptors, kill -9 restarts, heavy-tailed latency,
+// reorder/duplication storms, wire blackholes) against the SWMR, MWMR,
+// SMR and keyed KV
 // workloads on the in-memory and TCP transports, property-checking
 // every run with histcheck and asserting liveness through
 // per-operation deadlines.
@@ -98,10 +100,14 @@ func run(args []string) error {
 					verdict = "FAIL"
 					failed++
 				}
-				fmt.Fprintf(out, "%s %-28s %-6s %-4s seed=%-4d %7s  ops=%d drop=%d delay=%d dup=%d\n",
+				authrej := ""
+				if n := res.Auth.RejectedAcks + res.Auth.RejectedWrites; n > 0 {
+					authrej = fmt.Sprintf(" authrej=%d", n)
+				}
+				fmt.Fprintf(out, "%s %-28s %-6s %-4s seed=%-4d %7s  ops=%d drop=%d delay=%d dup=%d%s\n",
 					verdict, res.Scenario, res.Transport, res.Workload, res.Seed,
 					res.Elapsed.Round(time.Millisecond), len(res.Ops),
-					res.Stats.Dropped, res.Stats.Delayed, res.Stats.Duped)
+					res.Stats.Dropped, res.Stats.Delayed, res.Stats.Duped, authrej)
 				if !res.Passed() {
 					fmt.Fprintf(out, "     ^ %s\n", res.Failure())
 				}

@@ -47,6 +47,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -256,7 +257,8 @@ func run(args []string) error {
 		case "kv-cas":
 			expect := storage.Version{TS: *expTS, Writer: core.ProcessID(*expWr)}
 			res, err := kv.CAS(*key, expect, *value)
-			if err != nil {
+			var conflict *storage.ErrCASConflict
+			if err != nil && !errors.As(err, &conflict) {
 				return err
 			}
 			if res.OK {

@@ -1,0 +1,270 @@
+// Package auth provides the key material and signing primitives for
+// Byzantine-tolerant storage: per-identity signers and a shared
+// verifier, pluggable between two modes.
+//
+//   - ModeEd25519 uses one ed25519 keypair per identity. Signatures
+//     are transferable (any holder of the public keyring can verify a
+//     third party's signature), which is what the MWMR read-writeback
+//     needs: a reader forwards the writer's tag signature verbatim and
+//     servers/readers elsewhere can still check it. ~25µs per sign,
+//     ~60µs per verify.
+//
+//   - ModeHMAC derives one HMAC-SHA256 key per identity from a single
+//     deployment secret. Sub-microsecond, but symmetric: every keyring
+//     holder can forge every identity's MACs, so it only authenticates
+//     against faults *outside* the deployment's key perimeter (the
+//     classic PBFT MAC caveat). It is the fast mode used by the chaos
+//     scenarios and the perf gate, where the adversary model is a
+//     compromised server process whose forged payloads bypass the
+//     signing path rather than a stolen keyring.
+//
+// Identities are transport process IDs: servers 0..n-1 plus the client
+// ports above them. A Deployment bundles the generated material; the
+// verifier side is distributed to every process, each signer only to
+// its owner.
+package auth
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Signer is one identity's signing capability.
+type Signer interface {
+	// ID returns the identity whose signatures this signer produces.
+	ID() core.ProcessID
+	// Sign returns a signature over the canonical body. The returned
+	// slice is freshly allocated — callers may retain it indefinitely.
+	Sign(body []byte) []byte
+}
+
+// AppendSigner is an optional Signer extension for hot paths: append
+// the signature to out instead of allocating a fresh slice per call.
+// The HMAC signer implements it (servers sign every read ack, so the
+// per-signature allocation is a measurable slice of the op); ed25519
+// does not bother — its arithmetic dwarfs an allocation.
+type AppendSigner interface {
+	// AppendSign appends the signature over body to out and returns
+	// the extended slice.
+	AppendSign(out, body []byte) []byte
+}
+
+// Verifier checks signatures against the deployment's key material.
+// Implementations are safe for concurrent use.
+type Verifier interface {
+	// Verify reports whether sig is id's signature over body. Unknown
+	// (or revoked) identities verify nothing.
+	Verify(id core.ProcessID, body, sig []byte) bool
+}
+
+// Mode selects the signature algorithm of a Deployment.
+type Mode int
+
+const (
+	// ModeEd25519 is the asymmetric default: transferable signatures,
+	// tolerant of a leaked verifier.
+	ModeEd25519 Mode = iota
+	// ModeHMAC is the symmetric fast mode (see package comment).
+	ModeHMAC
+)
+
+func (m Mode) String() string {
+	if m == ModeHMAC {
+		return "hmac"
+	}
+	return "ed25519"
+}
+
+// Deployment is the generated key material for one set of identities:
+// a shared Verifier plus one private Signer per identity.
+type Deployment struct {
+	Mode     Mode
+	verifier Verifier
+	signers  map[core.ProcessID]Signer
+}
+
+// NewDeployment generates fresh key material for the given identities.
+func NewDeployment(mode Mode, ids core.Set) (*Deployment, error) {
+	return NewDeploymentIDs(mode, ids.Members())
+}
+
+// NewDeploymentIDs is NewDeployment over an explicit identity list.
+// A core.Set caps the universe at 64 processes; deployments whose
+// client identities extend past that (e.g. a C=64 load bench: servers
+// 0..6 plus client ports 7..71) must provision through this form —
+// the key material itself is map-keyed and has no such bound.
+func NewDeploymentIDs(mode Mode, ids []core.ProcessID) (*Deployment, error) {
+	d := &Deployment{Mode: mode, signers: make(map[core.ProcessID]Signer, len(ids))}
+	switch mode {
+	case ModeEd25519:
+		ring := &edKeyring{pubs: make(map[core.ProcessID]ed25519.PublicKey, len(ids))}
+		for _, id := range ids {
+			pub, priv, err := ed25519.GenerateKey(rand.Reader)
+			if err != nil {
+				return nil, fmt.Errorf("auth: generate key for %d: %w", id, err)
+			}
+			ring.pubs[id] = pub
+			d.signers[id] = &edSigner{id: id, priv: priv}
+		}
+		d.verifier = ring
+	case ModeHMAC:
+		secret := make([]byte, 32)
+		if _, err := rand.Read(secret); err != nil {
+			return nil, fmt.Errorf("auth: generate deployment secret: %w", err)
+		}
+		ring := &hmacKeyring{pools: make(map[core.ProcessID]*macPool, len(ids))}
+		for _, id := range ids {
+			mp := newMACPool(deriveKey(secret, id))
+			ring.pools[id] = mp
+			d.signers[id] = &hmacSigner{id: id, pool: mp}
+		}
+		d.verifier = ring
+	default:
+		return nil, fmt.Errorf("auth: unknown mode %d", mode)
+	}
+	return d, nil
+}
+
+// MustDeployment is NewDeployment for harness code where key
+// generation cannot reasonably fail.
+func MustDeployment(mode Mode, ids core.Set) *Deployment {
+	d, err := NewDeployment(mode, ids)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustDeploymentIDs is NewDeploymentIDs with the same panic contract.
+func MustDeploymentIDs(mode Mode, ids []core.ProcessID) *Deployment {
+	d, err := NewDeploymentIDs(mode, ids)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Verifier returns the deployment's shared verification side.
+func (d *Deployment) Verifier() Verifier { return d.verifier }
+
+// Signer returns id's signing capability, or nil when id is not part
+// of the deployment (or was revoked).
+func (d *Deployment) Signer(id core.ProcessID) Signer { return d.signers[id] }
+
+// Revoke removes id from the deployment: its existing signatures stop
+// verifying and Signer(id) returns nil. Used to model a writer whose
+// key was rotated out while its signed tags are still in flight.
+func (d *Deployment) Revoke(id core.ProcessID) {
+	delete(d.signers, id)
+	switch r := d.verifier.(type) {
+	case *edKeyring:
+		delete(r.pubs, id)
+	case *hmacKeyring:
+		delete(r.pools, id)
+	}
+}
+
+// Digest is the value digest bound into signed tags: SHA-256 over the
+// raw value bytes. Signing a digest instead of the value keeps the
+// canonical signing body fixed-size.
+func Digest(val string) [sha256.Size]byte { return sha256.Sum256([]byte(val)) }
+
+// ed25519 implementation.
+
+type edSigner struct {
+	id   core.ProcessID
+	priv ed25519.PrivateKey
+}
+
+func (s *edSigner) ID() core.ProcessID      { return s.id }
+func (s *edSigner) Sign(body []byte) []byte { return ed25519.Sign(s.priv, body) }
+
+type edKeyring struct {
+	pubs map[core.ProcessID]ed25519.PublicKey
+}
+
+func (k *edKeyring) Verify(id core.ProcessID, body, sig []byte) bool {
+	pub, ok := k.pubs[id]
+	return ok && len(sig) == ed25519.SignatureSize && ed25519.Verify(pub, body, sig)
+}
+
+// HMAC implementation.
+
+// deriveKey expands the deployment secret into id's MAC key:
+// HMAC(secret, "rqs-auth" ‖ id).
+func deriveKey(secret []byte, id core.ProcessID) []byte {
+	mac := hmac.New(sha256.New, secret)
+	var buf [12]byte
+	copy(buf[:], "rqs-auth")
+	binary.BigEndian.PutUint32(buf[8:], uint32(id))
+	mac.Write(buf[:])
+	return mac.Sum(nil)
+}
+
+// macPool computes HMAC-SHA256 for one identity from a pool of keyed
+// hmac instances. hmac.New pays two key-schedule hashes and a handful
+// of allocations; pooling amortizes that to a Reset (which restores
+// the cached key midstates, not a re-keying) so the steady-state cost
+// is hashing the body alone. On a single-core load run every MAC in
+// the system bills the op directly, so this is the difference between
+// the signed write load staying near its gate against unsigned writes
+// and missing it severalfold. Output is crypto/hmac's by construction.
+type macPool struct {
+	p sync.Pool // keyed hash.Hash instances
+}
+
+func newMACPool(key []byte) *macPool {
+	k := append([]byte(nil), key...)
+	return &macPool{p: sync.Pool{New: func() any { return hmac.New(sha256.New, k) }}}
+}
+
+// sum appends the keyed MAC of body to out and returns the result.
+func (mp *macPool) sum(body, out []byte) []byte {
+	mac := mp.p.Get().(hash.Hash)
+	mac.Reset()
+	mac.Write(body)
+	out = mac.Sum(out)
+	mp.p.Put(mac)
+	return out
+}
+
+// matches reports whether sig is the keyed MAC of body, allocation-free.
+func (mp *macPool) matches(body, sig []byte) bool {
+	var buf [sha256.Size]byte
+	return hmac.Equal(mp.sum(body, buf[:0]), sig)
+}
+
+type hmacSigner struct {
+	id   core.ProcessID
+	pool *macPool
+}
+
+func (s *hmacSigner) ID() core.ProcessID { return s.id }
+
+func (s *hmacSigner) Sign(body []byte) []byte {
+	return s.pool.sum(body, nil)
+}
+
+func (s *hmacSigner) AppendSign(out, body []byte) []byte {
+	return s.pool.sum(body, out)
+}
+
+type hmacKeyring struct {
+	pools map[core.ProcessID]*macPool
+}
+
+func (k *hmacKeyring) Verify(id core.ProcessID, body, sig []byte) bool {
+	mp, ok := k.pools[id]
+	if !ok {
+		return false
+	}
+	return mp.matches(body, sig)
+}

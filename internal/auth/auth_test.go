@@ -1,0 +1,228 @@
+package auth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var modes = []Mode{ModeEd25519, ModeHMAC}
+
+// TestSignVerifyRoundtrip pins the basic contract in both modes: every
+// identity's signature verifies under its own identity and under no
+// other, and a flipped body or signature bit fails.
+func TestSignVerifyRoundtrip(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			ids := core.NewSet(0, 1, 2)
+			d, err := NewDeployment(mode, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := d.Verifier()
+			body := []byte("the canonical body")
+			for _, id := range ids.Members() {
+				sig := d.Signer(id).Sign(body)
+				if got := d.Signer(id).ID(); got != id {
+					t.Fatalf("signer %d reports ID %d", id, got)
+				}
+				if !v.Verify(id, body, sig) {
+					t.Fatalf("mode %v: %d's signature did not verify", mode, id)
+				}
+				for _, other := range ids.Members() {
+					if other != id && v.Verify(other, body, sig) {
+						t.Fatalf("mode %v: %d's signature verified as %d's", mode, id, other)
+					}
+				}
+				tampered := append([]byte(nil), body...)
+				tampered[0] ^= 1
+				if v.Verify(id, tampered, sig) {
+					t.Fatalf("mode %v: signature verified over a tampered body", mode)
+				}
+				badSig := append([]byte(nil), sig...)
+				badSig[0] ^= 1
+				if v.Verify(id, body, badSig) {
+					t.Fatalf("mode %v: flipped signature verified", mode)
+				}
+				if v.Verify(id, body, sig[:len(sig)-1]) {
+					t.Fatalf("mode %v: truncated signature verified", mode)
+				}
+			}
+		})
+	}
+}
+
+// TestMACPoolMatchesCryptoHMAC pins the pooled MAC against the
+// reference crypto/hmac construction bit for bit, across body lengths
+// straddling the SHA-256 block boundaries.
+func TestMACPoolMatchesCryptoHMAC(t *testing.T) {
+	key := []byte("0123456789abcdef0123456789abcdef")
+	mp := newMACPool(key)
+	for _, n := range []int{0, 1, 31, 32, 55, 56, 63, 64, 65, 127, 128, 129, 1000} {
+		body := make([]byte, n)
+		for i := range body {
+			body[i] = byte(i)
+		}
+		ref := hmac.New(sha256.New, key)
+		ref.Write(body)
+		want := ref.Sum(nil)
+		if got := mp.sum(body, nil); !hmac.Equal(got, want) {
+			t.Fatalf("len %d: pool MAC diverges from crypto/hmac", n)
+		}
+		if !mp.matches(body, want) {
+			t.Fatalf("len %d: matches rejected the reference MAC", n)
+		}
+		want[0] ^= 1
+		if mp.matches(body, want) {
+			t.Fatalf("len %d: matches accepted a flipped MAC", n)
+		}
+	}
+	// A key longer than the block size must be hashed down first,
+	// exactly as crypto/hmac does.
+	long := make([]byte, 100)
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	lp := newMACPool(long)
+	ref := hmac.New(sha256.New, long)
+	ref.Write([]byte("body"))
+	if !hmac.Equal(lp.sum([]byte("body"), nil), ref.Sum(nil)) {
+		t.Fatal("long-key MAC diverges from crypto/hmac")
+	}
+}
+
+// TestUnknownAndRevokedIdentity pins that identities outside the
+// deployment — never provisioned, or revoked after signing — verify
+// nothing and hand out no signer.
+func TestUnknownAndRevokedIdentity(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := MustDeployment(mode, core.NewSet(0, 1))
+			body := []byte("payload")
+			if d.Signer(7) != nil {
+				t.Fatal("unknown identity has a signer")
+			}
+			if d.Verifier().Verify(7, body, d.Signer(0).Sign(body)) {
+				t.Fatal("unknown identity verified a signature")
+			}
+			sig := d.Signer(1).Sign(body)
+			d.Revoke(1)
+			if d.Signer(1) != nil {
+				t.Fatal("revoked identity still has a signer")
+			}
+			if d.Verifier().Verify(1, body, sig) {
+				t.Fatal("revoked identity's old signature still verifies")
+			}
+			// The surviving identity is untouched.
+			if !d.Verifier().Verify(0, body, d.Signer(0).Sign(body)) {
+				t.Fatal("revocation broke an unrelated identity")
+			}
+		})
+	}
+}
+
+// TestDeploymentBeyondSetCapacity pins the identity-list constructor:
+// client identities past 63 — beyond what a core.Set bitmask holds,
+// but routinely reached by wide load benches (7 servers + 65 client
+// ports) — must be provisioned and roundtrip like any other. A
+// regression here is vicious: the unprovisioned writer's unsigned
+// tags are silently dropped by verifying servers and its every write
+// hangs forever.
+func TestDeploymentBeyondSetCapacity(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			ids := make([]core.ProcessID, 0, 72)
+			for id := core.ProcessID(0); id < 72; id++ {
+				ids = append(ids, id)
+			}
+			d, err := NewDeploymentIDs(mode, ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := []byte("wide deployment body")
+			for _, id := range []core.ProcessID{0, 63, 64, 71} {
+				s := d.Signer(id)
+				if s == nil {
+					t.Fatalf("mode %v: identity %d not provisioned", mode, id)
+				}
+				if !d.Verifier().Verify(id, body, s.Sign(body)) {
+					t.Fatalf("mode %v: identity %d roundtrip failed", mode, id)
+				}
+			}
+			if d.Verifier().Verify(64, body, d.Signer(65).Sign(body)) {
+				t.Fatal("cross-identity signature verified past the Set boundary")
+			}
+		})
+	}
+}
+
+// TestForeignDeploymentRejected pins the key-perimeter boundary: a
+// signature produced by the same identity of a *different* deployment
+// (fresh keys, same ID space) never verifies here. This is exactly the
+// countersignature-from-outside-the-deployment attack the read path
+// must screen out.
+func TestForeignDeploymentRejected(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			ids := core.NewSet(0, 1)
+			d := MustDeployment(mode, ids)
+			foreign := MustDeployment(mode, ids)
+			body := []byte("cross-deployment body")
+			sig := foreign.Signer(0).Sign(body)
+			if d.Verifier().Verify(0, body, sig) {
+				t.Fatalf("mode %v: foreign deployment's signature verified", mode)
+			}
+		})
+	}
+}
+
+// TestConcurrentSignVerify exercises the concurrency contract under
+// -race: one signer and the shared verifier used from many goroutines
+// at once (the HMAC path must not share a running hash state).
+func TestConcurrentSignVerify(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := MustDeployment(mode, core.NewSet(0, 1))
+			v := d.Verifier()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					id := core.ProcessID(g % 2)
+					s := d.Signer(id)
+					body := []byte{byte(g), 'b', 'o', 'd', 'y'}
+					for i := 0; i < 50; i++ {
+						if !v.Verify(id, body, s.Sign(body)) {
+							t.Errorf("goroutine %d: roundtrip failed", g)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestSignReturnsFreshSlice pins the aliasing contract of Sign: the
+// returned slice must be retainable — mutating one signature must not
+// corrupt another (the memory transport passes payloads by reference).
+func TestSignReturnsFreshSlice(t *testing.T) {
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := MustDeployment(mode, core.NewSet(0))
+			s := d.Signer(0)
+			body := []byte("body")
+			a := s.Sign(body)
+			b := s.Sign(body)
+			a[0] ^= 1
+			if !d.Verifier().Verify(0, body, b) {
+				t.Fatalf("mode %v: mutating one signature corrupted another", mode)
+			}
+		})
+	}
+}

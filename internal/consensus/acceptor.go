@@ -73,6 +73,10 @@ type Acceptor struct {
 	walFailed   bool
 	maxSegments int
 
+	// hooks is the Byzantine fault-injection surface (hooks.go); zero
+	// for an honest acceptor. Set before Start via SetHooks.
+	hooks Hooks
+
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -114,6 +118,46 @@ func NewAcceptor(rqs *core.RQS, topo Topology, port transport.Port, ring *Keyrin
 		<-a.timer.C
 	}
 	return a
+}
+
+// SetHooks installs the Byzantine fault-injection hooks. Must be
+// called before Start (or before the first HandleEnvelope on an
+// inline-driven acceptor).
+func (a *Acceptor) SetHooks(h Hooks) { a.hooks = h }
+
+// sendUpdates emits one update message to the update targets at the
+// given hop depth: the batched broadcast on an honest acceptor, or a
+// per-destination fan-out through the Byzantine hooks so the message
+// can be forged or withheld differently per peer.
+func (a *Acceptor) sendUpdates(m UpdateMsg, hop int) {
+	targets := a.updTargets()
+	if a.hooks.ForgeUpdate == nil && a.hooks.DropUpdate == nil {
+		transport.BroadcastHop(a.port, targets, m, hop)
+		return
+	}
+	for _, to := range targets.Members() {
+		if a.hooks.DropUpdate != nil && a.hooks.DropUpdate(to, m) {
+			continue
+		}
+		mm := m
+		if a.hooks.ForgeUpdate != nil {
+			mm = a.hooks.ForgeUpdate(to, mm)
+		}
+		a.port.SendHop(to, mm, hop)
+	}
+}
+
+// sendDecision publishes a decision, per-destination when the forge
+// hook is installed.
+func (a *Acceptor) sendDecision(m DecisionMsg) {
+	targets := a.updTargets()
+	if a.hooks.ForgeDecision == nil {
+		transport.Broadcast(a.port, targets, m)
+		return
+	}
+	for _, to := range targets.Members() {
+		a.port.Send(to, a.hooks.ForgeDecision(to, m))
+	}
 }
 
 // Start launches the acceptor loop.
@@ -230,7 +274,7 @@ func (a *Acceptor) onPrepare(env transport.Envelope, m PrepareMsg) {
 	// Line 33: echo update1.
 	u := UpdateMsg{Step: 1, V: m.V, View: a.view}
 	a.oldStep[1][vwKey{m.V, a.view}] = true
-	transport.BroadcastHop(a.port, a.updTargets(), u, env.Hop+1)
+	a.sendUpdates(u, env.Hop+1)
 	// The "upon received update_step from some quorum" guards of line 34
 	// are standing rules: update messages that raced ahead of this
 	// prepare may already satisfy them.
@@ -283,7 +327,7 @@ func (a *Acceptor) evalTriggers(step int, v Value, view int) {
 			a.updateQ[0][view] = append(a.updateQ[0][view], q)
 			next := UpdateMsg{Step: 2, V: v, View: view, Q: q}
 			a.oldStep[2][k] = true
-			transport.BroadcastHop(a.port, a.updTargets(), next, r.maxHopOver(q)+1)
+			a.sendUpdates(next, r.maxHopOver(q)+1)
 		}
 	case 2:
 		if len(a.updateQ[1][view]) > 0 {
@@ -294,7 +338,7 @@ func (a *Acceptor) evalTriggers(step int, v Value, view int) {
 			a.updateQ[1][view] = append(a.updateQ[1][view], q)
 			next := UpdateMsg{Step: 3, V: v, View: view, Q: q}
 			a.oldStep[3][k] = true
-			transport.BroadcastHop(a.port, a.updTargets(), next, r.maxHopOver(q)+1)
+			a.sendUpdates(next, r.maxHopOver(q)+1)
 		}
 	}
 }
@@ -318,7 +362,7 @@ func (a *Acceptor) decide(v Value) {
 	a.dirty = true
 	// Figure 14 line 7: publish the decision to the acceptors (and, so
 	// pulls converge faster, to the learners).
-	transport.Broadcast(a.port, a.updTargets(), DecisionMsg{V: v})
+	a.sendDecision(DecisionMsg{V: v})
 }
 
 // onNewView is lines 21-28 of Figure 15.

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -28,6 +29,17 @@ type KVOptions struct {
 	DataDir string
 	// WALNoSync skips the WAL's fdatasync (benchmark-only).
 	WALNoSync bool
+	// Hooks optionally makes individual servers Byzantine — the same
+	// map is installed in every shard group (each group is its own
+	// deployment with its own server 0..n-1, so "server 2 is
+	// Byzantine" means group-local server 2 in each).
+	Hooks map[core.ProcessID]storage.Hooks
+	// Auth, when non-nil, installs the deployment's key material on
+	// every group's servers and clients. One deployment is shared
+	// across groups: their process-ID spaces coincide (servers 0..n-1,
+	// clients above), and a KV client uses one identity — its writer
+	// ID — in every group.
+	Auth *auth.Deployment
 }
 
 // groupDataDir is group g's slice of the data dir ("" when volatile).
@@ -67,6 +79,8 @@ func NewKVCluster(rqs *core.RQS, opts KVOptions) *KVCluster {
 			Timeout:   opts.Timeout,
 			DataDir:   opts.groupDataDir(g),
 			WALNoSync: opts.WALNoSync,
+			Hooks:     opts.Hooks,
+			Auth:      opts.Auth,
 		}))
 	}
 	return c
@@ -77,6 +91,10 @@ func (c *KVCluster) Client() *storage.KVClient {
 	groups := make([]storage.KVGroup, len(c.Groups))
 	for g, sc := range c.Groups {
 		groups[g] = storage.KVGroup{System: sc.RQS, Port: sc.clientPort()}
+		if sc.auth != nil {
+			groups[g].Signer = mustSigner(sc.auth, groups[g].Port.ID())
+			groups[g].Verifier = sc.auth.Verifier()
+		}
 	}
 	return storage.NewKVClient(groups)
 }
@@ -131,6 +149,8 @@ func NewTCPKVCluster(rqs *core.RQS, opts KVOptions) (*TCPKVCluster, error) {
 			Timeout:   opts.Timeout,
 			DataDir:   opts.groupDataDir(g),
 			WALNoSync: opts.WALNoSync,
+			Hooks:     opts.Hooks,
+			Auth:      opts.Auth,
 		})
 		if err != nil {
 			c.Stop()
@@ -146,6 +166,10 @@ func (c *TCPKVCluster) Client() *storage.KVClient {
 	groups := make([]storage.KVGroup, len(c.Groups))
 	for g, sc := range c.Groups {
 		groups[g] = storage.KVGroup{System: sc.RQS, Port: sc.clientPort()}
+		if sc.auth != nil {
+			groups[g].Signer = mustSigner(sc.auth, groups[g].Port.ID())
+			groups[g].Verifier = sc.auth.Verifier()
+		}
 	}
 	return storage.NewKVClient(groups)
 }

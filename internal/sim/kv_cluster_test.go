@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -132,7 +133,8 @@ func testKVCASWinner(t *testing.T, d kvDeployment, clients, increments int) {
 					cur, _ = strconv.Atoi(val)
 				}
 				res, err := kv.CAS("ctr", ver, strconv.Itoa(cur+1))
-				if err != nil {
+				var conflict *storage.ErrCASConflict
+				if err != nil && !errors.As(err, &conflict) {
 					errs <- err
 					return
 				}
@@ -226,7 +228,8 @@ func testKVCASPutInterleave(t *testing.T, d kvDeployment) {
 				// of the same expect proposes the identical write.
 				val := fmt.Sprintf("%s-from-%d", name, ver.TS)
 				res, err := kv.CAS(key, ver, val)
-				if err != nil {
+				var conflict *storage.ErrCASConflict
+				if err != nil && !errors.As(err, &conflict) {
 					errs <- err
 					return
 				}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/chaos"
 	"repro/internal/consensus"
 	"repro/internal/core"
@@ -80,8 +81,12 @@ type Scenario struct {
 
 	// System builds the refined quorum system (nil: FiveServerRQS).
 	System func() *core.RQS
-	// Hooks makes selected servers Byzantine (nil: all honest).
+	// Hooks makes selected servers Byzantine (nil: all honest). On the
+	// kv workload the same map is installed in every shard group.
 	Hooks func(r *core.RQS) map[core.ProcessID]storage.Hooks
+	// AcceptorHooks makes selected acceptor replicas Byzantine on SMR
+	// runs (nil: all honest) — the consensus-level mirror of Hooks.
+	AcceptorHooks func(r *core.RQS) map[core.ProcessID]consensus.Hooks
 	// Script builds the seeded fault script (nil: no injector).
 	Script func(r *core.RQS, seed int64) *chaos.Script
 	// Events runs concurrently with the workload for faults that are
@@ -98,6 +103,14 @@ type Scenario struct {
 	// server that acked writes and then forgot them is outside the
 	// crash-recovery model the protocols assume.
 	Durable bool
+	// Auth runs the storage workloads authenticated: the runner
+	// provisions an HMAC key deployment for the run, servers verify
+	// writer signatures and countersign read acks, and clients sign
+	// their tags and discard unverifiable acks. This is what turns a
+	// forging server from an atomicity hazard into tolerated noise —
+	// provided a verified class-3 quorum of honest servers remains.
+	// Storage workloads only; SMR authenticates through its own keys.
+	Auth bool
 	// ExpectViolation marks a negative control: the run passes only if
 	// histcheck REJECTS the history (e.g. a Byzantine server on a
 	// quorum system below the class-3 intersection requirement).
@@ -154,6 +167,10 @@ type RunResult struct {
 	Elapsed    time.Duration
 	Stats      chaos.Stats       // script decision counters (zero if no script)
 	ProxyStats *chaos.ProxyStats // wire-proxy counters (WireProxy runs only)
+	// Auth counts the acks the workload's clients discarded as
+	// unverifiable (authenticated runs only; a Byzantine scenario that
+	// leaves this zero did not actually exercise the defense).
+	Auth storage.AuthStats
 }
 
 // Passed reports the run's verdict: no liveness error, and the
@@ -221,6 +238,19 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 	if sc.Hooks != nil {
 		hooks = sc.Hooks(system)
 	}
+	var acceptorHooks map[core.ProcessID]consensus.Hooks
+	if sc.AcceptorHooks != nil {
+		acceptorHooks = sc.AcceptorHooks(system)
+	}
+	// Authenticated runs use the HMAC mode: the scenario matrix cares
+	// about the protocol's tolerance behavior, not signature scheme
+	// latency, and both modes share every verification code path. All
+	// storage workloads use at most kvScenarioClients client slots per
+	// network, so one deployment sized for them covers the matrix.
+	var dep *auth.Deployment
+	if sc.Auth {
+		dep = AuthDeployment(auth.ModeHMAC, system, kvScenarioClients)
+	}
 	var script *chaos.Script
 	if sc.Script != nil {
 		script = sc.Script(system, seed)
@@ -250,13 +280,13 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 		var d kvDeployment
 		switch tr {
 		case MemoryTransport:
-			mc := NewKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients, DataDir: dataDir})
+			mc := NewKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients, DataDir: dataDir, Hooks: hooks, Auth: dep})
 			rc.Restart = func(id core.ProcessID, down time.Duration) error {
 				return mc.RestartServer(0, id, down)
 			}
 			d = mc
 		case TCPTransport:
-			tc, err := NewTCPKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients, DataDir: dataDir})
+			tc, err := NewTCPKVCluster(system, KVOptions{Groups: 2, Clients: kvScenarioClients, DataDir: dataDir, Hooks: hooks, Auth: dep})
 			if err != nil {
 				res.Err = fmt.Errorf("tcp kv cluster: %w", err)
 				return res
@@ -297,9 +327,9 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 			d.SetInjector(script)
 			defer d.SetInjector(nil)
 		}
-		runWorkload = func() error { return runKVWorkload(d, rec, opTimeout) }
+		runWorkload = func() error { return runKVWorkload(d, rec, opTimeout, &res.Auth) }
 	case SMRWorkload:
-		c, err := NewSMRCluster(system, SMROptions{})
+		c, err := NewSMRCluster(system, SMROptions{Hooks: acceptorHooks})
 		if err != nil {
 			res.Err = fmt.Errorf("smr cluster: %w", err)
 			return res
@@ -314,11 +344,11 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 		var d storageDeployment
 		switch tr {
 		case MemoryTransport:
-			mc := NewStorageCluster(system, StorageOptions{Hooks: hooks, DataDir: dataDir})
+			mc := NewStorageCluster(system, StorageOptions{Hooks: hooks, DataDir: dataDir, Auth: dep})
 			rc.Restart = mc.RestartServer
 			d = mc
 		case TCPTransport:
-			tc, err := NewTCPStorageCluster(system, TCPStorageOptions{Hooks: hooks, DataDir: dataDir})
+			tc, err := NewTCPStorageCluster(system, TCPStorageOptions{Hooks: hooks, DataDir: dataDir, Auth: dep})
 			if err != nil {
 				res.Err = fmt.Errorf("tcp cluster: %w", err)
 				return res
@@ -355,7 +385,7 @@ func RunScenario(sc *Scenario, tr Transport, wl Workload, seed int64) *RunResult
 		if wl == SWMRWorkload {
 			runWorkload = func() error { return runSWMRWorkload(d, rec, opTimeout) }
 		} else {
-			runWorkload = func() error { return runMWMRWorkload(d, rec, opTimeout) }
+			runWorkload = func() error { return runMWMRWorkload(d, rec, opTimeout, &res.Auth) }
 		}
 	}
 
@@ -436,12 +466,20 @@ func recordKeyed(rec *histcheck.Recorder, kind histcheck.Kind, client, key strin
 // one getter cycling through kvScenarioKeys concurrently, then one
 // settle read per key strictly after every write completed. Timestamps
 // are the packed versions; the verdict checks each key's sub-history.
-func runKVWorkload(d kvDeployment, rec *histcheck.Recorder, opTimeout time.Duration) error {
+func runKVWorkload(d kvDeployment, rec *histcheck.Recorder, opTimeout time.Duration, authStats *storage.AuthStats) error {
 	const putters = 2
-	clients := make([]*storage.KVClient, putters+1)
+	clients := make([]*storage.KVClient, putters+1, putters+2)
 	for i := range clients {
 		clients[i] = d.Client()
 	}
+	// Aggregate after every client goroutine has joined (wg.Wait gives
+	// the happens-before edge) — on error paths too, so a partial run
+	// still reports how many acks its clients screened out.
+	defer func() {
+		for _, kv := range clients {
+			authStats.Add(kv.AuthStats())
+		}
+	}()
 
 	errs := make(chan error, len(clients))
 	var wg sync.WaitGroup
@@ -486,6 +524,7 @@ func runKVWorkload(d kvDeployment, rec *histcheck.Recorder, opTimeout time.Durat
 	default:
 	}
 	settle := d.Client()
+	clients = append(clients, settle)
 	for _, key := range kvScenarioKeys {
 		err := recordKeyed(rec, histcheck.Read, "kvsettle", key, opTimeout, func(ctx context.Context) (int64, error) {
 			_, ver, err := settle.GetCtx(ctx, key)
@@ -551,9 +590,17 @@ func runSWMRWorkload(d storageDeployment, rec *histcheck.Recorder, opTimeout tim
 // scenario relies on (a stale settle read is provably non-atomic).
 // Client creation order is fixed (writers on ports n, n+1; readers on
 // n+2, n+3) so scripted rules can address clients by process ID.
-func runMWMRWorkload(d storageDeployment, rec *histcheck.Recorder, opTimeout time.Duration) error {
+func runMWMRWorkload(d storageDeployment, rec *histcheck.Recorder, opTimeout time.Duration, authStats *storage.AuthStats) error {
 	writers := []*storage.MWWriter{d.MWWriter(), d.MWWriter()}
 	readers := []*storage.MWReader{d.MWReader(), d.MWReader()}
+	defer func() {
+		for _, w := range writers {
+			authStats.Add(w.AuthStats())
+		}
+		for _, r := range readers {
+			authStats.Add(r.AuthStats())
+		}
+	}()
 
 	errs := make(chan error, len(writers)+len(readers))
 	var wg sync.WaitGroup

@@ -79,6 +79,7 @@ func TestScenarioMatrixTCP(t *testing.T) {
 		{"kill9-restart-midwrite", SWMRWorkload},
 		{"reorder-dup-storm", MWMRWorkload},
 		{"byzantine-stale-tag-weak", MWMRWorkload},
+		{"byzantine-stale-tag-auth", KVWorkload}, // signed tags over real sockets
 	}
 	for _, cell := range cells {
 		cell := cell
@@ -194,5 +195,39 @@ func TestRunScenarioRejectsInapplicableCell(t *testing.T) {
 	if res.Err == nil || res.Passed() {
 		t.Fatalf("memory run of a TCP-only scenario must fail, got pass=%v err=%v",
 			res.Passed(), res.Err)
+	}
+}
+
+// TestByzantineAuthTolerance is the authenticated-tag acceptance
+// criterion: on the very quorum system the -weak control breaks, the
+// authenticated cells must pass histcheck for three seeds on both
+// workloads — and their rejected-ack counters must be nonzero, proving
+// the runs actually screened the forger out rather than never meeting
+// it. The unauthenticated control keeps violating alongside
+// (TestNegativeControlStaleTag).
+func TestByzantineAuthTolerance(t *testing.T) {
+	for _, name := range []string{"byzantine-stale-tag-auth", "byzantine-replayed-tag"} {
+		sc, ok := FindScenario(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		if !sc.Auth {
+			t.Fatalf("scenario %q does not run authenticated", name)
+		}
+		for _, wl := range []Workload{MWMRWorkload, KVWorkload} {
+			for _, seed := range []int64{1, 7, 42} {
+				name, wl, seed := name, wl, seed
+				t.Run(fmt.Sprintf("%s/%s/seed%d", name, wl, seed), func(t *testing.T) {
+					t.Parallel()
+					res := RunScenario(sc, MemoryTransport, wl, seed)
+					if !res.Passed() {
+						t.Fatalf("authenticated cell failed: %s", res.Failure())
+					}
+					if res.Auth.RejectedAcks == 0 {
+						t.Fatal("no acks rejected — the Byzantine server never bit")
+					}
+				})
+			}
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/storage"
 )
@@ -39,6 +40,49 @@ func staleForge(id core.ProcessID) func(*core.RQS) map[core.ProcessID]storage.Ho
 			id: {ForgeMWRead: func(core.ProcessID) (storage.Tag, string) {
 				return storage.Tag{}, storage.NoValue
 			}},
+		}
+	}
+}
+
+// replayForge makes a server answer every MWMR read after the first
+// (per key) by re-serving its first captured ack with the sequence
+// number rewritten to the current request's — a compromised server
+// replaying an old, once-valid reply. The countersignature binds the
+// original sequence number, so authenticated clients reject the replay.
+func replayForge(id core.ProcessID) func(*core.RQS) map[core.ProcessID]storage.Hooks {
+	return func(*core.RQS) map[core.ProcessID]storage.Hooks {
+		return map[core.ProcessID]storage.Hooks{
+			id: {ReplayMWRead: func(core.ProcessID) bool { return true }},
+		}
+	}
+}
+
+// equivocate makes acceptor id equivocate: every consensus update and
+// decision it sends to an odd-numbered destination carries a fabricated
+// value while even-numbered destinations receive the true one — the
+// classic split-vote attack. Both acceptors and learners key their
+// collection by value and demand basic sender sets (decisions) or
+// class-3 quorums (updates) before adopting, so the fabricated value
+// never accumulates past its single Byzantine sender.
+func equivocate(id core.ProcessID) func(*core.RQS) map[core.ProcessID]consensus.Hooks {
+	return func(*core.RQS) map[core.ProcessID]consensus.Hooks {
+		forge := func(to core.ProcessID, v consensus.Value) consensus.Value {
+			if to%2 == 1 {
+				return v + "#equivocated"
+			}
+			return v
+		}
+		return map[core.ProcessID]consensus.Hooks{
+			id: {
+				ForgeUpdate: func(to core.ProcessID, m consensus.UpdateMsg) consensus.UpdateMsg {
+					m.V = forge(to, m.V)
+					return m
+				},
+				ForgeDecision: func(to core.ProcessID, m consensus.DecisionMsg) consensus.DecisionMsg {
+					m.V = forge(to, m.V)
+					return m
+				},
+			},
 		}
 	}
 }
@@ -97,9 +141,11 @@ var scenarios = []*Scenario{
 		Description: "Server 0 forges every MWMR read reply to the initial " +
 			"〈zero-tag, ⊥〉 on ByzantineThirdRQS(4), whose class-3 quorums " +
 			"meet the intersection requirement: the stale tag is outvoted " +
-			"and every history stays atomic (positive control).",
+			"and every history stays atomic (positive control). The kv cell " +
+			"installs the forger as server 0 of every shard group, so the " +
+			"keyed reads of both groups face it.",
 		Transports: bothTransports,
-		Workloads:  []Workload{MWMRWorkload},
+		Workloads:  []Workload{MWMRWorkload, KVWorkload},
 		System:     func() *core.RQS { return core.ByzantineThirdRQS(4) },
 		Hooks:      staleForge(0),
 	},
@@ -110,18 +156,66 @@ var scenarios = []*Scenario{
 			"asymmetric cuts steering writers to servers {0,1} and readers " +
 			"to {0,2}: the readers' quorum holds no honest server that saw " +
 			"a write, the one-round fast path returns the stale tag, and " +
-			"histcheck must reject the history (negative control).",
+			"histcheck must reject the history (negative control). The kv " +
+			"cell's clients sit on the same port layout (putters on n, n+1; " +
+			"getters on n+2, n+3), so the same steering breaks the keyed " +
+			"service too.",
 		Transports: bothTransports,
-		Workloads:  []Workload{MWMRWorkload},
+		Workloads:  []Workload{MWMRWorkload, KVWorkload},
 		System:     func() *core.RQS { return core.MajorityRQS(3) },
 		Hooks:      staleForge(0),
 		Script: func(r *core.RQS, seed int64) *chaos.Script {
-			n := r.N() // MWMR clients: writers on n, n+1; readers on n+2, n+3
+			n := r.N() // clients: writers/putters on n, n+1; readers/getters on n+2, n+3
 			return chaos.NewScript(seed).
 				Rule(chaos.Rule{From: core.NewSet(n, n+1), To: core.NewSet(2), Effect: chaos.Cut{}}).
 				Rule(chaos.Rule{From: core.NewSet(n+2, n+3), To: core.NewSet(1), Effect: chaos.Cut{}})
 		},
 		ExpectViolation: true,
+	},
+	{
+		Name: "byzantine-stale-tag-auth",
+		Description: "The stale-tag forger on MajorityRQS(3) — the system the " +
+			"-weak control steers into a provable violation — but the " +
+			"deployment is authenticated. The forger's acks carry no valid " +
+			"writer signature or countersignature, so clients discard them " +
+			"before they can enter any quorum: no scheduling or steering " +
+			"can ever make a read count the stale tag, and every phase " +
+			"completes on the verified honest majority {1,2} instead. The " +
+			"Byzantine server degrades to tolerated noise (the run's " +
+			"rejected-ack counters prove it kept trying).",
+		Transports: bothTransports,
+		Workloads:  []Workload{MWMRWorkload, KVWorkload},
+		System:     func() *core.RQS { return core.MajorityRQS(3) },
+		Hooks:      staleForge(0),
+		Auth:       true,
+	},
+	{
+		Name: "byzantine-replayed-tag",
+		Description: "Server 0 answers every MWMR read after its first (per " +
+			"key) by replaying its first captured ack with the sequence " +
+			"number rewritten — an old, once-valid reply re-served as fresh. " +
+			"The countersignature binds the original sequence number, so " +
+			"authenticated readers reject the replay and complete on the " +
+			"verified honest majority; the replayed stale tag never enters " +
+			"a quorum.",
+		Transports: bothTransports,
+		Workloads:  []Workload{MWMRWorkload, KVWorkload},
+		System:     func() *core.RQS { return core.MajorityRQS(3) },
+		Hooks:      replayForge(0),
+		Auth:       true,
+	},
+	{
+		Name: "byzantine-equivocating-acceptor",
+		Description: "Acceptor 0 equivocates on ByzantineThirdRQS(4): every " +
+			"update and decision it sends to an odd destination carries a " +
+			"fabricated value, even destinations the true one. Value-keyed " +
+			"collection with basic-set/quorum adoption guards means the " +
+			"fabricated value never outgrows its single sender; the honest " +
+			"three-quorum still decides every proposed command.",
+		Transports:    []Transport{MemoryTransport},
+		Workloads:     []Workload{SMRWorkload},
+		System:        func() *core.RQS { return core.ByzantineThirdRQS(4) },
+		AcceptorHooks: equivocate(0),
 	},
 	{
 		Name: "kill9-restart-midwrite",

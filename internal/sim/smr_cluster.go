@@ -34,6 +34,10 @@ type SMROptions struct {
 	// disables). Pulling lets a log host that joined a slot late catch
 	// up from decided acceptors.
 	PullEvery time.Duration
+	// Hooks optionally makes individual acceptor replicas Byzantine:
+	// the hook set is installed on every slot acceptor the replica
+	// creates (the consensus-level mirror of StorageOptions.Hooks).
+	Hooks map[core.ProcessID]consensus.Hooks
 }
 
 // NewSMRCluster starts the shared deployment. The whole cluster —
@@ -58,8 +62,8 @@ func NewSMRCluster(rqs *core.RQS, opts SMROptions) (*SMRCluster, error) {
 	net := transport.NewNetwork(nA + 2)
 	c := &SMRCluster{RQS: rqs, Net: net, Topo: topo, Ring: ring}
 	for _, id := range rqs.Universe().Members() {
-		c.Replicas = append(c.Replicas, smr.NewReplica(
-			rqs, topo, net.Port(id), ring, signers[id], opts.Election))
+		c.Replicas = append(c.Replicas, smr.NewReplicaHooks(
+			rqs, topo, net.Port(id), ring, signers[id], opts.Election, opts.Hooks[id]))
 	}
 	c.Prop = smr.NewProposer(rqs, topo, net.Port(nA), ring, opts.Election)
 	c.Log = smr.NewLog(rqs, topo, net.Port(nA+1), opts.PullEvery)

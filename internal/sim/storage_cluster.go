@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -28,6 +29,12 @@ type StorageCluster struct {
 	// from that log instead of bringing the server back amnesiac.
 	dataDir   string
 	walNoSync bool
+	// auth, when non-nil, runs the deployment authenticated: servers
+	// verify writer signatures and countersign read acks, clients sign
+	// their tags and screen acks. Preserved across RestartServer (key
+	// material survives a process crash — it lives in the deployment's
+	// provisioning, not the process).
+	auth *auth.Deployment
 
 	clientMu   sync.Mutex // tests spawn clients from concurrent goroutines
 	nClients   int
@@ -50,6 +57,36 @@ type StorageOptions struct {
 	// WALNoSync skips the WAL's fdatasync (benchmark-only; meaningless
 	// without DataDir).
 	WALNoSync bool
+	// Auth, when non-nil, installs the deployment's key material on
+	// every server and client (see AuthDeployment for generating one
+	// sized to this cluster).
+	Auth *auth.Deployment
+}
+
+// AuthDeployment generates key material for a cluster over the given
+// quorum system with `clients` client slots: identities 0..n-1 are the
+// servers, n..n+clients-1 the clients. Provisioning goes through the
+// identity-list constructor because client IDs can pass 63, beyond
+// what a core.Set holds (a C=64 load bench reaches port 71). It panics
+// on key-generation failure — harness callers have no recovery path.
+func AuthDeployment(mode auth.Mode, rqs *core.RQS, clients int) *auth.Deployment {
+	ids := rqs.Universe().Members()
+	for i := 0; i < clients; i++ {
+		ids = append(ids, core.ProcessID(rqs.N()+i))
+	}
+	return auth.MustDeploymentIDs(mode, ids)
+}
+
+// mustSigner is the harness's misprovision guard. An authenticated
+// writer holding no signer sends unsigned tags that verifying servers
+// silently drop — the op hangs forever instead of failing. Catch the
+// undersized deployment at construction, loudly.
+func mustSigner(d *auth.Deployment, id core.ProcessID) auth.Signer {
+	s := d.Signer(id)
+	if s == nil {
+		panic(fmt.Sprintf("sim: no signer provisioned for identity %d (deployment smaller than the cluster?)", id))
+	}
+	return s
 }
 
 // NewStorageCluster starts servers for every process in the RQS
@@ -71,6 +108,7 @@ func NewStorageCluster(rqs *core.RQS, opts StorageOptions) *StorageCluster {
 		Timeout:   opts.Timeout,
 		dataDir:   opts.DataDir,
 		walNoSync: opts.WALNoSync,
+		auth:      opts.Auth,
 		nClients:  opts.Clients,
 	}
 	for id := 0; id < n; id++ {
@@ -87,12 +125,22 @@ func NewStorageCluster(rqs *core.RQS, opts StorageOptions) *StorageCluster {
 
 // newServer builds server id in the cluster's durability mode.
 func (c *StorageCluster) newServer(id core.ProcessID, hooks storage.Hooks) (*storage.Server, error) {
+	var srv *storage.Server
+	var err error
 	if c.dataDir == "" {
-		return storage.NewServer(c.Net.Port(id), hooks), nil
+		srv = storage.NewServer(c.Net.Port(id), hooks)
+	} else {
+		dir := filepath.Join(c.dataDir, fmt.Sprintf("s%d", id))
+		srv, err = storage.NewDurableServer(c.Net.Port(id), hooks, dir,
+			storage.DurableOptions{NoSync: c.walNoSync})
+		if err != nil {
+			return nil, err
+		}
 	}
-	dir := filepath.Join(c.dataDir, fmt.Sprintf("s%d", id))
-	return storage.NewDurableServer(c.Net.Port(id), hooks, dir,
-		storage.DurableOptions{NoSync: c.walNoSync})
+	if c.auth != nil {
+		srv.SetAuth(c.auth.Signer(id), c.auth.Verifier())
+	}
+	return srv, nil
 }
 
 // Writer returns a writer on a fresh client port.
@@ -107,14 +155,23 @@ func (c *StorageCluster) Reader() *storage.Reader {
 
 // MWWriter returns a multi-writer client on a fresh client port; its
 // writer ID is the port's process ID, so every MWWriter from one
-// cluster tags its writes distinctly.
+// cluster tags its writes distinctly. On an authenticated cluster the
+// writer signs with the key provisioned for its port's identity.
 func (c *StorageCluster) MWWriter() *storage.MWWriter {
-	return storage.NewMWWriter(c.RQS, c.clientPort())
+	port := c.clientPort()
+	if c.auth != nil {
+		return storage.NewMWWriterAuth(c.RQS, port, mustSigner(c.auth, port.ID()), c.auth.Verifier())
+	}
+	return storage.NewMWWriter(c.RQS, port)
 }
 
 // MWReader returns a multi-reader client on a fresh client port.
 func (c *StorageCluster) MWReader() *storage.MWReader {
-	return storage.NewMWReader(c.RQS, c.clientPort())
+	port := c.clientPort()
+	if c.auth != nil {
+		return storage.NewMWReaderAuth(c.RQS, port, c.auth.Verifier())
+	}
+	return storage.NewMWReader(c.RQS, port)
 }
 
 // ReaderOpts returns a reader with explicit options (regular semantics,

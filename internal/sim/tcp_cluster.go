@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -43,6 +44,8 @@ type TCPStorageCluster struct {
 	// dataDir/s<id>/net, and RestartServer recovers both from disk.
 	dataDir   string
 	walNoSync bool
+	// auth mirrors StorageCluster.auth (preserved across RestartServer).
+	auth *auth.Deployment
 }
 
 // TCPStorageOptions configures NewTCPStorageCluster.
@@ -61,6 +64,9 @@ type TCPStorageOptions struct {
 	DataDir string
 	// WALNoSync skips the WAL's fdatasync (benchmark-only).
 	WALNoSync bool
+	// Auth, when non-nil, installs the deployment's key material on
+	// every server and client (see AuthDeployment).
+	Auth *auth.Deployment
 }
 
 var registerTCPStorageOnce sync.Once
@@ -95,7 +101,7 @@ func NewTCPStorageCluster(r *core.RQS, opts TCPStorageOptions) (*TCPStorageClust
 	RegisterTCPStorageMessages()
 	n := r.N()
 	c := &TCPStorageCluster{RQS: r, Timeout: opts.Timeout,
-		dataDir: opts.DataDir, walNoSync: opts.WALNoSync}
+		dataDir: opts.DataDir, walNoSync: opts.WALNoSync, auth: opts.Auth}
 	addrs := make(map[core.ProcessID]string, n+opts.Clients)
 	c.addrs = addrs
 	fail := func(err error) (*TCPStorageCluster, error) {
@@ -158,12 +164,22 @@ func (c *TCPStorageCluster) serverNetDir(id core.ProcessID) string {
 // newServer builds server id over node in the cluster's durability
 // mode.
 func (c *TCPStorageCluster) newServer(node transport.Port, id core.ProcessID, hooks storage.Hooks) (*storage.Server, error) {
+	var srv *storage.Server
+	var err error
 	if c.dataDir == "" {
-		return storage.NewServer(node, hooks), nil
+		srv = storage.NewServer(node, hooks)
+	} else {
+		dir := filepath.Join(c.dataDir, fmt.Sprintf("s%d", id), "wal")
+		srv, err = storage.NewDurableServer(node, hooks, dir,
+			storage.DurableOptions{NoSync: c.walNoSync})
+		if err != nil {
+			return nil, err
+		}
 	}
-	dir := filepath.Join(c.dataDir, fmt.Sprintf("s%d", id), "wal")
-	return storage.NewDurableServer(node, hooks, dir,
-		storage.DurableOptions{NoSync: c.walNoSync})
+	if c.auth != nil {
+		srv.SetAuth(c.auth.Signer(id), c.auth.Verifier())
+	}
+	return srv, nil
 }
 
 // Reader returns a reader on a fresh colocated client node.
@@ -179,13 +195,21 @@ func (c *TCPStorageCluster) Writer() *storage.Writer {
 // MWWriter returns a multi-writer client on a fresh colocated client
 // node.
 func (c *TCPStorageCluster) MWWriter() *storage.MWWriter {
-	return storage.NewMWWriter(c.RQS, c.clientPort())
+	port := c.clientPort()
+	if c.auth != nil {
+		return storage.NewMWWriterAuth(c.RQS, port, mustSigner(c.auth, port.ID()), c.auth.Verifier())
+	}
+	return storage.NewMWWriter(c.RQS, port)
 }
 
 // MWReader returns a multi-reader client on a fresh colocated client
 // node.
 func (c *TCPStorageCluster) MWReader() *storage.MWReader {
-	return storage.NewMWReader(c.RQS, c.clientPort())
+	port := c.clientPort()
+	if c.auth != nil {
+		return storage.NewMWReaderAuth(c.RQS, port, c.auth.Verifier())
+	}
+	return storage.NewMWReader(c.RQS, port)
 }
 
 func (c *TCPStorageCluster) clientPort() transport.Port {

@@ -202,6 +202,7 @@ type Replica struct {
 	ring   *consensus.Keyring
 	signer *consensus.Signer
 	elect  consensus.ElectionConfig
+	hooks  consensus.Hooks // installed on every slot acceptor (chaos injection)
 
 	mux        *mux           // election mode; nil when inline
 	port       transport.Port // inline mode
@@ -214,8 +215,20 @@ type Replica struct {
 // NewReplica starts the acceptor host on the given port.
 func NewReplica(rqs *core.RQS, topo consensus.Topology, port transport.Port,
 	ring *consensus.Keyring, signer *consensus.Signer, elect consensus.ElectionConfig) *Replica {
+	return NewReplicaHooks(rqs, topo, port, ring, signer, elect, consensus.Hooks{})
+}
+
+// NewReplicaHooks is NewReplica with a Byzantine fault-injection
+// surface (consensus.Hooks) installed on every slot acceptor this
+// replica creates — the chaos matrix's handle for forging or
+// equivocating protocol messages below the SMR slot driver. Hooks must
+// be supplied at construction: slot acceptors are created lazily on
+// the replica's goroutine, so a later setter would race.
+func NewReplicaHooks(rqs *core.RQS, topo consensus.Topology, port transport.Port,
+	ring *consensus.Keyring, signer *consensus.Signer, elect consensus.ElectionConfig,
+	hooks consensus.Hooks) *Replica {
 	r := &Replica{
-		rqs: rqs, topo: topo, ring: ring, signer: signer, elect: elect,
+		rqs: rqs, topo: topo, ring: ring, signer: signer, elect: elect, hooks: hooks,
 	}
 	if elect.Enabled {
 		r.acceptors = make(map[int]*consensus.Acceptor)
@@ -259,6 +272,7 @@ func (r *Replica) runInline() {
 		if !ok {
 			a = consensus.NewAcceptor(r.rqs, r.topo,
 				&slotPort{real: r.port, slot: sm.Slot}, r.ring, r.signer, r.elect)
+			a.SetHooks(r.hooks)
 			acceptors[sm.Slot] = a
 		}
 		a.HandleEnvelope(transport.Envelope{From: env.From, To: env.To, Hop: env.Hop, Payload: sm.Payload})
@@ -276,6 +290,7 @@ func (r *Replica) ensureSlot(slot int) {
 		return
 	}
 	a := consensus.NewAcceptor(r.rqs, r.topo, r.mux.port(slot), r.ring, r.signer, r.elect)
+	a.SetHooks(r.hooks)
 	a.Start()
 	r.acceptors[slot] = a
 }

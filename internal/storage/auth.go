@@ -1,0 +1,121 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"strings"
+
+	"repro/internal/auth"
+	"repro/internal/core"
+)
+
+// Authenticated tags: with an auth.Deployment installed, the MWMR/KV
+// path tolerates a limited Byzantine server rather than merely
+// demonstrating the attack. Two signatures travel with each register
+// pair:
+//
+//   - the *writer signature* binds 〈key, ts, writer-id, digest(val)〉
+//     at write time. Servers refuse to apply a write whose tag does
+//     not carry its claimed writer's signature, and they store the
+//     signature next to the pair so read acks can forward it — a
+//     Byzantine server cannot fabricate a tag it never received
+//     (fabrication requires the writer's key), only replay ones it
+//     did.
+//
+//   - the *server countersignature* binds 〈server-id, seq, key, ts,
+//     writer-id, digest(val), synced〉 on each read ack. The writer
+//     signature alone cannot stop a replay: an old 〈tag, val, sig〉
+//     triple verifies forever. Countersigning the requesting client's
+//     fresh seq makes each ack single-use — re-serving a captured ack
+//     under a new request fails verification at the client.
+//
+// Clients with a verifier discard unverifiable acks without counting
+// them toward the quorum: the operation still completes once a fully
+// verified class-3 quorum has answered (graceful degradation — a
+// Byzantine server only costs its own vote, never safety).
+
+// AuthStats counts signature-verification outcomes on the storage
+// path. Client-side counters are read after operations complete;
+// the server-side counter is exposed via Server.AuthRejects.
+type AuthStats struct {
+	// RejectedAcks is the number of read acks a client discarded
+	// because the writer signature or server countersignature failed
+	// verification.
+	RejectedAcks uint64
+	// RejectedWrites is the number of write/CAS requests servers
+	// refused to apply for a bad writer signature.
+	RejectedWrites uint64
+}
+
+// Add accumulates other into s.
+func (s *AuthStats) Add(other AuthStats) {
+	s.RejectedAcks += other.RejectedAcks
+	s.RejectedWrites += other.RejectedWrites
+}
+
+// digestMemo caches the value digest most recently computed by its
+// owner. The signing bodies of one operation repeat a single value
+// many times over — every read ack of a quorum carries the same pair,
+// every retransmission of a write the same tag — and SHA-256 over the
+// value dominates the body-construction cost. One memo per client and
+// per server suffices (each is single-goroutine); the stored string is
+// cloned because the incoming value may alias a receive arena whose
+// bytes recycle after the envelope releases.
+type digestMemo struct {
+	val    string
+	digest [sha256.Size]byte
+	valid  bool
+}
+
+// of returns the SHA-256 digest of val, recomputing only on a miss.
+func (m *digestMemo) of(val string) *[sha256.Size]byte {
+	if !m.valid || m.val != val {
+		m.digest = auth.Digest(val)
+		m.val = strings.Clone(val)
+		m.valid = true
+	}
+	return &m.digest
+}
+
+// tagBody appends the canonical writer-signed body for 〈key, tag,
+// val〉 to buf and returns the extended slice. Convenience form of
+// tagBodyD for tests and one-shot callers; hot paths pass a memoized
+// digest instead.
+func tagBody(buf []byte, key string, tag Tag, val string) []byte {
+	d := auth.Digest(val)
+	return tagBodyD(buf, key, tag, &d)
+}
+
+// tagBodyD is tagBody over a precomputed value digest: fixed-width tag
+// fields, then the value digest, then the key bytes (key last — it is
+// the only variable-length field, so no length prefix is needed).
+func tagBodyD(buf []byte, key string, tag Tag, digest *[sha256.Size]byte) []byte {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(tag.TS))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(tag.Writer))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, digest[:]...)
+	return append(buf, key...)
+}
+
+// ackBody appends the canonical server-countersigned body for a read
+// ack: the answering server, the requesting client's seq, and the
+// full tag body (synced folded into the seq's top byte — seqs are
+// 62-bit, see newMWClient). Convenience form of ackBodyD.
+func ackBody(buf []byte, server core.ProcessID, seq int64, key string, tag Tag, val string, synced bool) []byte {
+	d := auth.Digest(val)
+	return ackBodyD(buf, server, seq, key, tag, &d, synced)
+}
+
+// ackBodyD is ackBody over a precomputed value digest.
+func ackBodyD(buf []byte, server core.ProcessID, seq int64, key string, tag Tag, digest *[sha256.Size]byte, synced bool) []byte {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(server))
+	u := uint64(seq)
+	if synced {
+		u |= 1 << 63
+	}
+	binary.BigEndian.PutUint64(hdr[4:], u)
+	buf = append(buf, hdr[:]...)
+	return tagBodyD(buf, key, tag, digest)
+}

@@ -114,12 +114,16 @@ func (s *Server) replayRecord(b []byte) error {
 	case MWWriteReq:
 		sh := &s.shards[shardOf(req.Key)]
 		sh.mu.Lock()
-		applyMW(sh.reg(req.Key), req.Tag, req.Val)
+		// The logged record carries the writer signature, so replay
+		// restores the pair's provenance along with the pair — a
+		// restarted authenticated server can countersign read acks for
+		// state it recovered from disk.
+		applyMW(sh.reg(req.Key), req.Tag, req.Val, req.Sig)
 		sh.mu.Unlock()
 	case KVCASReq:
 		sh := &s.shards[shardOf(req.Key)]
 		sh.mu.Lock()
-		applyCAS(sh.reg(req.Key), req.Expect, req.Tag, req.Val)
+		applyCAS(sh.reg(req.Key), req.Expect, req.Tag, req.Val, req.Sig)
 		sh.mu.Unlock()
 	default:
 		return fmt.Errorf("storage: unknown wal record type %T", m)

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/transport"
 )
@@ -21,6 +22,24 @@ import (
 // an error. The client stays safe to call; every later operation also
 // returns ErrClosed.
 var ErrClosed = errors.New("storage: client port closed")
+
+// ErrCASConflict reports a CAS that definitively lost: the key moved
+// past the expected version (typically a concurrent writer won the
+// race). Observed and Val carry the newest state seen among the
+// rejecting servers, so callers can back off and retry against the
+// current version instead of blind-looping on a stale expect. Returned
+// by CAS alongside the failed CASResult; match with errors.As.
+type ErrCASConflict struct {
+	Key      string
+	Expect   Version // the version the caller conditioned on
+	Observed Version // the newest version seen among rejecting servers
+	Val      string  // the value committed under Observed
+}
+
+func (e *ErrCASConflict) Error() string {
+	return "storage: cas conflict on " + strconv.Quote(e.Key) +
+		": expected version " + e.Expect.String() + ", observed " + e.Observed.String()
+}
 
 // This file is the keyed KV service over the storage servers: a
 // Get/Put/CAS client for the per-key MWMR registers the server
@@ -70,6 +89,9 @@ type KVCASReq struct {
 	Expect Tag
 	Tag    Tag
 	Val    string
+	// Sig is Tag.Writer's signature over 〈key, tag, digest(val)〉
+	// (empty on unauthenticated deployments).
+	Sig []byte
 }
 
 // KVCASAck reports whether the conditional apply happened, plus the
@@ -112,7 +134,8 @@ type Store interface {
 	// that committed it.
 	Put(key, val string) (Version, error)
 	// CAS installs val iff key's version still equals expect. At most
-	// one concurrent CAS per (key, expect) succeeds.
+	// one concurrent CAS per (key, expect) succeeds; a definitively
+	// lost CAS returns *ErrCASConflict carrying the observed version.
 	CAS(key string, expect Version, val string) (CASResult, error)
 }
 
@@ -123,6 +146,12 @@ type Store interface {
 type KVGroup struct {
 	System *core.RQS
 	Port   transport.Port
+	// Signer and Verifier install the client's key material on an
+	// authenticated deployment (both nil otherwise). Groups are
+	// independent deployments but may share one auth.Deployment when
+	// their process-ID spaces coincide.
+	Signer   auth.Signer
+	Verifier auth.Verifier
 }
 
 // ringVnodes is how many ring points each group contributes. 64 keeps
@@ -160,9 +189,21 @@ func NewKVClient(groups []KVGroup) *KVClient {
 		ring: buildRing(len(groups)),
 	}
 	for _, g := range groups {
-		kv.groups = append(kv.groups, newMWClient(g.System, g.Port))
+		c := newMWClient(g.System, g.Port)
+		c.setAuth(g.Signer, g.Verifier)
+		kv.groups = append(kv.groups, c)
 	}
 	return kv
+}
+
+// AuthStats returns this client's verification counters summed over
+// its shard groups. Call between operations.
+func (kv *KVClient) AuthStats() AuthStats {
+	var s AuthStats
+	for i := range kv.groups {
+		s.RejectedAcks += kv.groups[i].rejected
+	}
+	return s
 }
 
 // buildRing hashes ringVnodes points per group onto the ring.
@@ -228,7 +269,7 @@ func (kv *KVClient) GetCtx(ctx context.Context, key string) (string, Version, er
 	if _, ok := c.rqs.ContainedQuorum(c.withMax, core.Class3); ok {
 		return val, tag, nil
 	}
-	c.writePhase(key, tag, val, done)
+	c.writePhase(key, tag, val, c.maxSig, done)
 	if c.aborted {
 		return NoValue, Version{}, ctx.Err()
 	}
@@ -251,7 +292,7 @@ func (kv *KVClient) PutCtx(ctx context.Context, key, val string) (Version, error
 	c := &kv.groups[kv.GroupFor(key)]
 	done := ctx.Done()
 	c.aborted = false
-	c.readPhase(key, done)
+	c.queryPhase(key, done)
 	if c.aborted {
 		return Version{}, ctx.Err()
 	}
@@ -259,7 +300,7 @@ func (kv *KVClient) PutCtx(ctx context.Context, key, val string) (Version, error
 		return Version{}, ErrClosed
 	}
 	tag := Tag{TS: c.maxTag.TS + 1, Writer: kv.id}
-	c.writePhase(key, tag, val, done)
+	c.writePhase(key, tag, val, c.signTag(key, tag, val), done)
 	if c.aborted {
 		return Version{}, ctx.Err()
 	}
@@ -279,7 +320,10 @@ func (kv *KVClient) CAS(key string, expect Version, val string) (CASResult, erro
 
 // CASCtx is CAS with a per-operation deadline. An aborted or failed
 // CAS may still have deposited its value at a minority of servers; it
-// then acts as a concurrent write under its tag.
+// then acts as a concurrent write under its tag. A definitive loss
+// (some server moved past expect and success became impossible)
+// returns *ErrCASConflict with the newest observed version, so retry
+// loops re-read instead of spinning on the stale expect.
 func (kv *KVClient) CASCtx(ctx context.Context, key string, expect Version, val string) (CASResult, error) {
 	c := &kv.groups[kv.GroupFor(key)]
 	done := ctx.Done()
@@ -294,6 +338,9 @@ func (kv *KVClient) CASCtx(ctx context.Context, key string, expect Version, val 
 		// deposited its value at a minority, like an aborted CAS).
 		return res, ErrClosed
 	}
+	if !res.OK {
+		return res, &ErrCASConflict{Key: key, Expect: expect, Observed: res.Version, Val: res.Val}
+	}
 	return res, nil
 }
 
@@ -305,7 +352,8 @@ func (kv *KVClient) CASCtx(ctx context.Context, key string, expect Version, val 
 func (c *mwClient) casPhase(key string, expect, tag Tag, val string, done <-chan struct{}) CASResult {
 	c.seq++
 	drainPort(c.port)
-	transport.Broadcast(c.port, c.rqs.Universe(), KVCASReq{Seq: c.seq, Key: key, Expect: expect, Tag: tag, Val: val})
+	transport.Broadcast(c.port, c.rqs.Universe(),
+		KVCASReq{Seq: c.seq, Key: key, Expect: expect, Tag: tag, Val: val, Sig: c.signTag(key, tag, val)})
 
 	idx := c.rqs.Index()
 	applied := idx.GetTracker()

@@ -80,8 +80,15 @@ func TestKVBasicOps(t *testing.T) {
 	}
 
 	stale, err := kv.CAS("a", v1, "three")
-	if err != nil || stale.OK {
+	if stale.OK {
 		t.Fatalf("CAS with stale version = (%+v, %v), want clean failure", stale, err)
+	}
+	var conflict *storage.ErrCASConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("stale CAS error = %v, want *ErrCASConflict", err)
+	}
+	if conflict.Key != "a" || conflict.Expect != v1 || conflict.Observed != ver || conflict.Val != "two" {
+		t.Fatalf("conflict = %+v, want key a expect %v observed (%v, two)", conflict, v1, ver)
 	}
 	if stale.Version != ver || stale.Val != "two" {
 		t.Fatalf("failed CAS reported (%v, %q), want current (%v, two)", stale.Version, stale.Val, ver)
@@ -151,7 +158,8 @@ func TestKVCASCounter(t *testing.T) {
 					cur, _ = strconv.Atoi(val)
 				}
 				res, err := kv.CAS("ctr", ver, strconv.Itoa(cur+1))
-				if err != nil {
+				var conflict *storage.ErrCASConflict
+				if err != nil && !errors.As(err, &conflict) {
 					t.Errorf("client %d: CAS: %v", id, err)
 					return
 				}

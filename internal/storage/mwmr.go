@@ -1,10 +1,13 @@
 package storage
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
+	"strconv"
 	"strings"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/transport"
 )
@@ -35,10 +38,11 @@ import (
 // whether the report is behind the fsync horizon and only synced
 // reports count toward the fast-path quorum (unsynced ones still
 // seed tag selection — a lost tag is only ever replaced by a higher
-// one). Tolerating
-// Byzantine servers in the MWMR setting requires authenticated tags
-// (writers would need to sign 〈tag, value〉); that extension is left on
-// the ROADMAP.
+// one). Tolerating Byzantine servers additionally requires
+// authenticated tags: with an auth.Deployment installed (see auth.go)
+// writers sign their tags, servers countersign read acks, and clients
+// discard acks that fail verification — completing once a fully
+// verified class-3 quorum remains.
 //
 // Every writer must use a distinct WriterID; NewMWWriter derives it
 // from the port's process ID, which deployments already keep unique.
@@ -60,6 +64,11 @@ func (t Tag) Less(u Tag) bool {
 
 // IsZero reports whether t is the initial tag.
 func (t Tag) IsZero() bool { return t == Tag{} }
+
+// String renders the tag as 〈ts,writer〉 for errors and logs.
+func (t Tag) String() string {
+	return "〈" + strconv.FormatInt(t.TS, 10) + "," + strconv.Itoa(int(t.Writer)) + "〉"
+}
 
 // Packed folds the tag into one int64 that preserves the lexicographic
 // order: TS in the high bits, writer ID in the low 16. It lets the
@@ -84,6 +93,16 @@ func (t Tag) Packed() int64 { return t.TS<<16 | int64(t.Writer) }
 type MWReadReq struct {
 	Seq int64
 	Key string
+	// TagOnly marks a writer's tag query: the caller only needs the
+	// maximum timestamp to pick a higher one, so the ack omits the
+	// value and both signatures and the client counts it unverified.
+	// This is safe where a full read is not: a Byzantine server lying
+	// in a tag query can only inflate the writer's next timestamp
+	// (tags stay bound to their genuine writers by the write-phase
+	// signature), never smuggle a forged value–writer binding into a
+	// returned read. Cuts the authenticated write's MAC bill from
+	// ~2·quorum to ~1 per operation.
+	TagOnly bool
 }
 
 // MWReadAck carries the server's current pair back.
@@ -97,6 +116,14 @@ type MWReadAck struct {
 	// could still erase from this server must not contribute to the
 	// quorum that lets a reader skip its writeback.
 	Synced bool
+	// WSig is the writer's signature over 〈key, tag, digest(val)〉,
+	// forwarded verbatim from the write that installed the pair. Empty
+	// on unauthenticated deployments and for the zero tag.
+	WSig []byte
+	// SSig is the answering server's countersignature over the ack
+	// (binding this request's Seq — see auth.go). Empty on
+	// unauthenticated deployments.
+	SSig []byte
 }
 
 // MWWriteReq asks a server to store 〈tag, val〉 under a key if tag is
@@ -107,6 +134,10 @@ type MWWriteReq struct {
 	Key string
 	Tag Tag
 	Val string
+	// Sig is Tag.Writer's signature over 〈key, tag, digest(val)〉.
+	// Read writebacks forward the original writer's signature. Empty
+	// on unauthenticated deployments and for zero-tag writebacks.
+	Sig []byte
 }
 
 // MWWriteAck acknowledges an MWWriteReq.
@@ -139,9 +170,31 @@ type mwClient struct {
 	// everything synced).
 	maxTag  Tag
 	maxVal  string
+	maxSig  []byte // writer signature accompanying maxTag (writeback forwarding)
 	withMax core.Set
 	closed  bool // the port's inbox closed mid-operation
 	aborted bool // the operation's deadline expired mid-phase
+
+	// Authenticated-deployment state (nil/zero when auth is off).
+	signer   auth.Signer   // signs this client's own write/CAS tags
+	verifier auth.Verifier // checks read-ack signatures; failures are discarded
+	rejected uint64        // read acks discarded for failed verification
+	bodyBuf  []byte        // canonical signing-body scratch
+	dmemo    digestMemo    // last value digest (signing bodies repeat one value)
+
+	// Memo of a writer signature verified earlier in the CURRENT read
+	// phase: a quorum's acks overwhelmingly repeat one 〈key, tag, val,
+	// wsig〉 tuple, and re-verifying it per ack would double the phase's
+	// MAC bill. Sound because only an exact match of all four skips;
+	// invalidated at phase start so a revocation takes effect no later
+	// than the next operation. The fields themselves survive
+	// invalidation as retained allocations — successive phases over the
+	// same register re-verify but rarely need to re-clone.
+	vValid bool
+	vKey   string
+	vTag   Tag
+	vVal   string
+	vSig   []byte
 }
 
 func newMWClient(rqs *core.RQS, port transport.Port) mwClient {
@@ -149,6 +202,64 @@ func newMWClient(rqs *core.RQS, port transport.Port) mwClient {
 	// process (same slot, fresh incarnation) must not match the new
 	// incarnation's sequence numbers. 2^62 of headroom remains.
 	return mwClient{rqs: rqs, port: port, tr: rqs.NewTracker(), seq: rand.Int63n(1 << 62)}
+}
+
+// setAuth installs this client's key material: a verifier to screen
+// read acks and (for writers) a signer for its own tags. Must be set
+// before the first operation.
+func (c *mwClient) setAuth(signer auth.Signer, verifier auth.Verifier) {
+	c.signer, c.verifier = signer, verifier
+}
+
+// signTag returns this client's writer signature for 〈key, tag, val〉,
+// or nil when the deployment is unauthenticated.
+func (c *mwClient) signTag(key string, tag Tag, val string) []byte {
+	if c.signer == nil {
+		return nil
+	}
+	c.bodyBuf = tagBodyD(c.bodyBuf[:0], key, tag, c.dmemo.of(val))
+	return c.signer.Sign(c.bodyBuf)
+}
+
+// verifyReadAck checks a read ack's server countersignature and — for
+// non-zero tags — the writer signature on the reported pair. With no
+// verifier installed everything passes.
+func (c *mwClient) verifyReadAck(from core.ProcessID, key string, ack MWReadAck) bool {
+	if c.verifier == nil {
+		return true
+	}
+	d := c.dmemo.of(ack.Val)
+	c.bodyBuf = ackBodyD(c.bodyBuf[:0], from, c.seq, key, ack.Tag, d, ack.Synced)
+	if !c.verifier.Verify(from, c.bodyBuf, ack.SSig) {
+		return false
+	}
+	if ack.Tag.IsZero() {
+		// The initial ⊥ pair predates every writer; only the
+		// countersignature vouches for it.
+		return true
+	}
+	if c.vValid && ack.Tag == c.vTag && key == c.vKey && ack.Val == c.vVal && bytes.Equal(ack.WSig, c.vSig) {
+		return true
+	}
+	c.bodyBuf = tagBodyD(c.bodyBuf[:0], key, ack.Tag, d)
+	if !c.verifier.Verify(ack.Tag.Writer, c.bodyBuf, ack.WSig) {
+		return false
+	}
+	// Clone into the memo: ack.Val/ack.WSig may alias a receive arena
+	// that recycles after the envelope releases. The previous phase's
+	// clones are reused when the contents match (the common case —
+	// phase after phase over one register sees one tuple).
+	if key != c.vKey {
+		c.vKey = strings.Clone(key)
+	}
+	if ack.Val != c.vVal {
+		c.vVal = strings.Clone(ack.Val)
+	}
+	if !bytes.Equal(ack.WSig, c.vSig) {
+		c.vSig = bytes.Clone(ack.WSig)
+	}
+	c.vTag, c.vValid = ack.Tag, true
+	return true
 }
 
 // recv receives the next envelope for a phase wait, draining buffered
@@ -172,14 +283,27 @@ func (c *mwClient) recv(done <-chan struct{}) (transport.Envelope, bool) {
 
 // readPhase broadcasts MWReadReq for key and collects acks until some
 // class-3 quorum responded, tracking the maximum tag and who reported
-// it.
+// it. Acks are verified on authenticated deployments.
 func (c *mwClient) readPhase(key string, done <-chan struct{}) {
+	c.phase(key, false, done)
+}
+
+// queryPhase is the writer's cut-down read phase: a TagOnly broadcast
+// whose acks carry no value and no signatures and are counted
+// unverified (see MWReadReq.TagOnly for why that is sound). Only
+// maxTag is meaningful afterwards.
+func (c *mwClient) queryPhase(key string, done <-chan struct{}) {
+	c.phase(key, true, done)
+}
+
+func (c *mwClient) phase(key string, tagOnly bool, done <-chan struct{}) {
 	c.seq++
 	drainPort(c.port)
-	transport.Broadcast(c.port, c.rqs.Universe(), MWReadReq{Seq: c.seq, Key: key})
+	transport.Broadcast(c.port, c.rqs.Universe(), MWReadReq{Seq: c.seq, Key: key, TagOnly: tagOnly})
 
 	c.tr.Reset()
-	c.maxTag, c.maxVal, c.withMax = Tag{}, NoValue, core.EmptySet
+	c.maxTag, c.maxVal, c.maxSig, c.withMax = Tag{}, NoValue, nil, core.EmptySet
+	c.vValid = false
 	for {
 		env, ok := c.recv(done)
 		if !ok {
@@ -193,14 +317,28 @@ func (c *mwClient) readPhase(key string, done <-chan struct{}) {
 			env.Release()
 			continue
 		}
-		if c.maxTag.Less(ack.Tag) {
+		if tagOnly {
+			if c.maxTag.Less(ack.Tag) {
+				c.maxTag = ack.Tag
+			}
+		} else if !c.verifyReadAck(env.From, key, ack) {
+			// A forged, tampered, or replayed ack: discard it without
+			// counting the sender toward the quorum. The phase still
+			// completes once a fully verified class-3 quorum answers.
+			c.rejected++
+			env.Release()
+			continue
+		} else if c.maxTag.Less(ack.Tag) {
 			val := ack.Val
 			if env.Aliased() {
 				// The adopted value may outlive the envelope (it is the
 				// phase's result); unalias it from the receive arena.
 				val = strings.Clone(val)
 			}
-			c.maxTag, c.maxVal, c.withMax = ack.Tag, val, core.EmptySet
+			// Clone the writer signature too: it is forwarded in the
+			// writeback and must outlive both the receive arena and
+			// this phase.
+			c.maxTag, c.maxVal, c.maxSig, c.withMax = ack.Tag, val, bytes.Clone(ack.WSig), core.EmptySet
 			if ack.Synced {
 				c.withMax = core.NewSet(env.From)
 			}
@@ -217,10 +355,12 @@ func (c *mwClient) readPhase(key string, done <-chan struct{}) {
 }
 
 // writePhase broadcasts MWWriteReq〈tag, val〉 for key and waits for
-// acks from some class-3 quorum.
-func (c *mwClient) writePhase(key string, tag Tag, val string, done <-chan struct{}) {
+// acks from some class-3 quorum. sig is the tag's writer signature
+// (the client's own for fresh writes, the original writer's for
+// writebacks; nil when auth is off).
+func (c *mwClient) writePhase(key string, tag Tag, val string, sig []byte, done <-chan struct{}) {
 	c.seq++
-	transport.Broadcast(c.port, c.rqs.Universe(), MWWriteReq{Seq: c.seq, Key: key, Tag: tag, Val: val})
+	transport.Broadcast(c.port, c.rqs.Universe(), MWWriteReq{Seq: c.seq, Key: key, Tag: tag, Val: val, Sig: sig})
 
 	c.tr.Reset()
 	for {
@@ -264,6 +404,19 @@ func NewMWWriter(rqs *core.RQS, port transport.Port) *MWWriter {
 	return &MWWriter{c: newMWClient(rqs, port), id: port.ID()}
 }
 
+// NewMWWriterAuth is NewMWWriter on an authenticated deployment: the
+// writer signs its tags with signer and screens read-phase acks with
+// verifier.
+func NewMWWriterAuth(rqs *core.RQS, port transport.Port, signer auth.Signer, verifier auth.Verifier) *MWWriter {
+	w := NewMWWriter(rqs, port)
+	w.c.setAuth(signer, verifier)
+	return w
+}
+
+// AuthStats returns this writer's verification counters. Call between
+// operations (the writer runs one operation at a time).
+func (w *MWWriter) AuthStats() AuthStats { return AuthStats{RejectedAcks: w.c.rejected} }
+
 // WriterID returns the ID embedded in this writer's tags.
 func (w *MWWriter) WriterID() core.ProcessID { return w.id }
 
@@ -283,7 +436,7 @@ func (w *MWWriter) Write(v string) MWResult {
 func (w *MWWriter) WriteCtx(ctx context.Context, v string) (MWResult, error) {
 	done := ctx.Done()
 	w.c.aborted = false
-	w.c.readPhase("", done)
+	w.c.queryPhase("", done)
 	if w.c.aborted {
 		return MWResult{Val: v, Rounds: 1}, ctx.Err()
 	}
@@ -291,7 +444,7 @@ func (w *MWWriter) WriteCtx(ctx context.Context, v string) (MWResult, error) {
 		return MWResult{Val: v, Rounds: 1}, nil
 	}
 	tag := Tag{TS: w.c.maxTag.TS + 1, Writer: w.id}
-	w.c.writePhase("", tag, v, done)
+	w.c.writePhase("", tag, v, w.c.signTag("", tag, v), done)
 	if w.c.aborted {
 		return MWResult{Val: v, Rounds: 2}, ctx.Err()
 	}
@@ -312,6 +465,19 @@ type MWReader struct {
 func NewMWReader(rqs *core.RQS, port transport.Port) *MWReader {
 	return &MWReader{c: newMWClient(rqs, port)}
 }
+
+// NewMWReaderAuth is NewMWReader on an authenticated deployment.
+// Readers need no signer: writebacks forward the original writer's
+// signature.
+func NewMWReaderAuth(rqs *core.RQS, port transport.Port, verifier auth.Verifier) *MWReader {
+	r := NewMWReader(rqs, port)
+	r.c.setAuth(nil, verifier)
+	return r
+}
+
+// AuthStats returns this reader's verification counters. Call between
+// operations.
+func (r *MWReader) AuthStats() AuthStats { return AuthStats{RejectedAcks: r.c.rejected} }
 
 // Read returns the register's current value: a read phase selects the
 // maximum tag at a quorum, then a writeback installs it at a quorum
@@ -341,7 +507,7 @@ func (r *MWReader) ReadCtx(ctx context.Context) (MWResult, error) {
 	if _, ok := r.c.rqs.ContainedQuorum(r.c.withMax, core.Class3); ok {
 		return MWResult{Val: val, Tag: tag, Rounds: 1}, nil
 	}
-	r.c.writePhase("", tag, val, done)
+	r.c.writePhase("", tag, val, r.c.maxSig, done)
 	if r.c.aborted {
 		return MWResult{Val: NoValue, Rounds: 2}, ctx.Err()
 	}

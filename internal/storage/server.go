@@ -1,10 +1,12 @@
 package storage
 
 import (
+	"bytes"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/transport"
 	"repro/internal/wal"
@@ -32,8 +34,22 @@ type Hooks struct {
 	// returning an old tag makes the server deny completed writes,
 	// returning a fabricated 〈ts, writer-id〉 tag makes it invent them.
 	// Whether either lie can reach a reader's return value is exactly
-	// the class-3 intersection question the chaos campaigns test.
+	// the class-3 intersection question the chaos campaigns test. On an
+	// authenticated deployment the forged ack carries no valid
+	// signatures (the hook bypasses the signing path, exactly like a
+	// compromised server that does not hold the writers' keys), so
+	// verifying clients discard it.
 	ForgeMWRead func(from core.ProcessID) (Tag, string)
+	// ReplayMWRead, if non-nil and returning true, makes the server
+	// answer the MWMR read with a *captured* earlier ack — the first
+	// one it ever served for that key — with only the Seq field
+	// rewritten to match the current request. This is the Byzantine
+	// replay attack against authenticated tags: the stale pair carries
+	// a perfectly valid writer signature, and only the server
+	// countersignature (which binds the requesting client's fresh seq)
+	// exposes the reuse. Until a first ack has been captured for the
+	// key the server answers honestly.
+	ReplayMWRead func(from core.ProcessID) bool
 }
 
 // serverBurst bounds how many inbox envelopes the server drains per
@@ -68,6 +84,12 @@ type regState struct {
 	histShared bool
 	mwTag      Tag    // MWMR register: current tag ...
 	mwVal      string // ... and value, monotone in tag order
+	// mwSig is the writer signature that arrived with the current
+	// 〈mwTag, mwVal〉 pair (nil on unauthenticated deployments). Read
+	// acks forward it so clients can re-verify the pair's provenance.
+	// The slice is never mutated in place — a newer write replaces the
+	// reference — so acks already queued keep a consistent snapshot.
+	mwSig []byte
 }
 
 // kvShard is one shard of the keyspace: a mutex and the states of the
@@ -89,6 +111,11 @@ func (sh *kvShard) reg(key string) *regState {
 	}
 	return r
 }
+
+// peek returns the shard's state for key without creating it — the
+// staleness pre-check on writes must not let unverified requests
+// populate the register map. Callers hold sh.mu.
+func (sh *kvShard) peek(key string) *regState { return sh.regs[key] }
 
 // shardOf maps a key to its shard (FNV-1a; deterministic so tests can
 // construct same-shard and cross-shard key sets).
@@ -143,6 +170,21 @@ type Server struct {
 	id    core.ProcessID
 	port  transport.Port
 	hooks Hooks
+
+	// Authenticated-deployment state (nil when auth is off — see
+	// auth.go). The server verifies writer signatures before applying
+	// writes, countersigns its read acks, and silently drops writes
+	// whose signature fails (the sender is either Byzantine or outside
+	// the deployment; an honest quorum still acks). authBuf and
+	// replayCap are touched only by the server goroutine.
+	signer       auth.Signer
+	verifier     auth.Verifier
+	authRejects  atomic.Uint64
+	authBuf      []byte
+	appendSigner auth.AppendSigner    // signer's append form, nil if unsupported
+	sigSlab      []byte               // countersignature slab (see signAck)
+	dmemo        digestMemo           // last value digest (bursts repeat one value)
+	replayCap    map[string]MWReadAck // Hooks.ReplayMWRead capture, keyed by register
 
 	shards [kvShardCount]kvShard
 
@@ -206,6 +248,37 @@ func NewServer(port transport.Port, hooks Hooks) *Server {
 	return s
 }
 
+// SetAuth installs the server's key material: its own signer for
+// countersigning read acks and the deployment verifier for screening
+// incoming writes. Must be called before Start.
+func (s *Server) SetAuth(signer auth.Signer, verifier auth.Verifier) {
+	s.signer, s.verifier = signer, verifier
+	s.appendSigner, _ = signer.(auth.AppendSigner)
+}
+
+// signAck returns the server's countersignature over body. With an
+// append-capable signer the signature is carved from a slab instead of
+// allocated per ack — servers countersign every read ack they serve,
+// so this is one allocation per ack on the hot path otherwise. Slab
+// chunks are retained by the acks that carry them; a filled slab is
+// simply dropped for a fresh one.
+func (s *Server) signAck(body []byte) []byte {
+	if s.appendSigner == nil {
+		return s.signer.Sign(body)
+	}
+	if cap(s.sigSlab)-len(s.sigSlab) < 64 {
+		s.sigSlab = make([]byte, 0, 4096)
+	}
+	n := len(s.sigSlab)
+	s.sigSlab = s.appendSigner.AppendSign(s.sigSlab, body)
+	return s.sigSlab[n:len(s.sigSlab):len(s.sigSlab)]
+}
+
+// AuthRejects returns how many write/CAS requests this server refused
+// to apply because the writer signature failed verification. Safe for
+// concurrent use.
+func (s *Server) AuthRejects() uint64 { return s.authRejects.Load() }
+
 // Start launches the server loop in its own goroutine.
 func (s *Server) Start() {
 	go s.run()
@@ -228,6 +301,7 @@ type RegSnapshot struct {
 	History History
 	MWTag   Tag
 	MWVal   string
+	MWSig   []byte // writer signature of the pair (authenticated deployments)
 }
 
 // ServerState is a full keyspace snapshot, keyed by register key.
@@ -241,7 +315,7 @@ func (s *Server) StateSnapshot() ServerState {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for key, reg := range sh.regs {
-			out[key] = RegSnapshot{History: reg.history.Clone(), MWTag: reg.mwTag, MWVal: reg.mwVal}
+			out[key] = RegSnapshot{History: reg.history.Clone(), MWTag: reg.mwTag, MWVal: reg.mwVal, MWSig: bytes.Clone(reg.mwSig)}
 		}
 		sh.mu.Unlock()
 	}
@@ -260,7 +334,7 @@ func (s *Server) SetState(st ServerState) {
 	for key, snap := range st {
 		sh := &s.shards[shardOf(key)]
 		sh.mu.Lock()
-		sh.regs[key] = &regState{history: snap.History.Clone(), mwTag: snap.MWTag, mwVal: snap.MWVal}
+		sh.regs[key] = &regState{history: snap.History.Clone(), mwTag: snap.MWTag, mwVal: snap.MWVal, mwSig: bytes.Clone(snap.MWSig)}
 		sh.mu.Unlock()
 	}
 }
@@ -311,7 +385,9 @@ func (s *Server) SetMW(tag Tag, val string) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	reg := sh.reg("")
-	reg.mwTag, reg.mwVal = tag, val
+	// Forged state has no provenance; any previously stored writer
+	// signature no longer matches the pair.
+	reg.mwTag, reg.mwVal, reg.mwSig = tag, val, nil
 }
 
 func (s *Server) run() {
@@ -389,8 +465,10 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 	// hook call per surviving read, exactly as unbatched serving did.
 	var forged []History
 	var forgedMW []mwState
+	var replay []bool
 	hasForge := s.hooks.ForgeHistory != nil
 	hasMWForge := s.hooks.ForgeMWRead != nil
+	hasReplay := s.hooks.ReplayMWRead != nil
 	for i := range burst {
 		switch req := burst[i].Payload.(type) {
 		case WriteReq:
@@ -413,6 +491,12 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 				}
 				tag, val := s.hooks.ForgeMWRead(burst[i].From)
 				forgedMW[i] = mwState{tag: tag, val: val}
+			}
+			if hasReplay {
+				if replay == nil {
+					replay = make([]bool, len(burst))
+				}
+				replay[i] = s.hooks.ReplayMWRead(burst[i].From)
 			}
 		}
 	}
@@ -458,22 +542,65 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 			}
 			s.ack(env.From, env.Hop+1, ReadAck{ReadNo: req.ReadNo, Round: req.Round, History: h})
 		case MWWriteReq:
-			if env.Aliased() {
-				req.Val = strings.Clone(req.Val)
+			sh := lock(req.Key)
+			cur := Tag{}
+			if reg := sh.peek(req.Key); reg != nil {
+				cur = reg.mwTag
 			}
-			reg := lock(req.Key).reg(req.Key)
-			if applyMW(reg, req.Tag, req.Val) && s.wal != nil {
-				s.logMutation(req)
+			if cur.Less(req.Tag) {
+				// Verify only writes that would actually apply. A
+				// superseded write mutates nothing whatever its signature
+				// says, so acking it unverified admits nothing into the
+				// register — and under write contention most concurrent
+				// writes ARE superseded on arrival (of k racing tags a
+				// server applies only the running maxima, ~ln k of them),
+				// which keeps the signed write path near the unsigned
+				// one's cost.
+				if !s.verifyWrite(req.Key, req.Tag, req.Val, req.Sig) {
+					// A write whose claimed writer did not sign it:
+					// silently drop (no apply, no ack). Honest writers are
+					// unaffected — their quorum completes at the servers
+					// that verified.
+					s.authRejects.Add(1)
+					continue
+				}
+				if env.Aliased() {
+					req.Val = strings.Clone(req.Val)
+					req.Sig = bytes.Clone(req.Sig)
+				}
+				if applyMW(sh.reg(req.Key), req.Tag, req.Val, req.Sig) && s.wal != nil {
+					s.logMutation(req)
+				}
 			}
 			s.ack(env.From, env.Hop+1, MWWriteAck{Seq: req.Seq})
 		case MWReadReq:
 			if hasMWForge {
 				// A Byzantine server may lie about Synced like it lies
-				// about the pair; class-3 masking covers both.
+				// about the pair; class-3 masking covers both. The forged
+				// ack deliberately carries no signatures: the hook models
+				// a compromised server process, which holds neither the
+				// writers' keys (to sign the fabricated pair) nor a will
+				// to countersign honestly — verifying clients discard it.
 				s.ackNow(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: forgedMW[i].tag, Val: forgedMW[i].val, Synced: true})
+			} else if hasReplay && replay[i] && s.serveReplay(env, req) {
+				// Served a captured stale ack with only Seq rewritten.
+			} else if req.TagOnly {
+				// A writer's tag query: no value, no signatures (see
+				// MWReadReq.TagOnly — a lie here only inflates the
+				// writer's next timestamp).
+				reg := lock(req.Key).reg(req.Key)
+				s.ackNow(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: reg.mwTag, Synced: s.walSynced()})
 			} else {
 				reg := lock(req.Key).reg(req.Key)
-				s.ackNow(env.From, env.Hop+1, MWReadAck{Seq: req.Seq, Tag: reg.mwTag, Val: reg.mwVal, Synced: s.walSynced()})
+				ack := MWReadAck{Seq: req.Seq, Tag: reg.mwTag, Val: reg.mwVal, Synced: s.walSynced(), WSig: reg.mwSig}
+				if s.signer != nil {
+					s.authBuf = ackBodyD(s.authBuf[:0], s.id, req.Seq, req.Key, ack.Tag, s.dmemo.of(ack.Val), ack.Synced)
+					ack.SSig = s.signAck(s.authBuf)
+				}
+				if hasReplay {
+					s.captureAck(req.Key, ack)
+				}
+				s.ackNow(env.From, env.Hop+1, ack)
 			}
 		case KVCASReq:
 			// Conditional apply: install 〈Tag, Val〉 iff the register
@@ -484,15 +611,36 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 			// per version rests on this (see kv.go). Strict equality
 			// also rejects a client re-CASing an expect it already won
 			// (its retry proposes the same tag but the register moved).
-			if env.Aliased() {
-				req.Val = strings.Clone(req.Val)
+			sh := lock(req.Key)
+			reg := sh.peek(req.Key)
+			cur := Tag{}
+			if reg != nil {
+				cur = reg.mwTag
 			}
-			reg := lock(req.Key).reg(req.Key)
-			applied := applyCAS(reg, req.Expect, req.Tag, req.Val)
-			if applied && s.wal != nil {
-				s.logMutation(req)
+			applied := false
+			if cur == req.Expect {
+				// As for MWWriteReq: only a CAS that would install its
+				// pair needs its signature checked — a mismatched Expect
+				// no-ops regardless.
+				if !s.verifyWrite(req.Key, req.Tag, req.Val, req.Sig) {
+					s.authRejects.Add(1)
+					continue
+				}
+				if env.Aliased() {
+					req.Val = strings.Clone(req.Val)
+					req.Sig = bytes.Clone(req.Sig)
+				}
+				reg = sh.reg(req.Key)
+				applied = applyCAS(reg, req.Expect, req.Tag, req.Val, req.Sig)
+				if applied && s.wal != nil {
+					s.logMutation(req)
+				}
 			}
-			s.ack(env.From, env.Hop+1, KVCASAck{Seq: req.Seq, Applied: applied, Tag: reg.mwTag, Val: reg.mwVal})
+			ack := KVCASAck{Seq: req.Seq, Applied: applied}
+			if reg != nil {
+				ack.Tag, ack.Val = reg.mwTag, reg.mwVal
+			}
+			s.ack(env.From, env.Hop+1, ack)
 		}
 	}
 	if locked >= 0 {
@@ -549,6 +697,46 @@ func (s *Server) handleBurst(burst []transport.Envelope) bool {
 	// Phase 3: flush acks, one batched send per (destination, hop).
 	s.flushBuckets(s.acks, s.acksUsed)
 	s.acksUsed = 0
+	return true
+}
+
+// verifyWrite checks the writer signature on an MWMR write or CAS
+// apply against the claimed Tag.Writer. Zero-tag writebacks (the
+// initial ⊥ pair, which applyMW ignores anyway) carry no signature
+// and pass. Trivially true without a verifier. Server goroutine only.
+func (s *Server) verifyWrite(key string, tag Tag, val string, sig []byte) bool {
+	if s.verifier == nil || tag.IsZero() {
+		return true
+	}
+	s.authBuf = tagBodyD(s.authBuf[:0], key, tag, s.dmemo.of(val))
+	return s.verifier.Verify(tag.Writer, s.authBuf, sig)
+}
+
+// captureAck records the first honest read ack served for key, for
+// Hooks.ReplayMWRead to re-serve later. The ack's Val/WSig are
+// server-owned (cloned on apply), so retaining them is safe.
+func (s *Server) captureAck(key string, ack MWReadAck) {
+	if s.replayCap == nil {
+		s.replayCap = make(map[string]MWReadAck)
+	}
+	if _, ok := s.replayCap[key]; !ok {
+		s.replayCap[strings.Clone(key)] = ack
+	}
+}
+
+// serveReplay re-serves the ack captured for the request's key with
+// only the Seq field rewritten — the Byzantine replay attack. The
+// writer signature on the stale pair is still perfectly valid; the
+// server countersignature, which binds the *original* request's seq,
+// is what fails verification at an authenticated client. Reports
+// false when nothing has been captured for the key yet.
+func (s *Server) serveReplay(env *transport.Envelope, req MWReadReq) bool {
+	cap, ok := s.replayCap[req.Key]
+	if !ok {
+		return false
+	}
+	cap.Seq = req.Seq
+	s.ackNow(env.From, env.Hop+1, cap)
 	return true
 }
 
@@ -700,27 +888,28 @@ func applyWrite(reg *regState, req WriteReq) bool {
 	return true
 }
 
-// applyMW applies one MWMR write: the register adopts 〈tag, val〉 only
-// if tag strictly exceeds the current one. Reports whether the state
-// changed. Monotonicity makes replay idempotent: a logged tag replayed
-// onto a register that already adopted it (or moved past it) is a
-// no-op. Callers hold the shard mutex.
-func applyMW(reg *regState, tag Tag, val string) bool {
+// applyMW applies one MWMR write: the register adopts 〈tag, val, sig〉
+// only if tag strictly exceeds the current one. Reports whether the
+// state changed. Monotonicity makes replay idempotent: a logged tag
+// replayed onto a register that already adopted it (or moved past it)
+// is a no-op. Callers hold the shard mutex. sig must be an immutable
+// slice the register may retain (nil when auth is off).
+func applyMW(reg *regState, tag Tag, val string, sig []byte) bool {
 	if reg.mwTag.Less(tag) {
-		reg.mwTag, reg.mwVal = tag, val
+		reg.mwTag, reg.mwVal, reg.mwSig = tag, val, sig
 		return true
 	}
 	return false
 }
 
-// applyCAS conditionally applies one CAS: install 〈tag, val〉 iff the
-// register still holds exactly expect. Reports whether it applied.
+// applyCAS conditionally applies one CAS: install 〈tag, val, sig〉 iff
+// the register still holds exactly expect. Reports whether it applied.
 // Tags never revisit a value, so a replayed CAS whose effect is
 // already in the register finds mwTag == tag ≠ expect and no-ops.
 // Callers hold the shard mutex.
-func applyCAS(reg *regState, expect, tag Tag, val string) bool {
+func applyCAS(reg *regState, expect, tag Tag, val string, sig []byte) bool {
 	if reg.mwTag == expect {
-		reg.mwTag, reg.mwVal = tag, val
+		reg.mwTag, reg.mwVal, reg.mwSig = tag, val, sig
 		return true
 	}
 	return false

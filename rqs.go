@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/auth"
 	"repro/internal/chaos"
 	"repro/internal/consensus"
 	"repro/internal/core"
@@ -210,6 +211,69 @@ func NewTCPKV(system *System, opts KVOptions) (*TCPKVCluster, error) {
 // process ID, which becomes the client's writer ID.
 func NewKVClient(groups []KVGroup) *KVClient {
 	return storage.NewKVClient(groups)
+}
+
+// Authenticated storage: the Byzantine-tolerant MWMR/KV data path.
+// Writers sign their tags, servers verify writes and countersign read
+// acks, and clients discard unverifiable acks — a forging or replaying
+// server degrades to noise as long as a verified class-3 quorum of
+// honest servers remains reachable.
+type (
+	// AuthMode selects the deployment's signature scheme: AuthEd25519
+	// (transferable signatures) or AuthHMAC (fast symmetric MACs; any
+	// keyring holder can forge, see internal/auth for the caveat).
+	AuthMode = auth.Mode
+	// AuthDeployment is a deployment's provisioned key material: one
+	// signing identity per process plus the shared verifier.
+	AuthDeployment = auth.Deployment
+	// AuthSigner signs protocol bodies under one identity.
+	AuthSigner = auth.Signer
+	// AuthVerifier checks signatures against any provisioned identity.
+	AuthVerifier = auth.Verifier
+	// AuthStats counts the signatures a client or server rejected.
+	AuthStats = storage.AuthStats
+	// KVCASConflict is the typed error a definitively lost CAS returns
+	// (match with errors.As); Observed carries the version to retry
+	// against.
+	KVCASConflict = storage.ErrCASConflict
+	// AcceptorHooks injects Byzantine behaviour — equivocation, forged
+	// decisions, masked updates — into a consensus acceptor (the
+	// consensus-level mirror of ServerHooks).
+	AcceptorHooks = consensus.Hooks
+)
+
+// The signature schemes.
+const (
+	AuthEd25519 = auth.ModeEd25519
+	AuthHMAC    = auth.ModeHMAC
+)
+
+// NewAuthDeployment provisions fresh key material for the given
+// identities under the chosen scheme.
+func NewAuthDeployment(mode AuthMode, ids Set) (*AuthDeployment, error) {
+	return auth.NewDeployment(mode, ids)
+}
+
+// AuthForCluster provisions key material sized for a cluster of the
+// given system: identities 0..n-1 are its servers, the next `clients`
+// identities its client slots. Pass the result via StorageOptions.Auth
+// / KVOptions.Auth.
+func AuthForCluster(mode AuthMode, system *System, clients int) *AuthDeployment {
+	return sim.AuthDeployment(mode, system, clients)
+}
+
+// NewMWMRWriterAuth is NewMWMRWriter for an authenticated deployment:
+// the writer signs every tag it installs with its port identity's key.
+func NewMWMRWriterAuth(system *System, port Port, signer AuthSigner, verifier AuthVerifier) *MWWriter {
+	return storage.NewMWWriterAuth(system, port, signer, verifier)
+}
+
+// NewMWMRReaderAuth is NewMWMRReader for an authenticated deployment:
+// the reader discards acks that fail verification and forwards the
+// original writer signature on writebacks (readers need no signing
+// key of their own).
+func NewMWMRReaderAuth(system *System, port Port, verifier AuthVerifier) *MWReader {
+	return storage.NewMWReaderAuth(system, port, verifier)
 }
 
 // Consensus deployment (Section 4).
